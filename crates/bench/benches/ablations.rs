@@ -1,0 +1,67 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! ETag strategies, cache-key canonicalization, compression formats
+//! and block sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doc_core::policy::{prepare_response, CachePolicy};
+use doc_core::transport::{dns_response_bytes, experiment_name};
+use doc_dns::{cbor_fmt, Message, Question, RecordType};
+use std::hint::black_box;
+
+fn ablation_benches(c: &mut Criterion) {
+    let name = experiment_name(0);
+    let response = Message::decode(&dns_response_bytes(&name, RecordType::Aaaa, 300)).unwrap();
+
+    // ETag strategy ablation: DoH-like hashes the full (TTL-bearing)
+    // payload; EOL TTLs rewrites TTLs first. Same cost class, but EOL
+    // buys stable ETags.
+    c.bench_function("ablation/prepare_response_doh_like", |b| {
+        b.iter(|| prepare_response(CachePolicy::DohLike, black_box(&response)))
+    });
+    c.bench_function("ablation/prepare_response_eol_ttls", |b| {
+        b.iter(|| prepare_response(CachePolicy::EolTtls, black_box(&response)))
+    });
+
+    // DNS-ID canonicalization: the cost of the deterministic cache key.
+    c.bench_function("ablation/canonicalize_and_encode", |b| {
+        b.iter(|| {
+            let mut m = response.clone();
+            m.canonicalize_id();
+            m.sort_answers();
+            m.encode()
+        })
+    });
+
+    // Message format ablation: wire format vs dns+cbor.
+    let q = Question::new(name.clone(), RecordType::Aaaa);
+    c.bench_function("ablation/encode_wire_format", |b| {
+        b.iter(|| black_box(&response).encode())
+    });
+    c.bench_function("ablation/encode_dns_cbor", |b| {
+        b.iter(|| cbor_fmt::encode_response(black_box(&response), black_box(&q)))
+    });
+
+    // Block-size ablation: slicing a response body.
+    for size in [16usize, 32, 64] {
+        c.bench_function(&format!("ablation/block2_slice_{size}B"), |b| {
+            let body = dns_response_bytes(&name, RecordType::Aaaa, 300);
+            b.iter(|| {
+                let server = doc_coap::block::Block2Server::new(body.clone(), size).unwrap();
+                let mut num = 0;
+                let mut total = 0usize;
+                loop {
+                    let (slice, block) = server.block(num, size).unwrap();
+                    total += slice.len();
+                    if !block.more {
+                        break;
+                    }
+                    num += 1;
+                }
+                total
+            })
+        });
+    }
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

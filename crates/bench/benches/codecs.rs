@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the protocol codecs that every
+//! figure's packet construction relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_core::method::{build_request, DocMethod};
+use doc_core::transport::{dns_query_bytes, dns_response_bytes, experiment_name};
+use doc_dns::{cbor_fmt, Message, Question, RecordType};
+use std::hint::black_box;
+
+fn dns_benches(c: &mut Criterion) {
+    let name = experiment_name(0);
+    let query = dns_query_bytes(&name, RecordType::Aaaa);
+    let response = dns_response_bytes(&name, RecordType::Aaaa, 300);
+    c.bench_function("dns/encode_query", |b| {
+        let mut m = Message::query(0, name.clone(), RecordType::Aaaa);
+        m.canonicalize_id();
+        b.iter(|| black_box(&m).encode())
+    });
+    c.bench_function("dns/decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&query)).unwrap())
+    });
+    c.bench_function("dns/decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&response)).unwrap())
+    });
+    c.bench_function("dns/cbor_encode_response", |b| {
+        let msg = Message::decode(&response).unwrap();
+        let q = Question::new(name.clone(), RecordType::Aaaa);
+        b.iter(|| cbor_fmt::encode_response(black_box(&msg), black_box(&q)))
+    });
+}
+
+fn coap_benches(c: &mut Criterion) {
+    let name = experiment_name(0);
+    let query = dns_query_bytes(&name, RecordType::Aaaa);
+    let fetch = build_request(DocMethod::Fetch, &query, MsgType::Con, 1, vec![1, 2]).unwrap();
+    let wire = fetch.encode();
+    c.bench_function("coap/encode_fetch", |b| b.iter(|| black_box(&fetch).encode()));
+    c.bench_function("coap/decode_fetch", |b| {
+        b.iter(|| CoapMessage::decode(black_box(&wire)).unwrap())
+    });
+    c.bench_function("coap/cache_key_fetch", |b| {
+        b.iter(|| doc_coap::cache::cache_key(black_box(&fetch)))
+    });
+    c.bench_function("coap/build_get_request", |b| {
+        b.iter(|| build_request(DocMethod::Get, black_box(&query), MsgType::Con, 1, vec![1]).unwrap())
+    });
+    let resp = CoapMessage::ack_response(&fetch, Code::CONTENT)
+        .with_option(CoapOption::new(OptionNumber::ETAG, vec![1; 8]))
+        .with_option(CoapOption::uint(OptionNumber::MAX_AGE, 300))
+        .with_payload(dns_response_bytes(&name, RecordType::Aaaa, 300));
+    c.bench_function("coap/encode_response", |b| b.iter(|| black_box(&resp).encode()));
+}
+
+fn security_benches(c: &mut Criterion) {
+    use doc_oscore::context::SecurityContext;
+    use doc_oscore::protect::OscoreEndpoint;
+    let name = experiment_name(0);
+    let query = dns_query_bytes(&name, RecordType::Aaaa);
+    let fetch = build_request(DocMethod::Fetch, &query, MsgType::Con, 1, vec![1, 2]).unwrap();
+    let secret = b"0123456789abcdef";
+    c.bench_function("oscore/derive_context", |b| {
+        b.iter(|| SecurityContext::derive(black_box(secret), b"salt", &[], &[1]))
+    });
+    c.bench_function("oscore/protect_request", |b| {
+        let mut ep = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[1]), false);
+        b.iter(|| ep.protect_request(black_box(&fetch)).unwrap())
+    });
+    c.bench_function("oscore/roundtrip", |b| {
+        let mut client = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[1]), false);
+        let mut server = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[1], &[]), false);
+        b.iter(|| {
+            let (outer, _) = client.protect_request(black_box(&fetch)).unwrap();
+            server.unprotect_request(&outer).unwrap()
+        })
+    });
+    c.bench_function("dtls/protect_record", |b| {
+        let cs = doc_dtls::record::CipherState::new(&[7u8; 16], [1, 2, 3, 4]);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            cs.seal(doc_dtls::record::ContentType::ApplicationData, 1, seq, black_box(&query))
+                .unwrap()
+        })
+    });
+}
+
+fn sixlowpan_benches(c: &mut Criterion) {
+    c.bench_function("sixlowpan/fragment_plan_250B", |b| {
+        b.iter(|| doc_sixlowpan::fragment_plan(black_box(250)))
+    });
+    c.bench_function("sixlowpan/fragment_reassemble_250B", |b| {
+        let datagram = vec![0xA5u8; 250];
+        b.iter(|| {
+            let mut f = doc_sixlowpan::frag::Fragmenter::new();
+            let frames = f.fragment(black_box(&datagram), 102).unwrap();
+            let mut r = doc_sixlowpan::frag::Reassembler::new();
+            let mut out = None;
+            for fr in &frames {
+                if let Some(d) = r.push(fr).unwrap() {
+                    out = Some(d);
+                }
+            }
+            out.unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    dns_benches,
+    coap_benches,
+    security_benches,
+    sixlowpan_benches
+);
+criterion_main!(benches);

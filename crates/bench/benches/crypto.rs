@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use doc_crypto::aes::Aes128;
+use doc_crypto::ccm::AesCcm;
+use doc_crypto::hkdf;
+use doc_crypto::hmac::hmac_sha256;
+use doc_crypto::sha256::sha256;
+use std::hint::black_box;
+
+fn crypto_benches(c: &mut Criterion) {
+    c.bench_function("crypto/aes128_block", |b| {
+        let aes = Aes128::new(&[7u8; 16]);
+        let block = [42u8; 16];
+        b.iter(|| aes.encrypt(black_box(&block)))
+    });
+
+    let mut group = c.benchmark_group("crypto/ccm");
+    for size in [42usize, 70, 256, 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal_{size}B"), |b| {
+            let ccm = AesCcm::cose_ccm_16_64_128(&[1u8; 16]);
+            let nonce = [9u8; 13];
+            let data = vec![0xABu8; size];
+            b.iter(|| ccm.seal(black_box(&nonce), b"aad", black_box(&data)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("crypto/sha256");
+    for size in [64usize, 1024, 16_384] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            let data = vec![0x5Au8; size];
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("crypto/hmac_sha256_64B", |b| {
+        let data = [3u8; 64];
+        b.iter(|| hmac_sha256(b"key", black_box(&data)))
+    });
+    c.bench_function("crypto/hkdf_expand_32B", |b| {
+        b.iter(|| hkdf::hkdf(b"salt", b"ikm", b"info", 32))
+    });
+    c.bench_function("crypto/base64url_roundtrip_42B", |b| {
+        let data = [0x77u8; 42];
+        b.iter(|| {
+            let e = doc_crypto::base64url::encode(black_box(&data));
+            doc_crypto::base64url::decode(&e).unwrap()
+        })
+    });
+    c.bench_function("crypto/dtls_prf_40B", |b| {
+        let mut out = [0u8; 40];
+        b.iter(|| {
+            doc_crypto::prf::prf(b"master secret bytes", b"key expansion", b"seed", &mut out);
+            out
+        })
+    });
+}
+
+criterion_group!(benches, crypto_benches);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Regenerates Fig. 10: link utilization (frames and kBytes per link)
+//! for four-answer AAAA queries under every caching configuration —
+//! opaque forwarder vs caching proxy × client DNS cache × client CoAP
+//! cache × DoH-like vs EOL TTLs.
+
+use doc_core::experiment::{run, ExperimentConfig};
+use doc_core::policy::CachePolicy;
+use doc_netsim::Tag;
+
+fn main() {
+    println!("Fig. 10. Link utilization, 50 AAAA queries over 8 names, 4 records/answer, TTL 2-8 s");
+    println!("links: '2 hops' = clients<->forwarder, '1 hop' = forwarder<->border router\n");
+    println!(
+        "{:<52} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7}",
+        "scenario", "frames2", "frames1", "kB2", "kB1", "q-frac", "success"
+    );
+    for proxy_cache in [false, true] {
+        for client_coap_cache in [false, true] {
+            for client_dns_cache in [false, true] {
+                for policy in [CachePolicy::DohLike, CachePolicy::EolTtls] {
+                    let mut frames = [0u64; 2];
+                    let mut bytes = [0u64; 2];
+                    let mut qbytes = 0u64;
+                    let mut success = 0.0;
+                    let reps = 5;
+                    for rep in 0..reps as u64 {
+                        let cfg = ExperimentConfig {
+                            proxy_cache,
+                            client_coap_cache,
+                            client_dns_cache,
+                            policy,
+                            num_queries: 50,
+                            num_names: 8,
+                            answers_per_response: 4,
+                            ttl_range: (2, 8),
+                            loss_permille: 80,
+                            seed: 0xF16_0010 + rep,
+                            ..Default::default()
+                        };
+                        let r = run(&cfg);
+                        frames[0] += r.client_proxy.frames;
+                        frames[1] += r.proxy_br.frames;
+                        bytes[0] += r.client_proxy.bytes;
+                        bytes[1] += r.proxy_br.bytes;
+                        qbytes += r.proxy_br.bytes_by_tag[Tag::Query.index()];
+                        success += r.success_rate();
+                    }
+                    let label = format!(
+                        "{} fwd | {} | {} | {}",
+                        if proxy_cache { "proxy" } else { "opaque" },
+                        if client_coap_cache { "CoAP$ " } else { "noCoAP$" },
+                        if client_dns_cache { "DNS$ " } else { "noDNS$" },
+                        policy.name()
+                    );
+                    println!(
+                        "{:<52} {:>7} {:>7} {:>8.1} {:>8.1} {:>7.2} {:>7.2}",
+                        label,
+                        frames[0] / reps,
+                        frames[1] / reps,
+                        bytes[0] as f64 / reps as f64 / 1000.0,
+                        bytes[1] as f64 / reps as f64 / 1000.0,
+                        qbytes as f64 / bytes[1] as f64,
+                        success / reps as f64,
+                    );
+                }
+            }
+        }
+    }
+}

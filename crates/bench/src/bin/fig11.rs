@@ -1,0 +1,79 @@
+//! Regenerates Fig. 11: CoAP (re-)transmission and cache-hit events at
+//! the clients, as offsets from the initial DNS query, for the three
+//! highlighted scenarios (opaque forwarder, DoH-like proxy caching,
+//! EOL-TTLs proxy caching) × {FETCH, GET, POST}.
+
+use doc_core::experiment::{run, EventKind, ExperimentConfig};
+use doc_core::method::DocMethod;
+use doc_core::policy::CachePolicy;
+
+fn main() {
+    println!("Fig. 11. Client events vs time of initial DNS query");
+    println!("(counts per offset band; retransmissions follow the exponential back-off bands)\n");
+    let bands = [
+        (0u64, 100u64),
+        (100, 2000),
+        (2000, 4500),     // 1st retransmission region
+        (4500, 9500),     // 2nd
+        (9500, 20_000),   // 3rd
+        (20_000, 45_000), // 4th
+    ];
+    for method in [DocMethod::Fetch, DocMethod::Get, DocMethod::Post] {
+        for (scenario, proxy_cache, policy) in [
+            ("Opaque forwarder", false, CachePolicy::EolTtls),
+            ("DoH-like (w/ caching)", true, CachePolicy::DohLike),
+            ("EOL TTLs (w/ caching)", true, CachePolicy::EolTtls),
+        ] {
+            let mut tx = vec![0u32; bands.len()];
+            let mut rtx = vec![0u32; bands.len()];
+            let mut hits = 0u32;
+            let mut validations = 0u32;
+            for rep in 0..5u64 {
+                let cfg = ExperimentConfig {
+                    method,
+                    proxy_cache,
+                    client_coap_cache: proxy_cache, // blue scenarios
+                    policy,
+                    num_queries: 50,
+                    num_names: 8,
+                    answers_per_response: 4,
+                    ttl_range: (2, 8),
+                    loss_permille: 80,
+                    seed: 0xF16_0011 + rep,
+                    ..Default::default()
+                };
+                let r = run(&cfg);
+                for e in &r.events {
+                    match e.kind {
+                        EventKind::Transmission | EventKind::Retransmission => {
+                            for (i, (lo, hi)) in bands.iter().enumerate() {
+                                if e.offset_ms >= *lo && e.offset_ms < *hi {
+                                    if e.kind == EventKind::Transmission {
+                                        tx[i] += 1;
+                                    } else {
+                                        rtx[i] += 1;
+                                    }
+                                }
+                            }
+                        }
+                        EventKind::CacheHit => hits += 1,
+                        EventKind::CacheValidation => validations += 1,
+                    }
+                }
+            }
+            println!("{} / {}:", method.name(), scenario);
+            print!("  tx per band   ");
+            for t in &tx {
+                print!(" {t:>5}");
+            }
+            println!();
+            print!("  retx per band ");
+            for t in &rtx {
+                print!(" {t:>5}");
+            }
+            println!();
+            println!("  cache hits {hits}, validations {validations} (5 runs)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Fig. 14: link-layer packet sizes with block-wise
+//! transfer for block sizes 16/32/64 and the FETCH/GET/POST methods.
+
+use doc_core::method::DocMethod;
+use doc_core::transport::{dissect, dissect_blockwise, PacketItem, TransportKind};
+
+fn main() {
+    println!("Fig. 14. Packet sizes with block-wise transfer (CoAP, 24-char name)\n");
+    println!("No blockwise:");
+    for method in [DocMethod::Fetch, DocMethod::Get] {
+        let d = dissect(TransportKind::Coap, method, PacketItem::Query);
+        println!(
+            "  Query [{}]: total {} bytes, {} frame(s)",
+            method.name(),
+            d.total,
+            d.frames
+        );
+    }
+    for item in [PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+        let d = dissect(TransportKind::Coap, DocMethod::Fetch, item);
+        println!("  {}: total {} bytes, {} frame(s)", item.name(), d.total, d.frames);
+    }
+    for block in [16usize, 32, 64] {
+        println!("\nBlocksize: {block} bytes");
+        // Queries (FETCH/POST can block; GET cannot).
+        for method in [DocMethod::Fetch, DocMethod::Get] {
+            if block == 64 {
+                // Paper: "Block size 64 was only used with AAAA records"
+                // for queries nothing changes (42 < 64).
+            }
+            let parts = dissect_blockwise(method, PacketItem::Query, block, false);
+            for d in &parts {
+                println!("  {:<24} total {:>4} bytes, {} frame(s)", d.label, d.total, d.frames);
+            }
+        }
+        for item in [PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+            let parts = dissect_blockwise(DocMethod::Fetch, item, block, false);
+            for d in &parts {
+                println!("  {:<24} total {:>4} bytes, {} frame(s)", d.label, d.total, d.frames);
+            }
+        }
+    }
+    println!("\n(32-byte blocks keep every packet in one frame; 64-byte blocks re-fragment AAAA responses — Appendix D)");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 5: memory consumption (ROM/RAM) of each DNS
+//! transport with the CoAP example application present.
+
+use doc_core::transport::TransportKind;
+use doc_models::buildsize::build_profile;
+
+fn main() {
+    println!("Fig. 5. Memory consumption per DNS transport (with CoAP example app)");
+    for (panel, pick_rom) in [("(a) ROM", true), ("(b) RAM", false)] {
+        println!("\n{panel} [bytes]");
+        for t in [
+            TransportKind::Udp,
+            TransportKind::Dtls,
+            TransportKind::Coap,
+            TransportKind::Coaps,
+            TransportKind::Oscore,
+        ] {
+            let with_get = t.coap_based();
+            let p = build_profile(t, with_get);
+            let total = if pick_rom { p.rom() } else { p.ram() };
+            print!("{:<10} total {:>6}  =", t.name(), total);
+            for (m, rom, ram) in &p.rows {
+                let v = if pick_rom { *rom } else { *ram };
+                print!(" {}:{}", m.name(), v);
+            }
+            println!();
+        }
+    }
+    println!();
+    let coap = build_profile(TransportKind::Coap, false);
+    let coaps = build_profile(TransportKind::Coaps, false);
+    let oscore = build_profile(TransportKind::Oscore, false);
+    println!(
+        "Deltas: DTLS adds {} B ROM / {} B RAM; OSCORE adds {} B ROM; OSCORE saves {} B vs DTLS",
+        coaps.rom() - coap.rom(),
+        coaps.ram() - coap.ram(),
+        oscore.rom() - coap.rom(),
+        coaps.rom() - oscore.rom(),
+    );
+    let get = build_profile(TransportKind::Coap, true);
+    println!(
+        "GET support adds {} B ROM and {} B RAM",
+        get.rom() - coap.rom(),
+        get.ram() - coap.ram()
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerates Fig. 6: maximum link-layer packet sizes for each
+//! transport when resolving a 24-character name (single A or AAAA
+//! record), including session-setup packets. All sizes come from real
+//! packet construction (see `doc-core::transport`).
+
+use doc_core::method::DocMethod;
+use doc_core::transport::{dissect, session_setup, PacketItem, TransportKind};
+use doc_sixlowpan::single_frame_limit;
+
+fn main() {
+    println!("Fig. 6. Link-layer packet sizes, 24-char name, single record");
+    println!(
+        "(single-frame UDP payload budget: {} bytes; frames > 1 mean 6LoWPAN fragmentation)\n",
+        single_frame_limit()
+    );
+    println!(
+        "{:<34} {:>6} {:>6} {:>5} {:>7} {:>4} {:>7} {:>7}",
+        "packet", "l2+6lo", "dtls", "coap", "oscore", "dns", "frames", "total"
+    );
+    for kind in [
+        TransportKind::Udp,
+        TransportKind::Dtls,
+        TransportKind::Coap,
+        TransportKind::Coaps,
+        TransportKind::Oscore,
+    ] {
+        let methods: &[DocMethod] = if kind.coap_based() {
+            &[DocMethod::Fetch, DocMethod::Get, DocMethod::Post]
+        } else {
+            &[DocMethod::Fetch]
+        };
+        for &method in methods {
+            // OSCORE uses only FETCH in the paper.
+            if kind == TransportKind::Oscore && method != DocMethod::Fetch {
+                continue;
+            }
+            for item in [PacketItem::Query, PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+                // Responses do not depend on the method; print once.
+                if item != PacketItem::Query && method != methods[0] {
+                    continue;
+                }
+                let d = dissect(kind, method, item);
+                let label = if kind.coap_based() && item == PacketItem::Query {
+                    format!("{} [{}]", d.label, method.name())
+                } else {
+                    d.label.clone()
+                };
+                println!(
+                    "{:<34} {:>6} {:>6} {:>5} {:>7} {:>4} {:>7} {:>7}",
+                    label, d.l2_sixlo, d.dtls, d.coap, d.oscore, d.dns, d.frames, d.total
+                );
+            }
+        }
+        // Session setup packets.
+        for d in session_setup(kind) {
+            println!(
+                "{:<34} {:>6} {:>6} {:>5} {:>7} {:>4} {:>7} {:>7}",
+                format!("{} [setup] {}", kind.name(), d.label),
+                d.l2_sixlo,
+                d.dtls,
+                d.coap,
+                d.oscore,
+                d.dns,
+                d.frames,
+                d.total
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 8: code sizes of UDP-based DNS transports,
+//! including DNS over QUIC (Quant).
+
+use doc_models::buildsize::fig8_profiles;
+
+fn main() {
+    println!("Fig. 8. Code sizes of UDP-based DNS transports [bytes ROM]");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "transport", "dns/coap", "crypto", "application", "total"
+    );
+    for p in fig8_profiles() {
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>10}",
+            p.label,
+            p.transport_rom,
+            p.crypto_rom,
+            p.application_rom,
+            p.total()
+        );
+    }
+    let profiles = fig8_profiles();
+    let quic = profiles.iter().find(|p| p.label == "QUIC").expect("QUIC");
+    let max_other = profiles
+        .iter()
+        .filter(|p| p.label != "QUIC")
+        .map(|p| p.total())
+        .max()
+        .expect("non-empty");
+    println!(
+        "\nQUIC/largest-IoT-transport ratio: {:.2}x (paper: \"nearly double\")",
+        quic.total() as f64 / max_other as f64
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 9: relative link-layer data DNS over QUIC requires
+//! compared to DTLSv1.2 / CoAPSv1.2 / OSCORE, swept over the QUIC
+//! header size for 0-RTT and 1-RTT packets.
+
+use doc_core::transport::{PacketItem, TransportKind};
+use doc_models::quic::{quic_penalty, QuicHandshake};
+
+fn main() {
+    for hs in [QuicHandshake::ZeroRtt, QuicHandshake::OneRtt] {
+        let (lo, hi) = hs.header_range();
+        println!("Fig. 9 — {} (QUIC header {lo}..{hi} bytes), penalty [%]", hs.name());
+        println!(
+            "{:<10} {:<16} {}",
+            "compared",
+            "message",
+            (lo..=hi)
+                .step_by(8)
+                .map(|h| format!("{h:>6}"))
+                .collect::<String>()
+        );
+        for kind in [TransportKind::Dtls, TransportKind::Coaps, TransportKind::Oscore] {
+            for item in [PacketItem::Query, PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+                print!("{:<10} {:<16}", kind.name(), item.name());
+                for h in (lo..=hi).step_by(8) {
+                    print!("{:>6.1}", quic_penalty(kind, item, h));
+                }
+                println!();
+            }
+        }
+        println!();
+    }
+}

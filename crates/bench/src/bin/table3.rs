@@ -1,0 +1,42 @@
+//! Regenerates Table 3: statistical key properties of queried domain
+//! names, from the calibrated corpus generators.
+
+use doc_datasets::lengths::{Dataset, LengthModel};
+use doc_datasets::stats::LengthStats;
+
+fn main() {
+    println!("Table 3. Name-length statistics (synthetic corpora calibrated to the paper)");
+    println!(
+        "{:<12} {:>8} {:>4} {:>4} {:>5} {:>6} {:>6} {:>4} {:>4} {:>4}",
+        "Data source", "names", "min", "max", "mode", "mu", "sigma", "Q1", "Q2", "Q3"
+    );
+    for d in [
+        Dataset::YourThings,
+        Dataset::IotFinder,
+        Dataset::MonIotr,
+        Dataset::IotTotal,
+        Dataset::Ixp,
+    ] {
+        let model = LengthModel::for_dataset(d);
+        let n = d.unique_names().unwrap_or(10_000);
+        let sample = model.sample_many(0xD0C ^ n as u64, n.max(8_000));
+        let s = LengthStats::from_lengths(&sample);
+        println!(
+            "{:<12} {:>8} {:>4} {:>4} {:>5} {:>6.1} {:>6.1} {:>4} {:>4} {:>4}",
+            d.name(),
+            d.unique_names()
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "—".into()),
+            s.min,
+            s.max,
+            s.mode,
+            s.mean,
+            s.sigma,
+            s.q1,
+            s.q2,
+            s.q3
+        );
+    }
+    println!();
+    println!("Paper row (IoT total): 2336 names, min 2, max 83, mode 24, mu 25.9, sigma 11.3, Q 19/24/30");
+}

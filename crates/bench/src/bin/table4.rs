@@ -1,0 +1,22 @@
+//! Regenerates Table 4: queried record types in the IN class.
+
+use doc_datasets::records::{record_mix, TrafficMix};
+
+fn main() {
+    println!("Table 4. Queried record types in IN class");
+    for mix in [
+        TrafficMix::IotWithMdns,
+        TrafficMix::IotWithoutMdns,
+        TrafficMix::Ixp,
+    ] {
+        print!("{:<14}", mix.name());
+        for share in record_mix(mix) {
+            print!(
+                " {}={:.1}%",
+                share.rtype,
+                share.permyriad as f64 / 100.0
+            );
+        }
+        println!();
+    }
+}

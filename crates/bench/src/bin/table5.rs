@@ -1,0 +1,24 @@
+//! Regenerates Table 5: comparison of request methods considered for
+//! DoC — derived from the implementation's own behaviour, not a static
+//! table.
+
+use doc_bench::check;
+use doc_core::method::DocMethod;
+
+fn main() {
+    println!("Table 5. Comparison of request methods considered for DoC");
+    let methods = [DocMethod::Get, DocMethod::Post, DocMethod::Fetch];
+    println!("{:<36} {:>5} {:>5} {:>5}", "Feature", "GET", "POST", "FETCH");
+    let rows: [(&str, fn(DocMethod) -> bool); 3] = [
+        ("Cacheable", |m| m.cacheable()),
+        ("Application data carried in body", |m| m.body_carried()),
+        ("Block-wise transferable query", |m| m.blockwise_query()),
+    ];
+    for (label, get) in rows {
+        print!("{label:<36}");
+        for m in methods {
+            print!(" {:>5}", check(get(m)));
+        }
+        println!();
+    }
+}

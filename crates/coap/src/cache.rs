@@ -1,0 +1,422 @@
+//! CoAP response caching (RFC 7252 §5.6) with ETag validation.
+//!
+//! This is the mechanism the whole §4.2/§6 evaluation of the paper
+//! turns on:
+//!
+//! * The **cache key** is the request method plus all options that are
+//!   not NoCacheKey — and, for FETCH (RFC 8132 §2.1), the request
+//!   payload. GET keys on the URI options (which for DoC carry the
+//!   base64url `dns=` variable). POST responses are not cacheable,
+//!   which is why POST "does not allow for caching" (Table 5).
+//! * **Freshness**: a cached response is fresh while its age is below
+//!   the `Max-Age` option value (default 60 s). Serving a cached
+//!   response rewrites `Max-Age` to the remaining freshness — the
+//!   behaviour DoC clients rely on to restore DNS TTLs.
+//! * **Validation**: a stale entry with an ETag can be revalidated; a
+//!   `2.03 Valid` response refreshes the entry (new Max-Age) without
+//!   re-transferring the payload.
+
+use crate::msg::{Code, CoapMessage};
+use crate::opt::{CoapOption, OptionNumber};
+use std::collections::HashMap;
+
+/// A computed cache key (opaque bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(Vec<u8>);
+
+/// Does this method allow response caching?
+///
+/// Table 5 of the paper: GET ✓, POST ✘, FETCH ✓.
+pub fn is_cacheable_method(code: Code) -> bool {
+    matches!(code, Code::GET | Code::FETCH)
+}
+
+/// Compute the cache key of a request (RFC 7252 §5.6 / RFC 8132 §2.1).
+pub fn cache_key(msg: &CoapMessage) -> CacheKey {
+    let mut data = Vec::with_capacity(32 + msg.payload.len());
+    data.push(msg.code.0);
+    let mut opts: Vec<&CoapOption> = msg
+        .options
+        .iter()
+        .filter(|o| {
+            // NoCacheKey options and the ETag used for revalidation are
+            // not part of the key; Block options describe transfer, not
+            // content identity.
+            !o.number.is_no_cache_key()
+                && o.number != OptionNumber::ETAG
+                && o.number != OptionNumber::BLOCK1
+                && o.number != OptionNumber::BLOCK2
+                && o.number != OptionNumber::MAX_AGE
+        })
+        .collect();
+    opts.sort_by(|a, b| a.number.0.cmp(&b.number.0).then(a.value.cmp(&b.value)));
+    for o in opts {
+        data.extend_from_slice(&o.number.0.to_be_bytes());
+        data.extend_from_slice(&(o.value.len() as u16).to_be_bytes());
+        data.extend_from_slice(&o.value);
+    }
+    if msg.code == Code::FETCH {
+        data.extend_from_slice(&msg.payload);
+    }
+    CacheKey(data)
+}
+
+/// One cached response.
+#[derive(Debug, Clone)]
+struct Entry {
+    response: CoapMessage,
+    stored_at_ms: u64,
+    max_age_ms: u64,
+}
+
+impl Entry {
+    fn age_ms(&self, now: u64) -> u64 {
+        now.saturating_sub(self.stored_at_ms)
+    }
+    fn is_fresh(&self, now: u64) -> bool {
+        self.age_ms(now) < self.max_age_ms
+    }
+    fn remaining_s(&self, now: u64) -> u32 {
+        ((self.max_age_ms.saturating_sub(self.age_ms(now))) / 1000) as u32
+    }
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// No entry.
+    Miss,
+    /// Fresh entry: a response ready to serve, with `Max-Age` already
+    /// rewritten to the remaining freshness.
+    Fresh(CoapMessage),
+    /// Stale entry carrying this ETag — eligible for revalidation.
+    Stale {
+        /// The ETag to send in the revalidation request.
+        etag: Vec<u8>,
+        /// The stale response body (served again on `2.03 Valid`).
+        response: CoapMessage,
+    },
+    /// Stale entry without an ETag — must be re-fetched in full.
+    StaleNoEtag,
+}
+
+/// Cache statistics (the counters behind Fig. 11's cache-hit events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fresh hits served without network traffic.
+    pub hits: u32,
+    /// Lookups that found nothing.
+    pub misses: u32,
+    /// Lookups that found a stale entry (revalidation possible).
+    pub stale: u32,
+    /// Successful `2.03 Valid` revalidations.
+    pub revalidations: u32,
+    /// Entries evicted due to capacity.
+    pub evictions: u32,
+}
+
+/// An LRU-ish response cache (FIFO eviction, matching the small
+/// fixed-size caches of `CONFIG_NANOCOAP_CACHE_ENTRIES` in Table 6).
+pub struct ResponseCache {
+    entries: HashMap<CacheKey, Entry>,
+    order: Vec<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl ResponseCache {
+    /// Create a cache bounded to `capacity` entries (the paper's
+    /// clients use 8, the proxy 50 — Table 6).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a request's cache key.
+    pub fn lookup(&mut self, key: &CacheKey, now: u64) -> Lookup {
+        match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+            Some(e) if e.is_fresh(now) => {
+                self.stats.hits += 1;
+                let mut resp = e.response.clone();
+                resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, e.remaining_s(now)));
+                Lookup::Fresh(resp)
+            }
+            Some(e) => {
+                self.stats.stale += 1;
+                match e.response.option(OptionNumber::ETAG) {
+                    Some(etag) => Lookup::Stale {
+                        etag: etag.value.clone(),
+                        response: e.response.clone(),
+                    },
+                    None => Lookup::StaleNoEtag,
+                }
+            }
+        }
+    }
+
+    /// Store a (success) response under `key`. Non-success responses
+    /// and responses to non-cacheable methods should not be inserted by
+    /// the caller.
+    pub fn insert(&mut self, key: CacheKey, response: CoapMessage, now: u64) {
+        let max_age_ms = response.max_age() as u64 * 1000;
+        if !self.entries.contains_key(&key) {
+            if self.entries.len() >= self.capacity {
+                // FIFO eviction.
+                let victim = self.order.remove(0);
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+            self.order.push(key.clone());
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                response,
+                stored_at_ms: now,
+                max_age_ms,
+            },
+        );
+    }
+
+    /// Refresh a stale entry after a `2.03 Valid`: the entry's timer is
+    /// reset and its Max-Age replaced with `new_max_age_s` (the value
+    /// from the 2.03 response). Returns the refreshed cached response
+    /// (full payload) or `None` if the entry vanished.
+    pub fn revalidate(&mut self, key: &CacheKey, new_max_age_s: u32, now: u64) -> Option<CoapMessage> {
+        let e = self.entries.get_mut(key)?;
+        e.stored_at_ms = now;
+        e.max_age_ms = new_max_age_s as u64 * 1000;
+        e.response
+            .set_option(CoapOption::uint(OptionNumber::MAX_AGE, new_max_age_s));
+        self.stats.revalidations += 1;
+        Some(e.response.clone())
+    }
+
+    /// Remove an entry (e.g. after the origin replaced the payload).
+    pub fn invalidate(&mut self, key: &CacheKey) {
+        self.entries.remove(key);
+        self.order.retain(|k| k != key);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgType;
+
+    fn fetch_req(payload: &[u8]) -> CoapMessage {
+        CoapMessage::request(Code::FETCH, MsgType::Con, 1, vec![1])
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+            .with_payload(payload.to_vec())
+    }
+
+    fn get_req(query: &str) -> CoapMessage {
+        CoapMessage::request(Code::GET, MsgType::Con, 1, vec![1])
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+            .with_option(CoapOption::new(
+                OptionNumber::URI_QUERY,
+                format!("dns={query}").into_bytes(),
+            ))
+    }
+
+    fn response(max_age: u32, etag: Option<&[u8]>, payload: &[u8]) -> CoapMessage {
+        let mut r = CoapMessage {
+            mtype: MsgType::Ack,
+            code: Code::CONTENT,
+            message_id: 1,
+            token: vec![1],
+            options: vec![CoapOption::uint(OptionNumber::MAX_AGE, max_age)],
+            payload: payload.to_vec(),
+        };
+        if let Some(e) = etag {
+            r.set_option(CoapOption::new(OptionNumber::ETAG, e.to_vec()));
+        }
+        r
+    }
+
+    #[test]
+    fn method_cacheability_table5() {
+        assert!(is_cacheable_method(Code::GET));
+        assert!(is_cacheable_method(Code::FETCH));
+        assert!(!is_cacheable_method(Code::POST));
+        assert!(!is_cacheable_method(Code::PUT));
+    }
+
+    #[test]
+    fn fetch_key_includes_payload() {
+        let k1 = cache_key(&fetch_req(b"query-a"));
+        let k2 = cache_key(&fetch_req(b"query-b"));
+        let k3 = cache_key(&fetch_req(b"query-a"));
+        assert_ne!(k1, k2);
+        assert_eq!(k1, k3);
+    }
+
+    #[test]
+    fn post_key_ignores_payload() {
+        // POST bodies are not part of the cache key — the formal reason
+        // POST cannot use response caches (paper §4.1).
+        let mut p1 = fetch_req(b"query-a");
+        p1.code = Code::POST;
+        let mut p2 = fetch_req(b"query-b");
+        p2.code = Code::POST;
+        assert_eq!(cache_key(&p1), cache_key(&p2));
+    }
+
+    #[test]
+    fn get_key_includes_uri_query() {
+        let k1 = cache_key(&get_req("AAAA"));
+        let k2 = cache_key(&get_req("BBBB"));
+        assert_ne!(k1, k2);
+        assert_eq!(k1, cache_key(&get_req("AAAA")));
+    }
+
+    #[test]
+    fn method_distinguishes_keys() {
+        let f = fetch_req(b"x");
+        let mut g = fetch_req(b"x");
+        g.code = Code::GET;
+        assert_ne!(cache_key(&f), cache_key(&g));
+    }
+
+    #[test]
+    fn etag_block_maxage_not_in_key() {
+        let base = fetch_req(b"q");
+        let mut with_extras = base.clone();
+        with_extras.set_option(CoapOption::new(OptionNumber::ETAG, vec![9, 9]));
+        with_extras.set_option(CoapOption::uint(OptionNumber::MAX_AGE, 5));
+        with_extras.set_option(CoapOption::new(OptionNumber::BLOCK2, vec![0x06]));
+        with_extras.set_option(CoapOption::uint(OptionNumber::SIZE1, 99));
+        assert_eq!(cache_key(&base), cache_key(&with_extras));
+    }
+
+    #[test]
+    fn fresh_hit_rewrites_max_age() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(10, None, b"data"), 0);
+        match cache.lookup(&key, 4_000) {
+            Lookup::Fresh(resp) => {
+                assert_eq!(resp.max_age(), 6);
+                assert_eq!(resp.payload, b"data");
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn expiry_goes_stale() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
+        match cache.lookup(&key, 5_000) {
+            Lookup::Stale { etag, .. } => assert_eq!(etag, vec![0xE1]),
+            other => panic!("expected stale, got {other:?}"),
+        }
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    #[test]
+    fn stale_without_etag() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(5, None, b"data"), 0);
+        assert_eq!(cache.lookup(&key, 6_000), Lookup::StaleNoEtag);
+    }
+
+    #[test]
+    fn revalidation_resets_timer() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
+        assert!(matches!(cache.lookup(&key, 6_000), Lookup::Stale { .. }));
+        // 2.03 Valid arrives with new Max-Age 7.
+        let refreshed = cache.revalidate(&key, 7, 6_000).unwrap();
+        assert_eq!(refreshed.payload, b"data");
+        assert_eq!(refreshed.max_age(), 7);
+        match cache.lookup(&key, 9_000) {
+            Lookup::Fresh(r) => assert_eq!(r.max_age(), 4),
+            other => panic!("expected fresh after revalidation, got {other:?}"),
+        }
+        assert_eq!(cache.stats().revalidations, 1);
+    }
+
+    #[test]
+    fn zero_max_age_is_immediately_stale() {
+        // EOL-TTLs responses whose records expired carry Max-Age 0.
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(0, Some(&[1]), b"x"), 0);
+        assert!(matches!(cache.lookup(&key, 0), Lookup::Stale { .. }));
+    }
+
+    #[test]
+    fn capacity_eviction_fifo() {
+        let mut cache = ResponseCache::new(2);
+        let k1 = cache_key(&fetch_req(b"1"));
+        let k2 = cache_key(&fetch_req(b"2"));
+        let k3 = cache_key(&fetch_req(b"3"));
+        cache.insert(k1.clone(), response(60, None, b"1"), 0);
+        cache.insert(k2.clone(), response(60, None, b"2"), 0);
+        cache.insert(k3.clone(), response(60, None, b"3"), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&k1, 1), Lookup::Miss);
+        assert!(matches!(cache.lookup(&k2, 1), Lookup::Fresh(_)));
+        assert!(matches!(cache.lookup(&k3, 1), Lookup::Fresh(_)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut cache = ResponseCache::new(2);
+        let k = cache_key(&fetch_req(b"1"));
+        cache.insert(k.clone(), response(60, None, b"old"), 0);
+        cache.insert(k.clone(), response(60, None, b"new"), 10);
+        assert_eq!(cache.len(), 1);
+        match cache.lookup(&k, 20) {
+            Lookup::Fresh(r) => assert_eq!(r.payload, b"new"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache = ResponseCache::new(4);
+        let k = cache_key(&fetch_req(b"1"));
+        cache.insert(k.clone(), response(60, None, b"x"), 0);
+        cache.invalidate(&k);
+        assert!(cache.is_empty());
+        cache.insert(k.clone(), response(60, None, b"x"), 0);
+        cache.clear();
+        assert_eq!(cache.lookup(&k, 0), Lookup::Miss);
+    }
+}

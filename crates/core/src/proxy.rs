@@ -1,0 +1,412 @@
+//! A DoC-agnostic caching CoAP forward proxy — the node `P` of the
+//! paper's Fig. 2/3.
+//!
+//! The proxy never parses DNS. It works purely on the CoAP caching
+//! model: cache keys over method/options/payload, Max-Age freshness,
+//! and ETag revalidation towards the origin. That is the point of the
+//! paper's §4.2 design — and with OSCORE the proxy caches *encrypted*
+//! responses it cannot read (Fig. 4b).
+
+use doc_coap::cache::{cache_key, CacheKey, Lookup, ResponseCache};
+use doc_coap::msg::{Code, CoapMessage};
+use doc_coap::opt::{CoapOption, OptionNumber};
+use std::collections::HashMap;
+
+/// What the proxy decided to do with a client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyAction {
+    /// Serve this response straight back to the client.
+    Respond(Box<CoapMessage>),
+    /// Forward this (possibly rewritten) request upstream; correlate
+    /// the upstream exchange with `exchange_id`.
+    Forward {
+        /// Request to send upstream (fresh MID/token set by caller's
+        /// endpoint).
+        request: Box<CoapMessage>,
+        /// Correlation handle for [`CoapProxy::handle_upstream_response`].
+        exchange_id: u64,
+    },
+}
+
+/// Proxy statistics (Fig. 10/11 cache events at `P`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Client requests processed.
+    pub requests: u32,
+    /// Served fresh from cache without upstream traffic.
+    pub cache_hits: u32,
+    /// Upstream revalidations attempted.
+    pub revalidations: u32,
+    /// `2.03 Valid` received (revalidation succeeded).
+    pub revalidated: u32,
+    /// Full fetches forwarded upstream.
+    pub forwards: u32,
+}
+
+struct Outstanding {
+    key: CacheKey,
+    client_request: CoapMessage,
+    client_etag: Option<Vec<u8>>,
+    revalidating: bool,
+}
+
+/// The caching forward proxy.
+pub struct CoapProxy {
+    cache: ResponseCache,
+    outstanding: HashMap<u64, Outstanding>,
+    next_exchange: u64,
+    /// Statistics.
+    pub stats: ProxyStats,
+}
+
+impl Default for CoapProxy {
+    fn default() -> Self {
+        Self::new(50)
+    }
+}
+
+impl CoapProxy {
+    /// Create a proxy with a cache of `capacity` entries (the paper's
+    /// proxy uses `CONFIG_NANOCOAP_CACHE_ENTRIES = 50`, Table 6).
+    pub fn new(capacity: usize) -> Self {
+        CoapProxy {
+            cache: ResponseCache::new(capacity),
+            outstanding: HashMap::new(),
+            next_exchange: 0,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Cache statistics from the underlying response cache.
+    pub fn cache_stats(&self) -> doc_coap::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handle a client request at time `now_ms`.
+    pub fn handle_client_request(&mut self, req: &CoapMessage, now_ms: u64) -> ProxyAction {
+        self.stats.requests += 1;
+        let client_etag = req.option(OptionNumber::ETAG).map(|o| o.value.clone());
+        if !doc_coap::cache::is_cacheable_method(req.code) {
+            // POST etc.: pure pass-through.
+            self.stats.forwards += 1;
+            return self.forward(req, None, false);
+        }
+        let key = cache_key(req);
+        match self.cache.lookup(&key, now_ms) {
+            Lookup::Fresh(cached) => {
+                self.stats.cache_hits += 1;
+                let resp = self.reply_from_entry(req, &cached, client_etag.as_deref());
+                ProxyAction::Respond(Box::new(resp))
+            }
+            Lookup::Stale { etag, .. } => {
+                // Revalidate upstream with the cached ETag.
+                self.stats.revalidations += 1;
+                let mut upstream_req = req.clone();
+                upstream_req.set_option(CoapOption::new(OptionNumber::ETAG, etag));
+                self.forward(&upstream_req, Some(req.clone()), true)
+            }
+            Lookup::Miss | Lookup::StaleNoEtag => {
+                self.stats.forwards += 1;
+                self.forward(req, None, false)
+            }
+        }
+    }
+
+    fn forward(
+        &mut self,
+        upstream_req: &CoapMessage,
+        original: Option<CoapMessage>,
+        revalidating: bool,
+    ) -> ProxyAction {
+        let id = self.next_exchange;
+        self.next_exchange += 1;
+        let client_request = original.clone().unwrap_or_else(|| upstream_req.clone());
+        let client_etag = client_request
+            .option(OptionNumber::ETAG)
+            .map(|o| o.value.clone());
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                key: cache_key(&client_request),
+                client_request,
+                client_etag,
+                revalidating,
+            },
+        );
+        ProxyAction::Forward {
+            request: Box::new(upstream_req.clone()),
+            exchange_id: id,
+        }
+    }
+
+    /// Handle the upstream's response for `exchange_id`; returns the
+    /// response to relay to the client (None if the exchange is
+    /// unknown).
+    pub fn handle_upstream_response(
+        &mut self,
+        exchange_id: u64,
+        resp: &CoapMessage,
+        now_ms: u64,
+    ) -> Option<CoapMessage> {
+        let out = self.outstanding.remove(&exchange_id)?;
+        match resp.code {
+            Code::VALID if out.revalidating => {
+                self.stats.revalidated += 1;
+                let refreshed = self.cache.revalidate(&out.key, resp.max_age(), now_ms);
+                match refreshed {
+                    Some(entry) => Some(self.reply_from_entry(
+                        &out.client_request,
+                        &entry,
+                        out.client_etag.as_deref(),
+                    )),
+                    // Entry evicted meanwhile: degrade to an error the
+                    // client will retry.
+                    None => Some(CoapMessage::ack_response(
+                        &out.client_request,
+                        Code::BAD_GATEWAY,
+                    )),
+                }
+            }
+            code if code.is_success() => {
+                if doc_coap::cache::is_cacheable_method(out.client_request.code)
+                    && code == Code::CONTENT
+                {
+                    self.cache.insert(out.key, resp.clone(), now_ms);
+                }
+                Some(self.reply_from_entry(
+                    &out.client_request,
+                    resp,
+                    out.client_etag.as_deref(),
+                ))
+            }
+            _ => {
+                // Error responses pass through unchanged (re-keyed to
+                // the client's exchange).
+                let mut relay = resp.clone();
+                relay.message_id = out.client_request.message_id;
+                relay.token = out.client_request.token.clone();
+                Some(relay)
+            }
+        }
+    }
+
+    /// Build the client-facing reply from a cached/fresh entry,
+    /// downgrading to `2.03 Valid` when the client already holds the
+    /// same representation (its ETag matches).
+    fn reply_from_entry(
+        &self,
+        client_req: &CoapMessage,
+        entry: &CoapMessage,
+        client_etag: Option<&[u8]>,
+    ) -> CoapMessage {
+        let entry_etag = entry.option(OptionNumber::ETAG).map(|o| o.value.clone());
+        let mut resp = if client_etag.is_some() && client_etag == entry_etag.as_deref() {
+            let mut v = CoapMessage::ack_response(client_req, Code::VALID);
+            if let Some(e) = entry_etag {
+                v.set_option(CoapOption::new(OptionNumber::ETAG, e));
+            }
+            v.set_option(CoapOption::uint(OptionNumber::MAX_AGE, entry.max_age()));
+            v
+        } else {
+            let mut full = entry.clone();
+            full.message_id = client_req.message_id;
+            full.token = client_req.token.clone();
+            full.mtype = doc_coap::msg::MsgType::Ack;
+            full
+        };
+        // Never leak the upstream exchange's identifiers.
+        resp.message_id = client_req.message_id;
+        resp.token = client_req.token.clone();
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{build_request, DocMethod};
+    use crate::policy::CachePolicy;
+    use crate::server::{DocServer, MockUpstream};
+    use doc_coap::msg::MsgType;
+    use doc_dns::{Message, Name, RecordType};
+
+    fn name() -> Name {
+        Name::parse("name-01234.c.example.org").unwrap()
+    }
+
+    fn query_bytes() -> Vec<u8> {
+        let mut q = Message::query(0, name(), RecordType::Aaaa);
+        q.canonicalize_id();
+        q.encode()
+    }
+
+    fn fetch_req(mid: u16) -> CoapMessage {
+        build_request(
+            DocMethod::Fetch,
+            &query_bytes(),
+            MsgType::Con,
+            mid,
+            vec![mid as u8, 0xCC],
+        )
+        .unwrap()
+    }
+
+    fn doc_server(policy: CachePolicy, ttl: u32) -> DocServer {
+        let mut up = MockUpstream::new(5, ttl, ttl);
+        up.add_aaaa(name(), 1);
+        DocServer::new(policy, up)
+    }
+
+    /// Drive request → proxy → server → proxy → response.
+    fn via_proxy(
+        proxy: &mut CoapProxy,
+        server: &mut DocServer,
+        req: &CoapMessage,
+        now: u64,
+    ) -> CoapMessage {
+        match proxy.handle_client_request(req, now) {
+            ProxyAction::Respond(resp) => *resp,
+            ProxyAction::Forward {
+                request,
+                exchange_id,
+            } => {
+                let upstream_resp = server.handle_request(&request, now);
+                proxy
+                    .handle_upstream_response(exchange_id, &upstream_resp, now)
+                    .expect("known exchange")
+            }
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let r1 = via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        assert_eq!(r1.code, Code::CONTENT);
+        assert_eq!(proxy.stats.forwards, 1);
+        // Second client request: cache hit, no upstream traffic.
+        let r2 = via_proxy(&mut proxy, &mut server, &fetch_req(2), 10_000);
+        assert_eq!(r2.code, Code::CONTENT);
+        assert_eq!(proxy.stats.cache_hits, 1);
+        assert_eq!(server.stats.requests, 1, "server not contacted again");
+        // Max-Age was decremented by the proxy.
+        assert_eq!(r2.max_age(), 290);
+        // Token/MID belong to the second client exchange.
+        assert_eq!(r2.token, fetch_req(2).token);
+    }
+
+    #[test]
+    fn stale_entry_revalidates_eol() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 5);
+        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        // Another client refreshes the RRset at the origin at t=7 s.
+        server.handle_request(&fetch_req(9), 7_000);
+        // At t=9 s the proxy entry is stale; EOL TTLs lets the upstream
+        // confirm with 2.03 and the proxy serves the cached body.
+        let r = via_proxy(&mut proxy, &mut server, &fetch_req(2), 9_000);
+        assert_eq!(r.code, Code::CONTENT);
+        assert!(!r.payload.is_empty());
+        assert_eq!(proxy.stats.revalidations, 1);
+        assert_eq!(proxy.stats.revalidated, 1);
+        assert_eq!(server.stats.validations, 1);
+        // Fresh (decayed) Max-Age propagated: 3 s remaining.
+        assert_eq!(r.max_age(), 3);
+    }
+
+    #[test]
+    fn stale_entry_full_fetch_doh_like() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::DohLike, 5);
+        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        // Upstream TTL decays via another client's refresh (Fig. 3
+        // step 3): the DoH-like payload changes.
+        server.handle_request(&fetch_req(9), 7_000);
+        let r = via_proxy(&mut proxy, &mut server, &fetch_req(2), 9_000);
+        assert_eq!(r.code, Code::CONTENT);
+        assert_eq!(proxy.stats.revalidations, 1);
+        assert_eq!(proxy.stats.revalidated, 0, "DoH-like ETag broke");
+        assert_eq!(server.stats.validations, 0);
+        assert_eq!(server.stats.full_responses, 3);
+    }
+
+    /// Fig. 3 step 5: a client that already holds the representation
+    /// (same ETag) gets a tiny 2.03 from the proxy cache.
+    #[test]
+    fn client_etag_match_gets_203_from_proxy() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let r1 = via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        let etag = r1.option(OptionNumber::ETAG).unwrap().value.clone();
+        let mut req2 = fetch_req(2);
+        req2.set_option(CoapOption::new(OptionNumber::ETAG, etag));
+        let r2 = via_proxy(&mut proxy, &mut server, &req2, 5_000);
+        assert_eq!(r2.code, Code::VALID);
+        assert!(r2.payload.is_empty());
+        assert_eq!(r2.max_age(), 295);
+    }
+
+    #[test]
+    fn post_bypasses_cache() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let mk = |mid: u16| {
+            build_request(
+                DocMethod::Post,
+                &query_bytes(),
+                MsgType::Con,
+                mid,
+                vec![mid as u8],
+            )
+            .unwrap()
+        };
+        via_proxy(&mut proxy, &mut server, &mk(1), 0);
+        via_proxy(&mut proxy, &mut server, &mk(2), 1000);
+        assert_eq!(proxy.stats.cache_hits, 0);
+        assert_eq!(server.stats.requests, 2, "every POST reaches the origin");
+    }
+
+    #[test]
+    fn error_responses_pass_through() {
+        let mut proxy = CoapProxy::new(8);
+        let req = fetch_req(1);
+        let action = proxy.handle_client_request(&req, 0);
+        let (fwd, id) = match action {
+            ProxyAction::Forward {
+                request,
+                exchange_id,
+            } => (request, exchange_id),
+            other => panic!("{other:?}"),
+        };
+        let err = CoapMessage::ack_response(&fwd, Code::NOT_FOUND);
+        let relay = proxy.handle_upstream_response(id, &err, 0).unwrap();
+        assert_eq!(relay.code, Code::NOT_FOUND);
+        assert_eq!(relay.token, req.token);
+    }
+
+    #[test]
+    fn unknown_exchange_ignored() {
+        let mut proxy = CoapProxy::new(8);
+        let resp = CoapMessage::ack_response(&fetch_req(1), Code::CONTENT);
+        assert!(proxy.handle_upstream_response(99, &resp, 0).is_none());
+    }
+
+    #[test]
+    fn different_queries_different_entries() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        server
+            .upstream
+            .add_aaaa(Name::parse("other.example.org").unwrap(), 1);
+        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        // A query for a different name must miss.
+        let mut q2 = Message::query(0, Name::parse("other.example.org").unwrap(), RecordType::Aaaa);
+        q2.canonicalize_id();
+        let req2 =
+            build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 2, vec![2]).unwrap();
+        via_proxy(&mut proxy, &mut server, &req2, 100);
+        assert_eq!(proxy.stats.forwards, 2);
+        assert_eq!(proxy.stats.cache_hits, 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! The DoC server and its mock recursive-resolver upstream.
+//!
+//! The server terminates DoC requests (FETCH/GET/POST), resolves them
+//! against an upstream, applies a [`CachePolicy`] to align TTLs with
+//! CoAP freshness, and supports ETag revalidation with `2.03 Valid`
+//! responses and Block2 slicing of large responses.
+//!
+//! The upstream mirrors the paper's setup: "The recursive resolver is
+//! mocked up to generate the desired responses" — a programmable zone
+//! whose records refresh their TTLs on expiry (uniformly drawn from a
+//! configured range, e.g. the 2–8 s of §6.1), which is precisely the
+//! behaviour that makes DoH-like ETags churn.
+
+use crate::method::extract_query;
+use crate::policy::{prepare_response, CachePolicy, PreparedResponse};
+use crate::{DocError, CONTENT_FORMAT_DNS_MESSAGE};
+use doc_coap::block::{Block2Server, BlockAssembler, BlockOpt};
+use doc_coap::msg::{Code, CoapMessage};
+use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_dns::{Message, Name, Rcode, Record, RecordClass, RecordData, RecordType};
+use std::collections::HashMap;
+
+/// A programmable mock recursive resolver.
+pub struct MockUpstream {
+    zone: HashMap<(Name, RecordType), Vec<RecordData>>,
+    ttl_min: u32,
+    ttl_max: u32,
+    /// Per-RRset TTL state: (expires_at_ms, refreshes).
+    state: HashMap<(Name, RecordType), u64>,
+    rng: u64,
+    /// Number of resolutions that had to "contact the name server"
+    /// (TTL expired) — the NS-query events of Fig. 3.
+    pub ns_queries: u32,
+    /// Number of resolutions served from the mock's own cache.
+    pub cache_hits: u32,
+}
+
+impl MockUpstream {
+    /// Create an upstream whose record TTLs refresh uniformly within
+    /// `[ttl_min, ttl_max]` seconds.
+    pub fn new(seed: u64, ttl_min: u32, ttl_max: u32) -> Self {
+        assert!(ttl_min <= ttl_max && ttl_min > 0);
+        MockUpstream {
+            zone: HashMap::new(),
+            ttl_min,
+            ttl_max,
+            state: HashMap::new(),
+            rng: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            ns_queries: 0,
+            cache_hits: 0,
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Register an RRset.
+    pub fn add_rrset(&mut self, name: Name, rtype: RecordType, data: Vec<RecordData>) {
+        self.zone.insert((name, rtype), data);
+    }
+
+    /// Convenience: register `n` AAAA records `2001:db8::i` for a name.
+    pub fn add_aaaa(&mut self, name: Name, n: u16) {
+        let data = (1..=n)
+            .map(|i| {
+                RecordData::Aaaa(std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i))
+            })
+            .collect();
+        self.add_rrset(name, RecordType::Aaaa, data);
+    }
+
+    /// Convenience: register `n` A records `192.0.2.i` for a name.
+    pub fn add_a(&mut self, name: Name, n: u8) {
+        let data = (1..=n)
+            .map(|i| RecordData::A(std::net::Ipv4Addr::new(192, 0, 2, i)))
+            .collect();
+        self.add_rrset(name, RecordType::A, data);
+    }
+
+    /// Resolve a DNS query at virtual time `now_ms`. Returns a response
+    /// with *remaining* TTLs (the decrementing behaviour of a real
+    /// recursive cache).
+    pub fn resolve(&mut self, query: &Message, now_ms: u64) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response(query, Rcode::FormErr, vec![]);
+        };
+        let key = (q.qname.clone(), q.qtype);
+        let Some(data) = self.zone.get(&key).cloned() else {
+            return Message::response(query, Rcode::NxDomain, vec![]);
+        };
+        // TTL state machine: refresh on expiry.
+        let expires = self.state.get(&key).copied().unwrap_or(0);
+        let remaining_ms = if expires > now_ms {
+            self.cache_hits += 1;
+            expires - now_ms
+        } else {
+            self.ns_queries += 1;
+            let span = (self.ttl_max - self.ttl_min) as u64;
+            let ttl_s = self.ttl_min as u64 + if span == 0 { 0 } else { self.rand() % (span + 1) };
+            let new_expiry = now_ms + ttl_s * 1000;
+            self.state.insert(key.clone(), new_expiry);
+            ttl_s * 1000
+        };
+        let ttl = remaining_ms.div_ceil(1000) as u32;
+        let answers: Vec<Record> = data
+            .into_iter()
+            .map(|d| Record {
+                name: q.qname.clone(),
+                rtype: q.qtype,
+                rclass: RecordClass::In,
+                ttl,
+                data: d,
+            })
+            .collect();
+        Message::response(query, Rcode::NoError, answers)
+    }
+}
+
+/// Server-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// DoC requests handled.
+    pub requests: u32,
+    /// Requests answered with `2.03 Valid` (successful revalidations —
+    /// Fig. 3 step 5 / the EOL-TTLs win in step 4).
+    pub validations: u32,
+    /// Full `2.05 Content` responses.
+    pub full_responses: u32,
+    /// Malformed requests rejected.
+    pub errors: u32,
+}
+
+/// The DoC server.
+pub struct DocServer {
+    policy: CachePolicy,
+    /// The mock upstream resolver.
+    pub upstream: MockUpstream,
+    /// Block2 slicing threshold (None = never slice proactively).
+    block_size: Option<usize>,
+    /// Recent prepared responses for Block2 continuation, keyed by
+    /// (peer, request token) — clients reuse one token per block-wise
+    /// transaction.
+    block_state: HashMap<(u64, Vec<u8>), Vec<u8>>,
+    /// In-progress Block1 query reassembly, keyed by (peer, token).
+    block1_assembly: HashMap<(u64, Vec<u8>), BlockAssembler>,
+    /// Statistics.
+    pub stats: ServerStats,
+}
+
+impl DocServer {
+    /// Create a server with the given policy and upstream.
+    pub fn new(policy: CachePolicy, upstream: MockUpstream) -> Self {
+        DocServer {
+            policy,
+            upstream,
+            block_size: None,
+            block_state: HashMap::new(),
+            block1_assembly: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Enable proactive Block2 slicing of responses larger than
+    /// `size` bytes.
+    pub fn with_block_size(mut self, size: usize) -> Self {
+        self.block_size = Some(size);
+        self
+    }
+
+    /// The active cache policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Handle one DoC request, producing the CoAP response
+    /// (single-peer convenience wrapper of
+    /// [`DocServer::handle_request_from`]).
+    pub fn handle_request(&mut self, req: &CoapMessage, now_ms: u64) -> CoapMessage {
+        self.handle_request_from(0, req, now_ms)
+    }
+
+    /// Handle one DoC request from peer `peer` (block-wise transfer
+    /// state is scoped per peer).
+    pub fn handle_request_from(
+        &mut self,
+        peer: u64,
+        req: &CoapMessage,
+        now_ms: u64,
+    ) -> CoapMessage {
+        self.stats.requests += 1;
+        match self.try_handle(peer, req, now_ms) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.stats.errors += 1;
+                let code = match e {
+                    DocError::BadEncoding | DocError::BadDnsMessage => Code::BAD_REQUEST,
+                    DocError::BadRequest => Code::METHOD_NOT_ALLOWED,
+                    _ => Code::INTERNAL_SERVER_ERROR,
+                };
+                CoapMessage::ack_response(req, code)
+            }
+        }
+    }
+
+    fn try_handle(
+        &mut self,
+        peer: u64,
+        req: &CoapMessage,
+        now_ms: u64,
+    ) -> Result<CoapMessage, DocError> {
+        let mut req = req.clone();
+
+        // Block1 reassembly: a block-wise transferred query (paper
+        // Fig. 12a) is accumulated per token; non-final blocks are
+        // answered 2.31 Continue.
+        if let Some(Ok(block1)) = BlockOpt::from_message(&req, OptionNumber::BLOCK1) {
+            let assembler = self
+                .block1_assembly
+                .entry((peer, req.token.clone()))
+                .or_insert_with(BlockAssembler::new);
+            match assembler.push(block1, &req.payload) {
+                Ok(Some(full)) => {
+                    self.block1_assembly.remove(&(peer, req.token.clone()));
+                    req.payload = full;
+                    req.remove_option(OptionNumber::BLOCK1);
+                    // fall through to normal processing
+                }
+                Ok(None) => {
+                    return Ok(doc_coap::block::continue_response(&req, block1));
+                }
+                Err(_) => {
+                    self.block1_assembly.remove(&(peer, req.token.clone()));
+                    return Err(DocError::BadRequest);
+                }
+            }
+        }
+        let req = &req;
+
+        // Block2 continuation: serve the next block of a response we
+        // already prepared.
+        if let Some(Ok(block2)) = BlockOpt::from_message(req, OptionNumber::BLOCK2) {
+            if block2.num > 0 {
+                if let Some(payload) = self.block_state.get(&(peer, req.token.clone())) {
+                    let server =
+                        Block2Server::new(payload.clone(), block2.size()).map_err(|_| {
+                            DocError::BadRequest
+                        })?;
+                    let (slice, opt) = server
+                        .block(block2.num, block2.size())
+                        .map_err(|_| DocError::BadRequest)?;
+                    let mut resp = CoapMessage::ack_response(req, Code::CONTENT);
+                    resp.set_option(opt.to_option(OptionNumber::BLOCK2));
+                    resp.payload = slice;
+                    self.stats.full_responses += 1;
+                    return Ok(resp);
+                }
+            }
+        }
+
+        let query_bytes = extract_query(req)?;
+        let query = Message::decode(&query_bytes).map_err(|_| DocError::BadDnsMessage)?;
+        let resolved = self.upstream.resolve(&query, now_ms);
+        let prepared = self.prepare(&resolved);
+
+        // ETag revalidation: if the client presented the current ETag,
+        // confirm with 2.03 Valid carrying only ETag + Max-Age.
+        if let Some(etag_opt) = req.option(OptionNumber::ETAG) {
+            if etag_opt.value == prepared.etag {
+                self.stats.validations += 1;
+                let mut resp = CoapMessage::ack_response(req, Code::VALID);
+                resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag));
+                resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, prepared.max_age));
+                return Ok(resp);
+            }
+        }
+
+        self.stats.full_responses += 1;
+        let mut resp = CoapMessage::ack_response(req, Code::CONTENT);
+        resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag.clone()));
+        resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, prepared.max_age));
+        resp.set_option(CoapOption::uint(
+            OptionNumber::CONTENT_FORMAT,
+            CONTENT_FORMAT_DNS_MESSAGE as u32,
+        ));
+
+        // Proactive Block2 slicing.
+        let requested_size = BlockOpt::from_message(req, OptionNumber::BLOCK2)
+            .and_then(|r| r.ok())
+            .map(|b| b.size());
+        let slice_size = requested_size.or(self.block_size);
+        match slice_size {
+            Some(size) if prepared.payload.len() > size => {
+                self.block_state
+                    .insert((peer, req.token.clone()), prepared.payload.clone());
+                let server = Block2Server::new(prepared.payload, size)
+                    .map_err(|_| DocError::BadRequest)?;
+                let (slice, opt) = server.block(0, size).map_err(|_| DocError::BadRequest)?;
+                resp.set_option(opt.to_option(OptionNumber::BLOCK2));
+                resp.payload = slice;
+            }
+            _ => {
+                resp.payload = prepared.payload;
+            }
+        }
+        Ok(resp)
+    }
+
+    fn prepare(&self, resolved: &Message) -> PreparedResponse {
+        prepare_response(self.policy, resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{build_request, DocMethod};
+    use doc_coap::msg::MsgType;
+
+    fn name() -> Name {
+        Name::parse("name-01234.c.example.org").unwrap()
+    }
+
+    fn server(policy: CachePolicy) -> DocServer {
+        let mut up = MockUpstream::new(1, 300, 300);
+        up.add_aaaa(name(), 1);
+        DocServer::new(policy, up)
+    }
+
+    fn query_bytes() -> Vec<u8> {
+        let mut q = Message::query(0, name(), RecordType::Aaaa);
+        q.canonicalize_id();
+        q.encode()
+    }
+
+    fn fetch_req(mid: u16) -> CoapMessage {
+        build_request(DocMethod::Fetch, &query_bytes(), MsgType::Con, mid, vec![mid as u8]).unwrap()
+    }
+
+    #[test]
+    fn resolves_fetch_request() {
+        let mut s = server(CachePolicy::EolTtls);
+        let resp = s.handle_request(&fetch_req(1), 0);
+        assert_eq!(resp.code, Code::CONTENT);
+        assert_eq!(resp.max_age(), 300);
+        assert!(resp.option(OptionNumber::ETAG).is_some());
+        let msg = Message::decode(&resp.payload).unwrap();
+        assert_eq!(msg.answers.len(), 1);
+        assert_eq!(msg.answers[0].ttl, 0, "EOL TTLs zeroed");
+        assert_eq!(msg.header.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn doh_like_keeps_ttls() {
+        let mut s = server(CachePolicy::DohLike);
+        let resp = s.handle_request(&fetch_req(1), 0);
+        let msg = Message::decode(&resp.payload).unwrap();
+        assert_eq!(msg.answers[0].ttl, 300);
+    }
+
+    #[test]
+    fn get_and_post_also_work() {
+        for method in [DocMethod::Get, DocMethod::Post] {
+            let mut s = server(CachePolicy::EolTtls);
+            let req =
+                build_request(method, &query_bytes(), MsgType::Con, 5, vec![5]).unwrap();
+            let resp = s.handle_request(&req, 0);
+            assert_eq!(resp.code, Code::CONTENT, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_name() {
+        let mut up = MockUpstream::new(1, 60, 60);
+        up.add_aaaa(name(), 1);
+        let mut s = DocServer::new(CachePolicy::EolTtls, up);
+        let mut q = Message::query(0, Name::parse("other.example.org").unwrap(), RecordType::Aaaa);
+        q.canonicalize_id();
+        let req = build_request(DocMethod::Fetch, &q.encode(), MsgType::Con, 1, vec![1]).unwrap();
+        let resp = s.handle_request(&req, 0);
+        assert_eq!(resp.code, Code::CONTENT);
+        let msg = Message::decode(&resp.payload).unwrap();
+        assert_eq!(msg.header.rcode, Rcode::NxDomain);
+        assert!(msg.answers.is_empty());
+    }
+
+    #[test]
+    fn etag_revalidation_valid() {
+        let mut s = server(CachePolicy::EolTtls);
+        let resp1 = s.handle_request(&fetch_req(1), 0);
+        let etag = resp1.option(OptionNumber::ETAG).unwrap().value.clone();
+        // Client revalidates with the ETag (records unchanged).
+        let mut req2 = fetch_req(2);
+        req2.set_option(CoapOption::new(OptionNumber::ETAG, etag.clone()));
+        let resp2 = s.handle_request(&req2, 1000);
+        assert_eq!(resp2.code, Code::VALID);
+        assert!(resp2.payload.is_empty());
+        assert_eq!(resp2.option(OptionNumber::ETAG).unwrap().value, etag);
+        assert_eq!(s.stats.validations, 1);
+    }
+
+    /// Fig. 3 steps 3/4: when a revalidation hits the upstream while
+    /// the RRset's TTL has *decayed* (another client refreshed it
+    /// earlier), DoH-like revalidation fails (TTL change ⇒ new ETag ⇒
+    /// full transfer) while EOL TTLs still validates.
+    #[test]
+    fn revalidation_across_ttl_refresh() {
+        let mk = |policy| {
+            let mut up = MockUpstream::new(7, 5, 5);
+            up.add_aaaa(name(), 1);
+            DocServer::new(policy, up)
+        };
+        for (policy, expect_valid) in
+            [(CachePolicy::DohLike, false), (CachePolicy::EolTtls, true)]
+        {
+            let mut s = mk(policy);
+            // t=0: our client caches the response (TTL 5, ETag e1).
+            let resp1 = s.handle_request(&fetch_req(1), 0);
+            let etag = resp1.option(OptionNumber::ETAG).unwrap().value.clone();
+            // t=7 s: another client's query refreshes the RRset.
+            s.handle_request(&fetch_req(9), 7_000);
+            // t=9 s: we revalidate; remaining TTL is now 3 s ≠ 5 s.
+            let mut req2 = fetch_req(2);
+            req2.set_option(CoapOption::new(OptionNumber::ETAG, etag));
+            let resp2 = s.handle_request(&req2, 9_000);
+            if expect_valid {
+                assert_eq!(resp2.code, Code::VALID, "{policy:?}");
+                assert_eq!(resp2.max_age(), 3);
+            } else {
+                assert_eq!(resp2.code, Code::CONTENT, "{policy:?}");
+                assert!(!resp2.payload.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn upstream_ttl_decrements_between_queries() {
+        let mut s = server(CachePolicy::DohLike);
+        let r1 = s.handle_request(&fetch_req(1), 0);
+        assert_eq!(r1.max_age(), 300);
+        let r2 = s.handle_request(&fetch_req(2), 100_000);
+        assert_eq!(r2.max_age(), 200);
+        assert_eq!(s.upstream.ns_queries, 1);
+        assert_eq!(s.upstream.cache_hits, 1);
+    }
+
+    #[test]
+    fn malformed_dns_rejected() {
+        let mut s = server(CachePolicy::EolTtls);
+        let req = build_request(DocMethod::Fetch, &[1, 2, 3], MsgType::Con, 1, vec![1]).unwrap();
+        let resp = s.handle_request(&req, 0);
+        assert_eq!(resp.code, Code::BAD_REQUEST);
+        assert_eq!(s.stats.errors, 1);
+    }
+
+    #[test]
+    fn wrong_method_rejected() {
+        let mut s = server(CachePolicy::EolTtls);
+        let req = CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1])
+            .with_payload(query_bytes());
+        let resp = s.handle_request(&req, 0);
+        assert_eq!(resp.code, Code::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn block2_slicing() {
+        let mut up = MockUpstream::new(1, 300, 300);
+        up.add_aaaa(name(), 4); // 4 AAAA records: >100-byte response
+        let mut s = DocServer::new(CachePolicy::EolTtls, up).with_block_size(32);
+        let resp0 = s.handle_request(&fetch_req(1), 0);
+        assert_eq!(resp0.code, Code::CONTENT);
+        let b0 = BlockOpt::from_message(&resp0, OptionNumber::BLOCK2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b0.num, 0);
+        assert!(b0.more);
+        assert_eq!(resp0.payload.len(), 32);
+
+        // Fetch remaining blocks and reassemble.
+        let mut assembler = doc_coap::block::BlockAssembler::new();
+        let mut full = assembler.push(b0, &resp0.payload).unwrap();
+        let mut num = 1;
+        while full.is_none() {
+            // Follow-up blocks reuse the token of the transaction.
+            let mut req = fetch_req(1);
+            req.message_id = 10 + num as u16;
+            req.set_option(
+                BlockOpt::new(num, false, 32)
+                    .unwrap()
+                    .to_option(OptionNumber::BLOCK2),
+            );
+            let resp = s.handle_request(&req, 0);
+            assert_eq!(resp.code, Code::CONTENT);
+            let b = BlockOpt::from_message(&resp, OptionNumber::BLOCK2)
+                .unwrap()
+                .unwrap();
+            full = assembler.push(b, &resp.payload).unwrap();
+            num += 1;
+        }
+        let msg = Message::decode(&full.unwrap()).unwrap();
+        assert_eq!(msg.answers.len(), 4);
+    }
+
+    #[test]
+    fn multiple_names_tracked_independently() {
+        let n2 = Name::parse("second.example.org").unwrap();
+        let mut up = MockUpstream::new(3, 300, 300);
+        up.add_aaaa(name(), 1);
+        up.add_a(n2.clone(), 2);
+        let mut s = DocServer::new(CachePolicy::EolTtls, up);
+        let mut q2 = Message::query(0, n2, RecordType::A);
+        q2.canonicalize_id();
+        let req2 =
+            build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 9, vec![9]).unwrap();
+        let resp = s.handle_request(&req2, 0);
+        let msg = Message::decode(&resp.payload).unwrap();
+        assert_eq!(msg.answers.len(), 2);
+        assert!(matches!(msg.answers[0].data, RecordData::A(_)));
+    }
+}

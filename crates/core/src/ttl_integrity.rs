@@ -1,0 +1,231 @@
+//! TTL-integrity protection (paper §7, "How to protect the integrity
+//! of the DNS TTLs?").
+//!
+//! DoC clients decrement DNS TTLs from the CoAP `Max-Age` option — but
+//! Max-Age is Unsafe-to-forward and is *rewritten by untrusted
+//! proxies*, so "an adversary with malicious intent, or a faulty proxy
+//! behavior may impair TTLs on the client by using incorrect Max-Age
+//! values". The paper proposes:
+//!
+//! * **EOL TTLs**: the server additionally includes a *second* Max-Age
+//!   value protected by OSCORE (an inner option the proxy cannot see
+//!   or alter). The client "compares both Max-Age values, deduces
+//!   inconsistent modifications, e.g., larger values than the original
+//!   TTLs, and discards the response when the consistency check
+//!   fails".
+//! * **DoH-like**: the original TTLs are already in the (protected)
+//!   payload, so the outer Max-Age is checked against them directly.
+//!
+//! Either way the check "mitigates the use of outdated DNS records,
+//! but still allows for unauthorized reduction of TTLs, which affects
+//! the caching performance" — the asymmetric guarantee the tests below
+//! pin down.
+
+use crate::policy::CachePolicy;
+use doc_coap::msg::CoapMessage;
+use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_dns::Message;
+
+/// Experimental inner option carrying the OSCORE-protected Max-Age
+/// (elective, safe-to-forward; encrypted as a Class-E option when
+/// OSCORE wraps the message, so intermediaries can neither read nor
+/// modify it).
+pub const INNER_MAX_AGE: OptionNumber = OptionNumber(65_000);
+
+/// Result of the consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlCheck {
+    /// Outer Max-Age is consistent; use it (possibly proxy-decremented).
+    Consistent {
+        /// The Max-Age value to apply to TTL restoration.
+        effective_max_age: u32,
+    },
+    /// The outer Max-Age exceeds the protected bound: a proxy inflated
+    /// freshness. The response must be discarded.
+    Inflated {
+        /// What the attacker claimed.
+        outer: u32,
+        /// The protected upper bound.
+        bound: u32,
+    },
+}
+
+/// Server side: attach the protected Max-Age to the *inner* (to-be-
+/// OSCORE-encrypted) response message.
+pub fn attach_protected_max_age(inner_response: &mut CoapMessage, max_age: u32) {
+    inner_response.set_option(CoapOption::uint(INNER_MAX_AGE, max_age));
+}
+
+/// Client side: check the (possibly proxy-modified) outer Max-Age
+/// against the protected information.
+///
+/// * Under [`CachePolicy::EolTtls`], `inner_response` must carry the
+///   [`INNER_MAX_AGE`] option (falls back to the outer value — i.e. no
+///   protection — when the server did not provide one).
+/// * Under [`CachePolicy::DohLike`], the payload TTLs themselves bound
+///   the legitimate Max-Age.
+pub fn check_max_age(
+    policy: CachePolicy,
+    inner_response: &CoapMessage,
+    outer_max_age: u32,
+) -> TtlCheck {
+    let bound = match policy {
+        CachePolicy::EolTtls => inner_response
+            .option(INNER_MAX_AGE)
+            .map(|o| o.as_uint())
+            .unwrap_or(outer_max_age),
+        CachePolicy::DohLike => Message::decode(&inner_response.payload)
+            .ok()
+            .and_then(|m| m.min_ttl())
+            .unwrap_or(outer_max_age),
+    };
+    if outer_max_age > bound {
+        TtlCheck::Inflated {
+            outer: outer_max_age,
+            bound,
+        }
+    } else {
+        TtlCheck::Consistent {
+            effective_max_age: outer_max_age,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doc_coap::msg::{Code, CoapMessage, MsgType};
+    use doc_dns::{Name, Rcode, Record, RecordType};
+
+    fn response_with(payload_ttl: u32, inner_max_age: Option<u32>) -> CoapMessage {
+        let name = Name::parse("example.org").unwrap();
+        let q = Message::query(0, name.clone(), RecordType::Aaaa);
+        let resp = Message::response(
+            &q,
+            Rcode::NoError,
+            vec![Record::aaaa(name, payload_ttl, std::net::Ipv6Addr::LOCALHOST)],
+        );
+        let mut msg = CoapMessage {
+            mtype: MsgType::Ack,
+            code: Code::CONTENT,
+            message_id: 1,
+            token: vec![1],
+            options: vec![],
+            payload: resp.encode(),
+        };
+        if let Some(ma) = inner_max_age {
+            attach_protected_max_age(&mut msg, ma);
+        }
+        msg
+    }
+
+    /// EOL: a proxy-decremented Max-Age (smaller than the protected
+    /// one) is consistent; an inflated one is rejected.
+    #[test]
+    fn eol_inner_max_age_bound() {
+        let msg = response_with(0, Some(300));
+        assert_eq!(
+            check_max_age(CachePolicy::EolTtls, &msg, 120),
+            TtlCheck::Consistent {
+                effective_max_age: 120
+            }
+        );
+        assert_eq!(
+            check_max_age(CachePolicy::EolTtls, &msg, 300),
+            TtlCheck::Consistent {
+                effective_max_age: 300
+            }
+        );
+        assert_eq!(
+            check_max_age(CachePolicy::EolTtls, &msg, 301),
+            TtlCheck::Inflated {
+                outer: 301,
+                bound: 300
+            }
+        );
+    }
+
+    /// DoH-like: the payload TTLs bound the outer Max-Age — no extra
+    /// option needed (§7: "responses include the original TTLs, which
+    /// can be used to perform consistency checks").
+    #[test]
+    fn doh_like_payload_ttl_bound() {
+        let msg = response_with(250, None);
+        assert_eq!(
+            check_max_age(CachePolicy::DohLike, &msg, 250),
+            TtlCheck::Consistent {
+                effective_max_age: 250
+            }
+        );
+        assert_eq!(
+            check_max_age(CachePolicy::DohLike, &msg, 9999),
+            TtlCheck::Inflated {
+                outer: 9999,
+                bound: 250
+            }
+        );
+    }
+
+    /// §7's residual weakness is preserved deliberately: *reduction* of
+    /// TTLs by a proxy is not detectable (it only hurts caching, not
+    /// correctness).
+    #[test]
+    fn reduction_is_allowed() {
+        let msg = response_with(0, Some(300));
+        assert!(matches!(
+            check_max_age(CachePolicy::EolTtls, &msg, 1),
+            TtlCheck::Consistent { .. }
+        ));
+    }
+
+    /// Without a protected inner option, EOL degrades to no protection
+    /// (outer value trusted) rather than rejecting everything.
+    #[test]
+    fn missing_inner_option_degrades_gracefully() {
+        let msg = response_with(0, None);
+        assert!(matches!(
+            check_max_age(CachePolicy::EolTtls, &msg, 100_000),
+            TtlCheck::Consistent { .. }
+        ));
+    }
+
+    /// End-to-end with real OSCORE: the inner Max-Age survives
+    /// protection, and an on-path attacker altering the *outer*
+    /// Max-Age is caught.
+    #[test]
+    fn oscore_protected_inner_max_age() {
+        use doc_oscore::context::SecurityContext;
+        use doc_oscore::protect::OscoreEndpoint;
+        let secret = b"0123456789abcdef";
+        let mut client =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[1]), false);
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[1], &[]), false);
+
+        let req = CoapMessage::request(Code::FETCH, MsgType::Con, 1, vec![7])
+            .with_payload(b"query".to_vec());
+        let (outer_req, binding) = client.protect_request(&req).unwrap();
+        let (inner_req, s_binding) = server.unprotect_request(&outer_req).unwrap();
+
+        // Server: response with protected inner Max-Age 300.
+        let mut resp = CoapMessage::ack_response(&inner_req, Code::CONTENT)
+            .with_payload(response_with(0, None).payload);
+        attach_protected_max_age(&mut resp, 300);
+        let mut outer_resp = server.protect_response(&resp, &s_binding, &outer_req).unwrap();
+
+        // On-path attacker sets a bogus *outer* Max-Age of 1 year.
+        outer_resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, 31_536_000));
+
+        let inner_resp = client.unprotect_response(&outer_resp, &binding).unwrap();
+        // The inner protected option is intact…
+        assert_eq!(inner_resp.option(INNER_MAX_AGE).unwrap().as_uint(), 300);
+        // …and the consistency check rejects the outer claim.
+        assert_eq!(
+            check_max_age(CachePolicy::EolTtls, &inner_resp, 31_536_000),
+            TtlCheck::Inflated {
+                outer: 31_536_000,
+                bound: 300
+            }
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! AES-CCM authenticated encryption (RFC 3610 / NIST SP 800-38C).
+//!
+//! CCM is parameterized by the tag length `M` and the length-field size
+//! `L` (nonce length is `15 - L`). The paper's two configurations:
+//!
+//! * **`AES-128-CCM-8`** (RFC 6655, used by DTLS): `M = 8`, `L = 3`,
+//!   12-byte nonce.
+//! * **`AES-CCM-16-64-128`** (RFC 8152 COSE, used by OSCORE): `M = 8`
+//!   (64-bit tag), `L = 2`, 13-byte nonce.
+//!
+//! Both directions (seal/open) are implemented; CCM only needs the AES
+//! forward transform.
+
+use crate::aes::Aes128;
+use crate::{ct_eq, CryptoError};
+
+/// A CCM mode instance: AES-128 key plus (tag length, length-field size).
+pub struct AesCcm {
+    aes: Aes128,
+    /// Tag length in bytes (4..=16, even).
+    tag_len: usize,
+    /// Length-field size `L` in bytes (2..=8); nonce length is `15 - L`.
+    l: usize,
+}
+
+impl AesCcm {
+    /// Create a CCM instance with explicit parameters.
+    pub fn new(key: &[u8; 16], tag_len: usize, l: usize) -> Result<Self, CryptoError> {
+        if !(4..=16).contains(&tag_len) || tag_len % 2 != 0 || !(2..=8).contains(&l) {
+            return Err(CryptoError::InvalidParameter);
+        }
+        Ok(AesCcm {
+            aes: Aes128::new(key),
+            tag_len,
+            l,
+        })
+    }
+
+    /// `AES-128-CCM-8` as used by the DTLS cipher suite
+    /// `TLS_PSK_WITH_AES_128_CCM_8` (RFC 6655): 8-byte tag, 12-byte nonce.
+    pub fn dtls_ccm8(key: &[u8; 16]) -> Self {
+        Self::new(key, 8, 3).expect("static parameters are valid")
+    }
+
+    /// `AES-CCM-16-64-128` as used by COSE/OSCORE (RFC 8152 §10.2):
+    /// 8-byte (64-bit) tag, 13-byte nonce.
+    pub fn cose_ccm_16_64_128(key: &[u8; 16]) -> Self {
+        Self::new(key, 8, 2).expect("static parameters are valid")
+    }
+
+    /// Nonce length implied by the `L` parameter.
+    pub fn nonce_len(&self) -> usize {
+        15 - self.l
+    }
+
+    /// Tag length in bytes.
+    pub fn tag_len(&self) -> usize {
+        self.tag_len
+    }
+
+    /// Encrypt `plaintext` with additional authenticated data `aad`,
+    /// returning `ciphertext || tag`.
+    pub fn seal(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if nonce.len() != self.nonce_len() {
+            return Err(CryptoError::InvalidParameter);
+        }
+        if self.l < 8 && (plaintext.len() as u64) >= (1u64 << (8 * self.l)) {
+            return Err(CryptoError::InvalidParameter);
+        }
+        let tag = self.cbc_mac(nonce, aad, plaintext);
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        // Tag is encrypted with counter block 0.
+        let a0 = self.counter_block(nonce, 0);
+        let s0 = self.aes.encrypt(&a0);
+        for (i, t) in tag.iter().take(self.tag_len).enumerate() {
+            out.push(t ^ s0[i]);
+        }
+        Ok(out)
+    }
+
+    /// Decrypt and verify `ciphertext || tag`; returns the plaintext.
+    pub fn open(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if nonce.len() != self.nonce_len() {
+            return Err(CryptoError::InvalidParameter);
+        }
+        if ciphertext_and_tag.len() < self.tag_len {
+            return Err(CryptoError::AuthFailed);
+        }
+        let split = ciphertext_and_tag.len() - self.tag_len;
+        let (ct, recv_tag_enc) = ciphertext_and_tag.split_at(split);
+        let mut plain = ct.to_vec();
+        self.ctr_xor(nonce, &mut plain);
+        let expect_tag = self.cbc_mac(nonce, aad, &plain);
+        let a0 = self.counter_block(nonce, 0);
+        let s0 = self.aes.encrypt(&a0);
+        let mut recv_tag = vec![0u8; self.tag_len];
+        for i in 0..self.tag_len {
+            recv_tag[i] = recv_tag_enc[i] ^ s0[i];
+        }
+        if !ct_eq(&recv_tag, &expect_tag[..self.tag_len]) {
+            return Err(CryptoError::AuthFailed);
+        }
+        Ok(plain)
+    }
+
+    /// Compute the raw (unencrypted) CBC-MAC tag over B_0 || AAD blocks
+    /// || message blocks.
+    fn cbc_mac(&self, nonce: &[u8], aad: &[u8], msg: &[u8]) -> [u8; 16] {
+        // B_0: flags || nonce || message length.
+        let mut b0 = [0u8; 16];
+        let adata_flag = if aad.is_empty() { 0 } else { 0x40 };
+        let m_enc = ((self.tag_len - 2) / 2) as u8;
+        let l_enc = (self.l - 1) as u8;
+        b0[0] = adata_flag | (m_enc << 3) | l_enc;
+        b0[1..1 + nonce.len()].copy_from_slice(nonce);
+        let len_bytes = (msg.len() as u64).to_be_bytes();
+        b0[16 - self.l..].copy_from_slice(&len_bytes[8 - self.l..]);
+
+        let mut x = self.aes.encrypt(&b0);
+
+        // AAD with its length prefix, zero-padded to block boundary.
+        if !aad.is_empty() {
+            let mut header: Vec<u8> = Vec::with_capacity(aad.len() + 10);
+            let alen = aad.len() as u64;
+            if alen < 0xFF00 {
+                header.extend_from_slice(&(alen as u16).to_be_bytes());
+            } else if alen <= 0xFFFF_FFFF {
+                header.extend_from_slice(&[0xff, 0xfe]);
+                header.extend_from_slice(&(alen as u32).to_be_bytes());
+            } else {
+                header.extend_from_slice(&[0xff, 0xff]);
+                header.extend_from_slice(&alen.to_be_bytes());
+            }
+            header.extend_from_slice(aad);
+            while header.len() % 16 != 0 {
+                header.push(0);
+            }
+            for block in header.chunks_exact(16) {
+                for i in 0..16 {
+                    x[i] ^= block[i];
+                }
+                x = self.aes.encrypt(&x);
+            }
+        }
+
+        // Message blocks, zero-padded.
+        for block in msg.chunks(16) {
+            for (i, b) in block.iter().enumerate() {
+                x[i] ^= b;
+            }
+            x = self.aes.encrypt(&x);
+        }
+        x
+    }
+
+    /// Build counter block A_i.
+    fn counter_block(&self, nonce: &[u8], counter: u64) -> [u8; 16] {
+        let mut a = [0u8; 16];
+        a[0] = (self.l - 1) as u8;
+        a[1..1 + nonce.len()].copy_from_slice(nonce);
+        let ctr = counter.to_be_bytes();
+        a[16 - self.l..].copy_from_slice(&ctr[8 - self.l..]);
+        a
+    }
+
+    /// XOR `data` with the CTR keystream starting at counter 1.
+    fn ctr_xor(&self, nonce: &[u8], data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let a = self.counter_block(nonce, (i + 1) as u64);
+            let s = self.aes.encrypt(&a);
+            for (b, k) in chunk.iter_mut().zip(s.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 3610 packet vector #1: M=8, L=2, 13-byte nonce — exactly the
+    /// COSE AES-CCM-16-64-128 configuration.
+    #[test]
+    fn rfc3610_vector_1() {
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let nonce = unhex("00000003020100A0A1A2A3A4A5");
+        // Total packet 00..1E; first 8 bytes are AAD, rest plaintext.
+        let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E");
+        let (aad, plain) = packet.split_at(8);
+        let ccm = AesCcm::new(&key, 8, 2).unwrap();
+        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+        let expect = unhex("588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0");
+        assert_eq!(sealed, expect);
+        let opened = ccm.open(&nonce, aad, &sealed).unwrap();
+        assert_eq!(opened, plain);
+    }
+
+    /// RFC 3610 packet vector #2 (plaintext not block-aligned).
+    #[test]
+    fn rfc3610_vector_2() {
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let nonce = unhex("00000004030201A0A1A2A3A4A5");
+        let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F");
+        let (aad, plain) = packet.split_at(8);
+        let ccm = AesCcm::new(&key, 8, 2).unwrap();
+        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+        let expect =
+            unhex("72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916");
+        assert_eq!(sealed, expect);
+    }
+
+    /// RFC 3610 packet vector #3.
+    #[test]
+    fn rfc3610_vector_3() {
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let nonce = unhex("00000005040302A0A1A2A3A4A5");
+        let packet =
+            unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20");
+        let (aad, plain) = packet.split_at(8);
+        let ccm = AesCcm::new(&key, 8, 2).unwrap();
+        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+        let expect = unhex(
+            "51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5",
+        );
+        assert_eq!(sealed, expect);
+    }
+
+    /// DTLS-style CCM-8 with 12-byte nonce round-trips.
+    #[test]
+    fn dtls_ccm8_roundtrip() {
+        let key = [0x42u8; 16];
+        let ccm = AesCcm::dtls_ccm8(&key);
+        assert_eq!(ccm.nonce_len(), 12);
+        let nonce = [7u8; 12];
+        let aad = b"record header";
+        let plain = b"application data of arbitrary length, hello DoC";
+        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+        assert_eq!(sealed.len(), plain.len() + 8);
+        assert_eq!(ccm.open(&nonce, aad, &sealed).unwrap(), plain);
+    }
+
+    /// Tampering with ciphertext, tag, or AAD must fail authentication.
+    #[test]
+    fn tamper_detection() {
+        let key = [3u8; 16];
+        let ccm = AesCcm::cose_ccm_16_64_128(&key);
+        let nonce = [9u8; 13];
+        let sealed = ccm.seal(&nonce, b"aad", b"payload").unwrap();
+
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        assert_eq!(ccm.open(&nonce, b"aad", &bad), Err(CryptoError::AuthFailed));
+
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert_eq!(ccm.open(&nonce, b"aad", &bad), Err(CryptoError::AuthFailed));
+
+        assert_eq!(
+            ccm.open(&nonce, b"axd", &sealed),
+            Err(CryptoError::AuthFailed)
+        );
+    }
+
+    /// Wrong nonce fails authentication.
+    #[test]
+    fn wrong_nonce_fails() {
+        let key = [3u8; 16];
+        let ccm = AesCcm::cose_ccm_16_64_128(&key);
+        let sealed = ccm.seal(&[1u8; 13], b"", b"payload").unwrap();
+        assert_eq!(ccm.open(&[2u8; 13], b"", &sealed), Err(CryptoError::AuthFailed));
+    }
+
+    /// Empty plaintext is legal: output is just the tag.
+    #[test]
+    fn empty_plaintext() {
+        let key = [3u8; 16];
+        let ccm = AesCcm::cose_ccm_16_64_128(&key);
+        let nonce = [0u8; 13];
+        let sealed = ccm.seal(&nonce, b"aad only", b"").unwrap();
+        assert_eq!(sealed.len(), 8);
+        assert_eq!(ccm.open(&nonce, b"aad only", &sealed).unwrap(), b"");
+    }
+
+    /// Empty AAD path (no adata flag) round-trips.
+    #[test]
+    fn empty_aad() {
+        let key = [5u8; 16];
+        let ccm = AesCcm::dtls_ccm8(&key);
+        let nonce = [1u8; 12];
+        let sealed = ccm.seal(&nonce, b"", b"data").unwrap();
+        assert_eq!(ccm.open(&nonce, b"", &sealed).unwrap(), b"data");
+    }
+
+    /// Invalid parameters are rejected at construction.
+    #[test]
+    fn invalid_params() {
+        let key = [0u8; 16];
+        assert!(AesCcm::new(&key, 3, 2).is_err()); // odd tag
+        assert!(AesCcm::new(&key, 2, 2).is_err()); // tag too short
+        assert!(AesCcm::new(&key, 8, 1).is_err()); // L too small
+        assert!(AesCcm::new(&key, 8, 9).is_err()); // L too large
+    }
+
+    /// Wrong nonce length is rejected.
+    #[test]
+    fn wrong_nonce_len() {
+        let key = [0u8; 16];
+        let ccm = AesCcm::dtls_ccm8(&key);
+        assert_eq!(
+            ccm.seal(&[0u8; 13], b"", b"x"),
+            Err(CryptoError::InvalidParameter)
+        );
+    }
+
+    /// Large AAD (>= 0xFF00 bytes) exercises the extended length encoding.
+    #[test]
+    fn large_aad_roundtrip() {
+        let key = [1u8; 16];
+        let ccm = AesCcm::cose_ccm_16_64_128(&key);
+        let nonce = [4u8; 13];
+        let aad = vec![0xA5u8; 0x1_0000];
+        let sealed = ccm.seal(&nonce, &aad, b"tiny").unwrap();
+        assert_eq!(ccm.open(&nonce, &aad, &sealed).unwrap(), b"tiny");
+    }
+}

@@ -1,0 +1,110 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! OSCORE (RFC 8613 §3.2) derives its sender/recipient keys and common
+//! IV via `HKDF-Extract(salt = master salt, IKM = master secret)`
+//! followed by `HKDF-Expand(PRK, info, L)`.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// `HKDF-Extract(salt, ikm) -> PRK`.
+///
+/// An empty salt is treated as `HashLen` zero bytes per RFC 5869.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    if salt.is_empty() {
+        hmac_sha256(&[0u8; DIGEST_LEN], ikm)
+    } else {
+        hmac_sha256(salt, ikm)
+    }
+}
+
+/// `HKDF-Expand(prk, info, out.len())`.
+///
+/// # Panics
+/// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit);
+/// callers in this workspace only ever request at most 32 bytes.
+pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * DIGEST_LEN,
+        "HKDF-Expand output too long"
+    );
+    let mut t: Vec<u8> = Vec::new();
+    let mut generated = 0usize;
+    let mut counter = 1u8;
+    while generated < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - generated).min(DIGEST_LEN);
+        out[generated..generated + take].copy_from_slice(&block[..take]);
+        generated += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Convenience: extract-then-expand to a `Vec` of `len` bytes.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = extract(salt, ikm);
+    let mut out = vec![0u8; len];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_tc1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_tc3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    /// Output longer than one hash block exercises the T(n) chaining.
+    #[test]
+    fn multi_block_expand() {
+        let okm = hkdf(b"salt", b"ikm", b"info", 100);
+        assert_eq!(okm.len(), 100);
+        // The first 32 bytes must be stable regardless of requested length.
+        let short = hkdf(b"salt", b"ikm", b"info", 32);
+        assert_eq!(&okm[..32], &short[..]);
+    }
+}

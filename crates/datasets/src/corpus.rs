@@ -1,0 +1,185 @@
+//! Full corpus generation: unique domain names with realistic label
+//! structure at target presentation lengths.
+//!
+//! Names mimic the shapes the paper describes: short vendor domains
+//! ("e123.abcd.akamaiedge.net"-style CDN names around the 24-char
+//! median) and long mDNS/UUID device names in the tail (§3.2:
+//! "Significantly longer names are used for certain mDNS applications,
+//! e.g., … to identify local devices via a UUID").
+
+use crate::lengths::{Dataset, LengthModel};
+use crate::records::{sample_record_type, TrafficMix};
+use doc_dns::{Name, RecordType};
+
+/// One generated corpus entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusName {
+    /// The generated domain name.
+    pub name: Name,
+    /// The record type a query for this name would use.
+    pub rtype: RecordType,
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_mul(0xBF58476D1CE4E5B9)
+            | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn uniform(&mut self) -> f64 {
+        ((self.next() >> 11) as f64) / (1u64 << 53) as f64
+    }
+    fn alnum(&mut self) -> u8 {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        CHARS[(self.next() % CHARS.len() as u64) as usize]
+    }
+}
+
+/// Suffixes for cloud/CDN-style names (short/medium lengths).
+const SUFFIXES: &[&str] = &[
+    "akamaiedge.net",
+    "amazonaws.com",
+    "cloudfront.net",
+    "iot.example.com",
+    "tuyaeu.com",
+    "nest.com",
+    "local",
+];
+
+/// Build a syntactically valid name of exactly `len` presentation
+/// characters (best effort for very short lengths).
+fn name_of_length(rng: &mut Rng, len: usize) -> Name {
+    if len < 3 {
+        // Degenerate lengths (the IXP sample contains 0..2): single
+        // short label.
+        let l = len.max(1);
+        let label: Vec<u8> = (0..l).map(|_| rng.alnum()).collect();
+        return Name::from_labels(&[label]).expect("short label is valid");
+    }
+    // Pick a suffix that leaves room for at least a 1-char prefix label.
+    let mut suffix = "";
+    for _ in 0..8 {
+        let cand = SUFFIXES[(rng.next() % SUFFIXES.len() as u64) as usize];
+        if cand.len() + 2 <= len {
+            suffix = cand;
+            break;
+        }
+    }
+    let remaining = if suffix.is_empty() { len } else { len - suffix.len() - 1 };
+    // Fill the remaining budget with labels of up to 20 chars.
+    let mut labels: Vec<Vec<u8>> = Vec::new();
+    let mut left = remaining;
+    while left > 0 {
+        let this = if left <= 21 {
+            left
+        } else {
+            // Leave room for the dot separating the next label.
+            (2 + (rng.next() % 19) as usize).min(left - 2)
+        };
+        labels.push((0..this.min(63)).map(|_| rng.alnum()).collect());
+        left = left.saturating_sub(this + 1);
+    }
+    for part in suffix.split('.') {
+        if !part.is_empty() {
+            labels.push(part.as_bytes().to_vec());
+        }
+    }
+    Name::from_labels(&labels).expect("constructed labels are valid")
+}
+
+/// Generate `n` unique names following `dataset`'s length distribution
+/// and `mix`'s record-type distribution.
+pub fn generate_corpus(dataset: Dataset, mix: TrafficMix, n: usize, seed: u64) -> Vec<CorpusName> {
+    let model = LengthModel::for_dataset(dataset);
+    let mut rng = Rng::new(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < n * 100 {
+        guard += 1;
+        let len = model.sample(rng.uniform()).max(1);
+        let name = name_of_length(&mut rng, len);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        let rtype = sample_record_type(mix, rng.uniform());
+        out.push(CorpusName { name, rtype });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LengthStats;
+
+    #[test]
+    fn generated_lengths_follow_model() {
+        let corpus = generate_corpus(Dataset::IotTotal, TrafficMix::IotWithMdns, 2336, 42);
+        assert_eq!(corpus.len(), 2336);
+        let lengths: Vec<usize> = corpus.iter().map(|c| c.name.presentation_len()).collect();
+        let s = LengthStats::from_lengths(&lengths);
+        // §3.2 headline numbers.
+        assert!((s.q2 as i64 - 24).abs() <= 1, "median {}", s.q2);
+        assert!((s.mean - 25.9).abs() < 2.0, "mean {:.1}", s.mean);
+    }
+
+    #[test]
+    fn names_are_unique_and_valid() {
+        let corpus = generate_corpus(Dataset::YourThings, TrafficMix::IotWithMdns, 500, 7);
+        let mut set = std::collections::HashSet::new();
+        for c in &corpus {
+            assert!(set.insert(c.name.clone()), "duplicate {}", c.name);
+            assert!(c.name.wire_len() <= 255);
+            // Round-trip through the wire codec.
+            let mut wire = Vec::new();
+            c.name.encode(&mut wire);
+            let mut pos = 0;
+            assert_eq!(Name::decode(&wire, &mut pos).unwrap(), c.name);
+        }
+    }
+
+    #[test]
+    fn exact_lengths_mostly_hit() {
+        let mut rng = Rng::new(9);
+        for target in [5usize, 12, 24, 31, 40, 60, 83] {
+            let mut hits = 0;
+            for _ in 0..50 {
+                let n = name_of_length(&mut rng, target);
+                if n.presentation_len() == target {
+                    hits += 1;
+                }
+            }
+            assert!(hits >= 45, "target {target}: only {hits}/50 exact");
+        }
+    }
+
+    #[test]
+    fn record_types_follow_mix() {
+        let corpus = generate_corpus(Dataset::IotTotal, TrafficMix::IotWithoutMdns, 2000, 3);
+        let a = corpus
+            .iter()
+            .filter(|c| c.rtype == RecordType::A)
+            .count() as f64
+            / corpus.len() as f64;
+        assert!((a - 0.758).abs() < 0.03, "A share {a:.3}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_corpus(Dataset::Ixp, TrafficMix::Ixp, 100, 5);
+        let b = generate_corpus(Dataset::Ixp, TrafficMix::Ixp, 100, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Name-length models fitted to the paper's Table 3.
+//!
+//! Each dataset's length distribution is a mixture of discretized
+//! Gaussian components over the valid length range. The component
+//! parameters were fitted numerically so that the resulting
+//! distribution's min/max/mode/μ/σ/Q1/Q2/Q3 match the published row of
+//! Table 3 (tests in [`crate::stats`] assert the match):
+//!
+//! | Data source | n    | min | max | mode | μ    | σ    | Q1 | Q2 | Q3 |
+//! |-------------|------|-----|-----|------|------|------|----|----|----|
+//! | YourThings  | 1293 | 2   | 83  | 31   | 24.5 | 9.7  | 18 | 24 | 30 |
+//! | IoTFinder   | 1097 | 7   | 82  | 24   | 26.8 | 10.5 | 20 | 24 | 30 |
+//! | MonIoTr     | 695  | 9   | 83  | 18   | 27.1 | 14.7 | 18 | 23 | 30 |
+//! | IXP         | —    | 0   | 68  | 17   | 26.1 | 11.7 | 17 | 25 | 33 |
+
+/// The data sources of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// YourThings (Alrawi et al., IEEE S&P 2019).
+    YourThings,
+    /// IoTFinder (Perdisci et al., EuroS&P 2020).
+    IotFinder,
+    /// MonIoTr (Ren et al., IMC 2019).
+    MonIotr,
+    /// The aggregate of the three IoT datasets ("IoT total").
+    IotTotal,
+    /// The European IXP sFlow sample.
+    Ixp,
+}
+
+impl Dataset {
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::YourThings => "YourThings",
+            Dataset::IotFinder => "IoTFinder",
+            Dataset::MonIotr => "MonIoTr",
+            Dataset::IotTotal => "IoT total",
+            Dataset::Ixp => "IXP",
+        }
+    }
+
+    /// Unique-name count reported in Table 3 (None for the IXP, whose
+    /// privacy pipeline prevented counting).
+    pub fn unique_names(self) -> Option<usize> {
+        match self {
+            Dataset::YourThings => Some(1293),
+            Dataset::IotFinder => Some(1097),
+            Dataset::MonIotr => Some(695),
+            Dataset::IotTotal => Some(2336),
+            Dataset::Ixp => None,
+        }
+    }
+}
+
+/// One Gaussian mixture component: (mean, sigma, weight).
+type Component = (f64, f64, f64);
+
+/// A fitted length distribution.
+#[derive(Debug, Clone)]
+pub struct LengthModel {
+    /// Inclusive length range.
+    pub min: usize,
+    /// Inclusive maximum.
+    pub max: usize,
+    /// Probability mass per length (index 0 = length `min`).
+    pmf: Vec<f64>,
+    /// Cumulative distribution for sampling.
+    cdf: Vec<f64>,
+}
+
+impl LengthModel {
+    fn from_components(min: usize, max: usize, comps: &[Component]) -> Self {
+        let mut pmf = Vec::with_capacity(max - min + 1);
+        for len in min..=max {
+            let x = len as f64;
+            let p: f64 = comps
+                .iter()
+                .map(|&(m, s, w)| w * (-((x - m) * (x - m)) / (2.0 * s * s)).exp() / s)
+                .sum();
+            pmf.push(p);
+        }
+        let total: f64 = pmf.iter().sum();
+        for p in pmf.iter_mut() {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut acc = 0.0;
+        for &p in &pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        LengthModel { min, max, pmf, cdf }
+    }
+
+    /// The fitted model for `dataset`.
+    pub fn for_dataset(dataset: Dataset) -> Self {
+        match dataset {
+            // Left-skewed: CDN-style names cluster at 31 chars (the
+            // mode) with a large population of shorter vendor names and
+            // a small mDNS long tail.
+            Dataset::YourThings => Self::from_components(
+                2,
+                83,
+                &[(31.0, 3.0, 0.38), (19.0, 5.0, 0.60), (65.0, 10.0, 0.02)],
+            ),
+            Dataset::IotFinder => Self::from_components(
+                7,
+                82,
+                &[(24.0, 6.0, 0.84), (41.0, 18.0, 0.16)],
+            ),
+            Dataset::MonIotr => Self::from_components(
+                9,
+                83,
+                &[(20.0, 6.0, 0.72), (44.0, 18.0, 0.28)],
+            ),
+            Dataset::Ixp => Self::from_components(
+                0,
+                68,
+                &[(17.0, 4.0, 0.45), (32.0, 6.0, 0.50), (65.0, 8.0, 0.05)],
+            ),
+            // Fitted directly to the "IoT total" row (a pure count-
+            // weighted aggregate of the three fitted sources lands
+            // within ~1 char of every statistic but shifts the mode to
+            // 21; Table 3 reports 24).
+            Dataset::IotTotal => Self::from_components(
+                2,
+                83,
+                &[(24.0, 5.5, 0.73), (16.0, 3.0, 0.15), (50.0, 12.0, 0.12)],
+            ),
+        }
+    }
+
+    /// Probability of a given length.
+    pub fn pmf(&self, len: usize) -> f64 {
+        if len < self.min || len > self.max {
+            return 0.0;
+        }
+        self.pmf[len - self.min]
+    }
+
+    /// Sample a length given a uniform `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        let idx = self
+            .cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1);
+        self.min + idx
+    }
+
+    /// Draw `n` lengths with a seeded xorshift RNG.
+    pub fn sample_many(&self, seed: u64, n: usize) -> Vec<usize> {
+        let mut state = seed
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_mul(0xBF58476D1CE4E5B9)
+            | 1;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut x = state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            state = x;
+            let u = ((x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64) / (1u64 << 53) as f64;
+            out.push(self.sample(u));
+        }
+        out
+    }
+
+    /// Analytic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (self.min + i) as f64 * p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LengthStats;
+
+    /// Table 3 targets: (min, max, mode, mean, sigma, q1, q2, q3).
+    fn target(d: Dataset) -> (usize, usize, usize, f64, f64, usize, usize, usize) {
+        match d {
+            Dataset::YourThings => (2, 83, 31, 24.5, 9.7, 18, 24, 30),
+            Dataset::IotFinder => (7, 82, 24, 26.8, 10.5, 20, 24, 30),
+            Dataset::MonIotr => (9, 83, 18, 27.1, 14.7, 18, 23, 30),
+            Dataset::IotTotal => (2, 83, 24, 25.9, 11.3, 19, 24, 30),
+            Dataset::Ixp => (0, 68, 17, 26.1, 11.7, 17, 25, 33),
+        }
+    }
+
+    /// Sampled statistics must match Table 3 within tight tolerances.
+    #[test]
+    fn table3_statistics_match() {
+        for d in [
+            Dataset::YourThings,
+            Dataset::IotFinder,
+            Dataset::MonIotr,
+            Dataset::IotTotal,
+            Dataset::Ixp,
+        ] {
+            let model = LengthModel::for_dataset(d);
+            let n = d.unique_names().unwrap_or(5000).max(2000) * 4;
+            let sample = model.sample_many(0xD41A5E7 ^ d.name().len() as u64, n);
+            let s = LengthStats::from_lengths(&sample);
+            let (min, max, mode, mean, sigma, q1, q2, q3) = target(d);
+            assert!(s.min >= min, "{d:?} min {} < {min}", s.min);
+            assert!(s.max <= max, "{d:?} max {} > {max}", s.max);
+            assert!(
+                (s.mean - mean).abs() < 1.2,
+                "{d:?} mean {:.1} vs {mean}",
+                s.mean
+            );
+            assert!(
+                (s.sigma - sigma).abs() < 1.2,
+                "{d:?} sigma {:.1} vs {sigma}",
+                s.sigma
+            );
+            assert!(
+                (s.q1 as i64 - q1 as i64).abs() <= 1,
+                "{d:?} q1 {} vs {q1}",
+                s.q1
+            );
+            assert!(
+                (s.q2 as i64 - q2 as i64).abs() <= 1,
+                "{d:?} q2 {} vs {q2}",
+                s.q2
+            );
+            assert!(
+                (s.q3 as i64 - q3 as i64).abs() <= 1,
+                "{d:?} q3 {} vs {q3}",
+                s.q3
+            );
+            assert!(
+                (s.mode as i64 - mode as i64).abs() <= 3,
+                "{d:?} mode {} vs {mode}",
+                s.mode
+            );
+        }
+    }
+
+    /// The headline finding of §3.2: the IoT median name length is 24
+    /// characters — the value every packet-size experiment uses.
+    #[test]
+    fn iot_median_is_24() {
+        let model = LengthModel::for_dataset(Dataset::IotTotal);
+        let sample = model.sample_many(7, 20_000);
+        let s = LengthStats::from_lengths(&sample);
+        assert_eq!(s.q2, 24);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for d in [Dataset::YourThings, Dataset::Ixp, Dataset::IotTotal] {
+            let m = LengthModel::for_dataset(d);
+            let total: f64 = (m.min..=m.max).map(|l| m.pmf(l)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{d:?} pmf sums to {total}");
+            assert_eq!(m.pmf(m.max + 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = LengthModel::for_dataset(Dataset::IotFinder);
+        assert_eq!(m.sample_many(1, 100), m.sample_many(1, 100));
+        assert_ne!(m.sample_many(1, 100), m.sample_many(2, 100));
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let m = LengthModel::for_dataset(Dataset::MonIotr);
+        for len in m.sample_many(3, 10_000) {
+            assert!((m.min..=m.max).contains(&len));
+        }
+    }
+
+    #[test]
+    fn unique_name_counts() {
+        assert_eq!(Dataset::YourThings.unique_names(), Some(1293));
+        assert_eq!(Dataset::IotTotal.unique_names(), Some(2336));
+        assert_eq!(Dataset::Ixp.unique_names(), None);
+    }
+}

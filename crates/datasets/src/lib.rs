@@ -1,0 +1,33 @@
+//! `doc-datasets` — synthetic DNS corpora calibrated to the paper's §3
+//! empirical study (Table 3, Table 4, Fig. 1).
+//!
+//! The paper analyzes DNS traffic of >90 consumer IoT devices from
+//! three public captures (YourThings, IoTFinder, MonIoTr; all 2019)
+//! and compares with sFlow samples from a European IXP. Those captures
+//! are not redistributable, so this crate substitutes **generators
+//! whose name-length and record-type distributions are calibrated to
+//! the published statistics** (see DESIGN.md → Substitutions). The
+//! downstream design inputs the paper derives — 24-character median
+//! names, A/AAAA dominance, mDNS-driven long-name tail — are thereby
+//! reproduced exactly.
+//!
+//! * [`lengths`] — per-dataset name-length distributions (mixtures of
+//!   discretized Gaussians fitted to Table 3's min/max/mode/μ/σ/Q1/Q2/
+//!   Q3) and samplers.
+//! * [`records`] — the Table 4 record-type mixes (IoT with/without
+//!   mDNS, IXP).
+//! * [`stats`] — the statistics toolkit that recomputes Table 3 from a
+//!   sample (mean, σ, nearest-rank quartiles, mode, density
+//!   histograms for Fig. 1).
+//! * [`corpus`] — full corpus generation: unique domain [`doc_dns::Name`]s
+//!   with realistic label structure at a target presentation length.
+
+pub mod corpus;
+pub mod lengths;
+pub mod records;
+pub mod stats;
+
+pub use corpus::{generate_corpus, CorpusName};
+pub use lengths::{Dataset, LengthModel};
+pub use records::{record_mix, RecordShare};
+pub use stats::{density_histogram, LengthStats};

@@ -1,0 +1,194 @@
+//! Queried record-type mixes (Table 4 of the paper).
+//!
+//! | Data set     | A    | AAAA | ANY | HTTPS | NS  | PTR  | SRV | TXT | Other |
+//! |--------------|------|------|-----|-------|-----|------|-----|-----|-------|
+//! | IoT w/ mDNS  | 53.6 | 16.4 | 8.2 | —     | —   | 19.6 | 1.0 | 1.2 | <0.1  |
+//! | IoT w/o mDNS | 75.8 | 23.5 | —   | —     | —   | 0.3  | —   | 0.1 | 0.3   |
+//! | IXP          | 64.5 | 17.6 | 1.7 | 9.1   | 0.7 | 1.8  | 0.4 | 0.7 | 3.5   |
+
+use doc_dns::RecordType;
+
+/// A record type's share of queries, in permyriad (1/100 of a percent)
+/// so the table is exactly representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordShare {
+    /// Record type.
+    pub rtype: RecordType,
+    /// Share in permyriad (53.6% = 5360).
+    pub permyriad: u32,
+}
+
+/// Traffic mixes of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficMix {
+    /// IoT data including multicast DNS.
+    IotWithMdns,
+    /// IoT data excluding multicast DNS.
+    IotWithoutMdns,
+    /// The IXP sample.
+    Ixp,
+}
+
+impl TrafficMix {
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficMix::IotWithMdns => "IoT w/ mDNS",
+            TrafficMix::IotWithoutMdns => "IoT w/o mDNS",
+            TrafficMix::Ixp => "IXP",
+        }
+    }
+}
+
+/// The Table 4 record-type distribution for a traffic mix.
+pub fn record_mix(mix: TrafficMix) -> Vec<RecordShare> {
+    let rows: &[(RecordType, u32)] = match mix {
+        TrafficMix::IotWithMdns => &[
+            (RecordType::A, 5360),
+            (RecordType::Aaaa, 1640),
+            (RecordType::Any, 820),
+            (RecordType::Ptr, 1960),
+            (RecordType::Srv, 100),
+            (RecordType::Txt, 120),
+        ],
+        TrafficMix::IotWithoutMdns => &[
+            (RecordType::A, 7580),
+            (RecordType::Aaaa, 2350),
+            (RecordType::Ptr, 30),
+            (RecordType::Txt, 10),
+            (RecordType::Other(0), 30),
+        ],
+        TrafficMix::Ixp => &[
+            (RecordType::A, 6450),
+            (RecordType::Aaaa, 1760),
+            (RecordType::Any, 170),
+            (RecordType::Https, 910),
+            (RecordType::Ns, 70),
+            (RecordType::Ptr, 180),
+            (RecordType::Srv, 40),
+            (RecordType::Txt, 70),
+            (RecordType::Other(0), 350),
+        ],
+    };
+    rows.iter()
+        .map(|&(rtype, permyriad)| RecordShare { rtype, permyriad })
+        .collect()
+}
+
+/// Sample a record type from the mix given a uniform draw `u ∈ [0, 1)`.
+/// Residual mass (rows not summing to 100%) falls to the last entry.
+pub fn sample_record_type(mix: TrafficMix, u: f64) -> RecordType {
+    let shares = record_mix(mix);
+    let mut acc = 0u32;
+    let target = (u * 10_000.0) as u32;
+    for s in &shares {
+        acc += s.permyriad;
+        if target < acc {
+            return s.rtype;
+        }
+    }
+    shares.last().expect("non-empty mix").rtype
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_close_to_100_percent() {
+        for mix in [
+            TrafficMix::IotWithMdns,
+            TrafficMix::IotWithoutMdns,
+            TrafficMix::Ixp,
+        ] {
+            let total: u32 = record_mix(mix).iter().map(|s| s.permyriad).sum();
+            assert!(
+                (9990..=10_010).contains(&total),
+                "{}: total {total}",
+                mix.name()
+            );
+        }
+    }
+
+    /// §3.2: "A records are in all data sets the most requested
+    /// records, with AAAA records being close second… When not
+    /// accounting for mDNS, these are >99% of all records in the IoT."
+    #[test]
+    fn a_and_aaaa_dominate() {
+        for mix in [
+            TrafficMix::IotWithMdns,
+            TrafficMix::IotWithoutMdns,
+            TrafficMix::Ixp,
+        ] {
+            let shares = record_mix(mix);
+            let a = shares
+                .iter()
+                .find(|s| s.rtype == RecordType::A)
+                .expect("A present")
+                .permyriad;
+            assert!(shares.iter().all(|s| s.permyriad <= a), "{}", mix.name());
+        }
+        let no_mdns = record_mix(TrafficMix::IotWithoutMdns);
+        let a_aaaa: u32 = no_mdns
+            .iter()
+            .filter(|s| matches!(s.rtype, RecordType::A | RecordType::Aaaa))
+            .map(|s| s.permyriad)
+            .sum();
+        assert!(a_aaaa > 9900, "A+AAAA = {a_aaaa} permyriad");
+    }
+
+    /// Service-discovery types (ANY/PTR/SRV/TXT) appear only with mDNS
+    /// in meaningful quantity.
+    #[test]
+    fn mdns_brings_service_discovery_types() {
+        let with = record_mix(TrafficMix::IotWithMdns);
+        let ptr = with
+            .iter()
+            .find(|s| s.rtype == RecordType::Ptr)
+            .expect("PTR present")
+            .permyriad;
+        assert!(ptr > 1500);
+        let without = record_mix(TrafficMix::IotWithoutMdns);
+        let ptr2 = without
+            .iter()
+            .find(|s| s.rtype == RecordType::Ptr)
+            .map(|s| s.permyriad)
+            .unwrap_or(0);
+        assert!(ptr2 < 100);
+    }
+
+    /// HTTPS records appear only at the IXP (Table 4).
+    #[test]
+    fn https_only_at_ixp() {
+        assert!(record_mix(TrafficMix::Ixp)
+            .iter()
+            .any(|s| s.rtype == RecordType::Https));
+        for mix in [TrafficMix::IotWithMdns, TrafficMix::IotWithoutMdns] {
+            assert!(!record_mix(mix)
+                .iter()
+                .any(|s| s.rtype == RecordType::Https));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..n {
+            let mut x = state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            state = x;
+            let u = ((x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64) / (1u64 << 53) as f64;
+            *counts
+                .entry(sample_record_type(TrafficMix::IotWithMdns, u).to_u16())
+                .or_insert(0u32) += 1;
+        }
+        let a_share = counts[&1] as f64 / n as f64;
+        assert!((a_share - 0.536).abs() < 0.01, "A share {a_share}");
+        let ptr_share = counts[&12] as f64 / n as f64;
+        assert!((ptr_share - 0.196).abs() < 0.01, "PTR share {ptr_share}");
+    }
+}

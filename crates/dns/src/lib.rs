@@ -1,0 +1,66 @@
+//! `doc-dns` — DNS message substrate for the DNS-over-CoAP reproduction.
+//!
+//! Implements the DNS wire format (RFC 1035) with everything the DoC
+//! protocol needs:
+//!
+//! * [`name`] — domain names, label validation, wire encoding with
+//!   message-compression pointers, and loop-safe decompression.
+//! * [`rr`] — resource-record types/classes and typed RDATA for the
+//!   record types observed in the paper's empirical study (Table 4):
+//!   A, AAAA, ANY, HTTPS, NS, PTR, SRV, TXT (+ CNAME, SOA, OPT).
+//! * [`message`] — full messages: header, question/answer/authority/
+//!   additional sections, encode/decode, and the DoC-specific
+//!   canonicalization helpers (ID ← 0, TTL rewriting for the paper's
+//!   *EOL TTLs* caching scheme, TTL restoration from CoAP `Max-Age`).
+//! * [`cbor_fmt`] — the compressed `application/dns+cbor` representation
+//!   sketched in §7 of the paper (draft-lenders-dns-cbor): a DNS query
+//!   becomes a CBOR array `[name, ?type, ?class]` (type/class elided for
+//!   AAAA/IN), a response becomes the answer section as a CBOR array.
+//!
+//! The crate is `std`-only but allocation-light; all parsers are total
+//! (no panics on arbitrary input), which the property tests assert.
+
+pub mod cbor_fmt;
+pub mod dnssd;
+pub mod message;
+pub mod name;
+pub mod rr;
+
+pub use message::{Header, Message, Opcode, Question, Rcode, Section};
+pub use name::Name;
+pub use rr::{Record, RecordClass, RecordData, RecordType};
+
+/// Errors produced when encoding or decoding DNS data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A domain-name label exceeded 63 bytes or the name 255 bytes.
+    NameTooLong,
+    /// A compression pointer chain looped or pointed forward.
+    BadPointer,
+    /// A label contained an invalid length octet.
+    BadLabel,
+    /// RDATA did not match the declared RDLENGTH or record type.
+    BadRdata,
+    /// The CBOR representation was not a valid dns+cbor item.
+    BadCbor,
+    /// A count field or length was inconsistent with the message size.
+    Inconsistent,
+}
+
+impl core::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DnsError::Truncated => write!(f, "truncated DNS data"),
+            DnsError::NameTooLong => write!(f, "domain name too long"),
+            DnsError::BadPointer => write!(f, "invalid compression pointer"),
+            DnsError::BadLabel => write!(f, "invalid label"),
+            DnsError::BadRdata => write!(f, "invalid RDATA"),
+            DnsError::BadCbor => write!(f, "invalid dns+cbor item"),
+            DnsError::Inconsistent => write!(f, "inconsistent DNS message"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}

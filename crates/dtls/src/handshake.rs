@@ -1,0 +1,386 @@
+//! DTLS 1.2 handshake message codecs (RFC 6347 §4.2 / RFC 5246 §7.4).
+//!
+//! Handshake header (12 bytes in DTLS):
+//! `msg_type(1) || length(3) || message_seq(2) || fragment_offset(3) ||
+//! fragment_length(3)`.
+//!
+//! Only unfragmented handshake messages are supported — every message
+//! in the PSK handshake fits one record, which is precisely what the
+//! paper's Fig. 6 shows (each handshake message is one, possibly
+//! 6LoWPAN-fragmented, datagram).
+
+use crate::DtlsError;
+
+/// `TLS_PSK_WITH_AES_128_CCM_8` (RFC 6655).
+pub const TLS_PSK_WITH_AES_128_CCM_8: u16 = 0xC0A8;
+
+/// Handshake message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsType {
+    /// ClientHello (1).
+    ClientHello,
+    /// ServerHello (2).
+    ServerHello,
+    /// HelloVerifyRequest (3, DTLS-only).
+    HelloVerifyRequest,
+    /// ServerHelloDone (14).
+    ServerHelloDone,
+    /// ClientKeyExchange (16).
+    ClientKeyExchange,
+    /// Finished (20).
+    Finished,
+}
+
+impl HsType {
+    /// Numeric value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            HsType::ClientHello => 1,
+            HsType::ServerHello => 2,
+            HsType::HelloVerifyRequest => 3,
+            HsType::ServerHelloDone => 14,
+            HsType::ClientKeyExchange => 16,
+            HsType::Finished => 20,
+        }
+    }
+    /// From numeric value.
+    pub fn from_u8(v: u8) -> Result<Self, DtlsError> {
+        Ok(match v {
+            1 => HsType::ClientHello,
+            2 => HsType::ServerHello,
+            3 => HsType::HelloVerifyRequest,
+            14 => HsType::ServerHelloDone,
+            16 => HsType::ClientKeyExchange,
+            20 => HsType::Finished,
+            _ => return Err(DtlsError::Malformed),
+        })
+    }
+}
+
+/// A handshake message (header + body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HsMessage {
+    /// Message type.
+    pub htype: HsType,
+    /// DTLS message sequence number.
+    pub message_seq: u16,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HsMessage {
+    /// Encode with the 12-byte DTLS handshake header (unfragmented:
+    /// fragment_offset = 0, fragment_length = length).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.body.len());
+        out.push(self.htype.to_u8());
+        out.extend_from_slice(&u24(self.body.len()));
+        out.extend_from_slice(&self.message_seq.to_be_bytes());
+        out.extend_from_slice(&u24(0));
+        out.extend_from_slice(&u24(self.body.len()));
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decode one message from the front of `data`; returns message and
+    /// bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(Self, usize), DtlsError> {
+        if data.len() < 12 {
+            return Err(DtlsError::Malformed);
+        }
+        let htype = HsType::from_u8(data[0])?;
+        let length = read_u24(&data[1..4]);
+        let message_seq = u16::from_be_bytes([data[4], data[5]]);
+        let frag_off = read_u24(&data[6..9]);
+        let frag_len = read_u24(&data[9..12]);
+        if frag_off != 0 || frag_len != length {
+            return Err(DtlsError::Malformed); // fragmentation unsupported
+        }
+        let body = data
+            .get(12..12 + length)
+            .ok_or(DtlsError::Malformed)?
+            .to_vec();
+        Ok((
+            HsMessage {
+                htype,
+                message_seq,
+                body,
+            },
+            12 + length,
+        ))
+    }
+}
+
+fn u24(v: usize) -> [u8; 3] {
+    [(v >> 16) as u8, (v >> 8) as u8, v as u8]
+}
+
+fn read_u24(b: &[u8]) -> usize {
+    ((b[0] as usize) << 16) | ((b[1] as usize) << 8) | b[2] as usize
+}
+
+/// ClientHello body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// 32-byte client random.
+    pub random: [u8; 32],
+    /// DTLS cookie (empty on the first flight).
+    pub cookie: Vec<u8>,
+    /// Offered cipher suites.
+    pub cipher_suites: Vec<u16>,
+}
+
+impl ClientHello {
+    /// Encode the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&[254, 253]); // client_version
+        out.extend_from_slice(&self.random);
+        out.push(0); // session_id length
+        out.push(self.cookie.len() as u8);
+        out.extend_from_slice(&self.cookie);
+        out.extend_from_slice(&((self.cipher_suites.len() * 2) as u16).to_be_bytes());
+        for cs in &self.cipher_suites {
+            out.extend_from_slice(&cs.to_be_bytes());
+        }
+        out.push(1); // compression_methods length
+        out.push(0); // null compression
+        out
+    }
+
+    /// Decode the body.
+    pub fn decode(data: &[u8]) -> Result<Self, DtlsError> {
+        let need = |n: usize, pos: usize| {
+            if data.len() < pos + n {
+                Err(DtlsError::Malformed)
+            } else {
+                Ok(())
+            }
+        };
+        need(2 + 32 + 1, 0)?;
+        let mut pos = 2; // skip version
+        let random: [u8; 32] = data[pos..pos + 32].try_into().expect("32 bytes");
+        pos += 32;
+        let sid_len = data[pos] as usize;
+        pos += 1;
+        need(sid_len + 1, pos)?;
+        pos += sid_len;
+        let cookie_len = data[pos] as usize;
+        pos += 1;
+        need(cookie_len + 2, pos)?;
+        let cookie = data[pos..pos + cookie_len].to_vec();
+        pos += cookie_len;
+        let cs_len = u16::from_be_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        need(cs_len, pos)?;
+        if cs_len % 2 != 0 {
+            return Err(DtlsError::Malformed);
+        }
+        let cipher_suites = data[pos..pos + cs_len]
+            .chunks_exact(2)
+            .map(|c| u16::from_be_bytes([c[0], c[1]]))
+            .collect();
+        Ok(ClientHello {
+            random,
+            cookie,
+            cipher_suites,
+        })
+    }
+}
+
+/// HelloVerifyRequest body: version + cookie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloVerifyRequest {
+    /// Stateless cookie the client must echo.
+    pub cookie: Vec<u8>,
+}
+
+impl HelloVerifyRequest {
+    /// Encode the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![254, 253];
+        out.push(self.cookie.len() as u8);
+        out.extend_from_slice(&self.cookie);
+        out
+    }
+    /// Decode the body.
+    pub fn decode(data: &[u8]) -> Result<Self, DtlsError> {
+        if data.len() < 3 {
+            return Err(DtlsError::Malformed);
+        }
+        let len = data[2] as usize;
+        let cookie = data.get(3..3 + len).ok_or(DtlsError::Malformed)?.to_vec();
+        Ok(HelloVerifyRequest { cookie })
+    }
+}
+
+/// ServerHello body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// 32-byte server random.
+    pub random: [u8; 32],
+    /// Selected cipher suite.
+    pub cipher_suite: u16,
+}
+
+impl ServerHello {
+    /// Encode the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.extend_from_slice(&[254, 253]);
+        out.extend_from_slice(&self.random);
+        out.push(0); // session_id empty
+        out.extend_from_slice(&self.cipher_suite.to_be_bytes());
+        out.push(0); // null compression
+        out
+    }
+    /// Decode the body.
+    pub fn decode(data: &[u8]) -> Result<Self, DtlsError> {
+        if data.len() < 2 + 32 + 1 {
+            return Err(DtlsError::Malformed);
+        }
+        let random: [u8; 32] = data[2..34].try_into().expect("32 bytes");
+        let sid_len = data[34] as usize;
+        let pos = 35 + sid_len;
+        let cs = data.get(pos..pos + 2).ok_or(DtlsError::Malformed)?;
+        Ok(ServerHello {
+            random,
+            cipher_suite: u16::from_be_bytes([cs[0], cs[1]]),
+        })
+    }
+}
+
+/// ClientKeyExchange body for PSK: just the PSK identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientKeyExchangePsk {
+    /// PSK identity (opaque).
+    pub identity: Vec<u8>,
+}
+
+impl ClientKeyExchangePsk {
+    /// Encode the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.identity.len());
+        out.extend_from_slice(&(self.identity.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.identity);
+        out
+    }
+    /// Decode the body.
+    pub fn decode(data: &[u8]) -> Result<Self, DtlsError> {
+        if data.len() < 2 {
+            return Err(DtlsError::Malformed);
+        }
+        let len = u16::from_be_bytes([data[0], data[1]]) as usize;
+        let identity = data.get(2..2 + len).ok_or(DtlsError::Malformed)?.to_vec();
+        Ok(ClientKeyExchangePsk { identity })
+    }
+}
+
+/// Finished verify_data length (RFC 5246 §7.4.9).
+pub const VERIFY_DATA_LEN: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hs_header_roundtrip() {
+        let m = HsMessage {
+            htype: HsType::ClientHello,
+            message_seq: 3,
+            body: vec![1, 2, 3, 4, 5],
+        };
+        let wire = m.encode();
+        assert_eq!(wire.len(), 12 + 5);
+        let (back, used) = HsMessage::decode(&wire).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn reject_fragmented() {
+        let m = HsMessage {
+            htype: HsType::Finished,
+            message_seq: 0,
+            body: vec![0u8; 12],
+        };
+        let mut wire = m.encode();
+        wire[9..12].copy_from_slice(&[0, 0, 6]); // fragment_length != length
+        assert_eq!(HsMessage::decode(&wire), Err(DtlsError::Malformed));
+    }
+
+    #[test]
+    fn client_hello_roundtrip_no_cookie() {
+        let ch = ClientHello {
+            random: [7u8; 32],
+            cookie: Vec::new(),
+            cipher_suites: vec![TLS_PSK_WITH_AES_128_CCM_8],
+        };
+        let back = ClientHello::decode(&ch.encode()).unwrap();
+        assert_eq!(back, ch);
+        // Body size: 2 + 32 + 1 + 1 + 0 + 2 + 2 + 2 = 42.
+        assert_eq!(ch.encode().len(), 42);
+    }
+
+    #[test]
+    fn client_hello_roundtrip_with_cookie() {
+        let ch = ClientHello {
+            random: [9u8; 32],
+            cookie: vec![0xAA; 16],
+            cipher_suites: vec![TLS_PSK_WITH_AES_128_CCM_8, 0x00FF],
+        };
+        let back = ClientHello::decode(&ch.encode()).unwrap();
+        assert_eq!(back, ch);
+    }
+
+    #[test]
+    fn hello_verify_roundtrip() {
+        let hv = HelloVerifyRequest {
+            cookie: vec![1; 20],
+        };
+        assert_eq!(HelloVerifyRequest::decode(&hv.encode()).unwrap(), hv);
+        assert_eq!(hv.encode().len(), 3 + 20);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let sh = ServerHello {
+            random: [3u8; 32],
+            cipher_suite: TLS_PSK_WITH_AES_128_CCM_8,
+        };
+        assert_eq!(ServerHello::decode(&sh.encode()).unwrap(), sh);
+        // 2 + 32 + 1 + 2 + 1 = 38.
+        assert_eq!(sh.encode().len(), 38);
+    }
+
+    #[test]
+    fn cke_psk_roundtrip() {
+        // 9-byte PSK identity matching the paper's setup.
+        let cke = ClientKeyExchangePsk {
+            identity: b"Client_ID".to_vec(),
+        };
+        assert_eq!(ClientKeyExchangePsk::decode(&cke.encode()).unwrap(), cke);
+        assert_eq!(cke.encode().len(), 11);
+    }
+
+    #[test]
+    fn reject_truncated_bodies() {
+        assert!(ClientHello::decode(&[254, 253, 1]).is_err());
+        assert!(ServerHello::decode(&[0u8; 10]).is_err());
+        assert!(HelloVerifyRequest::decode(&[254]).is_err());
+        assert!(ClientKeyExchangePsk::decode(&[0]).is_err());
+        assert!(ClientKeyExchangePsk::decode(&[0, 9, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_hs_type() {
+        let mut wire = HsMessage {
+            htype: HsType::Finished,
+            message_seq: 0,
+            body: vec![],
+        }
+        .encode();
+        wire[0] = 99;
+        assert!(HsMessage::decode(&wire).is_err());
+    }
+}

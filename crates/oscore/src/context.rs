@@ -1,0 +1,250 @@
+//! OSCORE security-context derivation (RFC 8613 §3).
+//!
+//! Both endpoints share a Common Context (master secret, master salt,
+//! algorithm, ID context) from which HKDF-SHA256 derives the Sender
+//! Key, Recipient Key and Common IV:
+//!
+//! ```text
+//! info = [ id, id_context, alg_aead, type, L ]   (CBOR array)
+//! output = HKDF(salt = master_salt, IKM = master_secret, info, L)
+//! ```
+//!
+//! The algorithm is `AES-CCM-16-64-128` (COSE algorithm 10): 128-bit
+//! key, 64-bit tag, 13-byte nonce — the configuration the paper
+//! evaluates against DTLS's `AES-128-CCM-8`.
+
+use doc_crypto::cbor::Value;
+use doc_crypto::hkdf;
+
+/// COSE algorithm identifier for AES-CCM-16-64-128 (RFC 8152 §10.2).
+pub const ALG_AES_CCM_16_64_128: i64 = 10;
+/// Key length for the AEAD algorithm.
+pub const KEY_LEN: usize = 16;
+/// Nonce length for the AEAD algorithm.
+pub const NONCE_LEN: usize = 13;
+/// Tag length for the AEAD algorithm.
+pub const TAG_LEN: usize = 8;
+
+/// A derived OSCORE security context for one sender/recipient pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityContext {
+    /// Our sender ID (put on the wire as `kid` in requests).
+    pub sender_id: Vec<u8>,
+    /// The peer's sender ID (our recipient ID).
+    pub recipient_id: Vec<u8>,
+    /// Derived sender key (encrypts what we send).
+    pub sender_key: [u8; KEY_LEN],
+    /// Derived recipient key (decrypts what the peer sends).
+    pub recipient_key: [u8; KEY_LEN],
+    /// Derived common IV.
+    pub common_iv: [u8; NONCE_LEN],
+    /// Next partial IV (sender sequence number).
+    pub sender_seq: u64,
+}
+
+/// Build the HKDF `info` structure of RFC 8613 §3.2.1.
+fn kdf_info(id: &[u8], type_: &str, len: usize) -> Vec<u8> {
+    Value::Array(vec![
+        Value::Bytes(id.to_vec()),
+        Value::Null, // id_context not used in this deployment
+        Value::int(ALG_AES_CCM_16_64_128),
+        Value::Text(type_.to_string()),
+        Value::Uint(len as u64),
+    ])
+    .encode()
+}
+
+impl SecurityContext {
+    /// Derive a context from the common-context parameters.
+    ///
+    /// `sender_id`/`recipient_id` are from *this endpoint's*
+    /// perspective: a client configured with `(sender=C, recipient=S)`
+    /// pairs with a server configured `(sender=S, recipient=C)`.
+    pub fn derive(
+        master_secret: &[u8],
+        master_salt: &[u8],
+        sender_id: &[u8],
+        recipient_id: &[u8],
+    ) -> Self {
+        let mut sender_key = [0u8; KEY_LEN];
+        sender_key.copy_from_slice(&hkdf::hkdf(
+            master_salt,
+            master_secret,
+            &kdf_info(sender_id, "Key", KEY_LEN),
+            KEY_LEN,
+        ));
+        let mut recipient_key = [0u8; KEY_LEN];
+        recipient_key.copy_from_slice(&hkdf::hkdf(
+            master_salt,
+            master_secret,
+            &kdf_info(recipient_id, "Key", KEY_LEN),
+            KEY_LEN,
+        ));
+        let mut common_iv = [0u8; NONCE_LEN];
+        common_iv.copy_from_slice(&hkdf::hkdf(
+            master_salt,
+            master_secret,
+            &kdf_info(&[], "IV", NONCE_LEN),
+            NONCE_LEN,
+        ));
+        SecurityContext {
+            sender_id: sender_id.to_vec(),
+            recipient_id: recipient_id.to_vec(),
+            sender_key,
+            recipient_key,
+            common_iv,
+            sender_seq: 0,
+        }
+    }
+
+    /// Compute the AEAD nonce for (`id`, `piv`) per RFC 8613 §5.2:
+    /// left-pad PIV to 5 bytes, left-pad ID to `nonce_len - 6`, prefix
+    /// the ID length, XOR with the Common IV.
+    pub fn nonce(&self, id: &[u8], piv: &[u8]) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[0] = id.len() as u8;
+        // ID left-padded into bytes [1 .. nonce_len-5).
+        let id_field_len = NONCE_LEN - 6;
+        nonce[1 + id_field_len - id.len()..1 + id_field_len].copy_from_slice(id);
+        // PIV left-padded into the last 5 bytes.
+        nonce[NONCE_LEN - piv.len()..].copy_from_slice(piv);
+        for (n, c) in nonce.iter_mut().zip(self.common_iv.iter()) {
+            *n ^= c;
+        }
+        nonce
+    }
+
+    /// Take the next partial IV (minimal big-endian encoding, at least
+    /// one byte, at most 5).
+    pub fn next_piv(&mut self) -> Result<Vec<u8>, crate::OscoreError> {
+        if self.sender_seq >= 1 << 40 {
+            return Err(crate::OscoreError::PivExhausted);
+        }
+        let piv = encode_piv(self.sender_seq);
+        self.sender_seq += 1;
+        Ok(piv)
+    }
+}
+
+/// Minimal big-endian PIV encoding (RFC 8613 §6.1: 0 encodes as one
+/// zero byte... actually as the 1-byte 0x00 per "the Partial IV SHALL
+/// be encoded with minimum length, and the value 0 encodes to 0x00").
+pub fn encode_piv(seq: u64) -> Vec<u8> {
+    let bytes = seq.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+    bytes[skip..].to_vec()
+}
+
+/// Decode a PIV back to a sequence number.
+pub fn decode_piv(piv: &[u8]) -> Option<u64> {
+    if piv.is_empty() || piv.len() > 5 {
+        return None;
+    }
+    let mut v = 0u64;
+    for &b in piv {
+        v = (v << 8) | b as u64;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    /// RFC 8613 Appendix C.1.1 test vector: client context with
+    /// Master Secret 0102…10, Master Salt 9e7ca92223786340,
+    /// Sender ID empty, Recipient ID 0x01.
+    #[test]
+    fn rfc8613_c1_client_derivation() {
+        let secret = unhex("0102030405060708090a0b0c0d0e0f10");
+        let salt = unhex("9e7ca92223786340");
+        let ctx = SecurityContext::derive(&secret, &salt, &[], &[0x01]);
+        assert_eq!(hex(&ctx.sender_key), "f0910ed7295e6ad4b54fc793154302ff");
+        assert_eq!(hex(&ctx.recipient_key), "ffb14e093c94c9cac9471648b4f98710");
+        assert_eq!(hex(&ctx.common_iv), "4622d4dd6d944168eefb54987c");
+    }
+
+    /// RFC 8613 Appendix C.1.2: the server's derivation mirrors the
+    /// client's (sender/recipient swapped).
+    #[test]
+    fn rfc8613_c1_server_derivation() {
+        let secret = unhex("0102030405060708090a0b0c0d0e0f10");
+        let salt = unhex("9e7ca92223786340");
+        let ctx = SecurityContext::derive(&secret, &salt, &[0x01], &[]);
+        assert_eq!(hex(&ctx.sender_key), "ffb14e093c94c9cac9471648b4f98710");
+        assert_eq!(hex(&ctx.recipient_key), "f0910ed7295e6ad4b54fc793154302ff");
+        assert_eq!(hex(&ctx.common_iv), "4622d4dd6d944168eefb54987c");
+    }
+
+    /// RFC 8613 Appendix C.4 (request vector): the nonce for Sender ID
+    /// empty, PIV 0x14 with the C.1 Common IV must be
+    /// 4622d4dd6d944168eefb549868.
+    #[test]
+    fn rfc8613_c4_request_nonce() {
+        let secret = unhex("0102030405060708090a0b0c0d0e0f10");
+        let salt = unhex("9e7ca92223786340");
+        let ctx = SecurityContext::derive(&secret, &salt, &[], &[0x01]);
+        let nonce = ctx.nonce(&[], &[0x14]);
+        assert_eq!(hex(&nonce), "4622d4dd6d944168eefb549868");
+    }
+
+    #[test]
+    fn piv_encoding_minimal() {
+        assert_eq!(encode_piv(0), vec![0x00]);
+        assert_eq!(encode_piv(0x14), vec![0x14]);
+        assert_eq!(encode_piv(0x0100), vec![0x01, 0x00]);
+        assert_eq!(encode_piv(0xFF_FFFF), vec![0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn piv_roundtrip() {
+        for seq in [0u64, 1, 0x14, 255, 256, 65536, (1 << 40) - 1] {
+            assert_eq!(decode_piv(&encode_piv(seq)), Some(seq));
+        }
+        assert_eq!(decode_piv(&[]), None);
+        assert_eq!(decode_piv(&[0; 6]), None);
+    }
+
+    #[test]
+    fn next_piv_increments() {
+        let ctx_params = (unhex("0102030405060708090a0b0c0d0e0f10"), unhex("9e7ca92223786340"));
+        let mut ctx = SecurityContext::derive(&ctx_params.0, &ctx_params.1, &[], &[1]);
+        assert_eq!(ctx.next_piv().unwrap(), vec![0x00]);
+        assert_eq!(ctx.next_piv().unwrap(), vec![0x01]);
+        assert_eq!(ctx.sender_seq, 2);
+    }
+
+    #[test]
+    fn piv_exhaustion() {
+        let mut ctx = SecurityContext::derive(b"secret", b"", &[], &[1]);
+        ctx.sender_seq = 1 << 40;
+        assert_eq!(ctx.next_piv(), Err(crate::OscoreError::PivExhausted));
+    }
+
+    #[test]
+    fn peer_contexts_are_mirrored() {
+        let client = SecurityContext::derive(b"master", b"salt", b"C", b"S");
+        let server = SecurityContext::derive(b"master", b"salt", b"S", b"C");
+        assert_eq!(client.sender_key, server.recipient_key);
+        assert_eq!(client.recipient_key, server.sender_key);
+        assert_eq!(client.common_iv, server.common_iv);
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let a = SecurityContext::derive(b"master", b"salt1", b"C", b"S");
+        let b = SecurityContext::derive(b"master", b"salt2", b"C", b"S");
+        assert_ne!(a.sender_key, b.sender_key);
+    }
+}

@@ -1,0 +1,672 @@
+//! OSCORE message protection (RFC 8613 §5–§8).
+//!
+//! A protected request looks like:
+//!
+//! ```text
+//! outer CoAP header (POST) | OSCORE option: flags|PIV|kid | 0xFF | COSE ciphertext
+//! ```
+//!
+//! where the ciphertext encrypts `inner code || Class-E options || 0xFF
+//! || payload` under AES-CCM-16-64-128 with the nonce/AAD constructions
+//! of §5.2/§5.4. Responses omit PIV and kid (empty OSCORE option) and
+//! reuse the request's nonce — they are bound to the request through
+//! the AAD, which is what makes mismatch/replay attacks fail and lets
+//! responses stay valid across CoAP retransmissions (paper §4.3).
+
+use crate::context::{decode_piv, SecurityContext, TAG_LEN};
+use crate::OscoreError;
+use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_crypto::cbor::Value;
+use doc_crypto::ccm::AesCcm;
+
+/// Decoded OSCORE option value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OscoreOption {
+    /// Partial IV (absent in responses).
+    pub piv: Vec<u8>,
+    /// Key identifier (the sender ID of the requester).
+    pub kid: Option<Vec<u8>>,
+}
+
+impl OscoreOption {
+    /// Encode to option-value bytes (RFC 8613 §6.1).
+    pub fn encode(&self) -> Vec<u8> {
+        if self.piv.is_empty() && self.kid.is_none() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(1 + self.piv.len());
+        let mut flags = self.piv.len() as u8 & 0x07;
+        if self.kid.is_some() {
+            flags |= 0x08;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.piv);
+        if let Some(kid) = &self.kid {
+            out.extend_from_slice(kid);
+        }
+        out
+    }
+
+    /// Decode from option-value bytes.
+    pub fn decode(value: &[u8]) -> Result<Self, OscoreError> {
+        if value.is_empty() {
+            return Ok(OscoreOption::default());
+        }
+        let flags = value[0];
+        if flags & 0xE0 != 0 {
+            return Err(OscoreError::Malformed); // reserved bits
+        }
+        let n = (flags & 0x07) as usize;
+        if n > 5 {
+            return Err(OscoreError::Malformed);
+        }
+        let mut pos = 1usize;
+        let piv = value
+            .get(pos..pos + n)
+            .ok_or(OscoreError::Malformed)?
+            .to_vec();
+        pos += n;
+        if flags & 0x10 != 0 {
+            // kid context: length-prefixed (unused in this deployment,
+            // but parsed for robustness).
+            let l = *value.get(pos).ok_or(OscoreError::Malformed)? as usize;
+            pos += 1 + l;
+            if pos > value.len() {
+                return Err(OscoreError::Malformed);
+            }
+        }
+        let kid = if flags & 0x08 != 0 {
+            Some(value[pos..].to_vec())
+        } else {
+            None
+        };
+        Ok(OscoreOption { piv, kid })
+    }
+}
+
+/// Binding between a protected request and its response (RFC 8613
+/// §5.4: `request_kid` and `request_piv` enter the response AAD).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestBinding {
+    /// kid of the request (the client's sender ID).
+    pub kid: Vec<u8>,
+    /// Partial IV of the request.
+    pub piv: Vec<u8>,
+}
+
+/// Build the Enc_structure AAD of RFC 8613 §5.4.
+fn build_aad(request_kid: &[u8], request_piv: &[u8]) -> Vec<u8> {
+    let external_aad = Value::Array(vec![
+        Value::Uint(1), // oscore_version
+        Value::Array(vec![Value::int(crate::context::ALG_AES_CCM_16_64_128)]),
+        Value::Bytes(request_kid.to_vec()),
+        Value::Bytes(request_piv.to_vec()),
+        Value::Bytes(Vec::new()), // Class-I options (none)
+    ])
+    .encode();
+    Value::Array(vec![
+        Value::Text("Encrypt0".to_string()),
+        Value::Bytes(Vec::new()), // protected bucket (empty)
+        Value::Bytes(external_aad),
+    ])
+    .encode()
+}
+
+/// Options that stay on the outer message (Class U). Everything else is
+/// encrypted (Class E).
+fn is_outer_option(number: OptionNumber) -> bool {
+    matches!(
+        number,
+        OptionNumber::URI_HOST
+            | OptionNumber::URI_PORT
+            | OptionNumber::PROXY_URI
+            | OptionNumber::PROXY_SCHEME
+            | OptionNumber::OSCORE
+    )
+}
+
+/// Serialize the inner (plaintext) form: `code || options || 0xFF ||
+/// payload` (RFC 8613 §5.3).
+fn encode_inner(msg: &CoapMessage) -> Vec<u8> {
+    let mut shadow = CoapMessage {
+        mtype: MsgType::Non,
+        code: msg.code,
+        message_id: 0,
+        token: Vec::new(),
+        options: msg
+            .options
+            .iter()
+            .filter(|o| !is_outer_option(o.number))
+            .cloned()
+            .collect(),
+        payload: msg.payload.clone(),
+    };
+    let wire = shadow.encode();
+    let mut out = vec![msg.code.0];
+    out.extend_from_slice(&wire[4..]); // strip header (TKL=0 ⇒ 4 bytes)
+    shadow.payload.clear();
+    out
+}
+
+/// Parse an inner plaintext back into code/options/payload.
+fn decode_inner(plain: &[u8]) -> Result<CoapMessage, OscoreError> {
+    if plain.is_empty() {
+        return Err(OscoreError::Malformed);
+    }
+    // Re-add a fake 4-byte header for the codec.
+    let mut wire = vec![0x40, plain[0], 0, 0];
+    wire.extend_from_slice(&plain[1..]);
+    CoapMessage::decode(&wire).map_err(|_| OscoreError::Malformed)
+}
+
+/// Sliding replay window for recipient PIVs.
+#[derive(Debug, Clone)]
+pub struct ReplayWindow {
+    window: u128,
+    highest: u64,
+    bits: u32,
+    initialized: bool,
+}
+
+impl ReplayWindow {
+    /// A window covering `bits` sequence numbers.
+    pub fn new(bits: u32) -> Self {
+        ReplayWindow {
+            window: 0,
+            highest: 0,
+            bits: bits.clamp(1, 128),
+            initialized: false,
+        }
+    }
+
+    /// Accept-and-mark; false on replay/too-old.
+    pub fn check_and_update(&mut self, seq: u64) -> bool {
+        if !self.initialized {
+            self.initialized = true;
+            self.highest = seq;
+            self.window = 1;
+            return true;
+        }
+        if seq > self.highest {
+            let shift = seq - self.highest;
+            if shift >= self.bits as u64 {
+                self.window = 1;
+            } else {
+                self.window = (self.window << shift) | 1;
+            }
+            self.highest = seq;
+            true
+        } else {
+            let offset = self.highest - seq;
+            if offset >= self.bits as u64 {
+                return false;
+            }
+            let mask = 1u128 << offset;
+            if self.window & mask != 0 {
+                return false;
+            }
+            self.window |= mask;
+            true
+        }
+    }
+}
+
+/// An OSCORE endpoint: security context + replay window + Echo state.
+pub struct OscoreEndpoint {
+    /// The derived security context.
+    pub ctx: SecurityContext,
+    replay: ReplayWindow,
+    /// Server-side Echo gate: `None` once the replay window is
+    /// synchronized. Paper Fig. 6: the first exchange costs one
+    /// "4.01 Unauthorized" + "Query (w/ Echo)" round trip.
+    echo_challenge: Option<Vec<u8>>,
+    echo_required: bool,
+    echo_counter: u64,
+}
+
+impl OscoreEndpoint {
+    /// Create an endpoint. `require_echo` enables the server-side
+    /// replay-window initialization challenge.
+    pub fn new(ctx: SecurityContext, require_echo: bool) -> Self {
+        // Paper §5.1: "we increase … the OSCORE replay window size" for
+        // long runs — 64 entries here (RFC default is 32).
+        OscoreEndpoint {
+            ctx,
+            replay: ReplayWindow::new(64),
+            echo_challenge: None,
+            echo_required: require_echo,
+            echo_counter: 0,
+        }
+    }
+
+    /// Protect a request. The returned outer message keeps the caller's
+    /// message ID/token/type; the code becomes POST (RFC 8613 §4.1.3.5).
+    pub fn protect_request(
+        &mut self,
+        msg: &CoapMessage,
+    ) -> Result<(CoapMessage, RequestBinding), OscoreError> {
+        let piv = self.ctx.next_piv()?;
+        let kid = self.ctx.sender_id.clone();
+        let plaintext = encode_inner(msg);
+        let aad = build_aad(&kid, &piv);
+        let nonce = self.ctx.nonce(&kid, &piv);
+        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
+        let ciphertext = ccm
+            .seal(&nonce, &aad, &plaintext)
+            .map_err(|_| OscoreError::Crypto)?;
+        let opt = OscoreOption {
+            piv: piv.clone(),
+            kid: Some(kid.clone()),
+        };
+        let mut outer = CoapMessage {
+            mtype: msg.mtype,
+            code: Code::POST,
+            message_id: msg.message_id,
+            token: msg.token.clone(),
+            options: msg
+                .options
+                .iter()
+                .filter(|o| is_outer_option(o.number))
+                .cloned()
+                .collect(),
+            payload: ciphertext,
+        };
+        outer.set_option(CoapOption::new(OptionNumber::OSCORE, opt.encode()));
+        Ok((outer, RequestBinding { kid, piv }))
+    }
+
+    /// Unprotect a request; enforces replay protection and, when
+    /// enabled, the Echo round trip.
+    pub fn unprotect_request(
+        &mut self,
+        outer: &CoapMessage,
+    ) -> Result<(CoapMessage, RequestBinding), OscoreError> {
+        let opt_value = outer
+            .option(OptionNumber::OSCORE)
+            .ok_or(OscoreError::NotOscore)?;
+        let opt = OscoreOption::decode(&opt_value.value)?;
+        let kid = opt.kid.clone().ok_or(OscoreError::Malformed)?;
+        if kid != self.ctx.recipient_id {
+            return Err(OscoreError::Crypto);
+        }
+        let seq = decode_piv(&opt.piv).ok_or(OscoreError::Malformed)?;
+        let aad = build_aad(&kid, &opt.piv);
+        let nonce = self.ctx.nonce(&kid, &opt.piv);
+        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
+        let plain = ccm
+            .open(&nonce, &aad, &outer.payload)
+            .map_err(|_| OscoreError::Crypto)?;
+        let mut inner = decode_inner(&plain)?;
+        inner.mtype = outer.mtype;
+        inner.message_id = outer.message_id;
+        inner.token = outer.token.clone();
+
+        // Echo-based replay-window initialization (RFC 8613 Appendix
+        // B.1.2 / RFC 9175): before accepting the first request, demand
+        // a round trip proving freshness.
+        if self.echo_required {
+            let presented = inner.option(OptionNumber::ECHO).map(|o| o.value.clone());
+            match (&self.echo_challenge, presented) {
+                (Some(expect), Some(got)) if *expect == got => {
+                    self.echo_required = false;
+                    self.echo_challenge = None;
+                }
+                _ => {
+                    let challenge = self.new_echo();
+                    return Err(OscoreError::EchoRequired(challenge));
+                }
+            }
+        }
+        if !self.replay.check_and_update(seq) {
+            return Err(OscoreError::Replay);
+        }
+        Ok((
+            inner,
+            RequestBinding {
+                kid,
+                piv: opt.piv,
+            },
+        ))
+    }
+
+    fn new_echo(&mut self) -> Vec<u8> {
+        self.echo_counter += 1;
+        let mut tag = doc_crypto::hmac::hmac_sha256(
+            &self.ctx.sender_key,
+            &self.echo_counter.to_be_bytes(),
+        )[..8]
+            .to_vec();
+        tag.push(self.echo_counter as u8);
+        self.echo_challenge = Some(tag.clone());
+        tag
+    }
+
+    /// Build the outer `4.01 Unauthorized` carrying the Echo challenge
+    /// (protected, so only the legitimate client can read it).
+    pub fn protect_echo_challenge(
+        &mut self,
+        request_outer: &CoapMessage,
+        binding: &RequestBinding,
+        challenge: &[u8],
+    ) -> Result<CoapMessage, OscoreError> {
+        let mut inner = CoapMessage::ack_response(request_outer, Code::UNAUTHORIZED);
+        inner.set_option(CoapOption::new(OptionNumber::ECHO, challenge.to_vec()));
+        self.protect_response(&inner, binding, request_outer)
+    }
+
+    /// Protect a response bound to `binding` (no PIV: the request's
+    /// nonce is reused with our sender key).
+    pub fn protect_response(
+        &self,
+        msg: &CoapMessage,
+        binding: &RequestBinding,
+        request_outer: &CoapMessage,
+    ) -> Result<CoapMessage, OscoreError> {
+        let plaintext = encode_inner(msg);
+        let aad = build_aad(&binding.kid, &binding.piv);
+        let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
+        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
+        let ciphertext = ccm
+            .seal(&nonce, &aad, &plaintext)
+            .map_err(|_| OscoreError::Crypto)?;
+        let mut outer = CoapMessage {
+            mtype: msg.mtype,
+            code: Code::CHANGED, // outer 2.04 (RFC 8613 §4.1.3.5)
+            message_id: request_outer.message_id,
+            token: request_outer.token.clone(),
+            options: Vec::new(),
+            payload: ciphertext,
+        };
+        outer.set_option(CoapOption::new(
+            OptionNumber::OSCORE,
+            OscoreOption::default().encode(),
+        ));
+        Ok(outer)
+    }
+
+    /// Unprotect a response bound to our earlier request.
+    pub fn unprotect_response(
+        &self,
+        outer: &CoapMessage,
+        binding: &RequestBinding,
+    ) -> Result<CoapMessage, OscoreError> {
+        outer
+            .option(OptionNumber::OSCORE)
+            .ok_or(OscoreError::NotOscore)?;
+        let aad = build_aad(&binding.kid, &binding.piv);
+        let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
+        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
+        let plain = ccm
+            .open(&nonce, &aad, &outer.payload)
+            .map_err(|_| OscoreError::Crypto)?;
+        let mut inner = decode_inner(&plain)?;
+        inner.mtype = outer.mtype;
+        inner.message_id = outer.message_id;
+        inner.token = outer.token.clone();
+        Ok(inner)
+    }
+
+    /// Per-message ciphertext overhead (the COSE tag).
+    pub const TAG_OVERHEAD: usize = TAG_LEN;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contexts() -> (OscoreEndpoint, OscoreEndpoint) {
+        let secret = b"0123456789abcdef";
+        let salt = b"salty";
+        let client = SecurityContext::derive(secret, salt, &[], &[0x01]);
+        let server = SecurityContext::derive(secret, salt, &[0x01], &[]);
+        (
+            OscoreEndpoint::new(client, false),
+            OscoreEndpoint::new(server, false),
+        )
+    }
+
+    fn fetch_request() -> CoapMessage {
+        CoapMessage::request(Code::FETCH, MsgType::Con, 0x0102, vec![0xAA, 0xBB])
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+            .with_option(CoapOption::uint(OptionNumber::CONTENT_FORMAT, 553))
+            .with_payload(b"dns query wire format".to_vec())
+    }
+
+    #[test]
+    fn option_encoding_roundtrip() {
+        for opt in [
+            OscoreOption::default(),
+            OscoreOption {
+                piv: vec![0x00],
+                kid: Some(vec![]),
+            },
+            OscoreOption {
+                piv: vec![0x14],
+                kid: Some(vec![0x01]),
+            },
+            OscoreOption {
+                piv: vec![1, 2, 3, 4, 5],
+                kid: Some(b"clientid".to_vec()),
+            },
+        ] {
+            assert_eq!(OscoreOption::decode(&opt.encode()).unwrap(), opt);
+        }
+    }
+
+    #[test]
+    fn option_rejects_reserved_bits() {
+        assert!(OscoreOption::decode(&[0x80, 0]).is_err());
+        assert!(OscoreOption::decode(&[0x07]).is_err()); // claims 7-byte piv
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let (mut client, mut server) = contexts();
+        let req = fetch_request();
+        let (outer, binding_c) = client.protect_request(&req).unwrap();
+        // Outer code is POST; inner is hidden.
+        assert_eq!(outer.code, Code::POST);
+        assert!(outer.option(OptionNumber::OSCORE).is_some());
+        assert!(outer.option(OptionNumber::URI_PATH).is_none());
+        assert!(outer.option(OptionNumber::CONTENT_FORMAT).is_none());
+
+        let (inner, binding_s) = server.unprotect_request(&outer).unwrap();
+        assert_eq!(inner.code, Code::FETCH);
+        assert_eq!(inner.payload, req.payload);
+        assert_eq!(inner.uri_path(), "/dns");
+        assert_eq!(inner.token, req.token);
+        assert_eq!(binding_c, binding_s);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let (mut client, mut server) = contexts();
+        let req = fetch_request();
+        let (outer_req, binding) = client.protect_request(&req).unwrap();
+        let (inner_req, s_binding) = server.unprotect_request(&outer_req).unwrap();
+
+        let resp = CoapMessage::ack_response(&inner_req, Code::CONTENT)
+            .with_option(CoapOption::uint(OptionNumber::MAX_AGE, 300))
+            .with_payload(b"dns response".to_vec());
+        let outer_resp = server
+            .protect_response(&resp, &s_binding, &outer_req)
+            .unwrap();
+        assert_eq!(outer_resp.code, Code::CHANGED);
+        // The OSCORE option of a response is empty.
+        assert!(outer_resp
+            .option(OptionNumber::OSCORE)
+            .unwrap()
+            .value
+            .is_empty());
+
+        let inner_resp = client.unprotect_response(&outer_resp, &binding).unwrap();
+        assert_eq!(inner_resp.code, Code::CONTENT);
+        assert_eq!(inner_resp.payload, b"dns response");
+        assert_eq!(inner_resp.max_age(), 300);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut client, mut server) = contexts();
+        let (outer, _) = client.protect_request(&fetch_request()).unwrap();
+        assert!(server.unprotect_request(&outer).is_ok());
+        assert_eq!(
+            server.unprotect_request(&outer),
+            Err(OscoreError::Replay)
+        );
+    }
+
+    #[test]
+    fn response_bound_to_request() {
+        let (mut client, mut server) = contexts();
+        let (outer1, binding1) = client.protect_request(&fetch_request()).unwrap();
+        let (outer2, binding2) = client.protect_request(&fetch_request()).unwrap();
+        let (_, s_b1) = server.unprotect_request(&outer1).unwrap();
+        let (inner2, _) = server.unprotect_request(&outer2).unwrap();
+        let resp = CoapMessage::ack_response(&inner2, Code::CONTENT)
+            .with_payload(b"answer".to_vec());
+        // Response protected under binding 1 must not verify under
+        // binding 2 (mismatch attack).
+        let outer_resp = server.protect_response(&resp, &s_b1, &outer1).unwrap();
+        assert!(client.unprotect_response(&outer_resp, &binding1).is_ok());
+        let outer_resp = server.protect_response(&resp, &s_b1, &outer1).unwrap();
+        assert_eq!(
+            client.unprotect_response(&outer_resp, &binding2),
+            Err(OscoreError::Crypto)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (mut client, mut server) = contexts();
+        let (mut outer, _) = client.protect_request(&fetch_request()).unwrap();
+        let n = outer.payload.len();
+        outer.payload[n - 1] ^= 1;
+        assert_eq!(server.unprotect_request(&outer), Err(OscoreError::Crypto));
+    }
+
+    #[test]
+    fn wrong_kid_rejected() {
+        let secret = b"0123456789abcdef";
+        let mut client = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[0x42], &[0x01]),
+            false,
+        );
+        let mut server = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[0x01], &[]),
+            false,
+        );
+        let (outer, _) = client.protect_request(&fetch_request()).unwrap();
+        assert_eq!(server.unprotect_request(&outer), Err(OscoreError::Crypto));
+    }
+
+    #[test]
+    fn non_oscore_message_rejected() {
+        let (_, mut server) = contexts();
+        let plain = fetch_request();
+        assert_eq!(
+            server.unprotect_request(&plain),
+            Err(OscoreError::NotOscore)
+        );
+    }
+
+    /// Reproduces the paper's Fig. 6 OSCORE session-setup flow: first
+    /// request → 4.01 Unauthorized w/ Echo → retried request w/ Echo →
+    /// success.
+    #[test]
+    fn echo_replay_window_initialization() {
+        let secret = b"0123456789abcdef";
+        let mut client = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[], &[0x01]),
+            false,
+        );
+        let mut server = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[0x01], &[]),
+            true, // require Echo
+        );
+        let req = fetch_request();
+        let (outer1, binding1) = client.protect_request(&req).unwrap();
+        // Server demands an Echo round trip.
+        let challenge = match server.unprotect_request(&outer1) {
+            Err(OscoreError::EchoRequired(c)) => c,
+            other => panic!("expected EchoRequired, got {other:?}"),
+        };
+        // It can protect the 4.01 for the client using the binding from
+        // the outer option (recompute like the server would).
+        let opt = OscoreOption::decode(&outer1.option(OptionNumber::OSCORE).unwrap().value)
+            .unwrap();
+        let s_binding = RequestBinding {
+            kid: opt.kid.unwrap(),
+            piv: opt.piv,
+        };
+        let challenge_resp = server
+            .protect_echo_challenge(&outer1, &s_binding, &challenge)
+            .unwrap();
+        let inner_resp = client
+            .unprotect_response(&challenge_resp, &binding1)
+            .unwrap();
+        assert_eq!(inner_resp.code, Code::UNAUTHORIZED);
+        let echo = inner_resp.option(OptionNumber::ECHO).unwrap().value.clone();
+
+        // Client retries with the Echo option.
+        let mut retry = fetch_request();
+        retry.set_option(CoapOption::new(OptionNumber::ECHO, echo));
+        let (outer2, _) = client.protect_request(&retry).unwrap();
+        let (inner2, _) = server.unprotect_request(&outer2).unwrap();
+        assert_eq!(inner2.code, Code::FETCH);
+        // Subsequent requests need no Echo.
+        let (outer3, _) = client.protect_request(&fetch_request()).unwrap();
+        assert!(server.unprotect_request(&outer3).is_ok());
+    }
+
+    #[test]
+    fn wrong_echo_rechallenged() {
+        let secret = b"0123456789abcdef";
+        let mut client = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[], &[0x01]),
+            false,
+        );
+        let mut server = OscoreEndpoint::new(
+            SecurityContext::derive(secret, b"s", &[0x01], &[]),
+            true,
+        );
+        let mut req = fetch_request();
+        req.set_option(CoapOption::new(OptionNumber::ECHO, vec![1, 2, 3]));
+        let (outer, _) = client.protect_request(&req).unwrap();
+        assert!(matches!(
+            server.unprotect_request(&outer),
+            Err(OscoreError::EchoRequired(_))
+        ));
+    }
+
+    /// OSCORE adds a fixed, small overhead: option + tag — the reason
+    /// its Fig. 6 bars sit well below DTLS.
+    #[test]
+    fn overhead_is_small() {
+        let (mut client, _) = contexts();
+        let req = fetch_request();
+        let plain_len = req.encoded_len();
+        let (outer, _) = client.protect_request(&req).unwrap();
+        let protected_len = outer.encoded_len();
+        let overhead = protected_len - plain_len;
+        // tag (8) + OSCORE option (~4) + inner code byte, minus elided
+        // inner option bytes — must stay under 16 bytes.
+        assert!(overhead <= 16, "OSCORE overhead {overhead} bytes");
+    }
+
+    #[test]
+    fn inner_codec_roundtrip() {
+        let msg = fetch_request();
+        let inner = encode_inner(&msg);
+        let back = decode_inner(&inner).unwrap();
+        assert_eq!(back.code, msg.code);
+        assert_eq!(back.payload, msg.payload);
+        assert_eq!(back.uri_path(), "/dns");
+    }
+
+    #[test]
+    fn decode_inner_rejects_empty() {
+        assert_eq!(decode_inner(&[]), Err(OscoreError::Malformed));
+    }
+}

@@ -1,0 +1,388 @@
+//! 6LoWPAN fragmentation (RFC 4944 §5.3).
+//!
+//! FRAG1: `11000dddddddddd (size 11 bits) || tag(16)` — 4 bytes.
+//! FRAGN: FRAG1 fields + `offset(8)` (in 8-octet units) — 5 bytes.
+//!
+//! The paper leans on this mechanism twice: 6LoWPAN fragmentation
+//! *causes* the resolution-time groups of Fig. 7 (lose one fragment →
+//! retransmit the whole datagram after CoAP timeout), and CoAP
+//! block-wise transfer (Fig. 14/15) exists precisely to avoid it.
+
+use crate::SixloError;
+
+/// A fragment header (FRAG1 when `offset == 0` on first fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// Total size of the unfragmented datagram (11 bits).
+    pub datagram_size: u16,
+    /// Datagram tag, shared by all fragments.
+    pub tag: u16,
+    /// Offset of this fragment in 8-octet units (0 for FRAG1).
+    pub offset_units: u8,
+    /// Whether this is a FRAG1 (first) header.
+    pub is_first: bool,
+}
+
+impl FragmentHeader {
+    /// FRAG1 header length.
+    pub const FRAG1_LEN: usize = 4;
+    /// FRAGN header length.
+    pub const FRAGN_LEN: usize = 5;
+
+    /// Encode, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let dispatch: u16 = if self.is_first { 0b11000 } else { 0b11100 };
+        let word = (dispatch << 11) | (self.datagram_size & 0x07FF);
+        out.extend_from_slice(&word.to_be_bytes());
+        out.extend_from_slice(&self.tag.to_be_bytes());
+        if !self.is_first {
+            out.push(self.offset_units);
+        }
+    }
+
+    /// Decode from the front of `data`; returns (header, header_len).
+    pub fn decode(data: &[u8]) -> Result<(Self, usize), SixloError> {
+        if data.len() < Self::FRAG1_LEN {
+            return Err(SixloError::Truncated);
+        }
+        let word = u16::from_be_bytes([data[0], data[1]]);
+        let dispatch = word >> 11;
+        let datagram_size = word & 0x07FF;
+        let tag = u16::from_be_bytes([data[2], data[3]]);
+        match dispatch {
+            0b11000 => Ok((
+                FragmentHeader {
+                    datagram_size,
+                    tag,
+                    offset_units: 0,
+                    is_first: true,
+                },
+                Self::FRAG1_LEN,
+            )),
+            0b11100 => {
+                let offset = *data.get(4).ok_or(SixloError::Truncated)?;
+                Ok((
+                    FragmentHeader {
+                        datagram_size,
+                        tag,
+                        offset_units: offset,
+                        is_first: false,
+                    },
+                    Self::FRAGN_LEN,
+                ))
+            }
+            _ => Err(SixloError::BadDispatch),
+        }
+    }
+}
+
+/// Splits a (compressed) datagram into link-layer fragment payloads.
+pub struct Fragmenter {
+    next_tag: u16,
+}
+
+impl Default for Fragmenter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fragmenter {
+    /// New fragmenter with tag counter at 0.
+    pub fn new() -> Self {
+        Fragmenter { next_tag: 0 }
+    }
+
+    /// Fragment `datagram` (already 6LoWPAN-compressed bytes) into MAC
+    /// payloads of at most `mtu` bytes each. Returns the raw fragment
+    /// payloads (header + slice). A datagram that fits `mtu` is
+    /// returned unfragmented (no fragment header).
+    pub fn fragment(&mut self, datagram: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, SixloError> {
+        if datagram.len() <= mtu {
+            return Ok(vec![datagram.to_vec()]);
+        }
+        if datagram.len() > 0x07FF {
+            return Err(SixloError::TooLarge);
+        }
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        let size = datagram.len() as u16;
+        let mut frames = Vec::new();
+        // FRAG1.
+        let first_room = (mtu - FragmentHeader::FRAG1_LEN) & !7;
+        let mut hdr = Vec::new();
+        FragmentHeader {
+            datagram_size: size,
+            tag,
+            offset_units: 0,
+            is_first: true,
+        }
+        .encode(&mut hdr);
+        hdr.extend_from_slice(&datagram[..first_room]);
+        frames.push(hdr);
+        // FRAGN.
+        let mut sent = first_room;
+        while sent < datagram.len() {
+            let room = (mtu - FragmentHeader::FRAGN_LEN) & !7;
+            let take = room.min(datagram.len() - sent);
+            let mut f = Vec::new();
+            FragmentHeader {
+                datagram_size: size,
+                tag,
+                offset_units: (sent / 8) as u8,
+                is_first: false,
+            }
+            .encode(&mut f);
+            f.extend_from_slice(&datagram[sent..sent + take]);
+            frames.push(f);
+            sent += take;
+        }
+        Ok(frames)
+    }
+}
+
+/// Reassembles fragments back into datagrams (single-datagram state per
+/// (tag), mirroring `REASSEMBLY_BUFFER_COUNT = 1` of RIOT's defaults).
+#[derive(Default)]
+pub struct Reassembler {
+    current: Option<Pending>,
+    /// Completed-datagram counter (for stats).
+    pub completed: u32,
+    /// Dropped/aborted reassembly counter.
+    pub dropped: u32,
+}
+
+struct Pending {
+    tag: u16,
+    size: usize,
+    buf: Vec<u8>,
+    received: Vec<(usize, usize)>, // (offset, len)
+}
+
+impl Reassembler {
+    /// New, empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one MAC payload. Returns a complete datagram when finished.
+    /// Payloads without a fragment dispatch are returned immediately.
+    ///
+    /// Datagram payloads are expected to start with a non-fragment
+    /// 6LoWPAN dispatch (e.g. IPHC `0b011…`), as every real 6LoWPAN
+    /// datagram does; an unfragmented payload whose first byte fell in
+    /// the FRAG1/FRAGN dispatch space would be misparsed (such values
+    /// are reserved precisely to avoid this).
+    pub fn push(&mut self, payload: &[u8]) -> Result<Option<Vec<u8>>, SixloError> {
+        // Fragment dispatches start 0b11000/0b11100.
+        let is_frag = !payload.is_empty() && (payload[0] >> 3) >= 0b11000;
+        if !is_frag {
+            return Ok(Some(payload.to_vec()));
+        }
+        let (hdr, hlen) = FragmentHeader::decode(payload)?;
+        let data = &payload[hlen..];
+        let offset = hdr.offset_units as usize * 8;
+        if offset + data.len() > hdr.datagram_size as usize {
+            return Err(SixloError::BadFragment);
+        }
+        let pending = match &mut self.current {
+            Some(p) if p.tag == hdr.tag && p.size == hdr.datagram_size as usize => p,
+            Some(_) => {
+                // A different datagram interleaved: RIOT's single
+                // reassembly buffer drops the old one.
+                self.dropped += 1;
+                self.current = Some(Pending {
+                    tag: hdr.tag,
+                    size: hdr.datagram_size as usize,
+                    buf: vec![0; hdr.datagram_size as usize],
+                    received: Vec::new(),
+                });
+                self.current.as_mut().expect("just set")
+            }
+            None => {
+                self.current = Some(Pending {
+                    tag: hdr.tag,
+                    size: hdr.datagram_size as usize,
+                    buf: vec![0; hdr.datagram_size as usize],
+                    received: Vec::new(),
+                });
+                self.current.as_mut().expect("just set")
+            }
+        };
+        // Duplicate fragment?
+        if pending.received.iter().any(|&(o, _)| o == offset) {
+            return Ok(None);
+        }
+        pending.buf[offset..offset + data.len()].copy_from_slice(data);
+        pending.received.push((offset, data.len()));
+        let covered: usize = pending.received.iter().map(|&(_, l)| l).sum();
+        if covered == pending.size {
+            let done = self.current.take().expect("pending present");
+            self.completed += 1;
+            return Ok(Some(done.buf));
+        }
+        Ok(None)
+    }
+
+    /// Abort any in-progress reassembly (timeout path).
+    pub fn flush(&mut self) {
+        if self.current.take().is_some() {
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let frag1 = FragmentHeader {
+            datagram_size: 300,
+            tag: 7,
+            offset_units: 0,
+            is_first: true,
+        };
+        let mut wire = Vec::new();
+        frag1.encode(&mut wire);
+        assert_eq!(wire.len(), FragmentHeader::FRAG1_LEN);
+        let (back, len) = FragmentHeader::decode(&wire).unwrap();
+        assert_eq!(back, frag1);
+        assert_eq!(len, 4);
+
+        let fragn = FragmentHeader {
+            datagram_size: 300,
+            tag: 7,
+            offset_units: 12,
+            is_first: false,
+        };
+        let mut wire = Vec::new();
+        fragn.encode(&mut wire);
+        assert_eq!(wire.len(), FragmentHeader::FRAGN_LEN);
+        let (back, len) = FragmentHeader::decode(&wire).unwrap();
+        assert_eq!(back, fragn);
+        assert_eq!(len, 5);
+    }
+
+    #[test]
+    fn fragment_and_reassemble() {
+        let mut fragger = Fragmenter::new();
+        let datagram: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let frames = fragger.fragment(&datagram, 104).unwrap();
+        assert!(frames.len() >= 3);
+        let mut reasm = Reassembler::new();
+        let mut result = None;
+        for f in &frames {
+            if let Some(d) = reasm.push(f).unwrap() {
+                result = Some(d);
+            }
+        }
+        assert_eq!(result.unwrap(), datagram);
+        assert_eq!(reasm.completed, 1);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut fragger = Fragmenter::new();
+        let datagram = vec![0xA5u8; 250];
+        let mut frames = fragger.fragment(&datagram, 104).unwrap();
+        frames.reverse();
+        let mut reasm = Reassembler::new();
+        let mut result = None;
+        for f in &frames {
+            if let Some(d) = reasm.push(f).unwrap() {
+                result = Some(d);
+            }
+        }
+        assert_eq!(result.unwrap(), datagram);
+    }
+
+    #[test]
+    fn small_datagram_passthrough() {
+        let mut fragger = Fragmenter::new();
+        let d = vec![1u8; 50];
+        let frames = fragger.fragment(&d, 104).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0], d);
+        let mut reasm = Reassembler::new();
+        assert_eq!(reasm.push(&frames[0]).unwrap().unwrap(), d);
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let mut fragger = Fragmenter::new();
+        let d = vec![9u8; 250];
+        let frames = fragger.fragment(&d, 104).unwrap();
+        let mut reasm = Reassembler::new();
+        assert!(reasm.push(&frames[0]).unwrap().is_none());
+        assert!(reasm.push(&frames[0]).unwrap().is_none()); // dup
+        for f in &frames[1..] {
+            let _ = reasm.push(f).unwrap();
+        }
+        assert_eq!(reasm.completed, 1);
+    }
+
+    #[test]
+    fn interleaved_datagram_drops_first() {
+        let mut fragger = Fragmenter::new();
+        let d1 = vec![1u8; 250];
+        let d2 = vec![2u8; 250];
+        let f1 = fragger.fragment(&d1, 104).unwrap();
+        let f2 = fragger.fragment(&d2, 104).unwrap();
+        let mut reasm = Reassembler::new();
+        assert!(reasm.push(&f1[0]).unwrap().is_none());
+        // A fragment of a different datagram arrives: buffer switches.
+        assert!(reasm.push(&f2[0]).unwrap().is_none());
+        assert_eq!(reasm.dropped, 1);
+        let mut done = None;
+        for f in &f2[1..] {
+            if let Some(d) = reasm.push(f).unwrap() {
+                done = Some(d);
+            }
+        }
+        assert_eq!(done.unwrap(), d2);
+    }
+
+    #[test]
+    fn oversized_datagram_rejected() {
+        let mut fragger = Fragmenter::new();
+        let d = vec![0u8; 3000];
+        assert_eq!(fragger.fragment(&d, 104), Err(SixloError::TooLarge));
+    }
+
+    #[test]
+    fn bogus_fragment_rejected() {
+        let mut reasm = Reassembler::new();
+        // FRAGN claiming data beyond datagram_size.
+        let hdr = FragmentHeader {
+            datagram_size: 16,
+            tag: 0,
+            offset_units: 2,
+            is_first: false,
+        };
+        let mut wire = Vec::new();
+        hdr.encode(&mut wire);
+        wire.extend_from_slice(&[0u8; 8]);
+        assert_eq!(reasm.push(&wire), Err(SixloError::BadFragment));
+    }
+
+    #[test]
+    fn flush_drops_pending() {
+        let mut fragger = Fragmenter::new();
+        let d = vec![3u8; 250];
+        let frames = fragger.fragment(&d, 104).unwrap();
+        let mut reasm = Reassembler::new();
+        reasm.push(&frames[0]).unwrap();
+        reasm.flush();
+        assert_eq!(reasm.dropped, 1);
+        // Remaining fragments no longer complete anything.
+        let mut done = false;
+        for f in &frames[1..] {
+            if reasm.push(f).unwrap().is_some() {
+                done = true;
+            }
+        }
+        assert!(!done);
+    }
+}

@@ -1,0 +1,199 @@
+//! `doc-sixlowpan` — IEEE 802.15.4 framing and 6LoWPAN adaptation
+//! (RFC 4944 fragmentation, RFC 6282 IPHC/NHC header compression).
+//!
+//! This crate supplies the link-layer byte accounting behind the
+//! paper's Fig. 6/Fig. 14 packet dissections and the fragmentation
+//! behaviour the simulator (`doc-netsim`) models: an IEEE 802.15.4
+//! frame carries at most 127 bytes; a UDP datagram whose compressed
+//! form exceeds the remaining space is split into FRAG1/FRAGN
+//! fragments, and the loss of any fragment loses the whole datagram —
+//! the effect that groups the resolution-time CDFs of Fig. 7.
+//!
+//! Configuration matches the paper's §5.1 setup: stateless address
+//! compression (addresses elided into link-layer addresses), traffic
+//! class and flow label zero (fully elided), UDP checksum carried
+//! inline.
+
+pub mod frag;
+pub mod frame;
+pub mod iphc;
+
+pub use frag::{FragmentHeader, Fragmenter, Reassembler};
+pub use frame::MacHeader;
+pub use iphc::CompressedIpUdp;
+
+/// Maximum IEEE 802.15.4 PHY payload (the PDU the paper's Table 2b and
+/// the red dashed line of Fig. 6 refer to).
+pub const MAX_FRAME: usize = 127;
+
+/// Errors produced by the adaptation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SixloError {
+    /// Frame or header truncated.
+    Truncated,
+    /// Unknown dispatch byte.
+    BadDispatch,
+    /// Fragment did not fit the reassembly state.
+    BadFragment,
+    /// Datagram exceeds the 11-bit datagram-size field.
+    TooLarge,
+}
+
+impl core::fmt::Display for SixloError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SixloError::Truncated => write!(f, "truncated 6LoWPAN data"),
+            SixloError::BadDispatch => write!(f, "unknown 6LoWPAN dispatch"),
+            SixloError::BadFragment => write!(f, "fragment mismatch"),
+            SixloError::TooLarge => write!(f, "datagram too large"),
+        }
+    }
+}
+
+impl std::error::Error for SixloError {}
+
+/// Per-frame dissection entry: how one link-layer frame decomposes into
+/// layers (the stacked bars of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDissection {
+    /// Total frame bytes on air (≤ 127).
+    pub total: usize,
+    /// MAC header + FCS bytes.
+    pub mac: usize,
+    /// 6LoWPAN bytes (IPHC/NHC or fragment header, incl. compressed
+    /// IP/UDP fields).
+    pub sixlowpan: usize,
+    /// Application payload bytes carried in this frame.
+    pub payload: usize,
+}
+
+/// Plan how a UDP payload of `udp_payload_len` bytes is carried over
+/// 802.15.4: returns one dissection per link-layer frame.
+///
+/// The first frame of a fragmented datagram carries FRAG1 (4 bytes) +
+/// the compressed IP/UDP headers; subsequent frames carry FRAGN
+/// (5 bytes). Fragment payload sizes are multiples of 8 bytes (RFC
+/// 4944).
+pub fn fragment_plan(udp_payload_len: usize) -> Vec<FrameDissection> {
+    let mac = MacHeader::OVERHEAD;
+    let iphc = CompressedIpUdp::HEADER_LEN;
+    let unfragmented_total = mac + iphc + udp_payload_len;
+    if unfragmented_total <= MAX_FRAME {
+        return vec![FrameDissection {
+            total: unfragmented_total,
+            mac,
+            sixlowpan: iphc,
+            payload: udp_payload_len,
+        }];
+    }
+    // Fragmented: FRAG1 carries IPHC + leading payload.
+    let mut frames = Vec::new();
+    let frag1_room = MAX_FRAME - mac - FragmentHeader::FRAG1_LEN - iphc;
+    let frag1_payload = frag1_room & !7; // multiple of 8
+    let first = frag1_payload.min(udp_payload_len);
+    frames.push(FrameDissection {
+        total: mac + FragmentHeader::FRAG1_LEN + iphc + first,
+        mac,
+        sixlowpan: FragmentHeader::FRAG1_LEN + iphc,
+        payload: first,
+    });
+    let mut remaining = udp_payload_len - first;
+    while remaining > 0 {
+        let room = (MAX_FRAME - mac - FragmentHeader::FRAGN_LEN) & !7;
+        let take = room.min(remaining);
+        frames.push(FrameDissection {
+            total: mac + FragmentHeader::FRAGN_LEN + take,
+            mac,
+            sixlowpan: FragmentHeader::FRAGN_LEN,
+            payload: take,
+        });
+        remaining -= take;
+    }
+    frames
+}
+
+/// Number of 802.15.4 frames needed for a UDP payload.
+pub fn fragment_count(udp_payload_len: usize) -> usize {
+    fragment_plan(udp_payload_len).len()
+}
+
+/// Total bytes on air for a UDP payload (sum over fragments).
+pub fn bytes_on_air(udp_payload_len: usize) -> usize {
+    fragment_plan(udp_payload_len).iter().map(|f| f.total).sum()
+}
+
+/// The largest UDP payload that still fits a single frame — the
+/// "fragmentation limit" line of Fig. 6.
+pub fn single_frame_limit() -> usize {
+    MAX_FRAME - MacHeader::OVERHEAD - CompressedIpUdp::HEADER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payload_single_frame() {
+        let plan = fragment_plan(40);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].payload, 40);
+        assert!(plan[0].total <= MAX_FRAME);
+        assert_eq!(
+            plan[0].total,
+            MacHeader::OVERHEAD + CompressedIpUdp::HEADER_LEN + 40
+        );
+    }
+
+    #[test]
+    fn boundary_exactly_fits() {
+        let limit = single_frame_limit();
+        assert_eq!(fragment_count(limit), 1);
+        assert_eq!(fragment_count(limit + 1), 2);
+        let plan = fragment_plan(limit);
+        assert_eq!(plan[0].total, MAX_FRAME);
+    }
+
+    #[test]
+    fn fragments_cover_payload_exactly() {
+        for len in [0usize, 1, 50, 95, 96, 97, 150, 200, 500, 1000] {
+            let plan = fragment_plan(len);
+            let covered: usize = plan.iter().map(|f| f.payload).sum();
+            assert_eq!(covered, len, "payload {len}");
+            for f in &plan {
+                assert!(f.total <= MAX_FRAME, "frame of {} bytes", f.total);
+                assert_eq!(f.total, f.mac + f.sixlowpan + f.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_fragments_are_8_aligned() {
+        let plan = fragment_plan(400);
+        for f in &plan[..plan.len() - 1] {
+            assert_eq!(f.payload % 8, 0);
+        }
+    }
+
+    /// The paper's Fig. 6 fragmentation regimes: the UDP query (42 B)
+    /// and A response (58 B) fit one frame, the AAAA response (70 B)
+    /// and every DTLS/GET/CoAPS/OSCORE PDU fragment.
+    #[test]
+    fn paper_fig6_fragmentation_regimes() {
+        let limit = single_frame_limit();
+        assert_eq!(limit, 69, "single-frame UDP payload budget");
+        assert_eq!(fragment_count(42), 1, "UDP query");
+        assert_eq!(fragment_count(58), 1, "UDP A response");
+        assert_eq!(fragment_count(70), 2, "UDP AAAA response fragments");
+        assert_eq!(fragment_count(42 + 29), 2, "DTLS query fragments");
+    }
+
+    #[test]
+    fn bytes_on_air_monotone() {
+        let mut last = 0;
+        for len in 0..400 {
+            let b = bytes_on_air(len);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+}

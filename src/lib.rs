@@ -1,0 +1,44 @@
+//! `doc-repro` — umbrella crate for the DNS-over-CoAP reproduction
+//! (*Securing Name Resolution in the IoT: DNS over CoAP*, Lenders et
+//! al., CoNEXT 2023).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use doc_repro::doc::method::DocMethod;
+//! assert!(DocMethod::Fetch.cacheable());
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `crates/bench` for the per-figure evaluation harness.
+
+/// The DoC protocol (client, server, proxy, policies, experiments).
+pub use doc_core as doc;
+
+/// DNS wire format and `application/dns+cbor`.
+pub use doc_dns as dns;
+
+/// CoAP codec, block-wise transfer, reliability, caching.
+pub use doc_coap as coap;
+
+/// DTLS 1.2 PSK transport security.
+pub use doc_dtls as dtls;
+
+/// OSCORE content-object security.
+pub use doc_oscore as oscore;
+
+/// IEEE 802.15.4 + 6LoWPAN adaptation layer.
+pub use doc_sixlowpan as sixlowpan;
+
+/// Discrete-event network simulator.
+pub use doc_netsim as netsim;
+
+/// Cryptographic substrate (AES-CCM, SHA-256, HKDF, CBOR, base64url).
+pub use doc_crypto as crypto;
+
+/// Calibrated empirical datasets (Table 3/4, Fig. 1).
+pub use doc_datasets as datasets;
+
+/// Build-size / QUIC / feature-matrix models (Fig. 5/8/9, Table 1).
+pub use doc_models as models;
