@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# One-command gate for this repository. Later PRs must keep this green.
+#
+#   ./ci.sh          # tier-1 (build + test) + format + lints
+#   ./ci.sh quick    # tier-1 only
+#
+# Tier-1 is exactly what the project driver runs:
+#   cargo build --release && cargo test -q
+set -eu
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+[ "${1:-}" = "quick" ] && exit 0
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all gates green"

@@ -43,7 +43,7 @@ fn ablation_benches(c: &mut Criterion) {
 
     // Block-size ablation: slicing a response body.
     for size in [16usize, 32, 64] {
-        c.bench_function(&format!("ablation/block2_slice_{size}B"), |b| {
+        c.bench_function(format!("ablation/block2_slice_{size}B"), |b| {
             let body = dns_response_bytes(&name, RecordType::Aaaa, 300);
             b.iter(|| {
                 let server = doc_coap::block::Block2Server::new(body.clone(), size).unwrap();

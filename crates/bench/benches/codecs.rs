@@ -2,7 +2,7 @@
 //! figure's packet construction relies on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_core::method::{build_request, DocMethod};
 use doc_core::transport::{dns_query_bytes, dns_response_bytes, experiment_name};
@@ -36,7 +36,9 @@ fn coap_benches(c: &mut Criterion) {
     let query = dns_query_bytes(&name, RecordType::Aaaa);
     let fetch = build_request(DocMethod::Fetch, &query, MsgType::Con, 1, vec![1, 2]).unwrap();
     let wire = fetch.encode();
-    c.bench_function("coap/encode_fetch", |b| b.iter(|| black_box(&fetch).encode()));
+    c.bench_function("coap/encode_fetch", |b| {
+        b.iter(|| black_box(&fetch).encode())
+    });
     c.bench_function("coap/decode_fetch", |b| {
         b.iter(|| CoapMessage::decode(black_box(&wire)).unwrap())
     });
@@ -44,13 +46,17 @@ fn coap_benches(c: &mut Criterion) {
         b.iter(|| doc_coap::cache::cache_key(black_box(&fetch)))
     });
     c.bench_function("coap/build_get_request", |b| {
-        b.iter(|| build_request(DocMethod::Get, black_box(&query), MsgType::Con, 1, vec![1]).unwrap())
+        b.iter(|| {
+            build_request(DocMethod::Get, black_box(&query), MsgType::Con, 1, vec![1]).unwrap()
+        })
     });
     let resp = CoapMessage::ack_response(&fetch, Code::CONTENT)
         .with_option(CoapOption::new(OptionNumber::ETAG, vec![1; 8]))
         .with_option(CoapOption::uint(OptionNumber::MAX_AGE, 300))
         .with_payload(dns_response_bytes(&name, RecordType::Aaaa, 300));
-    c.bench_function("coap/encode_response", |b| b.iter(|| black_box(&resp).encode()));
+    c.bench_function("coap/encode_response", |b| {
+        b.iter(|| black_box(&resp).encode())
+    });
 }
 
 fn security_benches(c: &mut Criterion) {
@@ -68,8 +74,10 @@ fn security_benches(c: &mut Criterion) {
         b.iter(|| ep.protect_request(black_box(&fetch)).unwrap())
     });
     c.bench_function("oscore/roundtrip", |b| {
-        let mut client = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[1]), false);
-        let mut server = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[1], &[]), false);
+        let mut client =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[1]), false);
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[1], &[]), false);
         b.iter(|| {
             let (outer, _) = client.protect_request(black_box(&fetch)).unwrap();
             server.unprotect_request(&outer).unwrap()
@@ -80,8 +88,13 @@ fn security_benches(c: &mut Criterion) {
         let mut seq = 0u64;
         b.iter(|| {
             seq += 1;
-            cs.seal(doc_dtls::record::ContentType::ApplicationData, 1, seq, black_box(&query))
-                .unwrap()
+            cs.seal(
+                doc_dtls::record::ContentType::ApplicationData,
+                1,
+                seq,
+                black_box(&query),
+            )
+            .unwrap()
         })
     });
 }

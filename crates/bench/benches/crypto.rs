@@ -22,7 +22,10 @@ fn crypto_benches(c: &mut Criterion) {
             let ccm = AesCcm::cose_ccm_16_64_128(&[1u8; 16]);
             let nonce = [9u8; 13];
             let data = vec![0xABu8; size];
-            b.iter(|| ccm.seal(black_box(&nonce), b"aad", black_box(&data)).unwrap())
+            b.iter(|| {
+                ccm.seal(black_box(&nonce), b"aad", black_box(&data))
+                    .unwrap()
+            })
         });
     }
     group.finish();

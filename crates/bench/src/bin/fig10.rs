@@ -8,7 +8,9 @@ use doc_core::policy::CachePolicy;
 use doc_netsim::Tag;
 
 fn main() {
-    println!("Fig. 10. Link utilization, 50 AAAA queries over 8 names, 4 records/answer, TTL 2-8 s");
+    println!(
+        "Fig. 10. Link utilization, 50 AAAA queries over 8 names, 4 records/answer, TTL 2-8 s"
+    );
     println!("links: '2 hops' = clients<->forwarder, '1 hop' = forwarder<->border router\n");
     println!(
         "{:<52} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7}",
@@ -23,7 +25,7 @@ fn main() {
                     let mut qbytes = 0u64;
                     let mut success = 0.0;
                     let reps = 5;
-                    for rep in 0..reps as u64 {
+                    for rep in 0..reps {
                         let cfg = ExperimentConfig {
                             proxy_cache,
                             client_coap_cache,
@@ -48,7 +50,11 @@ fn main() {
                     let label = format!(
                         "{} fwd | {} | {} | {}",
                         if proxy_cache { "proxy" } else { "opaque" },
-                        if client_coap_cache { "CoAP$ " } else { "noCoAP$" },
+                        if client_coap_cache {
+                            "CoAP$ "
+                        } else {
+                            "noCoAP$"
+                        },
                         if client_dns_cache { "DNS$ " } else { "noDNS$" },
                         policy.name()
                     );

@@ -12,7 +12,10 @@ fn main() {
     let mut assembler = BlockAssembler::new();
     let mut mid = 1;
     while let Some((slice, block)) = sender.next_block() {
-        println!("  C -> S  POST [MID:{mid}] Block1: {block} ({} bytes)", slice.len());
+        println!(
+            "  C -> S  POST [MID:{mid}] Block1: {block} ({} bytes)",
+            slice.len()
+        );
         match assembler.push(block, &slice).expect("in order") {
             Some(full) => {
                 assert_eq!(full, body);
@@ -35,9 +38,15 @@ fn main() {
         if num == 0 {
             println!("  C -> S  GET [MID:{mid}]");
         } else {
-            println!("  C -> S  GET [MID:{mid}] Block2: {}", BlockOpt::new(num, false, 32).expect("valid"));
+            println!(
+                "  C -> S  GET [MID:{mid}] Block2: {}",
+                BlockOpt::new(num, false, 32).expect("valid")
+            );
         }
-        println!("  S -> C  2.05 Content [MID:{mid}] Block2: {block} ({} bytes)", slice.len());
+        println!(
+            "  S -> C  2.05 Content [MID:{mid}] Block2: {block} ({} bytes)",
+            slice.len()
+        );
         if let Some(full) = assembler.push(block, &slice).expect("in order") {
             assert_eq!(full, body);
             println!("  (body complete: {} bytes reassembled)", full.len());

@@ -18,7 +18,12 @@ fn main() {
     }
     for item in [PacketItem::ResponseA, PacketItem::ResponseAaaa] {
         let d = dissect(TransportKind::Coap, DocMethod::Fetch, item);
-        println!("  {}: total {} bytes, {} frame(s)", item.name(), d.total, d.frames);
+        println!(
+            "  {}: total {} bytes, {} frame(s)",
+            item.name(),
+            d.total,
+            d.frames
+        );
     }
     for block in [16usize, 32, 64] {
         println!("\nBlocksize: {block} bytes");
@@ -30,13 +35,19 @@ fn main() {
             }
             let parts = dissect_blockwise(method, PacketItem::Query, block, false);
             for d in &parts {
-                println!("  {:<24} total {:>4} bytes, {} frame(s)", d.label, d.total, d.frames);
+                println!(
+                    "  {:<24} total {:>4} bytes, {} frame(s)",
+                    d.label, d.total, d.frames
+                );
             }
         }
         for item in [PacketItem::ResponseA, PacketItem::ResponseAaaa] {
             let parts = dissect_blockwise(DocMethod::Fetch, item, block, false);
             for d in &parts {
-                println!("  {:<24} total {:>4} bytes, {} frame(s)", d.label, d.total, d.frames);
+                println!(
+                    "  {:<24} total {:>4} bytes, {} frame(s)",
+                    d.label, d.total, d.frames
+                );
             }
         }
     }

@@ -8,8 +8,10 @@ use doc_dns::RecordType;
 
 fn main() {
     let probes = [250u64, 1000, 2500, 5000, 10_000, 20_000, 40_000, 80_000];
-    for (panel, rtype) in [("(a) A record", RecordType::A), ("(b) AAAA record", RecordType::Aaaa)]
-    {
+    for (panel, rtype) in [
+        ("(a) A record", RecordType::A),
+        ("(b) AAAA record", RecordType::Aaaa),
+    ] {
         println!("Fig. 15 {panel} — CDF of resolution time [ms], FETCH with block-wise transfer");
         print!("{:<26}", "transport/blocksize");
         for p in probes {
@@ -44,7 +46,9 @@ fn main() {
                 let label = format!(
                     "{} {}",
                     transport.name(),
-                    block.map(|b| format!("{b} B")).unwrap_or_else(|| "no blockwise".into())
+                    block
+                        .map(|b| format!("{b} B"))
+                        .unwrap_or_else(|| "no blockwise".into())
                 );
                 print!("{label:<26}");
                 for (_, frac) in cdf_rows(&all, total, &probes) {

@@ -3,7 +3,7 @@
 //! the failed revalidation after a TTL change (steps 3/4) — and the
 //! same timeline under EOL TTLs, where the revalidation succeeds.
 
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::OptionNumber;
 use doc_core::method::{build_request, DocMethod};
 use doc_core::policy::CachePolicy;
@@ -18,7 +18,14 @@ fn query_bytes(name: &Name) -> Vec<u8> {
 }
 
 fn fetch(name: &Name, mid: u16, tok: u8) -> CoapMessage {
-    build_request(DocMethod::Fetch, &query_bytes(name), MsgType::Con, mid, vec![tok]).unwrap()
+    build_request(
+        DocMethod::Fetch,
+        &query_bytes(name),
+        MsgType::Con,
+        mid,
+        vec![tok],
+    )
+    .unwrap()
 }
 
 fn via_proxy(
@@ -45,7 +52,11 @@ fn via_proxy(
             let reval = request.option(OptionNumber::ETAG).is_some();
             log.push(format!(
                 "t={now:>5}ms  P -> S    : forward {}{}",
-                if reval { "revalidation (ETag)" } else { "full fetch" },
+                if reval {
+                    "revalidation (ETag)"
+                } else {
+                    "full fetch"
+                },
                 ""
             ));
             let upstream = server.handle_request(&request, now);
@@ -88,12 +99,26 @@ fn run(policy: CachePolicy) {
 
     // 1: C2's query is answered by S (filling caches).
     log.push("t=    0ms  C2 -> P   : DoC FETCH example.org AAAA".into());
-    let r1 = via_proxy(&mut proxy, &mut server, &fetch(&name, 1, 2), 0, &mut log, "C2");
+    let r1 = via_proxy(
+        &mut proxy,
+        &mut server,
+        &fetch(&name, 1, 2),
+        0,
+        &mut log,
+        "C2",
+    );
     let e1 = r1.option(OptionNumber::ETAG).unwrap().value.clone();
 
     // 2: C1's query hits the proxy cache.
     log.push("t= 4000ms  C1 -> P   : DoC FETCH example.org AAAA".into());
-    via_proxy(&mut proxy, &mut server, &fetch(&name, 2, 1), 4_000, &mut log, "C1");
+    via_proxy(
+        &mut proxy,
+        &mut server,
+        &fetch(&name, 2, 1),
+        4_000,
+        &mut log,
+        "C1",
+    );
 
     // 3: TTL expires; a background query refreshes the RRset at the NS
     // (changing TTLs and, under DoH-like, the ETag).

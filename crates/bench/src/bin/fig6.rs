@@ -34,7 +34,11 @@ fn main() {
             if kind == TransportKind::Oscore && method != DocMethod::Fetch {
                 continue;
             }
-            for item in [PacketItem::Query, PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+            for item in [
+                PacketItem::Query,
+                PacketItem::ResponseA,
+                PacketItem::ResponseAaaa,
+            ] {
                 // Responses do not depend on the method; print once.
                 if item != PacketItem::Query && method != methods[0] {
                     continue;

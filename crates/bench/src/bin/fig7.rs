@@ -9,8 +9,10 @@ use doc_dns::RecordType;
 
 fn main() {
     let probes = [100u64, 250, 500, 1000, 2500, 5000, 10_000, 20_000, 40_000];
-    for (panel, rtype) in [("(a) A record", RecordType::A), ("(b) AAAA record", RecordType::Aaaa)]
-    {
+    for (panel, rtype) in [
+        ("(a) A record", RecordType::A),
+        ("(b) AAAA record", RecordType::Aaaa),
+    ] {
         println!("Fig. 7 {panel} — CDF of resolution time [ms] over 50 queries");
         print!("{:<22}", "transport/method");
         for p in probes {
@@ -23,10 +25,22 @@ fn main() {
             ("CoAP FETCH".into(), TransportKind::Coap, DocMethod::Fetch),
             ("CoAP GET".into(), TransportKind::Coap, DocMethod::Get),
             ("CoAP POST".into(), TransportKind::Coap, DocMethod::Post),
-            ("CoAPSv1.2 FETCH".into(), TransportKind::Coaps, DocMethod::Fetch),
+            (
+                "CoAPSv1.2 FETCH".into(),
+                TransportKind::Coaps,
+                DocMethod::Fetch,
+            ),
             ("CoAPSv1.2 GET".into(), TransportKind::Coaps, DocMethod::Get),
-            ("CoAPSv1.2 POST".into(), TransportKind::Coaps, DocMethod::Post),
-            ("OSCORE FETCH".into(), TransportKind::Oscore, DocMethod::Fetch),
+            (
+                "CoAPSv1.2 POST".into(),
+                TransportKind::Coaps,
+                DocMethod::Post,
+            ),
+            (
+                "OSCORE FETCH".into(),
+                TransportKind::Oscore,
+                DocMethod::Fetch,
+            ),
         ];
         for (label, transport, method) in configs {
             // Average over 10 repetitions like the paper ("All runs are

@@ -8,7 +8,10 @@ use doc_models::quic::{quic_penalty, QuicHandshake};
 fn main() {
     for hs in [QuicHandshake::ZeroRtt, QuicHandshake::OneRtt] {
         let (lo, hi) = hs.header_range();
-        println!("Fig. 9 — {} (QUIC header {lo}..{hi} bytes), penalty [%]", hs.name());
+        println!(
+            "Fig. 9 — {} (QUIC header {lo}..{hi} bytes), penalty [%]",
+            hs.name()
+        );
         println!(
             "{:<10} {:<16} {}",
             "compared",
@@ -18,8 +21,16 @@ fn main() {
                 .map(|h| format!("{h:>6}"))
                 .collect::<String>()
         );
-        for kind in [TransportKind::Dtls, TransportKind::Coaps, TransportKind::Oscore] {
-            for item in [PacketItem::Query, PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+        for kind in [
+            TransportKind::Dtls,
+            TransportKind::Coaps,
+            TransportKind::Oscore,
+        ] {
+            for item in [
+                PacketItem::Query,
+                PacketItem::ResponseA,
+                PacketItem::ResponseAaaa,
+            ] {
                 print!("{:<10} {:<16}", kind.name(), item.name());
                 for h in (lo..=hi).step_by(8) {
                     print!("{:>6.1}", quic_penalty(kind, item, h));

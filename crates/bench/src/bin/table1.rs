@@ -9,14 +9,27 @@ fn main() {
     let _ = transport_features; // re-exported alias
     let header: Vec<&str> = features.iter().map(|f| f.transport).collect();
     println!("{:<35} {}", "Protocol Feature", header.join("  "));
-    let rows: Vec<(&str, Box<dyn Fn(&doc_models::FeatureMatrix) -> bool>)> = vec![
+    type FeatureGetter = Box<dyn Fn(&doc_models::FeatureMatrix) -> bool>;
+    let rows: Vec<(&str, FeatureGetter)> = vec![
         ("Message Segmentation", Box::new(|f| f.segmentation)),
         ("Message Authentication", Box::new(|f| f.authentication)),
         ("Message Encryption", Box::new(|f| f.encryption)),
-        ("Message Format Multiplexing", Box::new(|f| f.format_multiplexing)),
-        ("Shares protocol with application", Box::new(|f| f.shares_protocol_with_app)),
-        ("Suitability for Constrained IoT", Box::new(|f| f.iot_suitable)),
-        ("Content Secure En-route Caching", Box::new(|f| f.secure_enroute_caching)),
+        (
+            "Message Format Multiplexing",
+            Box::new(|f| f.format_multiplexing),
+        ),
+        (
+            "Shares protocol with application",
+            Box::new(|f| f.shares_protocol_with_app),
+        ),
+        (
+            "Suitability for Constrained IoT",
+            Box::new(|f| f.iot_suitable),
+        ),
+        (
+            "Content Secure En-route Caching",
+            Box::new(|f| f.secure_enroute_caching),
+        ),
     ];
     for (label, get) in rows {
         let cells: Vec<String> = features

@@ -11,11 +11,7 @@ fn main() {
     ] {
         print!("{:<14}", mix.name());
         for share in record_mix(mix) {
-            print!(
-                " {}={:.1}%",
-                share.rtype,
-                share.permyriad as f64 / 100.0
-            );
+            print!(" {}={:.1}%", share.rtype, share.permyriad as f64 / 100.0);
         }
         println!();
     }

@@ -8,8 +8,12 @@ use doc_core::method::DocMethod;
 fn main() {
     println!("Table 5. Comparison of request methods considered for DoC");
     let methods = [DocMethod::Get, DocMethod::Post, DocMethod::Fetch];
-    println!("{:<36} {:>5} {:>5} {:>5}", "Feature", "GET", "POST", "FETCH");
-    let rows: [(&str, fn(DocMethod) -> bool); 3] = [
+    println!(
+        "{:<36} {:>5} {:>5} {:>5}",
+        "Feature", "GET", "POST", "FETCH"
+    );
+    type MethodPredicate = fn(DocMethod) -> bool;
+    let rows: [(&str, MethodPredicate); 3] = [
         ("Cacheable", |m| m.cacheable()),
         ("Application data carried in body", |m| m.body_carried()),
         ("Block-wise transferable query", |m| m.blockwise_query()),

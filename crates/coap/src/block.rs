@@ -8,7 +8,7 @@
 //! multiple exchanges (server answers 2.31 Continue), Block2 serves a
 //! response body block by block.
 
-use crate::msg::{Code, CoapMessage};
+use crate::msg::{CoapMessage, Code};
 use crate::opt::{CoapOption, OptionNumber};
 use crate::CoapError;
 
@@ -77,7 +77,10 @@ impl BlockOpt {
     }
 
     /// Read a BLOCK option off a message.
-    pub fn from_message(msg: &CoapMessage, number: OptionNumber) -> Option<Result<Self, CoapError>> {
+    pub fn from_message(
+        msg: &CoapMessage,
+        number: OptionNumber,
+    ) -> Option<Result<Self, CoapError>> {
         msg.option(number).map(|o| Self::decode(&o.value))
     }
 
@@ -138,7 +141,9 @@ impl Block1Sender {
             BlockOpt {
                 num,
                 more,
-                szx: BlockOpt::new(0, false, self.block_size).expect("validated").szx,
+                szx: BlockOpt::new(0, false, self.block_size)
+                    .expect("validated")
+                    .szx,
             },
         ))
     }
@@ -232,7 +237,10 @@ impl Block2Server {
         }
         let end = (start + size).min(self.body.len());
         let more = end < self.body.len();
-        Ok((self.body[start..end].to_vec(), BlockOpt::new(num, more, size)?))
+        Ok((
+            self.body[start..end].to_vec(),
+            BlockOpt::new(num, more, size)?,
+        ))
     }
 
     /// The default block size negotiated at construction (used when the
@@ -337,8 +345,9 @@ mod tests {
             if block.more {
                 let resp = continue_response(&req, block);
                 assert_eq!(resp.code, Code::CONTINUE);
-                let echoed =
-                    BlockOpt::from_message(&resp, OptionNumber::BLOCK1).unwrap().unwrap();
+                let echoed = BlockOpt::from_message(&resp, OptionNumber::BLOCK1)
+                    .unwrap()
+                    .unwrap();
                 sender.handle_ack(echoed).unwrap();
                 assert!(r.is_none());
             } else {

@@ -16,7 +16,7 @@
 //!   `2.03 Valid` response refreshes the entry (new Max-Age) without
 //!   re-transferring the payload.
 
-use crate::msg::{Code, CoapMessage};
+use crate::msg::{CoapMessage, Code};
 use crate::opt::{CoapOption, OptionNumber};
 use std::collections::HashMap;
 
@@ -205,7 +205,12 @@ impl ResponseCache {
     /// reset and its Max-Age replaced with `new_max_age_s` (the value
     /// from the 2.03 response). Returns the refreshed cached response
     /// (full payload) or `None` if the entry vanished.
-    pub fn revalidate(&mut self, key: &CacheKey, new_max_age_s: u32, now: u64) -> Option<CoapMessage> {
+    pub fn revalidate(
+        &mut self,
+        key: &CacheKey,
+        new_max_age_s: u32,
+        now: u64,
+    ) -> Option<CoapMessage> {
         let e = self.entries.get_mut(key)?;
         e.stored_at_ms = now;
         e.max_age_ms = new_max_age_s as u64 * 1000;

@@ -26,6 +26,27 @@
 //!
 //! The implementation is deterministic (seeded jitter) so that testbed
 //! experiments are exactly reproducible.
+//!
+//! # Example
+//!
+//! Build the FETCH request the DoC client sends, encode it to the
+//! wire, and decode it back:
+//!
+//! ```
+//! use doc_coap::msg::{Code, CoapMessage, MsgType};
+//! use doc_coap::opt::{CoapOption, OptionNumber};
+//!
+//! let request = CoapMessage::request(Code::FETCH, MsgType::Con, 0x1d0c, vec![0xC0])
+//!     .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+//!     .with_option(CoapOption::uint(OptionNumber::CONTENT_FORMAT, 553))
+//!     .with_payload(b"\x00\x00...".to_vec()); // DNS query bytes
+//!
+//! let wire = request.encode();
+//! let back = CoapMessage::decode(&wire).unwrap();
+//! assert_eq!(back.code, Code::FETCH);
+//! assert_eq!(back.uri_path(), "/dns");
+//! assert_eq!(back.payload, request.payload);
+//! ```
 
 pub mod block;
 pub mod cache;
@@ -34,7 +55,7 @@ pub mod opt;
 pub mod reliability;
 
 pub use block::BlockOpt;
-pub use msg::{Code, CoapMessage, MsgType};
+pub use msg::{CoapMessage, Code, MsgType};
 pub use opt::OptionNumber;
 
 /// Errors produced by the CoAP layer.

@@ -322,7 +322,10 @@ impl CoapMessage {
             number = number
                 .checked_add(u16::try_from(delta).map_err(|_| CoapError::BadOption)?)
                 .ok_or(CoapError::BadOption)?;
-            let value = data.get(pos..pos + len).ok_or(CoapError::Truncated)?.to_vec();
+            let value = data
+                .get(pos..pos + len)
+                .ok_or(CoapError::Truncated)?
+                .to_vec();
             pos += len;
             options.push(CoapOption::new(OptionNumber(number), value));
         }
@@ -453,7 +456,10 @@ mod tests {
             .with_option(CoapOption::new(OptionNumber::NO_RESPONSE, vec![2]));
         let back = CoapMessage::decode(&m.encode()).unwrap();
         assert_eq!(back.option(OptionNumber::ECHO).unwrap().value.len(), 300);
-        assert_eq!(back.option(OptionNumber::NO_RESPONSE).unwrap().value, vec![2]);
+        assert_eq!(
+            back.option(OptionNumber::NO_RESPONSE).unwrap().value,
+            vec![2]
+        );
     }
 
     #[test]

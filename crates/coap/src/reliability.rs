@@ -212,9 +212,13 @@ impl<A: Copy + Eq> Endpoint<A> {
     ) -> Vec<Event<A>> {
         let wire = msg.encode();
         if msg.mtype == MsgType::Con {
-            let spread = self.params.ack_timeout_ms * (self.params.ack_random_factor_permille - 1000)
-                / 1000;
-            let jitter = if spread == 0 { 0 } else { self.rand() % (spread + 1) };
+            let spread =
+                self.params.ack_timeout_ms * (self.params.ack_random_factor_permille - 1000) / 1000;
+            let jitter = if spread == 0 {
+                0
+            } else {
+                self.rand() % (spread + 1)
+            };
             let backoff = self.params.ack_timeout_ms + jitter;
             self.pending.push(PendingCon {
                 to,
@@ -258,10 +262,8 @@ impl<A: Copy + Eq> Endpoint<A> {
                         return events;
                     }
                     // Piggybacked response?
-                    if msg.code.is_response() {
-                        if self.open_requests.remove(&msg.token).is_some() {
-                            events.push(Event::Response { from, msg });
-                        }
+                    if msg.code.is_response() && self.open_requests.remove(&msg.token).is_some() {
+                        events.push(Event::Response { from, msg });
                     }
                     // Empty ACK: separate response will follow; keep
                     // open_requests entry.
@@ -403,8 +405,8 @@ mod tests {
             Event::Request { msg, .. } => msg.clone(),
             other => panic!("expected request, got {other:?}"),
         };
-        let resp = CoapMessage::ack_response(&incoming, Code::CONTENT)
-            .with_payload(b"answer".to_vec());
+        let resp =
+            CoapMessage::ack_response(&incoming, Code::CONTENT).with_payload(b"answer".to_vec());
         let ev = server.send_response(6, 1, &resp);
         let resp_wire = first_transmit(&ev);
 

@@ -16,7 +16,7 @@ use crate::method::{build_request, DocMethod};
 use crate::policy::{restore_ttls, CachePolicy};
 use crate::DocError;
 use doc_coap::cache::{cache_key, CacheKey, Lookup, ResponseCache};
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_dns::{Message, Question};
 use std::collections::HashMap;
@@ -176,7 +176,13 @@ impl DocClient {
         // 2. Build the canonical request.
         let mut dns_query = Message::query(0, question.qname.clone(), question.qtype);
         dns_query.canonicalize_id();
-        let mut req = build_request(self.method, &dns_query.encode(), MsgType::Con, mid, token.clone())?;
+        let mut req = build_request(
+            self.method,
+            &dns_query.encode(),
+            MsgType::Con,
+            mid,
+            token.clone(),
+        )?;
         let key = cache_key(&req);
         // 3. Client CoAP cache (only for cacheable methods).
         let mut revalidating = false;
@@ -294,12 +300,7 @@ mod tests {
     }
 
     /// Full client↔server exchange helper.
-    fn resolve_once(
-        client: &mut DocClient,
-        server: &mut DocServer,
-        mid: u16,
-        now: u64,
-    ) -> Message {
+    fn resolve_once(client: &mut DocClient, server: &mut DocServer, mid: u16, now: u64) -> Message {
         match client
             .begin_query(question(), mid, vec![mid as u8, 1], now)
             .unwrap()
@@ -332,8 +333,7 @@ mod tests {
 
     #[test]
     fn dns_cache_hit_avoids_network() {
-        let mut c =
-            DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_dns_cache();
+        let mut c = DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_dns_cache();
         let mut s = server(CachePolicy::EolTtls, 300);
         resolve_once(&mut c, &mut s, 1, 0);
         // Second query shortly after: served locally.
@@ -349,8 +349,7 @@ mod tests {
 
     #[test]
     fn dns_cache_expires() {
-        let mut c =
-            DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_dns_cache();
+        let mut c = DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_dns_cache();
         let mut s = server(CachePolicy::EolTtls, 2);
         resolve_once(&mut c, &mut s, 1, 0);
         // After 3 s the entry is gone: must go to the network.
@@ -362,8 +361,7 @@ mod tests {
 
     #[test]
     fn coap_cache_hit_fresh() {
-        let mut c =
-            DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_coap_cache();
+        let mut c = DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_coap_cache();
         let mut s = server(CachePolicy::EolTtls, 300);
         resolve_once(&mut c, &mut s, 1, 0);
         match c.begin_query(question(), 2, vec![2, 1], 10_000).unwrap() {
@@ -378,8 +376,7 @@ mod tests {
 
     #[test]
     fn coap_cache_revalidation_roundtrip() {
-        let mut c =
-            DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_coap_cache();
+        let mut c = DocClient::new(DocMethod::Fetch, CachePolicy::EolTtls).with_coap_cache();
         let mut s = server(CachePolicy::EolTtls, 2);
         resolve_once(&mut c, &mut s, 1, 0);
         // 3 s later: entry stale; client must revalidate with ETag.
@@ -404,8 +401,7 @@ mod tests {
         // another client refreshes the upstream at t=7 s; when we
         // revalidate at t=9 s the upstream's remaining TTL (3 s) has
         // decayed, so the DoH-like payload — and its ETag — changed.
-        let mut c =
-            DocClient::new(DocMethod::Fetch, CachePolicy::DohLike).with_coap_cache();
+        let mut c = DocClient::new(DocMethod::Fetch, CachePolicy::DohLike).with_coap_cache();
         let mut s = server(CachePolicy::DohLike, 5);
         resolve_once(&mut c, &mut s, 1, 0);
         let other = crate::method::build_request(
@@ -506,11 +502,7 @@ mod tests {
             let msg = Message::response(
                 &Message::query(0, n.clone(), RecordType::Aaaa),
                 doc_dns::Rcode::NoError,
-                vec![doc_dns::Record::aaaa(
-                    n,
-                    60,
-                    std::net::Ipv6Addr::LOCALHOST,
-                )],
+                vec![doc_dns::Record::aaaa(n, 60, std::net::Ipv6Addr::LOCALHOST)],
             );
             cache.insert(q, msg, 0);
         }

@@ -24,7 +24,7 @@ use crate::proxy::{CoapProxy, ProxyAction};
 use crate::server::{DocServer, MockUpstream};
 use crate::transport::{experiment_name, TransportKind};
 use doc_coap::block::{Block1Sender, BlockAssembler, BlockOpt};
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::OptionNumber;
 use doc_coap::reliability::{Endpoint, Event as EpEvent};
 use doc_dns::{Message, Question, RecordType};
@@ -177,7 +177,11 @@ impl ExperimentResult {
 
     /// Fraction of queries that resolved at all.
     pub fn success_rate(&self) -> f64 {
-        let done = self.queries.iter().filter(|q| q.resolved_ms.is_some()).count();
+        let done = self
+            .queries
+            .iter()
+            .filter(|q| q.resolved_ms.is_some())
+            .count();
         done as f64 / self.queries.len().max(1) as f64
     }
 }
@@ -365,15 +369,23 @@ impl<'a> Driver<'a> {
 
         let mut sim = Sim::new(cfg.seed);
         for c in 0..n {
-            sim.add_link(c, proxy_id, LinkKind::Wireless {
+            sim.add_link(
+                c,
+                proxy_id,
+                LinkKind::Wireless {
+                    channel: 0,
+                    loss_permille: cfg.loss_permille,
+                },
+            );
+        }
+        sim.add_link(
+            proxy_id,
+            br_id,
+            LinkKind::Wireless {
                 channel: 0,
                 loss_permille: cfg.loss_permille,
-            });
-        }
-        sim.add_link(proxy_id, br_id, LinkKind::Wireless {
-            channel: 0,
-            loss_permille: cfg.loss_permille,
-        });
+            },
+        );
         sim.add_link(br_id, server_id, LinkKind::Wired { latency_us: 1000 });
         for c in 0..n {
             if cfg.proxy_cache {
@@ -384,10 +396,8 @@ impl<'a> Driver<'a> {
         }
         sim.add_route(&[proxy_id, br_id, server_id]);
 
-        let mut upstream =
-            MockUpstream::new(cfg.seed ^ 0x5e4, cfg.ttl_range.0, cfg.ttl_range.1);
-        let names: Vec<doc_dns::Name> =
-            (0..cfg.num_names as u32).map(experiment_name).collect();
+        let mut upstream = MockUpstream::new(cfg.seed ^ 0x5e4, cfg.ttl_range.0, cfg.ttl_range.1);
+        let names: Vec<doc_dns::Name> = (0..cfg.num_names as u32).map(experiment_name).collect();
         for nm in &names {
             match cfg.record_type {
                 RecordType::A => upstream.add_a(nm.clone(), cfg.answers_per_response as u8),
@@ -563,7 +573,9 @@ impl<'a> Driver<'a> {
                 let mut q = Message::query(qidx as u16 + 1, name, self.cfg.record_type);
                 q.header.rd = true;
                 let bytes = q.encode();
-                self.clients[c].raw.arm(qidx as u16 + 1, qidx, bytes.clone(), now);
+                self.clients[c]
+                    .raw
+                    .arm(qidx as u16 + 1, qidx, bytes.clone(), now);
                 let wire = self.clients[c].wrap(self.cfg.transport, bytes);
                 self.sim.send_datagram(c, self.server_id, wire, Tag::Query);
                 self.record_event(qidx, now, EventKind::Transmission);
@@ -571,7 +583,10 @@ impl<'a> Driver<'a> {
             _ => {
                 let mid = self.clients[c].endpoint.alloc_mid();
                 let tok = self.clients[c].endpoint.alloc_token();
-                match self.clients[c].doc.begin_query(question, mid, tok.clone(), now) {
+                match self.clients[c]
+                    .doc
+                    .begin_query(question, mid, tok.clone(), now)
+                {
                     Ok(QueryOutcome::Answered(_)) => {
                         self.queries[qidx].resolved_ms = Some(now);
                         self.record_event(qidx, now, EventKind::CacheHit);
@@ -580,13 +595,10 @@ impl<'a> Driver<'a> {
                         self.clients[c].token_query.insert(tok.clone(), qidx);
                         let mut outgoing = *req;
                         if let Some(bs) = self.cfg.block_size {
-                            if outgoing.payload.len() > bs && self.cfg.method.blockwise_query()
-                            {
-                                let mut sender =
-                                    Block1Sender::new(outgoing.payload.clone(), bs)
-                                        .expect("valid block size");
-                                let (slice, block) =
-                                    sender.next_block().expect("non-empty body");
+                            if outgoing.payload.len() > bs && self.cfg.method.blockwise_query() {
+                                let mut sender = Block1Sender::new(outgoing.payload.clone(), bs)
+                                    .expect("valid block size");
+                                let (slice, block) = sender.next_block().expect("non-empty body");
                                 doc_coap::block::apply_block1(&mut outgoing, slice, block);
                                 self.clients[c].blockwise.insert(
                                     tok.clone(),
@@ -647,7 +659,8 @@ impl<'a> Driver<'a> {
             let (resend, _failed) = self.clients[node].raw.poll(now);
             for (bytes, qidx) in resend {
                 let wire = self.clients[node].wrap(self.cfg.transport, bytes);
-                self.sim.send_datagram(node, self.server_id, wire, Tag::Query);
+                self.sim
+                    .send_datagram(node, self.server_id, wire, Tag::Query);
                 self.record_event(qidx, now, EventKind::Retransmission);
             }
         } else if node == self.proxy_id {
@@ -667,7 +680,8 @@ impl<'a> Driver<'a> {
             for e in evs {
                 if let EpEvent::Transmit { to, datagram, .. } = e {
                     let wire = self.server_wrap(to, datagram);
-                    self.sim.send_datagram(self.server_id, to, wire, Tag::Response);
+                    self.sim
+                        .send_datagram(self.server_id, to, wire, Tag::Response);
                 }
             }
         }
@@ -730,11 +744,12 @@ impl<'a> Driver<'a> {
                 }
             }
             _ => {
-                let Some(datagram) = self.clients[c].unwrap(self.cfg.transport, now, &bytes)
-                else {
+                let Some(datagram) = self.clients[c].unwrap(self.cfg.transport, now, &bytes) else {
                     return;
                 };
-                let evs = self.clients[c].endpoint.handle_datagram(now, from, &datagram);
+                let evs = self.clients[c]
+                    .endpoint
+                    .handle_datagram(now, from, &datagram);
                 self.dispatch_client_events(c, evs, now);
             }
         }
@@ -835,14 +850,7 @@ impl<'a> Driver<'a> {
         self.finish_query(c, &token, &msg, now, qidx);
     }
 
-    fn finish_query(
-        &mut self,
-        c: usize,
-        token: &[u8],
-        msg: &CoapMessage,
-        now: u64,
-        qidx: usize,
-    ) {
+    fn finish_query(&mut self, c: usize, token: &[u8], msg: &CoapMessage, now: u64, qidx: usize) {
         let was_validation = msg.code == Code::VALID;
         if self.clients[c].doc.handle_response(token, msg, now).is_ok()
             && self.queries[qidx].resolved_ms.is_none()
@@ -874,8 +882,7 @@ impl<'a> Driver<'a> {
             TransportKind::Udp | TransportKind::Dtls => {
                 let dns_bytes = match self.cfg.transport {
                     TransportKind::Dtls => {
-                        let Some(ds) =
-                            self.server_dtls.get_mut(from).and_then(|d| d.as_mut())
+                        let Some(ds) = self.server_dtls.get_mut(from).and_then(|d| d.as_mut())
                         else {
                             return;
                         };
@@ -899,13 +906,13 @@ impl<'a> Driver<'a> {
                 self.server.stats.requests += 1;
                 self.server.stats.full_responses += 1;
                 let wire = self.server_wrap(from, resp.encode());
-                self.sim.send_datagram(self.server_id, from, wire, Tag::Response);
+                self.sim
+                    .send_datagram(self.server_id, from, wire, Tag::Response);
             }
             _ => {
                 let datagram = match self.cfg.transport {
                     TransportKind::Coaps => {
-                        let Some(ds) =
-                            self.server_dtls.get_mut(from).and_then(|d| d.as_mut())
+                        let Some(ds) = self.server_dtls.get_mut(from).and_then(|d| d.as_mut())
                         else {
                             return;
                         };
@@ -931,22 +938,18 @@ impl<'a> Driver<'a> {
                                 .send_datagram(self.server_id, to, wire, Tag::Response);
                         }
                         EpEvent::Request { from, msg } => {
-                            let (inner, binding) = match self
-                                .server_oscore
-                                .get_mut(from)
-                                .and_then(|o| o.as_mut())
-                            {
-                                Some(osc) => match osc.unprotect_request(&msg) {
-                                    Ok((inner, binding)) => (inner, Some(binding)),
-                                    Err(_) => continue,
-                                },
-                                None => (msg.clone(), None),
-                            };
+                            let (inner, binding) =
+                                match self.server_oscore.get_mut(from).and_then(|o| o.as_mut()) {
+                                    Some(osc) => match osc.unprotect_request(&msg) {
+                                        Ok((inner, binding)) => (inner, Some(binding)),
+                                        Err(_) => continue,
+                                    },
+                                    None => (msg.clone(), None),
+                                };
                             let mut resp =
                                 self.server.handle_request_from(from as u64, &inner, now);
                             if let Some(binding) = &binding {
-                                let osc =
-                                    self.server_oscore[from].as_ref().expect("present");
+                                let osc = self.server_oscore[from].as_ref().expect("present");
                                 match osc.protect_response(&resp, binding, &msg) {
                                     Ok(outer) => resp = outer,
                                     Err(_) => continue,
@@ -956,12 +959,8 @@ impl<'a> Driver<'a> {
                             for e2 in evs2 {
                                 if let EpEvent::Transmit { to, datagram, .. } = e2 {
                                     let wire = self.server_wrap(to, datagram);
-                                    self.sim.send_datagram(
-                                        self.server_id,
-                                        to,
-                                        wire,
-                                        Tag::Response,
-                                    );
+                                    self.sim
+                                        .send_datagram(self.server_id, to, wire, Tag::Response);
                                 }
                             }
                         }
@@ -989,9 +988,7 @@ impl<'a> Driver<'a> {
                 EpEvent::Request { from: client, msg } => {
                     match self.proxy.handle_client_request(&msg, now) {
                         ProxyAction::Respond(resp) => {
-                            if let Some(&qidx) =
-                                self.clients[client].token_query.get(&msg.token)
-                            {
+                            if let Some(&qidx) = self.clients[client].token_query.get(&msg.token) {
                                 let kind = if resp.code == Code::VALID {
                                     EventKind::CacheValidation
                                 } else {
@@ -1022,16 +1019,11 @@ impl<'a> Driver<'a> {
                             self.proxy_exchanges.insert(tok, (exchange_id, client));
                             self.proxy_attribution
                                 .insert(exchange_id, (client, msg.token.clone()));
-                            let evs2 =
-                                self.proxy_ep.send_request(now, self.server_id, &request);
+                            let evs2 = self.proxy_ep.send_request(now, self.server_id, &request);
                             for e2 in evs2 {
                                 if let EpEvent::Transmit { to, datagram, .. } = e2 {
-                                    self.sim.send_datagram(
-                                        self.proxy_id,
-                                        to,
-                                        datagram,
-                                        Tag::Query,
-                                    );
+                                    self.sim
+                                        .send_datagram(self.proxy_id, to, datagram, Tag::Query);
                                 }
                             }
                         }
@@ -1043,18 +1035,13 @@ impl<'a> Driver<'a> {
                         continue;
                     };
                     self.proxy_attribution.remove(&exchange_id);
-                    if let Some(resp) =
-                        self.proxy.handle_upstream_response(exchange_id, &msg, now)
+                    if let Some(resp) = self.proxy.handle_upstream_response(exchange_id, &msg, now)
                     {
                         let evs2 = self.proxy_ep.send_response(now, client, &resp);
                         for e2 in evs2 {
                             if let EpEvent::Transmit { to, datagram, .. } = e2 {
-                                self.sim.send_datagram(
-                                    self.proxy_id,
-                                    to,
-                                    datagram,
-                                    Tag::Response,
-                                );
+                                self.sim
+                                    .send_datagram(self.proxy_id, to, datagram, Tag::Response);
                             }
                         }
                     }
@@ -1274,7 +1261,11 @@ mod tests {
         let plain = run(&cfg);
         cfg.block_size = Some(16);
         let b16 = run(&cfg);
-        assert!(b16.success_rate() > 0.7, "b16 success {}", b16.success_rate());
+        assert!(
+            b16.success_rate() > 0.7,
+            "b16 success {}",
+            b16.success_rate()
+        );
         let p50_plain = plain.sorted_latencies()[plain.sorted_latencies().len() / 2];
         let lat16 = b16.sorted_latencies();
         let p50_16 = lat16[lat16.len() / 2];

@@ -8,7 +8,7 @@
 
 use crate::uri_template::UriTemplate;
 use crate::{DocError, CONTENT_FORMAT_DNS_MESSAGE, DEFAULT_RESOURCE};
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_crypto::base64url;
 

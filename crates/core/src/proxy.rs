@@ -8,7 +8,7 @@
 //! responses it cannot read (Fig. 4b).
 
 use doc_coap::cache::{cache_key, CacheKey, Lookup, ResponseCache};
-use doc_coap::msg::{Code, CoapMessage};
+use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use std::collections::HashMap;
 
@@ -173,11 +173,7 @@ impl CoapProxy {
                 {
                     self.cache.insert(out.key, resp.clone(), now_ms);
                 }
-                Some(self.reply_from_entry(
-                    &out.client_request,
-                    resp,
-                    out.client_etag.as_deref(),
-                ))
+                Some(self.reply_from_entry(&out.client_request, resp, out.client_etag.as_deref()))
             }
             _ => {
                 // Error responses pass through unchanged (re-keyed to
@@ -401,10 +397,13 @@ mod tests {
             .add_aaaa(Name::parse("other.example.org").unwrap(), 1);
         via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
         // A query for a different name must miss.
-        let mut q2 = Message::query(0, Name::parse("other.example.org").unwrap(), RecordType::Aaaa);
+        let mut q2 = Message::query(
+            0,
+            Name::parse("other.example.org").unwrap(),
+            RecordType::Aaaa,
+        );
         q2.canonicalize_id();
-        let req2 =
-            build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 2, vec![2]).unwrap();
+        let req2 = build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 2, vec![2]).unwrap();
         via_proxy(&mut proxy, &mut server, &req2, 100);
         assert_eq!(proxy.stats.forwards, 2);
         assert_eq!(proxy.stats.cache_hits, 0);

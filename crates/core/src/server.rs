@@ -15,7 +15,7 @@ use crate::method::extract_query;
 use crate::policy::{prepare_response, CachePolicy, PreparedResponse};
 use crate::{DocError, CONTENT_FORMAT_DNS_MESSAGE};
 use doc_coap::block::{Block2Server, BlockAssembler, BlockOpt};
-use doc_coap::msg::{Code, CoapMessage};
+use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_dns::{Message, Name, Rcode, Record, RecordClass, RecordData, RecordType};
 use std::collections::HashMap;
@@ -68,9 +68,7 @@ impl MockUpstream {
     /// Convenience: register `n` AAAA records `2001:db8::i` for a name.
     pub fn add_aaaa(&mut self, name: Name, n: u16) {
         let data = (1..=n)
-            .map(|i| {
-                RecordData::Aaaa(std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i))
-            })
+            .map(|i| RecordData::Aaaa(std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i)))
             .collect();
         self.add_rrset(name, RecordType::Aaaa, data);
     }
@@ -102,7 +100,12 @@ impl MockUpstream {
         } else {
             self.ns_queries += 1;
             let span = (self.ttl_max - self.ttl_min) as u64;
-            let ttl_s = self.ttl_min as u64 + if span == 0 { 0 } else { self.rand() % (span + 1) };
+            let ttl_s = self.ttl_min as u64
+                + if span == 0 {
+                    0
+                } else {
+                    self.rand() % (span + 1)
+                };
             let new_expiry = now_ms + ttl_s * 1000;
             self.state.insert(key.clone(), new_expiry);
             ttl_s * 1000
@@ -223,7 +226,7 @@ impl DocServer {
             let assembler = self
                 .block1_assembly
                 .entry((peer, req.token.clone()))
-                .or_insert_with(BlockAssembler::new);
+                .or_default();
             match assembler.push(block1, &req.payload) {
                 Ok(Some(full)) => {
                     self.block1_assembly.remove(&(peer, req.token.clone()));
@@ -247,10 +250,8 @@ impl DocServer {
         if let Some(Ok(block2)) = BlockOpt::from_message(req, OptionNumber::BLOCK2) {
             if block2.num > 0 {
                 if let Some(payload) = self.block_state.get(&(peer, req.token.clone())) {
-                    let server =
-                        Block2Server::new(payload.clone(), block2.size()).map_err(|_| {
-                            DocError::BadRequest
-                        })?;
+                    let server = Block2Server::new(payload.clone(), block2.size())
+                        .map_err(|_| DocError::BadRequest)?;
                     let (slice, opt) = server
                         .block(block2.num, block2.size())
                         .map_err(|_| DocError::BadRequest)?;
@@ -298,8 +299,8 @@ impl DocServer {
             Some(size) if prepared.payload.len() > size => {
                 self.block_state
                     .insert((peer, req.token.clone()), prepared.payload.clone());
-                let server = Block2Server::new(prepared.payload, size)
-                    .map_err(|_| DocError::BadRequest)?;
+                let server =
+                    Block2Server::new(prepared.payload, size).map_err(|_| DocError::BadRequest)?;
                 let (slice, opt) = server.block(0, size).map_err(|_| DocError::BadRequest)?;
                 resp.set_option(opt.to_option(OptionNumber::BLOCK2));
                 resp.payload = slice;
@@ -339,7 +340,14 @@ mod tests {
     }
 
     fn fetch_req(mid: u16) -> CoapMessage {
-        build_request(DocMethod::Fetch, &query_bytes(), MsgType::Con, mid, vec![mid as u8]).unwrap()
+        build_request(
+            DocMethod::Fetch,
+            &query_bytes(),
+            MsgType::Con,
+            mid,
+            vec![mid as u8],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -367,8 +375,7 @@ mod tests {
     fn get_and_post_also_work() {
         for method in [DocMethod::Get, DocMethod::Post] {
             let mut s = server(CachePolicy::EolTtls);
-            let req =
-                build_request(method, &query_bytes(), MsgType::Con, 5, vec![5]).unwrap();
+            let req = build_request(method, &query_bytes(), MsgType::Con, 5, vec![5]).unwrap();
             let resp = s.handle_request(&req, 0);
             assert_eq!(resp.code, Code::CONTENT, "{method:?}");
         }
@@ -379,7 +386,11 @@ mod tests {
         let mut up = MockUpstream::new(1, 60, 60);
         up.add_aaaa(name(), 1);
         let mut s = DocServer::new(CachePolicy::EolTtls, up);
-        let mut q = Message::query(0, Name::parse("other.example.org").unwrap(), RecordType::Aaaa);
+        let mut q = Message::query(
+            0,
+            Name::parse("other.example.org").unwrap(),
+            RecordType::Aaaa,
+        );
         q.canonicalize_id();
         let req = build_request(DocMethod::Fetch, &q.encode(), MsgType::Con, 1, vec![1]).unwrap();
         let resp = s.handle_request(&req, 0);
@@ -415,8 +426,7 @@ mod tests {
             up.add_aaaa(name(), 1);
             DocServer::new(policy, up)
         };
-        for (policy, expect_valid) in
-            [(CachePolicy::DohLike, false), (CachePolicy::EolTtls, true)]
+        for (policy, expect_valid) in [(CachePolicy::DohLike, false), (CachePolicy::EolTtls, true)]
         {
             let mut s = mk(policy);
             // t=0: our client caches the response (TTL 5, ETag e1).
@@ -461,8 +471,8 @@ mod tests {
     #[test]
     fn wrong_method_rejected() {
         let mut s = server(CachePolicy::EolTtls);
-        let req = CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1])
-            .with_payload(query_bytes());
+        let req =
+            CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1]).with_payload(query_bytes());
         let resp = s.handle_request(&req, 0);
         assert_eq!(resp.code, Code::METHOD_NOT_ALLOWED);
     }
@@ -515,8 +525,7 @@ mod tests {
         let mut s = DocServer::new(CachePolicy::EolTtls, up);
         let mut q2 = Message::query(0, n2, RecordType::A);
         q2.canonicalize_id();
-        let req2 =
-            build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 9, vec![9]).unwrap();
+        let req2 = build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 9, vec![9]).unwrap();
         let resp = s.handle_request(&req2, 0);
         let msg = Message::decode(&resp.payload).unwrap();
         assert_eq!(msg.answers.len(), 2);

@@ -9,7 +9,7 @@
 
 use crate::method::{build_request, DocMethod};
 use crate::policy::{prepare_response, CachePolicy};
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_dns::{Message, Name, Rcode, Record, RecordType};
 use doc_dtls::record::CipherState;
@@ -162,8 +162,7 @@ pub fn coap_response_for(req: &CoapMessage, dns_payload: &[u8]) -> CoapMessage {
 
 /// DTLS record-layer overhead for one application-data record:
 /// header(13) + explicit nonce(8) + tag(8).
-pub const DTLS_RECORD_OVERHEAD: usize =
-    doc_dtls::record::RECORD_HEADER_LEN + CipherState::OVERHEAD;
+pub const DTLS_RECORD_OVERHEAD: usize = doc_dtls::record::RECORD_HEADER_LEN + CipherState::OVERHEAD;
 
 /// Dissect the `item` packet of `kind`/`method` (Fig. 6 bars; Fig. 14
 /// uses [`dissect_blockwise`]).
@@ -189,7 +188,14 @@ pub fn dissect(kind: TransportKind, method: DocMethod, item: PacketItem) -> Diss
         TransportKind::Coap => {
             let msg = coap_message(method, item, &dns);
             let total = msg.encoded_len();
-            finish(label, 0, total - dns_in_coap(&msg, &dns), 0, dns_in_coap(&msg, &dns), total)
+            finish(
+                label,
+                0,
+                total - dns_in_coap(&msg, &dns),
+                0,
+                dns_in_coap(&msg, &dns),
+                total,
+            )
         }
         TransportKind::Coaps => {
             let msg = coap_message(method, item, &dns);
@@ -208,7 +214,11 @@ pub fn dissect(kind: TransportKind, method: DocMethod, item: PacketItem) -> Diss
         TransportKind::Oscore => {
             // Protect a real message pair and measure the outer bytes.
             let (mut client, mut server) = oscore_pair();
-            let inner_req = coap_message(DocMethod::Fetch, PacketItem::Query, &dns_query_bytes(&name, rtype));
+            let inner_req = coap_message(
+                DocMethod::Fetch,
+                PacketItem::Query,
+                &dns_query_bytes(&name, rtype),
+            );
             let (outer_req, binding) = client
                 .protect_request(&inner_req)
                 .expect("protect succeeds");
@@ -236,10 +246,8 @@ pub fn dissect(kind: TransportKind, method: DocMethod, item: PacketItem) -> Diss
 
 fn coap_message(method: DocMethod, item: PacketItem, dns: &[u8]) -> CoapMessage {
     match item {
-        PacketItem::Query => {
-            build_request(method, dns, MsgType::Con, 0x0101, vec![0xAA, 0x01])
-                .expect("request construction")
-        }
+        PacketItem::Query => build_request(method, dns, MsgType::Con, 0x0101, vec![0xAA, 0x01])
+            .expect("request construction"),
         _ => {
             // Response to a FETCH-style request (method affects only
             // the request side).
@@ -365,14 +373,10 @@ pub fn session_setup(kind: TransportKind) -> Vec<Dissection> {
             // request w/ Echo.
             let secret = b"0123456789abcdef";
             let salt = b"doc-salt";
-            let mut client = OscoreEndpoint::new(
-                SecurityContext::derive(secret, salt, &[], &[0x01]),
-                false,
-            );
-            let mut server = OscoreEndpoint::new(
-                SecurityContext::derive(secret, salt, &[0x01], &[]),
-                true,
-            );
+            let mut client =
+                OscoreEndpoint::new(SecurityContext::derive(secret, salt, &[], &[0x01]), false);
+            let mut server =
+                OscoreEndpoint::new(SecurityContext::derive(secret, salt, &[0x01], &[]), true);
             let name = experiment_name(0);
             let dns = dns_query_bytes(&name, RecordType::Aaaa);
             let inner = coap_message(DocMethod::Fetch, PacketItem::Query, &dns);
@@ -459,14 +463,12 @@ pub fn dissect_blockwise(
                 );
                 return vec![d];
             }
-            let mut sender =
-                Block1Sender::new(dns.clone(), block_size).expect("valid block size");
+            let mut sender = Block1Sender::new(dns.clone(), block_size).expect("valid block size");
             let total_blocks = sender.block_count();
             let mut idx = 0;
             while let Some((slice, block)) = sender.next_block() {
-                let mut msg =
-                    build_request(method, &[], MsgType::Con, 0x0101, vec![0xAA, 0x01])
-                        .expect("request");
+                let mut msg = build_request(method, &[], MsgType::Con, 0x0101, vec![0xAA, 0x01])
+                    .expect("request");
                 doc_coap::block::apply_block1(&mut msg, slice.clone(), block);
                 let coap_total = msg.encoded_len();
                 let payload = coap_total + dtls_extra;
@@ -568,7 +570,11 @@ mod tests {
         let ra = dissect(TransportKind::Udp, DocMethod::Fetch, PacketItem::ResponseA);
         assert_eq!(ra.dns, 58);
         assert_eq!(ra.frames, 1);
-        let raaaa = dissect(TransportKind::Udp, DocMethod::Fetch, PacketItem::ResponseAaaa);
+        let raaaa = dissect(
+            TransportKind::Udp,
+            DocMethod::Fetch,
+            PacketItem::ResponseAaaa,
+        );
         assert_eq!(raaaa.dns, 70, "the §7 baseline AAAA response");
         // §5.4: "The query is not fragmented, but the response is."
         assert_eq!(raaaa.frames, 2);
@@ -584,7 +590,11 @@ mod tests {
         assert_eq!(q.dtls, 29);
         assert_eq!(q.udp_payload(), 42 + 29);
         assert_eq!(q.frames, 2, "DTLS query fragments");
-        let raaaa = dissect(TransportKind::Dtls, DocMethod::Fetch, PacketItem::ResponseAaaa);
+        let raaaa = dissect(
+            TransportKind::Dtls,
+            DocMethod::Fetch,
+            PacketItem::ResponseAaaa,
+        );
         assert_eq!(raaaa.udp_payload(), 70 + 29);
         assert_eq!(raaaa.frames, 2, "AAAA over DTLS fragments");
     }
@@ -595,9 +605,17 @@ mod tests {
     fn fig6_coap_fetch_sizes() {
         let q = dissect(TransportKind::Coap, DocMethod::Fetch, PacketItem::Query);
         assert_eq!(q.dns, 42);
-        assert!(q.coap > 0 && q.coap < 20, "CoAP framing is small: {}", q.coap);
+        assert!(
+            q.coap > 0 && q.coap < 20,
+            "CoAP framing is small: {}",
+            q.coap
+        );
         assert_eq!(q.frames, 1);
-        let r = dissect(TransportKind::Coap, DocMethod::Fetch, PacketItem::ResponseAaaa);
+        let r = dissect(
+            TransportKind::Coap,
+            DocMethod::Fetch,
+            PacketItem::ResponseAaaa,
+        );
         assert_eq!(r.dns, 70);
         assert_eq!(r.frames, 2, "CoAP AAAA response fragments");
     }
@@ -620,7 +638,11 @@ mod tests {
     fn fig6_coaps_fragments() {
         let q = dissect(TransportKind::Coaps, DocMethod::Fetch, PacketItem::Query);
         assert!(q.udp_payload() > 85, "payload {}", q.udp_payload());
-        let r = dissect(TransportKind::Coaps, DocMethod::Fetch, PacketItem::ResponseAaaa);
+        let r = dissect(
+            TransportKind::Coaps,
+            DocMethod::Fetch,
+            PacketItem::ResponseAaaa,
+        );
         assert_eq!(r.frames, 2);
     }
 
@@ -706,7 +728,11 @@ mod tests {
             TransportKind::Coaps,
             TransportKind::Oscore,
         ] {
-            for item in [PacketItem::Query, PacketItem::ResponseA, PacketItem::ResponseAaaa] {
+            for item in [
+                PacketItem::Query,
+                PacketItem::ResponseA,
+                PacketItem::ResponseAaaa,
+            ] {
                 let d = dissect(kind, DocMethod::Fetch, item);
                 assert_eq!(
                     d.total,

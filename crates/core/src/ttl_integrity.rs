@@ -94,7 +94,7 @@ pub fn check_max_age(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doc_coap::msg::{Code, CoapMessage, MsgType};
+    use doc_coap::msg::{CoapMessage, Code, MsgType};
     use doc_dns::{Name, Rcode, Record, RecordType};
 
     fn response_with(payload_ttl: u32, inner_max_age: Option<u32>) -> CoapMessage {
@@ -103,7 +103,11 @@ mod tests {
         let resp = Message::response(
             &q,
             Rcode::NoError,
-            vec![Record::aaaa(name, payload_ttl, std::net::Ipv6Addr::LOCALHOST)],
+            vec![Record::aaaa(
+                name,
+                payload_ttl,
+                std::net::Ipv6Addr::LOCALHOST,
+            )],
         );
         let mut msg = CoapMessage {
             mtype: MsgType::Ack,
@@ -211,7 +215,9 @@ mod tests {
         let mut resp = CoapMessage::ack_response(&inner_req, Code::CONTENT)
             .with_payload(response_with(0, None).payload);
         attach_protected_max_age(&mut resp, 300);
-        let mut outer_resp = server.protect_response(&resp, &s_binding, &outer_req).unwrap();
+        let mut outer_resp = server
+            .protect_response(&resp, &s_binding, &outer_req)
+            .unwrap();
 
         // On-path attacker sets a bogus *outer* Max-Age of 1 year.
         outer_resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, 31_536_000));

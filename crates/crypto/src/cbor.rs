@@ -327,7 +327,10 @@ mod tests {
     /// RFC 8949 Appendix A examples for strings/arrays/maps.
     #[test]
     fn rfc8949_composites() {
-        assert_eq!(Value::Bytes(unhex("01020304")).encode(), unhex("4401020304"));
+        assert_eq!(
+            Value::Bytes(unhex("01020304")).encode(),
+            unhex("4401020304")
+        );
         assert_eq!(Value::Text("IETF".into()).encode(), unhex("6449455446"));
         assert_eq!(
             Value::Array(vec![Value::Uint(1), Value::Uint(2), Value::Uint(3)]).encode(),

@@ -26,7 +26,7 @@ pub struct AesCcm {
 impl AesCcm {
     /// Create a CCM instance with explicit parameters.
     pub fn new(key: &[u8; 16], tag_len: usize, l: usize) -> Result<Self, CryptoError> {
-        if !(4..=16).contains(&tag_len) || tag_len % 2 != 0 || !(2..=8).contains(&l) {
+        if !(4..=16).contains(&tag_len) || !tag_len.is_multiple_of(2) || !(2..=8).contains(&l) {
             return Err(CryptoError::InvalidParameter);
         }
         Ok(AesCcm {
@@ -60,12 +60,7 @@ impl AesCcm {
 
     /// Encrypt `plaintext` with additional authenticated data `aad`,
     /// returning `ciphertext || tag`.
-    pub fn seal(
-        &self,
-        nonce: &[u8],
-        aad: &[u8],
-        plaintext: &[u8],
-    ) -> Result<Vec<u8>, CryptoError> {
+    pub fn seal(&self, nonce: &[u8], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
         if nonce.len() != self.nonce_len() {
             return Err(CryptoError::InvalidParameter);
         }
@@ -143,7 +138,7 @@ impl AesCcm {
                 header.extend_from_slice(&alen.to_be_bytes());
             }
             header.extend_from_slice(aad);
-            while header.len() % 16 != 0 {
+            while !header.len().is_multiple_of(16) {
                 header.push(0);
             }
             for block in header.chunks_exact(16) {
@@ -202,7 +197,9 @@ mod tests {
     /// COSE AES-CCM-16-64-128 configuration.
     #[test]
     fn rfc3610_vector_1() {
-        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+            .try_into()
+            .unwrap();
         let nonce = unhex("00000003020100A0A1A2A3A4A5");
         // Total packet 00..1E; first 8 bytes are AAD, rest plaintext.
         let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E");
@@ -218,30 +215,30 @@ mod tests {
     /// RFC 3610 packet vector #2 (plaintext not block-aligned).
     #[test]
     fn rfc3610_vector_2() {
-        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+            .try_into()
+            .unwrap();
         let nonce = unhex("00000004030201A0A1A2A3A4A5");
         let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F");
         let (aad, plain) = packet.split_at(8);
         let ccm = AesCcm::new(&key, 8, 2).unwrap();
         let sealed = ccm.seal(&nonce, aad, plain).unwrap();
-        let expect =
-            unhex("72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916");
+        let expect = unhex("72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916");
         assert_eq!(sealed, expect);
     }
 
     /// RFC 3610 packet vector #3.
     #[test]
     fn rfc3610_vector_3() {
-        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF").try_into().unwrap();
+        let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+            .try_into()
+            .unwrap();
         let nonce = unhex("00000005040302A0A1A2A3A4A5");
-        let packet =
-            unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20");
+        let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20");
         let (aad, plain) = packet.split_at(8);
         let ccm = AesCcm::new(&key, 8, 2).unwrap();
         let sealed = ccm.seal(&nonce, aad, plain).unwrap();
-        let expect = unhex(
-            "51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5",
-        );
+        let expect = unhex("51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5");
         assert_eq!(sealed, expect);
     }
 
@@ -288,7 +285,10 @@ mod tests {
         let key = [3u8; 16];
         let ccm = AesCcm::cose_ccm_16_64_128(&key);
         let sealed = ccm.seal(&[1u8; 13], b"", b"payload").unwrap();
-        assert_eq!(ccm.open(&[2u8; 13], b"", &sealed), Err(CryptoError::AuthFailed));
+        assert_eq!(
+            ccm.open(&[2u8; 13], b"", &sealed),
+            Err(CryptoError::AuthFailed)
+        );
     }
 
     /// Empty plaintext is legal: output is just the tag.

@@ -24,10 +24,7 @@ pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit);
 /// callers in this workspace only ever request at most 32 bytes.
 pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) {
-    assert!(
-        out.len() <= 255 * DIGEST_LEN,
-        "HKDF-Expand output too long"
-    );
+    assert!(out.len() <= 255 * DIGEST_LEN, "HKDF-Expand output too long");
     let mut t: Vec<u8> = Vec::new();
     let mut generated = 0usize;
     let mut counter = 1u8;

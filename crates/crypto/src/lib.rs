@@ -21,6 +21,24 @@
 //! All primitives are pure Rust with no dependencies; they favour
 //! clarity over speed but are fast enough to drive the simulation
 //! benches (see `doc-bench`).
+//!
+//! # Example
+//!
+//! Seal a DNS query under the OSCORE AEAD (`AES-CCM-16-64-128`) and
+//! reject a tampered ciphertext:
+//!
+//! ```
+//! use doc_crypto::ccm::AesCcm;
+//!
+//! let ccm = AesCcm::cose_ccm_16_64_128(b"0123456789abcdef");
+//! let nonce = [0x42u8; 13];
+//! let sealed = ccm.seal(&nonce, b"aad", b"dns query").unwrap();
+//! assert_eq!(ccm.open(&nonce, b"aad", &sealed).unwrap(), b"dns query");
+//!
+//! let mut tampered = sealed.clone();
+//! tampered[0] ^= 1;
+//! assert!(ccm.open(&nonce, b"aad", &tampered).is_err());
+//! ```
 
 pub mod aes;
 pub mod base64url;
@@ -92,7 +110,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(CryptoError::AuthFailed.to_string(), "authentication failed");
-        assert_eq!(CryptoError::InvalidParameter.to_string(), "invalid parameter");
+        assert_eq!(
+            CryptoError::InvalidParameter.to_string(),
+            "invalid parameter"
+        );
         assert_eq!(CryptoError::Malformed.to_string(), "malformed input");
     }
 }

@@ -45,7 +45,7 @@ pub fn psk_premaster_secret(psk: &[u8]) -> Vec<u8> {
     let n = psk.len() as u16;
     let mut out = Vec::with_capacity(4 + 2 * psk.len());
     out.extend_from_slice(&n.to_be_bytes());
-    out.extend(std::iter::repeat(0u8).take(psk.len()));
+    out.extend(std::iter::repeat_n(0u8, psk.len()));
     out.extend_from_slice(&n.to_be_bytes());
     out.extend_from_slice(psk);
     out

@@ -76,7 +76,11 @@ fn name_of_length(rng: &mut Rng, len: usize) -> Name {
             break;
         }
     }
-    let remaining = if suffix.is_empty() { len } else { len - suffix.len() - 1 };
+    let remaining = if suffix.is_empty() {
+        len
+    } else {
+        len - suffix.len() - 1
+    };
     // Fill the remaining budget with labels of up to 20 chars.
     let mut labels: Vec<Vec<u8>> = Vec::new();
     let mut left = remaining;
@@ -168,11 +172,8 @@ mod tests {
     #[test]
     fn record_types_follow_mix() {
         let corpus = generate_corpus(Dataset::IotTotal, TrafficMix::IotWithoutMdns, 2000, 3);
-        let a = corpus
-            .iter()
-            .filter(|c| c.rtype == RecordType::A)
-            .count() as f64
-            / corpus.len() as f64;
+        let a =
+            corpus.iter().filter(|c| c.rtype == RecordType::A).count() as f64 / corpus.len() as f64;
         assert!((a - 0.758).abs() < 0.03, "A share {a:.3}");
     }
 

@@ -104,16 +104,12 @@ impl LengthModel {
                 83,
                 &[(31.0, 3.0, 0.38), (19.0, 5.0, 0.60), (65.0, 10.0, 0.02)],
             ),
-            Dataset::IotFinder => Self::from_components(
-                7,
-                82,
-                &[(24.0, 6.0, 0.84), (41.0, 18.0, 0.16)],
-            ),
-            Dataset::MonIotr => Self::from_components(
-                9,
-                83,
-                &[(20.0, 6.0, 0.72), (44.0, 18.0, 0.28)],
-            ),
+            Dataset::IotFinder => {
+                Self::from_components(7, 82, &[(24.0, 6.0, 0.84), (41.0, 18.0, 0.16)])
+            }
+            Dataset::MonIotr => {
+                Self::from_components(9, 83, &[(20.0, 6.0, 0.72), (44.0, 18.0, 0.28)])
+            }
             Dataset::Ixp => Self::from_components(
                 0,
                 68,

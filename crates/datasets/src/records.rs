@@ -164,9 +164,7 @@ mod tests {
             .iter()
             .any(|s| s.rtype == RecordType::Https));
         for mix in [TrafficMix::IotWithMdns, TrafficMix::IotWithoutMdns] {
-            assert!(!record_mix(mix)
-                .iter()
-                .any(|s| s.rtype == RecordType::Https));
+            assert!(!record_mix(mix).iter().any(|s| s.rtype == RecordType::Https));
         }
     }
 

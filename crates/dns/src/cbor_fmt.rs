@@ -203,7 +203,10 @@ mod tests {
         let cbor = encode_response(&resp, &q);
         assert_eq!(cbor.len(), 24, "dns+cbor encoding of the same response");
         let reduction = 1.0 - cbor.len() as f64 / wire.len() as f64;
-        assert!((reduction - 0.657).abs() < 0.01, "≈66% reduction, got {reduction}");
+        assert!(
+            (reduction - 0.657).abs() < 0.01,
+            "≈66% reduction, got {reduction}"
+        );
     }
 
     /// Short TTLs compress even further ("up to 70%", abstract).
@@ -304,7 +307,7 @@ mod tests {
         assert!(decode_query(&[0xff]).is_err());
         assert!(decode_query(&Value::Uint(5).encode()).is_err());
         assert!(decode_response(&[0x81, 0x05], &q).is_err()); // answer not array
-        // Answer array with trailing garbage element.
+                                                              // Answer array with trailing garbage element.
         let bad = Value::Array(vec![Value::Array(vec![
             Value::Uint(60),
             Value::Bytes(vec![0u8; 16]),

@@ -19,6 +19,30 @@
 //!
 //! The crate is `std`-only but allocation-light; all parsers are total
 //! (no panics on arbitrary input), which the property tests assert.
+//!
+//! # Example
+//!
+//! Round-trip an AAAA response through the RFC 1035 wire format, then
+//! compare against the compressed `application/dns+cbor` encoding:
+//!
+//! ```
+//! use doc_dns::{cbor_fmt, Message, Name, Question, Rcode, Record, RecordType};
+//!
+//! let name = Name::parse("sensor.example.org").unwrap();
+//! let query = Message::query(0x1234, name.clone(), RecordType::Aaaa);
+//! let answer = Record::aaaa(name.clone(), 300, "2001:db8::1".parse().unwrap());
+//! let response = Message::response(&query, Rcode::NoError, vec![answer]);
+//!
+//! // RFC 1035 wire format round-trips.
+//! let wire = response.encode();
+//! assert_eq!(Message::decode(&wire).unwrap(), response);
+//!
+//! // The dns+cbor representation is never larger for AAAA answers.
+//! let q = Question::new(name, RecordType::Aaaa);
+//! let cbor = cbor_fmt::encode_response(&response, &q);
+//! assert!(cbor.len() <= wire.len());
+//! assert_eq!(cbor_fmt::decode_response(&cbor, &q).unwrap().answers, response.answers);
+//! ```
 
 pub mod cbor_fmt;
 pub mod dnssd;

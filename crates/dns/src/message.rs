@@ -456,7 +456,11 @@ mod tests {
         assert_eq!(name.presentation_len(), 27);
         let name24 = Name::parse("name-0123.c.example.org").unwrap();
         assert_eq!(name24.presentation_len(), 23);
-        let q = Message::query(0, Name::parse("name-01234.c.example.org").unwrap(), RecordType::A);
+        let q = Message::query(
+            0,
+            Name::parse("name-01234.c.example.org").unwrap(),
+            RecordType::A,
+        );
         assert_eq!(q.questions[0].qname.presentation_len(), 24);
         let wire = q.encode();
         // header 12 + name (24 chars + 2 extra length/terminator bytes
@@ -520,11 +524,7 @@ mod tests {
         assert_eq!(q.header.id, 0);
         // Two queries for the same name now have identical wire bytes —
         // the deterministic cache key property of §4.2.
-        let mut q2 = Message::query(
-            0x9999,
-            q.questions[0].qname.clone(),
-            RecordType::Aaaa,
-        );
+        let mut q2 = Message::query(0x9999, q.questions[0].qname.clone(), RecordType::Aaaa);
         q2.canonicalize_id();
         assert_eq!(q.encode(), q2.encode());
     }

@@ -109,21 +109,13 @@ impl Name {
     /// `table` maps previously encoded *suffixes* to their message
     /// offsets; new suffixes of this name are registered as a side
     /// effect. Offsets beyond 0x3FFF are not registered (pointer limit).
-    pub fn encode_compressed(
-        &self,
-        msg: &mut Vec<u8>,
-        table: &mut Vec<(Name, usize)>,
-    ) {
+    pub fn encode_compressed(&self, msg: &mut Vec<u8>, table: &mut Vec<(Name, usize)>) {
         // Try to find the longest known suffix.
         for skip in 0..self.labels.len() {
             let suffix = Name {
                 labels: self.labels[skip..].to_vec(),
             };
-            if let Some(&(_, off)) = table
-                .iter()
-                .find(|(n, off)| *n == suffix && *off <= 0x3FFF)
-                .map(|p| p)
-            {
+            if let Some(&(_, off)) = table.iter().find(|(n, off)| *n == suffix && *off <= 0x3FFF) {
                 // Emit leading labels then a pointer.
                 for (i, label) in self.labels[..skip].iter().enumerate() {
                     let here = msg.len();

@@ -96,7 +96,13 @@ impl Session {
 
     /// Derive the key block and install cipher states.
     /// `is_client` selects which half of the key block is "write".
-    fn install_keys(&mut self, client_random: &[u8; 32], server_random: &[u8; 32], psk: &[u8], is_client: bool) {
+    fn install_keys(
+        &mut self,
+        client_random: &[u8; 32],
+        server_random: &[u8; 32],
+        psk: &[u8],
+        is_client: bool,
+    ) {
         let premaster = psk_premaster_secret(psk);
         let mut seed = Vec::with_capacity(64);
         seed.extend_from_slice(client_random);
@@ -274,7 +280,8 @@ impl DtlsClient {
         let rec = hs_record(&mut self.session, &msg).expect("epoch 0");
         let datagram = rec.encode();
         self.state = ClientState::AwaitHelloVerify;
-        self.timer.arm(now, vec![(datagram.clone(), "Client Hello")]);
+        self.timer
+            .arm(now, vec![(datagram.clone(), "Client Hello")]);
         vec![DtlsEvent::Transmit {
             datagram,
             label: "Client Hello",
@@ -301,12 +308,12 @@ impl DtlsClient {
         }
         let epoch = self.session.epoch;
         let seq = self.session.next_seq();
-        let payload = self
-            .session
-            .write
-            .as_ref()
-            .expect("connected")
-            .seal(ContentType::ApplicationData, epoch, seq, data)?;
+        let payload = self.session.write.as_ref().expect("connected").seal(
+            ContentType::ApplicationData,
+            epoch,
+            seq,
+            data,
+        )?;
         Ok(Record {
             ctype: ContentType::ApplicationData,
             epoch,
@@ -364,12 +371,12 @@ impl DtlsClient {
                 if !self.session.replay.check_and_update(rec.seq) {
                     return Err(DtlsError::Replay);
                 }
-                let plain = self
-                    .session
-                    .read
-                    .as_ref()
-                    .expect("connected")
-                    .open(ContentType::ApplicationData, rec.epoch, rec.seq, &rec.payload)?;
+                let plain = self.session.read.as_ref().expect("connected").open(
+                    ContentType::ApplicationData,
+                    rec.epoch,
+                    rec.seq,
+                    &rec.payload,
+                )?;
                 Ok(vec![DtlsEvent::ApplicationData(plain)])
             }
             ContentType::Alert => Ok(Vec::new()),
@@ -578,12 +585,12 @@ impl DtlsServer {
         }
         let epoch = self.session.epoch;
         let seq = self.session.next_seq();
-        let payload = self
-            .session
-            .write
-            .as_ref()
-            .expect("connected")
-            .seal(ContentType::ApplicationData, epoch, seq, data)?;
+        let payload = self.session.write.as_ref().expect("connected").seal(
+            ContentType::ApplicationData,
+            epoch,
+            seq,
+            data,
+        )?;
         Ok(Record {
             ctype: ContentType::ApplicationData,
             epoch,
@@ -640,12 +647,12 @@ impl DtlsServer {
                 if !self.session.replay.check_and_update(rec.seq) {
                     return Err(DtlsError::Replay);
                 }
-                let plain = self
-                    .session
-                    .read
-                    .as_ref()
-                    .expect("connected")
-                    .open(ContentType::ApplicationData, rec.epoch, rec.seq, &rec.payload)?;
+                let plain = self.session.read.as_ref().expect("connected").open(
+                    ContentType::ApplicationData,
+                    rec.epoch,
+                    rec.seq,
+                    &rec.payload,
+                )?;
                 Ok(vec![DtlsEvent::ApplicationData(plain)])
             }
             ContentType::Alert => Ok(Vec::new()),
@@ -778,7 +785,6 @@ impl DtlsServer {
             _ => Ok(Vec::new()),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -971,7 +977,13 @@ mod tests {
         assert_eq!(t, 1000);
         let evs = client.poll(1000);
         assert_eq!(evs.len(), 1);
-        assert!(matches!(evs[0], DtlsEvent::Transmit { label: "Client Hello", .. }));
+        assert!(matches!(
+            evs[0],
+            DtlsEvent::Transmit {
+                label: "Client Hello",
+                ..
+            }
+        ));
         // Back-off doubles.
         assert_eq!(client.next_timeout().unwrap(), 1000 + 2000);
     }

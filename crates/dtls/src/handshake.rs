@@ -173,7 +173,7 @@ impl ClientHello {
         let cs_len = u16::from_be_bytes([data[pos], data[pos + 1]]) as usize;
         pos += 2;
         need(cs_len, pos)?;
-        if cs_len % 2 != 0 {
+        if !cs_len.is_multiple_of(2) {
             return Err(DtlsError::Malformed);
         }
         let cipher_suites = data[pos..pos + cs_len]

@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn quic_nearly_double() {
         let profiles = fig8_profiles();
-        let quic = profiles.iter().find(|p| p.label == "QUIC").expect("QUIC bar");
+        let quic = profiles
+            .iter()
+            .find(|p| p.label == "QUIC")
+            .expect("QUIC bar");
         for p in &profiles {
             if p.label != "QUIC" {
                 assert!(
@@ -333,11 +336,17 @@ mod tests {
                 );
             }
         }
-        let coap = profiles.iter().find(|p| p.label == "CoAP").expect("CoAP bar");
+        let coap = profiles
+            .iter()
+            .find(|p| p.label == "CoAP")
+            .expect("CoAP bar");
         assert!(quic.total() - QUANT_OPTIMIZATION_SAVINGS > coap.total());
         // CoAPS (full CoAP client+server+DTLS) still under QUIC
         // (client-only), as the paper stresses.
-        let coaps = profiles.iter().find(|p| p.label == "CoAPSv1.2").expect("bar");
+        let coaps = profiles
+            .iter()
+            .find(|p| p.label == "CoAPSv1.2")
+            .expect("bar");
         assert!(quic.total() > coaps.total());
     }
 

@@ -189,8 +189,20 @@ mod tests {
         assert!(DocMethod::Post.blockwise_query());
         // DTLS/UDP rows have no segmentation — and indeed the paper's
         // DoDTLS "does not provide means for message segmentation".
-        assert!(!features.iter().find(|f| f.transport == "DTLS").expect("row").segmentation);
-        assert!(!features.iter().find(|f| f.transport == "UDP").expect("row").segmentation);
+        assert!(
+            !features
+                .iter()
+                .find(|f| f.transport == "DTLS")
+                .expect("row")
+                .segmentation
+        );
+        assert!(
+            !features
+                .iter()
+                .find(|f| f.transport == "UDP")
+                .expect("row")
+                .segmentation
+        );
     }
 
     /// IoT suitability: UDP, DTLS and the CoAP family only.

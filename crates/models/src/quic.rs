@@ -58,11 +58,7 @@ pub fn doq_frames(dns_len: usize, header: usize) -> usize {
 
 /// Fig. 9's y-value: DoQ's link-layer bytes as a percentage of the
 /// compared transport's bytes for the same DNS message.
-pub fn quic_penalty(
-    compared: TransportKind,
-    item: PacketItem,
-    header: usize,
-) -> f64 {
+pub fn quic_penalty(compared: TransportKind, item: PacketItem, header: usize) -> f64 {
     let base = dissect(compared, DocMethod::Fetch, item);
     let doq = doq_bytes_on_air(base.dns, header);
     doq as f64 / base.total as f64 * 100.0
@@ -141,7 +137,11 @@ mod tests {
     #[test]
     fn max_0rtt_header_aaaa_fragments_heavily() {
         let (_, hi) = QuicHandshake::ZeroRtt.header_range();
-        let base = dissect(TransportKind::Udp, DocMethod::Fetch, PacketItem::ResponseAaaa);
+        let base = dissect(
+            TransportKind::Udp,
+            DocMethod::Fetch,
+            PacketItem::ResponseAaaa,
+        );
         let frames = doq_frames(base.dns, hi);
         assert!((2..=3).contains(&frames), "frames = {frames}");
         // With the DoQ 2-byte length prefix and a minimal STREAM frame

@@ -397,10 +397,7 @@ impl Sim {
                     tag,
                 } => {
                     if hop_idx == route.len() - 1 {
-                        return Some((
-                            self.now_ms(),
-                            SimEvent::Datagram { from, to, bytes },
-                        ));
+                        return Some((self.now_ms(), SimEvent::Datagram { from, to, bytes }));
                     }
                     // Store-and-forward to the next hop.
                     self.transmit_hop(route, hop_idx, bytes, tag, from, to);
@@ -449,8 +446,22 @@ mod tests {
     fn two_hop_sim(loss_permille: u32, seed: u64) -> Sim {
         // client(0) -- proxy(1) -- border router(2) -- resolver(3)
         let mut sim = Sim::new(seed);
-        sim.add_link(0, 1, LinkKind::Wireless { channel: 0, loss_permille });
-        sim.add_link(1, 2, LinkKind::Wireless { channel: 0, loss_permille });
+        sim.add_link(
+            0,
+            1,
+            LinkKind::Wireless {
+                channel: 0,
+                loss_permille,
+            },
+        );
+        sim.add_link(
+            1,
+            2,
+            LinkKind::Wireless {
+                channel: 0,
+                loss_permille,
+            },
+        );
         sim.add_link(2, 3, LinkKind::Wired { latency_us: 1000 });
         sim.add_route(&[0, 1, 2, 3]);
         sim
@@ -470,7 +481,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Two wireless frame times + backoffs + 1 ms wire.
-        assert!(t >= 4 && t < 60, "arrival at {t} ms");
+        assert!((4..60).contains(&t), "arrival at {t} ms");
     }
 
     #[test]
@@ -579,8 +590,22 @@ mod tests {
         // Two clients on one channel: their transmissions must not
         // overlap, so 10 concurrent datagrams take ~10× one tx time.
         let mut sim = Sim::new(9);
-        sim.add_link(0, 2, LinkKind::Wireless { channel: 0, loss_permille: 0 });
-        sim.add_link(1, 2, LinkKind::Wireless { channel: 0, loss_permille: 0 });
+        sim.add_link(
+            0,
+            2,
+            LinkKind::Wireless {
+                channel: 0,
+                loss_permille: 0,
+            },
+        );
+        sim.add_link(
+            1,
+            2,
+            LinkKind::Wireless {
+                channel: 0,
+                loss_permille: 0,
+            },
+        );
         sim.add_route(&[0, 2]);
         sim.add_route(&[1, 2]);
         for _ in 0..5 {

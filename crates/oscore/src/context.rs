@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn next_piv_increments() {
-        let ctx_params = (unhex("0102030405060708090a0b0c0d0e0f10"), unhex("9e7ca92223786340"));
+        let ctx_params = (
+            unhex("0102030405060708090a0b0c0d0e0f10"),
+            unhex("9e7ca92223786340"),
+        );
         let mut ctx = SecurityContext::derive(&ctx_params.0, &ctx_params.1, &[], &[1]);
         assert_eq!(ctx.next_piv().unwrap(), vec![0x00]);
         assert_eq!(ctx.next_piv().unwrap(), vec![0x01]);

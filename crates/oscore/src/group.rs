@@ -23,7 +23,7 @@
 use crate::context::{decode_piv, ALG_AES_CCM_16_64_128, KEY_LEN, NONCE_LEN, TAG_LEN};
 use crate::protect::{OscoreOption, ReplayWindow};
 use crate::OscoreError;
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_crypto::cbor::Value;
 use doc_crypto::ccm::AesCcm;
@@ -68,12 +68,7 @@ fn kdf_info(id: &[u8], group_id: &[u8], type_: &str, len: usize) -> Vec<u8> {
 impl GroupContext {
     /// Join a group: derive this member's keys from the group master
     /// secret/salt (as provisioned by a Group Manager).
-    pub fn join(
-        group_secret: &[u8],
-        group_salt: &[u8],
-        group_id: &[u8],
-        sender_id: &[u8],
-    ) -> Self {
+    pub fn join(group_secret: &[u8], group_salt: &[u8], group_id: &[u8], sender_id: &[u8]) -> Self {
         let mut sender_key = [0u8; KEY_LEN];
         sender_key.copy_from_slice(&hkdf::hkdf(
             group_salt,
@@ -501,8 +496,8 @@ mod tests {
             .unprotect_request(&outer2)
             .ok()
             .map(|(inner2, _, bind2)| {
-                let r2 = CoapMessage::ack_response(&inner2, Code::CONTENT)
-                    .with_payload(b"x".to_vec());
+                let r2 =
+                    CoapMessage::ack_response(&inner2, Code::CONTENT).with_payload(b"x".to_vec());
                 responder.protect_response(&r2, &bind2, &outer2).unwrap()
             })
             .unwrap();

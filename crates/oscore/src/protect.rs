@@ -15,7 +15,7 @@
 
 use crate::context::{decode_piv, SecurityContext, TAG_LEN};
 use crate::OscoreError;
-use doc_coap::msg::{Code, CoapMessage, MsgType};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_crypto::cbor::Value;
 use doc_crypto::ccm::AesCcm;
@@ -321,22 +321,15 @@ impl OscoreEndpoint {
         if !self.replay.check_and_update(seq) {
             return Err(OscoreError::Replay);
         }
-        Ok((
-            inner,
-            RequestBinding {
-                kid,
-                piv: opt.piv,
-            },
-        ))
+        Ok((inner, RequestBinding { kid, piv: opt.piv }))
     }
 
     fn new_echo(&mut self) -> Vec<u8> {
         self.echo_counter += 1;
-        let mut tag = doc_crypto::hmac::hmac_sha256(
-            &self.ctx.sender_key,
-            &self.echo_counter.to_be_bytes(),
-        )[..8]
-            .to_vec();
+        let mut tag =
+            doc_crypto::hmac::hmac_sha256(&self.ctx.sender_key, &self.echo_counter.to_be_bytes())
+                [..8]
+                .to_vec();
         tag.push(self.echo_counter as u8);
         self.echo_challenge = Some(tag.clone());
         tag
@@ -511,10 +504,7 @@ mod tests {
         let (mut client, mut server) = contexts();
         let (outer, _) = client.protect_request(&fetch_request()).unwrap();
         assert!(server.unprotect_request(&outer).is_ok());
-        assert_eq!(
-            server.unprotect_request(&outer),
-            Err(OscoreError::Replay)
-        );
+        assert_eq!(server.unprotect_request(&outer), Err(OscoreError::Replay));
     }
 
     #[test]
@@ -524,8 +514,8 @@ mod tests {
         let (outer2, binding2) = client.protect_request(&fetch_request()).unwrap();
         let (_, s_b1) = server.unprotect_request(&outer1).unwrap();
         let (inner2, _) = server.unprotect_request(&outer2).unwrap();
-        let resp = CoapMessage::ack_response(&inner2, Code::CONTENT)
-            .with_payload(b"answer".to_vec());
+        let resp =
+            CoapMessage::ack_response(&inner2, Code::CONTENT).with_payload(b"answer".to_vec());
         // Response protected under binding 1 must not verify under
         // binding 2 (mismatch attack).
         let outer_resp = server.protect_response(&resp, &s_b1, &outer1).unwrap();
@@ -553,10 +543,8 @@ mod tests {
             SecurityContext::derive(secret, b"s", &[0x42], &[0x01]),
             false,
         );
-        let mut server = OscoreEndpoint::new(
-            SecurityContext::derive(secret, b"s", &[0x01], &[]),
-            false,
-        );
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[0x01], &[]), false);
         let (outer, _) = client.protect_request(&fetch_request()).unwrap();
         assert_eq!(server.unprotect_request(&outer), Err(OscoreError::Crypto));
     }
@@ -577,10 +565,8 @@ mod tests {
     #[test]
     fn echo_replay_window_initialization() {
         let secret = b"0123456789abcdef";
-        let mut client = OscoreEndpoint::new(
-            SecurityContext::derive(secret, b"s", &[], &[0x01]),
-            false,
-        );
+        let mut client =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
         let mut server = OscoreEndpoint::new(
             SecurityContext::derive(secret, b"s", &[0x01], &[]),
             true, // require Echo
@@ -594,8 +580,8 @@ mod tests {
         };
         // It can protect the 4.01 for the client using the binding from
         // the outer option (recompute like the server would).
-        let opt = OscoreOption::decode(&outer1.option(OptionNumber::OSCORE).unwrap().value)
-            .unwrap();
+        let opt =
+            OscoreOption::decode(&outer1.option(OptionNumber::OSCORE).unwrap().value).unwrap();
         let s_binding = RequestBinding {
             kid: opt.kid.unwrap(),
             piv: opt.piv,
@@ -623,14 +609,10 @@ mod tests {
     #[test]
     fn wrong_echo_rechallenged() {
         let secret = b"0123456789abcdef";
-        let mut client = OscoreEndpoint::new(
-            SecurityContext::derive(secret, b"s", &[], &[0x01]),
-            false,
-        );
-        let mut server = OscoreEndpoint::new(
-            SecurityContext::derive(secret, b"s", &[0x01], &[]),
-            true,
-        );
+        let mut client =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[0x01], &[]), true);
         let mut req = fetch_request();
         req.set_option(CoapOption::new(OptionNumber::ECHO, vec![1, 2, 3]));
         let (outer, _) = client.protect_request(&req).unwrap();

@@ -25,6 +25,10 @@
 //! response fits, UDP AAAA response fragments, FETCH query fits, GET /
 //! DTLS / CoAPS / OSCORE queries fragment).
 
+// Binary literals in this module are grouped by IPHC/NHC bit-field
+// boundary (e.g. `0b011_11_1_00` = dispatch/TF/NH/HLIM), not by nibble.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::SixloError;
 
 /// Compressed IPv6 + RPL-HbH + UDP header for the global-unicast,
@@ -203,10 +207,7 @@ mod tests {
         };
         let mut wire = h.encode(&[]);
         wire[0] = 0x41; // ESC-like dispatch
-        assert_eq!(
-            CompressedIpUdp::decode(&wire),
-            Err(SixloError::BadDispatch)
-        );
+        assert_eq!(CompressedIpUdp::decode(&wire), Err(SixloError::BadDispatch));
     }
 
     #[test]

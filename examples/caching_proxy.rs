@@ -7,19 +7,25 @@
 //! cargo run --example caching_proxy
 //! ```
 
-use doc_repro::coap::msg::{Code, CoapMessage, MsgType};
+use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::{CoapOption, OptionNumber};
+use doc_repro::dns::{Message, Name, RecordType};
 use doc_repro::doc::method::{build_request, DocMethod};
 use doc_repro::doc::policy::CachePolicy;
 use doc_repro::doc::proxy::{CoapProxy, ProxyAction};
 use doc_repro::doc::server::{DocServer, MockUpstream};
-use doc_repro::dns::{Message, Name, RecordType};
 
 fn fetch(name: &Name, mid: u16, token: u8) -> CoapMessage {
     let mut q = Message::query(0, name.clone(), RecordType::Aaaa);
     q.canonicalize_id();
-    build_request(DocMethod::Fetch, &q.encode(), MsgType::Con, mid, vec![token])
-        .expect("request construction")
+    build_request(
+        DocMethod::Fetch,
+        &q.encode(),
+        MsgType::Con,
+        mid,
+        vec![token],
+    )
+    .expect("request construction")
 }
 
 fn via_proxy(
@@ -58,18 +64,30 @@ fn scenario(policy: CachePolicy) {
     println!(
         "t= 0s C1: {} via {} ({} B payload, Max-Age {})",
         r.code,
-        if upstream_used { "server" } else { "proxy cache" },
+        if upstream_used {
+            "server"
+        } else {
+            "proxy cache"
+        },
         r.payload.len(),
         r.max_age()
     );
-    let etag = r.option(OptionNumber::ETAG).expect("ETag set").value.clone();
+    let etag = r
+        .option(OptionNumber::ETAG)
+        .expect("ETag set")
+        .value
+        .clone();
 
     // t=4s: C2 asks the same name — served from the proxy cache.
     let (r, upstream_used) = via_proxy(&mut proxy, &mut server, &fetch(&name, 2, 2), 4_000);
     println!(
         "t= 4s C2: {} via {} (Max-Age {})",
         r.code,
-        if upstream_used { "server" } else { "proxy cache" },
+        if upstream_used {
+            "server"
+        } else {
+            "proxy cache"
+        },
         r.max_age()
     );
 

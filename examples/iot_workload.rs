@@ -29,7 +29,12 @@ fn main() {
     );
     println!("example names:");
     for c in corpus.iter().take(5) {
-        println!("  {} ({} chars, {})", c.name, c.name.presentation_len(), c.rtype);
+        println!(
+            "  {} ({} chars, {})",
+            c.name,
+            c.name.presentation_len(),
+            c.rtype
+        );
     }
 
     // 2. Run the two-hop testbed for plain CoAP and OSCORE.

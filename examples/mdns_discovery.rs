@@ -12,9 +12,11 @@
 //! cargo run --example mdns_discovery
 //! ```
 
-use doc_repro::coap::msg::{Code, CoapMessage, MsgType};
+use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::{CoapOption, OptionNumber};
-use doc_repro::dns::dnssd::{browse_query, browse_response, parse_browse_response, ServiceInstance};
+use doc_repro::dns::dnssd::{
+    browse_query, browse_response, parse_browse_response, ServiceInstance,
+};
 use doc_repro::dns::{Message, Name};
 use doc_repro::oscore::group::GroupContext;
 
@@ -56,8 +58,14 @@ fn main() {
     //    protected DNS-SD response.
     let mut protected_answers = Vec::new();
     for (ctx, inst) in [
-        (&mut camera, instance("kitchen-cam", "cam-1234.local", 5683, "fe80::c")),
-        (&mut sensor, instance("hall-sensor", "sensor-9.local", 5683, "fe80::5")),
+        (
+            &mut camera,
+            instance("kitchen-cam", "cam-1234.local", 5683, "fe80::c"),
+        ),
+        (
+            &mut sensor,
+            instance("hall-sensor", "sensor-9.local", 5683, "fe80::5"),
+        ),
     ] {
         let (inner_req, from, bind) = ctx.unprotect_request(&multicast).expect("member decrypts");
         let query = Message::decode(&inner_req.payload).expect("valid DNS");
@@ -68,8 +76,8 @@ fn main() {
             query.questions[0].qname
         );
         let dns_resp = browse_response(&query, &[inst], 120).expect("valid response");
-        let inner_resp = CoapMessage::ack_response(&inner_req, Code::CONTENT)
-            .with_payload(dns_resp.encode());
+        let inner_resp =
+            CoapMessage::ack_response(&inner_req, Code::CONTENT).with_payload(dns_resp.encode());
         protected_answers.push(
             ctx.protect_response(&inner_resp, &bind, &multicast)
                 .expect("group protect"),
@@ -86,7 +94,7 @@ fn main() {
         for svc in parse_browse_response(&dns).expect("valid DNS-SD") {
             println!(
                 "  {} @ {}:{} [{}] (answered by member {:?}, TXT {:?})",
-                svc.instance_name().expect("valid").to_string(),
+                svc.instance_name().expect("valid"),
                 svc.address,
                 svc.port,
                 svc.target,
@@ -95,5 +103,7 @@ fn main() {
             );
         }
     }
-    println!("\n(responses are encrypted end-to-end; an eavesdropper sees only outer POST/2.04 shells)");
+    println!(
+        "\n(responses are encrypted end-to-end; an eavesdropper sees only outer POST/2.04 shells)"
+    );
 }

@@ -8,11 +8,11 @@
 //! prints each protocol step with the real on-the-wire sizes.
 
 use doc_repro::coap::msg::Code;
+use doc_repro::dns::{Name, Question, RecordType};
 use doc_repro::doc::client::{DocClient, QueryOutcome};
 use doc_repro::doc::method::DocMethod;
 use doc_repro::doc::policy::CachePolicy;
 use doc_repro::doc::server::{DocServer, MockUpstream};
-use doc_repro::dns::{Name, Question, RecordType};
 
 fn main() {
     // 1. A mock recursive resolver that knows one name.

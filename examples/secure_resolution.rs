@@ -7,10 +7,10 @@
 //! ```
 
 use doc_repro::coap::msg::Code;
+use doc_repro::dns::{Message, Name, RecordType};
 use doc_repro::doc::method::{build_request, DocMethod};
 use doc_repro::doc::server::{DocServer, MockUpstream};
 use doc_repro::doc::transport::{dns_query_bytes, session_setup, TransportKind};
-use doc_repro::dns::{Message, Name, RecordType};
 use doc_repro::dtls::{DtlsClient, DtlsEvent, DtlsServer};
 use doc_repro::oscore::context::SecurityContext;
 use doc_repro::oscore::protect::OscoreEndpoint;
@@ -31,14 +31,9 @@ fn oscore_resolution(name: &Name, query: &[u8]) {
     println!("=== DNS over OSCORE ===");
     let secret = b"0123456789abcdef";
     let salt = b"example-salt";
-    let mut client = OscoreEndpoint::new(
-        SecurityContext::derive(secret, salt, b"C", b"S"),
-        false,
-    );
-    let mut server_osc = OscoreEndpoint::new(
-        SecurityContext::derive(secret, salt, b"S", b"C"),
-        false,
-    );
+    let mut client = OscoreEndpoint::new(SecurityContext::derive(secret, salt, b"C", b"S"), false);
+    let mut server_osc =
+        OscoreEndpoint::new(SecurityContext::derive(secret, salt, b"S", b"C"), false);
     let mut upstream = MockUpstream::new(2, 600, 600);
     upstream.add_aaaa(name.clone(), 1);
     let mut server = DocServer::new(doc_repro::doc::policy::CachePolicy::EolTtls, upstream);
@@ -78,7 +73,11 @@ fn oscore_resolution(name: &Name, query: &[u8]) {
         .expect("unprotect");
     assert_eq!(inner_resp.code, Code::CONTENT);
     let msg = Message::decode(&inner_resp.payload).expect("valid DNS");
-    println!("   resolved {} answer(s); Max-Age {}", msg.answers.len(), inner_resp.max_age());
+    println!(
+        "   resolved {} answer(s); Max-Age {}",
+        msg.answers.len(),
+        inner_resp.max_age()
+    );
 
     // Session setup: one Echo round trip (vs. the DTLS handshake).
     let setup = session_setup(TransportKind::Oscore);
@@ -137,7 +136,11 @@ fn dtls_resolution(name: &Name, query: &[u8]) {
     let mut upstream = MockUpstream::new(3, 600, 600);
     upstream.add_aaaa(name.clone(), 1);
     let record = client.send_application_data(query).expect("session up");
-    println!("-> DTLS record ({} bytes for a {}-byte DNS query)", record.len(), query.len());
+    println!(
+        "-> DTLS record ({} bytes for a {}-byte DNS query)",
+        record.len(),
+        query.len()
+    );
     let mut answer = None;
     for ev in server_dtls.handle_datagram(0, &record) {
         if let DtlsEvent::ApplicationData(dns_query) = ev {

@@ -3,13 +3,13 @@
 //! DoC server, plus the simulated Fig. 15 behaviour.
 
 use doc_repro::coap::block::{Block1Sender, BlockAssembler, BlockOpt};
-use doc_repro::coap::msg::{Code, CoapMessage, MsgType};
+use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::OptionNumber;
+use doc_repro::dns::{Message, Name, RecordType};
 use doc_repro::doc::experiment::{run, ExperimentConfig};
 use doc_repro::doc::method::{build_request, DocMethod};
 use doc_repro::doc::policy::CachePolicy;
 use doc_repro::doc::server::{DocServer, MockUpstream};
-use doc_repro::dns::{Message, Name, RecordType};
 
 fn server_with(n_answers: u16, block: usize) -> (DocServer, Name) {
     let name = Name::parse("name-00000.c.example.org").unwrap();
@@ -116,8 +116,7 @@ fn concurrent_transfers_do_not_collide() {
         for (peer, tok, next) in [(1u64, &tok_a, next_a), (2u64, &tok_b, next_b)] {
             if let Some((slice, block)) = next {
                 let mut req =
-                    build_request(DocMethod::Fetch, &[], MsgType::Con, mid, tok.clone())
-                        .unwrap();
+                    build_request(DocMethod::Fetch, &[], MsgType::Con, mid, tok.clone()).unwrap();
                 doc_repro::coap::block::apply_block1(&mut req, slice, block);
                 let resp = server.handle_request_from(peer, &req, 0);
                 mid += 1;

@@ -3,18 +3,25 @@
 //! its (mock) name server — asserting each numbered event of the
 //! figure for the DoH-like scheme, and the EOL-TTLs improvement.
 
-use doc_repro::coap::msg::{Code, CoapMessage, MsgType};
+use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::{CoapOption, OptionNumber};
+use doc_repro::dns::{Message, Name, RecordType};
 use doc_repro::doc::method::{build_request, DocMethod};
 use doc_repro::doc::policy::CachePolicy;
 use doc_repro::doc::proxy::{CoapProxy, ProxyAction};
 use doc_repro::doc::server::{DocServer, MockUpstream};
-use doc_repro::dns::{Message, Name, RecordType};
 
 fn fetch(name: &Name, mid: u16, token: u8) -> CoapMessage {
     let mut q = Message::query(0, name.clone(), RecordType::Aaaa);
     q.canonicalize_id();
-    build_request(DocMethod::Fetch, &q.encode(), MsgType::Con, mid, vec![token]).unwrap()
+    build_request(
+        DocMethod::Fetch,
+        &q.encode(),
+        MsgType::Con,
+        mid,
+        vec![token],
+    )
+    .unwrap()
 }
 
 struct Testbed {

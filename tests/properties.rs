@@ -2,7 +2,7 @@
 //! invariants of the workspace: codecs must round-trip, parsers must be
 //! total, security layers must preserve payloads and reject tampering.
 
-use doc_repro::coap::msg::{Code, CoapMessage, MsgType};
+use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::{CoapOption, OptionNumber};
 use doc_repro::crypto::base64url;
 use doc_repro::crypto::cbor::Value;

@@ -2,11 +2,15 @@
 //! simulated testbed, asserting the qualitative shape of the paper's
 //! Fig. 7/10 results.
 
+// Seeds are grouped as figure number + scenario (`0xF16_10` = Fig. +
+// scenario 10), not by nibble.
+#![allow(clippy::unusual_byte_groupings)]
+
+use doc_repro::dns::RecordType;
 use doc_repro::doc::experiment::{run, ExperimentConfig};
 use doc_repro::doc::method::DocMethod;
 use doc_repro::doc::policy::CachePolicy;
 use doc_repro::doc::transport::TransportKind;
-use doc_repro::dns::RecordType;
 
 fn cfg(transport: TransportKind, method: DocMethod) -> ExperimentConfig {
     ExperimentConfig {

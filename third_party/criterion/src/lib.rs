@@ -1,0 +1,196 @@
+//! Minimal, dependency-free stand-in for the [criterion] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of the criterion API that the
+//! `crates/bench/benches/*.rs` targets use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`Throughput`], the [`Bencher::iter`] timing loop, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a fixed
+//! measurement window (`CRITERION_MEASURE_MS`, default 200 ms; warm-up
+//! `CRITERION_WARMUP_MS`, default 50 ms), and the mean ns/iter plus
+//! derived throughput is printed. There are no statistics, plots, or
+//! baselines — swap in the real criterion when a registry is
+//! available; the bench sources need no change.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (after a short warm-up) until the
+    /// measurement window is filled, recording total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        // Scale the measured batch from the observed warm-up rate so we
+        // call Instant::now() once per batch, not once per iteration.
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let batch =
+            (self.measure.as_nanos() / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+}
+
+/// Entry point: collects and runs benchmarks, printing one line per
+/// benchmark.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: env_ms("CRITERION_MEASURE_MS", 200),
+            warmup: env_ms("CRITERION_WARMUP_MS", 50),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure: self.measure,
+            warmup: self.warmup,
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{id:<44} (no iterations recorded)");
+            return;
+        }
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mib_s = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("  {mib_s:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / ns_per_iter * 1e9;
+                format!("  {elem_s:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!("{id:<44} {ns_per_iter:>12.1} ns/iter{rate}");
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(id.as_ref(), None, f);
+        self
+    }
+
+    /// Starts a named group whose benchmarks can carry a
+    /// [`Throughput`] annotation.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}
