@@ -16,6 +16,9 @@ cargo test -q
 
 [ "${1:-}" = "quick" ] && exit 0
 
+echo "==> codec-bench smoke (emits BENCH_codecs.json, asserts zero-alloc encode)"
+BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench encode
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -55,8 +55,15 @@ impl BlockOpt {
 
     /// Encode as option value bytes (0–3 bytes).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the option value bytes to `out` without allocating.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let v = (self.num << 4) | ((self.more as u32) << 3) | self.szx as u32;
-        crate::opt::encode_uint_value(v)
+        crate::opt::encode_uint_into(v, out);
     }
 
     /// Decode from option value bytes.

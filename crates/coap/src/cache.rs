@@ -49,7 +49,12 @@ pub fn cache_key(msg: &CoapMessage) -> CacheKey {
                 && o.number != OptionNumber::MAX_AGE
         })
         .collect();
-    opts.sort_by(|a, b| a.number.0.cmp(&b.number.0).then(a.value.cmp(&b.value)));
+    // Stable sort by option *number only*: repeatable options (Uri-Path,
+    // Uri-Query) keep their relative order, because that order is
+    // semantic — `/a/b` and `/b/a` are different resources. Sorting by
+    // (number, value) collapsed such permutations into one key, a
+    // cross-resource cache-poisoning bug.
+    opts.sort_by_key(|o| o.number.0);
     for o in opts {
         data.extend_from_slice(&o.number.0.to_be_bytes());
         data.extend_from_slice(&(o.value.len() as u16).to_be_bytes());
@@ -202,20 +207,35 @@ impl ResponseCache {
     }
 
     /// Refresh a stale entry after a `2.03 Valid`: the entry's timer is
-    /// reset and its Max-Age replaced with `new_max_age_s` (the value
-    /// from the 2.03 response). Returns the refreshed cached response
+    /// reset and the options carried by the 2.03 response replace their
+    /// counterparts on the cached response (RFC 7252 §5.9.1.3 — in
+    /// particular Max-Age *and* ETag, so a server that rotated the ETag
+    /// while confirming the payload leaves us revalidating with the new
+    /// tag, not a dead one). Returns the refreshed cached response
     /// (full payload) or `None` if the entry vanished.
     pub fn revalidate(
         &mut self,
         key: &CacheKey,
-        new_max_age_s: u32,
+        valid: &CoapMessage,
         now: u64,
     ) -> Option<CoapMessage> {
+        debug_assert_eq!(valid.code, Code::VALID);
         let e = self.entries.get_mut(key)?;
         e.stored_at_ms = now;
-        e.max_age_ms = new_max_age_s as u64 * 1000;
+        e.max_age_ms = valid.max_age() as u64 * 1000;
+        // Replace whole option runs: drop every cached instance of a
+        // number the 2.03 carries, then adopt the 2.03's instances (so
+        // repeatable options keep all their values and their order).
+        for opt in &valid.options {
+            e.response.remove_option(opt.number);
+        }
+        for opt in &valid.options {
+            e.response.options.push(opt.clone());
+        }
+        // A 2.03 without an explicit Max-Age means the default 60 s
+        // (RFC 7252 §5.10.5); make the served copy say so.
         e.response
-            .set_option(CoapOption::uint(OptionNumber::MAX_AGE, new_max_age_s));
+            .set_option(CoapOption::uint(OptionNumber::MAX_AGE, valid.max_age()));
         self.stats.revalidations += 1;
         Some(e.response.clone())
     }
@@ -265,6 +285,13 @@ mod tests {
         if let Some(e) = etag {
             r.set_option(CoapOption::new(OptionNumber::ETAG, e.to_vec()));
         }
+        r
+    }
+
+    /// A `2.03 Valid` revalidation response (ETag + Max-Age, no body).
+    fn valid_response(max_age: u32, etag: Option<&[u8]>) -> CoapMessage {
+        let mut r = response(max_age, etag, b"");
+        r.code = Code::VALID;
         r
     }
 
@@ -365,7 +392,9 @@ mod tests {
         cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
         assert!(matches!(cache.lookup(&key, 6_000), Lookup::Stale { .. }));
         // 2.03 Valid arrives with new Max-Age 7.
-        let refreshed = cache.revalidate(&key, 7, 6_000).unwrap();
+        let refreshed = cache
+            .revalidate(&key, &valid_response(7, Some(&[0xE1])), 6_000)
+            .unwrap();
         assert_eq!(refreshed.payload, b"data");
         assert_eq!(refreshed.max_age(), 7);
         match cache.lookup(&key, 9_000) {
@@ -373,6 +402,96 @@ mod tests {
             other => panic!("expected fresh after revalidation, got {other:?}"),
         }
         assert_eq!(cache.stats().revalidations, 1);
+    }
+
+    /// Regression for the cache-key collision: two permutations of the
+    /// same Uri-Path segments are different resources and must key
+    /// differently (`/a/b` vs `/b/a`).
+    #[test]
+    fn uri_path_permutations_key_distinctly() {
+        let path = |segs: &[&str]| {
+            let mut m = CoapMessage::request(Code::GET, MsgType::Con, 1, vec![1]);
+            for s in segs {
+                m.options.push(CoapOption::new(
+                    OptionNumber::URI_PATH,
+                    s.as_bytes().to_vec(),
+                ));
+            }
+            m
+        };
+        assert_ne!(cache_key(&path(&["a", "b"])), cache_key(&path(&["b", "a"])));
+        assert_eq!(cache_key(&path(&["a", "b"])), cache_key(&path(&["a", "b"])));
+        // Insertion order of *different* option numbers still does not
+        // matter (the sort by number is what RFC 7252 §5.6 wants).
+        let mut q1 = path(&["dns"]);
+        q1.options.push(CoapOption::new(
+            OptionNumber::URI_QUERY,
+            b"dns=AAAA".to_vec(),
+        ));
+        let mut q2 = CoapMessage::request(Code::GET, MsgType::Con, 1, vec![1]);
+        q2.options.push(CoapOption::new(
+            OptionNumber::URI_QUERY,
+            b"dns=AAAA".to_vec(),
+        ));
+        q2.options
+            .push(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()));
+        assert_eq!(cache_key(&q1), cache_key(&q2));
+        // Repeated Uri-Query permutations are likewise distinct keys.
+        let query = |a: &str, b: &str| {
+            let mut m = CoapMessage::request(Code::GET, MsgType::Con, 1, vec![1]);
+            for q in [a, b] {
+                m.options.push(CoapOption::new(
+                    OptionNumber::URI_QUERY,
+                    q.as_bytes().to_vec(),
+                ));
+            }
+            m
+        };
+        assert_ne!(
+            cache_key(&query("x=1", "y=2")),
+            cache_key(&query("y=2", "x=1"))
+        );
+    }
+
+    /// Regression for dead-ETag revalidation: a server may answer
+    /// `2.03 Valid` *and* rotate the ETag; the refreshed entry must
+    /// carry the new tag so the next revalidation can succeed.
+    #[test]
+    fn revalidation_adopts_rotated_etag() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
+        // Stale at t=6 s; server confirms payload but rotates to 0xE2.
+        let etag1 = match cache.lookup(&key, 6_000) {
+            Lookup::Stale { etag, .. } => etag,
+            other => panic!("expected stale, got {other:?}"),
+        };
+        assert_eq!(etag1, vec![0xE1]);
+        let refreshed = cache
+            .revalidate(&key, &valid_response(5, Some(&[0xE2])), 6_000)
+            .unwrap();
+        assert_eq!(refreshed.payload, b"data", "payload survives refresh");
+        assert_eq!(
+            refreshed.option(OptionNumber::ETAG).unwrap().value,
+            vec![0xE2]
+        );
+        // Next staleness exposes the *new* tag for revalidation.
+        match cache.lookup(&key, 12_000) {
+            Lookup::Stale { etag, .. } => assert_eq!(etag, vec![0xE2]),
+            other => panic!("expected stale with rotated etag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revalidation_without_max_age_defaults_to_60s() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
+        let mut valid = valid_response(0, Some(&[0xE1]));
+        valid.remove_option(OptionNumber::MAX_AGE);
+        let refreshed = cache.revalidate(&key, &valid, 6_000).unwrap();
+        assert_eq!(refreshed.max_age(), 60);
+        assert!(matches!(cache.lookup(&key, 60_000), Lookup::Fresh(_)));
     }
 
     #[test]

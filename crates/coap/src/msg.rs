@@ -252,34 +252,30 @@ impl CoapMessage {
         format!("/{}", segs.join("/"))
     }
 
-    /// Encode to wire bytes.
+    /// Encode to wire bytes (exact-capacity allocation, then
+    /// [`CoapMessage::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.token.len() + 16 + self.payload.len());
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire form to an existing buffer. With a reused `out`
+    /// and options already in ascending number order (the case for
+    /// every builder in this workspace), the encode performs zero heap
+    /// allocations: option headers, extended delta/length bytes and
+    /// values are written directly into the output.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         assert!(self.token.len() <= 8, "token too long");
         out.push(0x40 | (self.mtype.to_bits() << 4) | self.token.len() as u8);
         out.push(self.code.0);
         out.extend_from_slice(&self.message_id.to_be_bytes());
         out.extend_from_slice(&self.token);
-
-        let mut opts: Vec<&CoapOption> = self.options.iter().collect();
-        opts.sort_by_key(|o| o.number.0);
-        let mut prev = 0u16;
-        for opt in opts {
-            let delta = opt.number.0 - prev;
-            prev = opt.number.0;
-            let len = opt.value.len();
-            let (dn, dext) = nibble_parts(delta as u32);
-            let (ln, lext) = nibble_parts(len as u32);
-            out.push((dn << 4) | ln);
-            out.extend_from_slice(&dext);
-            out.extend_from_slice(&lext);
-            out.extend_from_slice(&opt.value);
-        }
+        encode_options_into(self.options.iter(), out);
         if !self.payload.is_empty() {
             out.push(0xFF);
             out.extend_from_slice(&self.payload);
         }
-        out
     }
 
     /// Decode from wire bytes.
@@ -339,21 +335,116 @@ impl CoapMessage {
         })
     }
 
-    /// Encoded size without building the buffer (used by the packet-size
-    /// analyses of Fig. 6/14).
+    /// Encoded size computed analytically, without building any buffer
+    /// (used by the packet-size analyses of Fig. 6/14 and to size
+    /// [`CoapMessage::encode`]'s single allocation exactly).
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        let mut n = 4 + self.token.len();
+        if is_sorted(&self.options) {
+            let mut prev = 0u16;
+            for o in &self.options {
+                n += option_wire_len(prev, o);
+                prev = o.number.0;
+            }
+        } else {
+            let mut nums: Vec<(u16, usize)> = self
+                .options
+                .iter()
+                .map(|o| (o.number.0, o.value.len()))
+                .collect();
+            nums.sort_unstable();
+            let mut prev = 0u16;
+            for (num, len) in nums {
+                n += 1 + ext_len((num - prev) as u32) + ext_len(len as u32) + len;
+                prev = num;
+            }
+        }
+        if !self.payload.is_empty() {
+            n += 1 + self.payload.len();
+        }
+        n
     }
 }
 
-/// Split a delta/length value into its nibble and extension bytes.
-fn nibble_parts(v: u32) -> (u8, Vec<u8>) {
-    if v < 13 {
-        (v as u8, Vec::new())
-    } else if v < 269 {
-        (13, vec![(v - 13) as u8])
-    } else {
-        (14, ((v - 269) as u16).to_be_bytes().to_vec())
+fn is_sorted(opts: &[CoapOption]) -> bool {
+    opts.windows(2).all(|w| w[0].number.0 <= w[1].number.0)
+}
+
+/// Wire length of one option after an option numbered `prev`.
+fn option_wire_len(prev: u16, opt: &CoapOption) -> usize {
+    1 + ext_len((opt.number.0 - prev) as u32) + ext_len(opt.value.len() as u32) + opt.value.len()
+}
+
+/// Number of extended bytes a delta/length value needs (RFC 7252 §3.1).
+fn ext_len(v: u32) -> usize {
+    match v {
+        0..=12 => 0,
+        13..=268 => 1,
+        _ => 2,
+    }
+}
+
+/// The 4-bit nibble announcing a delta/length value.
+fn nibble(v: u32) -> u8 {
+    match v {
+        0..=12 => v as u8,
+        13..=268 => 13,
+        _ => 14,
+    }
+}
+
+/// Write a value's extended bytes (if any) for the given nibble.
+fn push_ext(nib: u8, v: u32, out: &mut Vec<u8>) {
+    match nib {
+        13 => out.push((v - 13) as u8),
+        14 => out.extend_from_slice(&((v - 269) as u16).to_be_bytes()),
+        _ => {}
+    }
+}
+
+/// Append one option's wire form given the number of the previously
+/// written option; returns this option's number for delta chaining.
+/// Header, extended bytes and value go directly into `out` — no
+/// intermediate buffers.
+pub fn encode_option_into(prev_number: u16, opt: &CoapOption, out: &mut Vec<u8>) -> u16 {
+    debug_assert!(opt.number.0 >= prev_number, "options must be ordered");
+    let delta = (opt.number.0 - prev_number) as u32;
+    let len = opt.value.len() as u32;
+    let (dn, ln) = (nibble(delta), nibble(len));
+    out.push((dn << 4) | ln);
+    push_ext(dn, delta, out);
+    push_ext(ln, len, out);
+    out.extend_from_slice(&opt.value);
+    opt.number.0
+}
+
+/// Append a run of options in ascending option-number order.
+///
+/// Pre-sorted input — the overwhelmingly common case, since every
+/// builder in this workspace adds options in ascending order — streams
+/// straight into `out` without allocating. If an out-of-order option is
+/// encountered, the partial output is rolled back and a sort-indices
+/// slow path re-encodes the run.
+pub fn encode_options_into<'a, I>(opts: I, out: &mut Vec<u8>)
+where
+    I: Iterator<Item = &'a CoapOption> + Clone,
+{
+    let start = out.len();
+    let mut prev = 0u16;
+    for opt in opts.clone() {
+        if opt.number.0 < prev {
+            // Out of order: roll back and sort (stable, preserving the
+            // relative order of repeated options — RFC 7252 §3.1).
+            out.truncate(start);
+            let mut sorted: Vec<&CoapOption> = opts.collect();
+            sorted.sort_by_key(|o| o.number.0);
+            let mut prev = 0u16;
+            for o in sorted {
+                prev = encode_option_into(prev, o, out);
+            }
+            return;
+        }
+        prev = encode_option_into(prev, opt, out);
     }
 }
 
@@ -541,6 +632,53 @@ mod tests {
                 let _ = CoapMessage::decode(&data[start..start + len]);
             }
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        // Sorted, unsorted, extended-delta/length, empty, payload-less.
+        let msgs = vec![
+            fetch_request(),
+            CoapMessage::empty_ack(9),
+            CoapMessage::request(Code::GET, MsgType::Con, 1, vec![1, 2, 3])
+                .with_option(CoapOption::uint(OptionNumber::MAX_AGE, 300))
+                .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+                .with_option(CoapOption::new(OptionNumber::ETAG, vec![1, 2, 3, 4])),
+            CoapMessage::request(Code::GET, MsgType::Con, 1, vec![])
+                .with_option(CoapOption::new(OptionNumber::ECHO, vec![0x5A; 300]))
+                .with_option(CoapOption::new(OptionNumber::NO_RESPONSE, vec![2])),
+        ];
+        for m in msgs {
+            assert_eq!(m.encoded_len(), m.encode().len(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unsorted_encode_rolls_back_and_preserves_repeat_order() {
+        // Two Uri-Path segments followed by an out-of-order ETag: the
+        // slow path must keep "a" before "b" (stable sort).
+        let m = CoapMessage::request(Code::GET, MsgType::Con, 1, vec![])
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"a".to_vec()))
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"b".to_vec()))
+            .with_option(CoapOption::new(OptionNumber::ETAG, vec![7]))
+            .with_payload(b"x".to_vec());
+        let back = CoapMessage::decode(&m.encode()).unwrap();
+        assert_eq!(back.uri_path(), "/a/b");
+        assert_eq!(back.option(OptionNumber::ETAG).unwrap().value, vec![7]);
+        assert_eq!(back.payload, b"x");
+        assert_eq!(m.encoded_len(), m.encode().len());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let m = fetch_request();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            buf.clear();
+            m.encode_into(&mut buf);
+            assert_eq!(CoapMessage::decode(&buf).unwrap(), m);
+        }
+        assert_eq!(buf.len(), m.encoded_len());
     }
 
     #[test]

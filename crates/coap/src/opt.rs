@@ -140,19 +140,33 @@ impl CoapOption {
 
 /// Encode an option uint value in the shortest big-endian form.
 pub fn encode_uint_value(v: u32) -> Vec<u8> {
-    let bytes = v.to_be_bytes();
-    let skip = bytes.iter().take_while(|&&b| b == 0).count();
-    bytes[skip..].to_vec()
+    let mut out = Vec::with_capacity(4);
+    encode_uint_into(v, &mut out);
+    out
 }
 
-/// Decode an option uint value (empty = 0; longer than 4 bytes
-/// saturates, which cannot occur for options we emit).
+/// Append an option uint value in the shortest big-endian form — the
+/// allocation-free counterpart of [`encode_uint_value`].
+pub fn encode_uint_into(v: u32, out: &mut Vec<u8>) {
+    let bytes = v.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count();
+    out.extend_from_slice(&bytes[skip..]);
+}
+
+/// Decode an option uint value (empty = 0). Values longer than 4 bytes
+/// saturate to `u32::MAX` — the conservative reading for Max-Age, where
+/// truncating to the first bytes would *shorten* a freshness lifetime a
+/// peer declared to be enormous. (We never emit such values ourselves.)
 pub fn decode_uint_value(value: &[u8]) -> u32 {
-    let mut v: u32 = 0;
-    for &b in value.iter().take(4) {
-        v = (v << 8) | b as u32;
+    // Leading zero octets are tolerated (non-shortest form); only
+    // significant bytes beyond 4 saturate.
+    let significant = &value[value.iter().take_while(|&&b| b == 0).count()..];
+    if significant.len() > 4 {
+        return u32::MAX;
     }
-    v
+    significant
+        .iter()
+        .fold(0u32, |v, &b| (v << 8) | u32::from(b))
 }
 
 #[cfg(test)]
@@ -232,6 +246,17 @@ mod tests {
         for v in [0u32, 1, 59, 255, 256, 65535, 65536, u32::MAX] {
             assert_eq!(decode_uint_value(&encode_uint_value(v)), v);
         }
+    }
+
+    #[test]
+    fn uint_value_longer_than_4_bytes_saturates() {
+        // Regression: the decoder used to *truncate* to the first four
+        // bytes, reading 0x0100000000 (2^32) as 0x01000000.
+        assert_eq!(decode_uint_value(&[1, 0, 0, 0, 0]), u32::MAX);
+        assert_eq!(decode_uint_value(&[0xFF; 9]), u32::MAX);
+        // Non-shortest (zero-padded) forms are values, not saturation.
+        assert_eq!(decode_uint_value(&[0, 0, 0, 0, 60]), 60);
+        assert_eq!(decode_uint_value(&[0, 0, 0, 0, 0]), 0);
     }
 
     #[test]

@@ -244,7 +244,7 @@ impl DocClient {
                 let refreshed = self
                     .coap_cache
                     .as_mut()
-                    .and_then(|c| c.revalidate(&pending.key, resp.max_age(), now_ms));
+                    .and_then(|c| c.revalidate(&pending.key, resp, now_ms));
                 match refreshed {
                     Some(r) => {
                         self.stats.revalidated += 1;

@@ -152,7 +152,7 @@ impl CoapProxy {
         match resp.code {
             Code::VALID if out.revalidating => {
                 self.stats.revalidated += 1;
-                let refreshed = self.cache.revalidate(&out.key, resp.max_age(), now_ms);
+                let refreshed = self.cache.revalidate(&out.key, resp, now_ms);
                 match refreshed {
                     Some(entry) => Some(self.reply_from_entry(
                         &out.client_request,

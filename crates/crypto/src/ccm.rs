@@ -61,22 +61,65 @@ impl AesCcm {
     /// Encrypt `plaintext` with additional authenticated data `aad`,
     /// returning `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(plaintext.len() + self.tag_len);
+        self.seal_into(nonce, aad, plaintext, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encrypt `plaintext`, appending `ciphertext || tag` to `out` —
+    /// lets callers seal into a buffer that already carries framing
+    /// (e.g. a DTLS explicit nonce) without an intermediate ciphertext
+    /// allocation.
+    pub fn seal_into(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        self.check_seal_params(nonce, plaintext.len())?;
+        let tag = self.cbc_mac(nonce, aad, plaintext);
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(nonce, &mut out[start..]);
+        self.append_encrypted_tag(nonce, &tag, out);
+        Ok(())
+    }
+
+    /// Encrypt `buf` in place and append the tag: the buffer holding
+    /// the plaintext *becomes* the `ciphertext || tag` — the zero-copy
+    /// path OSCORE uses so a serialized inner message is protected
+    /// without ever being copied.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        self.check_seal_params(nonce, buf.len())?;
+        let tag = self.cbc_mac(nonce, aad, buf);
+        self.ctr_xor(nonce, buf);
+        self.append_encrypted_tag(nonce, &tag, buf);
+        Ok(())
+    }
+
+    fn check_seal_params(&self, nonce: &[u8], plaintext_len: usize) -> Result<(), CryptoError> {
         if nonce.len() != self.nonce_len() {
             return Err(CryptoError::InvalidParameter);
         }
-        if self.l < 8 && (plaintext.len() as u64) >= (1u64 << (8 * self.l)) {
+        if self.l < 8 && (plaintext_len as u64) >= (1u64 << (8 * self.l)) {
             return Err(CryptoError::InvalidParameter);
         }
-        let tag = self.cbc_mac(nonce, aad, plaintext);
-        let mut out = plaintext.to_vec();
-        self.ctr_xor(nonce, &mut out);
-        // Tag is encrypted with counter block 0.
+        Ok(())
+    }
+
+    /// Append the tag encrypted with counter block 0.
+    fn append_encrypted_tag(&self, nonce: &[u8], tag: &[u8; 16], out: &mut Vec<u8>) {
         let a0 = self.counter_block(nonce, 0);
         let s0 = self.aes.encrypt(&a0);
-        for (i, t) in tag.iter().take(self.tag_len).enumerate() {
-            out.push(t ^ s0[i]);
+        for (t, k) in tag.iter().zip(s0.iter()).take(self.tag_len) {
+            out.push(t ^ k);
         }
-        Ok(out)
     }
 
     /// Decrypt and verify `ciphertext || tag`; returns the plaintext.
@@ -124,28 +167,41 @@ impl AesCcm {
 
         let mut x = self.aes.encrypt(&b0);
 
-        // AAD with its length prefix, zero-padded to block boundary.
+        // AAD with its length prefix, zero-padded to block boundary —
+        // streamed through a 16-byte window so no header buffer is
+        // materialized (keeps the whole seal path allocation-free).
         if !aad.is_empty() {
-            let mut header: Vec<u8> = Vec::with_capacity(aad.len() + 10);
+            let mut prefix = [0u8; 10];
             let alen = aad.len() as u64;
-            if alen < 0xFF00 {
-                header.extend_from_slice(&(alen as u16).to_be_bytes());
+            let prefix_len = if alen < 0xFF00 {
+                prefix[..2].copy_from_slice(&(alen as u16).to_be_bytes());
+                2
             } else if alen <= 0xFFFF_FFFF {
-                header.extend_from_slice(&[0xff, 0xfe]);
-                header.extend_from_slice(&(alen as u32).to_be_bytes());
+                prefix[..2].copy_from_slice(&[0xff, 0xfe]);
+                prefix[2..6].copy_from_slice(&(alen as u32).to_be_bytes());
+                6
             } else {
-                header.extend_from_slice(&[0xff, 0xff]);
-                header.extend_from_slice(&alen.to_be_bytes());
-            }
-            header.extend_from_slice(aad);
-            while !header.len().is_multiple_of(16) {
-                header.push(0);
-            }
-            for block in header.chunks_exact(16) {
-                for i in 0..16 {
-                    x[i] ^= block[i];
+                prefix[..2].copy_from_slice(&[0xff, 0xff]);
+                prefix[2..10].copy_from_slice(&alen.to_be_bytes());
+                10
+            };
+            let total = prefix_len + aad.len();
+            let byte_at = |i: usize| -> u8 {
+                if i < prefix_len {
+                    prefix[i]
+                } else if i < total {
+                    aad[i - prefix_len]
+                } else {
+                    0 // zero padding
+                }
+            };
+            let mut i = 0;
+            while i < total {
+                for (j, xb) in x.iter_mut().enumerate() {
+                    *xb ^= byte_at(i + j);
                 }
                 x = self.aes.encrypt(&x);
+                i += 16;
             }
         }
 
@@ -210,6 +266,27 @@ mod tests {
         assert_eq!(sealed, expect);
         let opened = ccm.open(&nonce, aad, &sealed).unwrap();
         assert_eq!(opened, plain);
+    }
+
+    /// `seal_in_place` / `seal_into` are byte-identical to `seal`.
+    #[test]
+    fn seal_variants_agree() {
+        let ccm = AesCcm::new(&[7u8; 16], 8, 2).unwrap();
+        let nonce = [9u8; 13];
+        let aad = b"binding";
+        let plain = b"a plaintext spanning multiple AES blocks for good measure";
+        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+
+        let mut in_place = plain.to_vec();
+        ccm.seal_in_place(&nonce, aad, &mut in_place).unwrap();
+        assert_eq!(in_place, sealed);
+
+        let mut framed = vec![0xEE, 0xFF]; // pre-existing framing bytes
+        ccm.seal_into(&nonce, aad, plain, &mut framed).unwrap();
+        assert_eq!(&framed[..2], &[0xEE, 0xFF]);
+        assert_eq!(&framed[2..], &sealed[..]);
+
+        assert_eq!(ccm.open(&nonce, aad, &sealed).unwrap(), plain);
     }
 
     /// RFC 3610 packet vector #2 (plaintext not block-aligned).

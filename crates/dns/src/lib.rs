@@ -51,7 +51,7 @@ pub mod name;
 pub mod rr;
 
 pub use message::{Header, Message, Opcode, Question, Rcode, Section};
-pub use name::Name;
+pub use name::{CompressionMap, Name};
 pub use rr::{Record, RecordClass, RecordData, RecordType};
 
 /// Errors produced when encoding or decoding DNS data.

@@ -1,7 +1,7 @@
 //! Full DNS messages: header, four sections, encode/decode, and the
 //! DoC-specific canonicalization helpers from §4.2 of the paper.
 
-use crate::name::Name;
+use crate::name::{CompressionMap, Name};
 use crate::rr::{Record, RecordClass, RecordType};
 use crate::DnsError;
 
@@ -202,7 +202,84 @@ impl Message {
 
     /// Encode to the RFC 1035 wire format (with name compression).
     pub fn encode(&self) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(64);
+        // The uncompressed size is an exact upper bound, so the buffer
+        // never reallocates while encoding.
+        let mut msg = Vec::with_capacity(self.uncompressed_len());
+        self.encode_into(&mut msg);
+        msg
+    }
+
+    /// Wire size this message would have with *no* name compression —
+    /// an exact upper bound on (and capacity hint for) the compressed
+    /// encoding.
+    pub fn uncompressed_len(&self) -> usize {
+        12 + self
+            .questions
+            .iter()
+            .map(|q| q.qname.wire_len() + 4)
+            .sum::<usize>()
+            + self
+                .records()
+                .map(|(_, r)| r.uncompressed_len())
+                .sum::<usize>()
+    }
+
+    /// Append the RFC 1035 wire format (with name compression) to an
+    /// existing buffer. With a reused (cleared) `out`, the whole encode
+    /// performs no heap allocation beyond buffer growth: the
+    /// compression state lives in a stack-resident [`CompressionMap`].
+    ///
+    /// Compression pointers are message-relative, so the zero-copy path
+    /// requires the message to start at offset 0. Appending to a
+    /// non-empty buffer is still correct — the message is then built
+    /// standalone and copied, costing one allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        if !out.is_empty() {
+            out.extend_from_slice(&self.encode());
+            return;
+        }
+        let msg = out;
+        self.encode_header_into(msg);
+        let mut table = CompressionMap::new();
+        for q in &self.questions {
+            q.qname.encode_compressed(msg, &mut table);
+            msg.extend_from_slice(&q.qtype.to_u16().to_be_bytes());
+            msg.extend_from_slice(&q.qclass.to_u16().to_be_bytes());
+        }
+        for rec in self
+            .answers
+            .iter()
+            .chain(&self.authority)
+            .chain(&self.additional)
+        {
+            rec.encode(msg, &mut table);
+        }
+    }
+
+    /// Encode with *no* name compression: exactly
+    /// [`Message::uncompressed_len`] bytes — the baseline wire form the
+    /// compression analyses and property tests compare against.
+    pub fn encode_uncompressed(&self) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(self.uncompressed_len());
+        self.encode_header_into(&mut msg);
+        for q in &self.questions {
+            q.qname.encode(&mut msg);
+            msg.extend_from_slice(&q.qtype.to_u16().to_be_bytes());
+            msg.extend_from_slice(&q.qclass.to_u16().to_be_bytes());
+        }
+        for rec in self
+            .answers
+            .iter()
+            .chain(&self.authority)
+            .chain(&self.additional)
+        {
+            rec.encode_uncompressed(&mut msg);
+        }
+        msg
+    }
+
+    /// The 12-byte header: id, flag word, section counts.
+    fn encode_header_into(&self, msg: &mut Vec<u8>) {
         msg.extend_from_slice(&self.header.id.to_be_bytes());
         let mut flags = 0u16;
         if self.header.qr {
@@ -227,22 +304,6 @@ impl Message {
         msg.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
         msg.extend_from_slice(&(self.authority.len() as u16).to_be_bytes());
         msg.extend_from_slice(&(self.additional.len() as u16).to_be_bytes());
-
-        let mut table: Vec<(Name, usize)> = Vec::new();
-        for q in &self.questions {
-            q.qname.encode_compressed(&mut msg, &mut table);
-            msg.extend_from_slice(&q.qtype.to_u16().to_be_bytes());
-            msg.extend_from_slice(&q.qclass.to_u16().to_be_bytes());
-        }
-        for rec in self
-            .answers
-            .iter()
-            .chain(&self.authority)
-            .chain(&self.additional)
-        {
-            rec.encode(&mut msg, &mut table);
-        }
-        msg
     }
 
     /// Decode from wire format.
@@ -475,6 +536,32 @@ mod tests {
         let back = Message::decode(&wire).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.answers.len(), 4);
+    }
+
+    #[test]
+    fn encode_into_nonempty_buffer_keeps_pointers_valid() {
+        // Appending after framing bytes must not skew compression
+        // pointers (they are message-relative, not buffer-relative).
+        let r = example_response(300, 4);
+        let mut buf = vec![0xAB, 0xCD, 0xEF];
+        r.encode_into(&mut buf);
+        assert_eq!(Message::decode(&buf[3..]).unwrap(), r);
+        assert_eq!(&buf[..3], &[0xAB, 0xCD, 0xEF]);
+    }
+
+    #[test]
+    fn uncompressed_len_is_exact_upper_bound() {
+        for msg in [example_query(), example_response(300, 4)] {
+            let wire = msg.encode();
+            assert!(wire.len() <= msg.uncompressed_len());
+            let flat = msg.encode_uncompressed();
+            assert_eq!(flat.len(), msg.uncompressed_len());
+            // The uncompressed wire decodes to the same message.
+            assert_eq!(Message::decode(&flat).unwrap(), msg);
+        }
+        // A single-question query has nothing to compress: exact.
+        let q = example_query();
+        assert_eq!(q.encode().len(), q.uncompressed_len());
     }
 
     #[test]

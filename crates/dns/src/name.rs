@@ -12,6 +12,145 @@ use crate::DnsError;
 pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum wire length of a full name (RFC 1035 §2.3.4).
 pub const MAX_NAME_LEN: usize = 255;
+/// Upper bound on labels per name (each label costs ≥ 2 wire bytes).
+pub const MAX_LABELS: usize = MAX_NAME_LEN / 2;
+
+/// Highest message offset a compression pointer can address (14 bits).
+const MAX_POINTER: usize = 0x3FFF;
+
+/// Fixed-capacity suffix→offset map used by [`Name::encode_compressed`].
+///
+/// Each registered suffix is stored as a 64-bit hash of its labels plus
+/// the message offset where it was encoded. Lookups compare candidate
+/// hashes first and then verify the labels **against the message bytes
+/// in place** (following compression pointers), so no suffix `Name` is
+/// ever materialized and the map itself never touches the heap — it is
+/// a plain inline array that lives on the encoder's stack.
+///
+/// The capacity bounds work, not correctness: once full, further
+/// suffixes simply are not registered, which can only cost compression
+/// opportunities, never produce an invalid message.
+#[derive(Debug, Clone)]
+pub struct CompressionMap {
+    len: usize,
+    entries: [(u64, u16); Self::CAPACITY],
+}
+
+impl Default for CompressionMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompressionMap {
+    /// Registered-suffix capacity. 64 suffixes cover every answer name
+    /// of the largest responses the figures exercise; overflow only
+    /// degrades compression.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty map.
+    pub fn new() -> Self {
+        CompressionMap {
+            len: 0,
+            entries: [(0, 0); Self::CAPACITY],
+        }
+    }
+
+    /// Drop all registered suffixes (for buffer-reuse encode loops).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of registered suffixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no suffix is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Register `hash` at `offset` (ignored past the pointer limit or
+    /// when full).
+    fn insert(&mut self, hash: u64, offset: usize) {
+        if offset <= MAX_POINTER && self.len < Self::CAPACITY {
+            self.entries[self.len] = (hash, offset as u16);
+            self.len += 1;
+        }
+    }
+
+    /// Find a registered suffix equal to `labels`, verifying candidate
+    /// offsets against `msg` in place.
+    fn find(&self, hash: u64, msg: &[u8], labels: &[Vec<u8>]) -> Option<u16> {
+        self.entries[..self.len]
+            .iter()
+            .find(|&&(h, off)| h == hash && suffix_matches(msg, off as usize, labels))
+            .map(|&(_, off)| off)
+    }
+}
+
+/// Compare the label sequence encoded in `msg` at `offset` (following
+/// compression pointers) against `labels`. Message bytes are lowercase
+/// by construction, so a direct byte comparison suffices.
+fn suffix_matches(msg: &[u8], mut offset: usize, labels: &[Vec<u8>]) -> bool {
+    let mut next = 0usize;
+    // Pointers strictly decrease in well-formed output; the guard makes
+    // the walk total even on a corrupted buffer.
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > MAX_LABELS + 8 {
+            return false;
+        }
+        let Some(&len_octet) = msg.get(offset) else {
+            return false;
+        };
+        match len_octet {
+            0 => return next == labels.len(),
+            1..=63 => {
+                let l = len_octet as usize;
+                let Some(wire_label) = msg.get(offset + 1..offset + 1 + l) else {
+                    return false;
+                };
+                if next >= labels.len() || labels[next] != wire_label {
+                    return false;
+                }
+                next += 1;
+                offset += 1 + l;
+            }
+            0xC0..=0xFF => {
+                let Some(&second) = msg.get(offset + 1) else {
+                    return false;
+                };
+                let target = (((len_octet & 0x3F) as usize) << 8) | second as usize;
+                if target >= offset {
+                    return false;
+                }
+                offset = target;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// FNV-1a over one label's bytes.
+fn label_hash(label: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Combine a label hash with the hash of the suffix to its right.
+/// Asymmetric so that label order matters.
+fn suffix_hash(label: &[u8], rest: u64) -> u64 {
+    rest.rotate_left(23)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(label_hash(label))
+}
 
 /// A fully-qualified domain name stored as lowercase labels.
 ///
@@ -104,52 +243,46 @@ impl Name {
     }
 
     /// Append the wire form, compressing against names already encoded
-    /// in `msg` (offsets recorded in `table` as (suffix-name, offset)).
+    /// in `msg` (suffix offsets recorded in `table`).
     ///
     /// `table` maps previously encoded *suffixes* to their message
     /// offsets; new suffixes of this name are registered as a side
     /// effect. Offsets beyond 0x3FFF are not registered (pointer limit).
-    pub fn encode_compressed(&self, msg: &mut Vec<u8>, table: &mut Vec<(Name, usize)>) {
-        // Try to find the longest known suffix.
-        for skip in 0..self.labels.len() {
-            let suffix = Name {
-                labels: self.labels[skip..].to_vec(),
-            };
-            if let Some(&(_, off)) = table.iter().find(|(n, off)| *n == suffix && *off <= 0x3FFF) {
-                // Emit leading labels then a pointer.
-                for (i, label) in self.labels[..skip].iter().enumerate() {
-                    let here = msg.len();
-                    if here <= 0x3FFF {
-                        table.push((
-                            Name {
-                                labels: self.labels[i..].to_vec(),
-                            },
-                            here,
-                        ));
-                    }
-                    msg.push(label.len() as u8);
-                    msg.extend_from_slice(label);
-                }
-                msg.push(0xC0 | ((off >> 8) as u8));
-                msg.push(off as u8);
-                return;
+    /// The whole operation is allocation-free: suffixes are keyed by
+    /// hash and verified against `msg` in place.
+    pub fn encode_compressed(&self, msg: &mut Vec<u8>, table: &mut CompressionMap) {
+        let n = self.labels.len();
+        debug_assert!(n <= MAX_LABELS, "wire_len bound implies label bound");
+        // Hash every suffix right-to-left in one pass.
+        let mut hashes = [0u64; MAX_LABELS];
+        let mut h = 0u64;
+        for i in (0..n).rev() {
+            h = suffix_hash(&self.labels[i], h);
+            hashes[i] = h;
+        }
+        // Longest known suffix = smallest skip.
+        let mut skip = n;
+        let mut pointer = None;
+        for (s, &h) in hashes[..n].iter().enumerate() {
+            if let Some(off) = table.find(h, msg, &self.labels[s..]) {
+                skip = s;
+                pointer = Some(off);
+                break;
             }
         }
-        // No suffix known: emit fully, registering every suffix.
-        for (i, label) in self.labels.iter().enumerate() {
-            let here = msg.len();
-            if here <= 0x3FFF {
-                table.push((
-                    Name {
-                        labels: self.labels[i..].to_vec(),
-                    },
-                    here,
-                ));
-            }
+        // Emit the unshared leading labels, registering their suffixes.
+        for (i, label) in self.labels[..skip].iter().enumerate() {
+            table.insert(hashes[i], msg.len());
             msg.push(label.len() as u8);
             msg.extend_from_slice(label);
         }
-        msg.push(0);
+        match pointer {
+            Some(off) => {
+                msg.push(0xC0 | ((off >> 8) as u8));
+                msg.push(off as u8);
+            }
+            None => msg.push(0),
+        }
     }
 
     /// Decode a (possibly compressed) name from `msg` starting at
@@ -300,7 +433,7 @@ mod tests {
     #[test]
     fn compression_shares_suffix() {
         let mut msg = vec![0u8; 12]; // fake header
-        let mut table = Vec::new();
+        let mut table = CompressionMap::new();
         let n1 = Name::parse("www.example.org").unwrap();
         let n2 = Name::parse("mail.example.org").unwrap();
         n1.encode_compressed(&mut msg, &mut table);
@@ -318,7 +451,7 @@ mod tests {
     #[test]
     fn identical_name_compresses_to_pointer() {
         let mut msg = Vec::new();
-        let mut table = Vec::new();
+        let mut table = CompressionMap::new();
         let n = Name::parse("example.org").unwrap();
         n.encode_compressed(&mut msg, &mut table);
         let first = msg.len();
@@ -408,5 +541,102 @@ mod tests {
         assert!(Name::from_labels(&[&[b'a'; 64][..]]).is_err());
         let n = Name::from_labels(&[b"a", b"b"]).unwrap();
         assert_eq!(n.to_string(), "a.b");
+    }
+
+    #[test]
+    fn partial_suffix_match_emits_labels_plus_pointer() {
+        // "a.b.example.org" after "example.org": 1+1 + 1+1 + pointer.
+        let mut msg = Vec::new();
+        let mut table = CompressionMap::new();
+        let base = Name::parse("example.org").unwrap();
+        let sub = Name::parse("a.b.example.org").unwrap();
+        base.encode_compressed(&mut msg, &mut table);
+        let first = msg.len();
+        sub.encode_compressed(&mut msg, &mut table);
+        assert_eq!(msg.len() - first, 2 + 2 + 2);
+        let mut pos = first;
+        assert_eq!(Name::decode(&msg, &mut pos).unwrap(), sub);
+        // The new suffixes are themselves registered: "b.example.org"
+        // now compresses to a single pointer.
+        let prev = msg.len();
+        Name::parse("b.example.org")
+            .unwrap()
+            .encode_compressed(&mut msg, &mut table);
+        assert_eq!(msg.len() - prev, 2);
+        let mut pos = prev;
+        assert_eq!(
+            Name::decode(&msg, &mut pos).unwrap(),
+            Name::parse("b.example.org").unwrap()
+        );
+    }
+
+    #[test]
+    fn compression_map_overflow_degrades_gracefully() {
+        // More distinct suffixes than CAPACITY: later names cannot all
+        // be registered, but every encoding must still decode exactly.
+        let mut msg = Vec::new();
+        let mut table = CompressionMap::new();
+        let names: Vec<Name> = (0..CompressionMap::CAPACITY + 10)
+            .map(|i| Name::parse(&format!("h{i}.d{i}.example.org")).unwrap())
+            .collect();
+        let mut offsets = Vec::new();
+        for n in &names {
+            offsets.push(msg.len());
+            n.encode_compressed(&mut msg, &mut table);
+        }
+        for (n, &off) in names.iter().zip(&offsets) {
+            let mut pos = off;
+            assert_eq!(&Name::decode(&msg, &mut pos).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn equal_hash_different_labels_not_confused() {
+        // find() verifies labels against message bytes, so even if two
+        // suffixes collided in hash, the wrong offset is rejected. Use
+        // names that share length but not content to exercise the
+        // verification path.
+        let mut msg = Vec::new();
+        let mut table = CompressionMap::new();
+        let a = Name::parse("aa.example.org").unwrap();
+        let b = Name::parse("ab.example.org").unwrap();
+        a.encode_compressed(&mut msg, &mut table);
+        let first = msg.len();
+        b.encode_compressed(&mut msg, &mut table);
+        // "ab" must be emitted literally (3 bytes) + pointer (2).
+        assert_eq!(msg.len() - first, 5);
+        let mut pos = first;
+        assert_eq!(Name::decode(&msg, &mut pos).unwrap(), b);
+    }
+
+    #[test]
+    fn compression_map_clear_reuses_buffer() {
+        let mut table = CompressionMap::new();
+        let n = Name::parse("www.example.org").unwrap();
+        let mut msg = Vec::new();
+        n.encode_compressed(&mut msg, &mut table);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        table.clear();
+        msg.clear();
+        assert!(table.is_empty());
+        // A cleared table must not point into the cleared buffer.
+        n.encode_compressed(&mut msg, &mut table);
+        assert_eq!(msg.len(), n.wire_len());
+        let mut pos = 0;
+        assert_eq!(Name::decode(&msg, &mut pos).unwrap(), n);
+    }
+
+    #[test]
+    fn offsets_beyond_pointer_limit_not_registered() {
+        let mut msg = vec![0u8; 0x4000]; // padding past the 14-bit limit
+        let mut table = CompressionMap::new();
+        let n = Name::parse("example.org").unwrap();
+        n.encode_compressed(&mut msg, &mut table);
+        assert!(table.is_empty());
+        let before = msg.len();
+        // Re-encoding cannot point at the unregistered copy.
+        n.encode_compressed(&mut msg, &mut table);
+        assert_eq!(msg.len() - before, n.wire_len());
     }
 }

@@ -5,7 +5,7 @@
 //! NS, PTR, SRV, TXT — plus CNAME/SOA/OPT which any practical resolver
 //! path encounters.
 
-use crate::name::Name;
+use crate::name::{CompressionMap, Name};
 use crate::DnsError;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -193,6 +193,20 @@ impl RecordData {
             RecordData::Soa { .. } => Some(RecordType::Soa),
             RecordData::Https { .. } => Some(RecordType::Https),
             RecordData::Raw(_) => None,
+        }
+    }
+
+    /// Wire length of this RDATA, computed without encoding.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            RecordData::A(_) => 4,
+            RecordData::Aaaa(_) => 16,
+            RecordData::Ns(n) | RecordData::Cname(n) | RecordData::Ptr(n) => n.wire_len(),
+            RecordData::Txt(strings) => strings.iter().map(|s| 1 + s.len()).sum(),
+            RecordData::Srv { target, .. } => 6 + target.wire_len(),
+            RecordData::Soa { mname, rname, .. } => mname.wire_len() + rname.wire_len() + 20,
+            RecordData::Https { target, params, .. } => 2 + target.wire_len() + params.len(),
+            RecordData::Raw(data) => data.len(),
         }
     }
 
@@ -397,10 +411,29 @@ impl Record {
         }
     }
 
+    /// Wire length of this record with its owner name *uncompressed* —
+    /// an exact upper bound on the compressed encoding.
+    pub fn uncompressed_len(&self) -> usize {
+        self.name.wire_len() + 10 + self.data.encoded_len()
+    }
+
     /// Encode this record (name uncompressed unless a compression table
     /// is threaded by the caller in [`crate::message`]).
-    pub fn encode(&self, msg: &mut Vec<u8>, table: &mut Vec<(Name, usize)>) {
+    pub fn encode(&self, msg: &mut Vec<u8>, table: &mut CompressionMap) {
         self.name.encode_compressed(msg, table);
+        self.encode_after_name(msg);
+    }
+
+    /// Encode this record with its owner name uncompressed — the
+    /// baseline the compression analyses (and the compression property
+    /// test) compare against.
+    pub fn encode_uncompressed(&self, msg: &mut Vec<u8>) {
+        self.name.encode(msg);
+        self.encode_after_name(msg);
+    }
+
+    /// Fixed RR fields + length-prefixed RDATA after the owner name.
+    fn encode_after_name(&self, msg: &mut Vec<u8>) {
         msg.extend_from_slice(&self.rtype.to_u16().to_be_bytes());
         msg.extend_from_slice(&self.rclass.to_u16().to_be_bytes());
         msg.extend_from_slice(&self.ttl.to_be_bytes());
@@ -439,7 +472,7 @@ mod tests {
 
     fn roundtrip(rec: &Record) -> Record {
         let mut msg = Vec::new();
-        let mut table = Vec::new();
+        let mut table = CompressionMap::new();
         rec.encode(&mut msg, &mut table);
         let mut pos = 0;
         let back = Record::decode(&msg, &mut pos).unwrap();
@@ -475,7 +508,7 @@ mod tests {
             "2001:db8::1".parse().unwrap(),
         );
         let mut msg = Vec::new();
-        rec.encode(&mut msg, &mut Vec::new());
+        rec.encode(&mut msg, &mut CompressionMap::new());
         // name(5) + type(2) + class(2) + ttl(4) + rdlen(2) + rdata(16)
         assert_eq!(msg.len(), 5 + 2 + 2 + 4 + 2 + 16);
     }

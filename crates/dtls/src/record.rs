@@ -74,13 +74,20 @@ impl Record {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(RECORD_HEADER_LEN + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire form to `out` — allocation-free with a reused
+    /// buffer, and appendable, so a multi-record datagram (flight) can
+    /// be assembled in one buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.ctype.to_u8());
         out.extend_from_slice(&VERSION_DTLS12);
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes()[2..]); // 48 bits
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Decode one record from the front of `data`; returns the record
@@ -177,13 +184,13 @@ impl CipherState {
         explicit[2..].copy_from_slice(&seq.to_be_bytes()[2..]);
         let nonce = self.nonce(&explicit);
         let aad = Self::aad(ctype, epoch, seq, plaintext.len());
-        let sealed = self
-            .ccm
-            .seal(&nonce, &aad, plaintext)
-            .map_err(|_| DtlsError::Crypto)?;
-        let mut out = Vec::with_capacity(8 + sealed.len());
+        // Seal straight after the explicit nonce: one output buffer,
+        // no intermediate ciphertext allocation.
+        let mut out = Vec::with_capacity(EXPLICIT_NONCE_LEN + plaintext.len() + TAG_LEN);
         out.extend_from_slice(&explicit);
-        out.extend_from_slice(&sealed);
+        self.ccm
+            .seal_into(&nonce, &aad, plaintext, &mut out)
+            .map_err(|_| DtlsError::Crypto)?;
         Ok(out)
     }
 

@@ -15,7 +15,7 @@
 
 use crate::context::{decode_piv, SecurityContext, TAG_LEN};
 use crate::OscoreError;
-use doc_coap::msg::{CoapMessage, Code, MsgType};
+use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_crypto::cbor::Value;
 use doc_crypto::ccm::AesCcm;
@@ -127,25 +127,20 @@ fn is_outer_option(number: OptionNumber) -> bool {
 }
 
 /// Serialize the inner (plaintext) form: `code || options || 0xFF ||
-/// payload` (RFC 8613 §5.3).
+/// payload` (RFC 8613 §5.3), written directly into one buffer — no
+/// shadow message, no option clones. The returned buffer is then
+/// encrypted *in place* by the callers.
 fn encode_inner(msg: &CoapMessage) -> Vec<u8> {
-    let mut shadow = CoapMessage {
-        mtype: MsgType::Non,
-        code: msg.code,
-        message_id: 0,
-        token: Vec::new(),
-        options: msg
-            .options
-            .iter()
-            .filter(|o| !is_outer_option(o.number))
-            .cloned()
-            .collect(),
-        payload: msg.payload.clone(),
-    };
-    let wire = shadow.encode();
-    let mut out = vec![msg.code.0];
-    out.extend_from_slice(&wire[4..]); // strip header (TKL=0 ⇒ 4 bytes)
-    shadow.payload.clear();
+    let mut out = Vec::with_capacity(1 + 16 + msg.payload.len() + TAG_LEN);
+    out.push(msg.code.0);
+    doc_coap::msg::encode_options_into(
+        msg.options.iter().filter(|o| !is_outer_option(o.number)),
+        &mut out,
+    );
+    if !msg.payload.is_empty() {
+        out.push(0xFF);
+        out.extend_from_slice(&msg.payload);
+    }
     out
 }
 
@@ -248,12 +243,13 @@ impl OscoreEndpoint {
     ) -> Result<(CoapMessage, RequestBinding), OscoreError> {
         let piv = self.ctx.next_piv()?;
         let kid = self.ctx.sender_id.clone();
-        let plaintext = encode_inner(msg);
+        // The serialized inner message is encrypted in place: the same
+        // buffer becomes the outer payload, no intermediate copies.
+        let mut ciphertext = encode_inner(msg);
         let aad = build_aad(&kid, &piv);
         let nonce = self.ctx.nonce(&kid, &piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        let ciphertext = ccm
-            .seal(&nonce, &aad, &plaintext)
+        ccm.seal_in_place(&nonce, &aad, &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let opt = OscoreOption {
             piv: piv.clone(),
@@ -356,12 +352,11 @@ impl OscoreEndpoint {
         binding: &RequestBinding,
         request_outer: &CoapMessage,
     ) -> Result<CoapMessage, OscoreError> {
-        let plaintext = encode_inner(msg);
+        let mut ciphertext = encode_inner(msg);
         let aad = build_aad(&binding.kid, &binding.piv);
         let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        let ciphertext = ccm
-            .seal(&nonce, &aad, &plaintext)
+        ccm.seal_in_place(&nonce, &aad, &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let mut outer = CoapMessage {
             mtype: msg.mtype,
@@ -407,6 +402,7 @@ impl OscoreEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use doc_coap::msg::MsgType;
 
     fn contexts() -> (OscoreEndpoint, OscoreEndpoint) {
         let secret = b"0123456789abcdef";

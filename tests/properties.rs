@@ -44,12 +44,60 @@ proptest! {
         let _ = Message::decode(&data);
     }
 
+    /// Guard for the zero-copy compression rewrite: over arbitrary
+    /// multi-name messages (names sharing suffixes to various depths,
+    /// plus unrelated names), the compressed encoding decodes to
+    /// exactly the message the uncompressed encoding decodes to, and is
+    /// never larger than the uncompressed wire form.
+    #[test]
+    fn dns_compression_roundtrip_matches_uncompressed(
+        base in arb_name(),
+        hosts in proptest::collection::vec(arb_label(), 1..10),
+        others in proptest::collection::vec(arb_name(), 0..4),
+        ttl in 0u32..100_000,
+    ) {
+        let query = Message::query(0, base.clone(), RecordType::Aaaa);
+        let mut answers = Vec::new();
+        for (i, h) in hosts.iter().enumerate() {
+            // Rotate through: subdomain of the query name, the query
+            // name itself, and a deeper two-label subdomain — all
+            // compressible to different depths.
+            let name = match i % 3 {
+                0 => Name::parse(&format!("{h}.{base}")).expect("valid"),
+                1 => base.clone(),
+                _ => Name::parse(&format!("{h}.sub.{base}")).expect("valid"),
+            };
+            if name.wire_len() > 255 { continue; }
+            answers.push(Record::aaaa(
+                name,
+                ttl,
+                std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i as u16),
+            ));
+        }
+        for (i, name) in others.iter().enumerate() {
+            answers.push(Record::aaaa(
+                name.clone(),
+                ttl,
+                std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 1, 0, 0, 0, i as u16),
+            ));
+        }
+        let resp = Message::response(&query, Rcode::NoError, answers);
+        let compressed = resp.encode();
+        let uncompressed = resp.encode_uncompressed();
+        prop_assert!(compressed.len() <= uncompressed.len());
+        prop_assert_eq!(uncompressed.len(), resp.uncompressed_len());
+        let via_compressed = Message::decode(&compressed).unwrap();
+        let via_uncompressed = Message::decode(&uncompressed).unwrap();
+        prop_assert_eq!(&via_compressed, &via_uncompressed);
+        prop_assert_eq!(&via_compressed, &resp);
+    }
+
     /// Arbitrary records round-trip.
     #[test]
     fn dns_record_roundtrip(name in arb_name(), ttl in any::<u32>(), octets in any::<[u8; 16]>()) {
         let rec = Record::aaaa(name, ttl, std::net::Ipv6Addr::from(octets));
         let mut msg = Vec::new();
-        let mut table = Vec::new();
+        let mut table = doc_repro::dns::CompressionMap::new();
         rec.encode(&mut msg, &mut table);
         let mut pos = 0;
         let back = Record::decode(&msg, &mut pos).unwrap();
