@@ -16,8 +16,18 @@ cargo test -q
 
 [ "${1:-}" = "quick" ] && exit 0
 
-echo "==> codec-bench smoke (emits BENCH_codecs.json, asserts zero-alloc encode)"
+# The allocation bounds are exact and always asserted by the bench; the
+# >=2x view-decode speedup is timing and is only enforced on full
+# measurement windows (default `cargo bench -p doc-bench --bench
+# encode`), not on this shortened smoke run.
+echo "==> codec-bench smoke (emits BENCH_codecs.json; asserts zero-alloc encode+decode and <=4-alloc OSCORE protect)"
 BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench encode
+
+echo "==> BENCH_codecs.json gate: every *_view/*_into row must report 0 allocs/iter"
+if grep -E '"name": "[^"]*(_view|_into)"' BENCH_codecs.json | grep -v '"allocs_per_iter": 0\.000'; then
+    echo "FAIL: a zero-copy codec row above reports nonzero allocs/iter" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -91,6 +91,14 @@ impl BlockOpt {
         msg.option(number).map(|o| Self::decode(&o.value))
     }
 
+    /// [`BlockOpt::from_message`] over a borrowed request view.
+    pub fn from_view(
+        msg: &crate::view::CoapView<'_>,
+        number: OptionNumber,
+    ) -> Option<Result<Self, CoapError>> {
+        msg.option(number).map(|o| Self::decode(o.value))
+    }
+
     /// As a [`CoapOption`] with the given option number.
     pub fn to_option(self, number: OptionNumber) -> CoapOption {
         CoapOption::new(number, self.encode())
@@ -282,7 +290,13 @@ pub fn apply_block1(msg: &mut CoapMessage, payload: Vec<u8>, block: BlockOpt) {
 /// Build the `2.31 Continue` acknowledgment for a non-final Block1
 /// request block.
 pub fn continue_response(req: &CoapMessage, block: BlockOpt) -> CoapMessage {
-    let mut resp = CoapMessage::ack_response(req, Code::CONTINUE);
+    continue_reply(req.message_id, req.token.clone(), block)
+}
+
+/// [`continue_response`] from the exchange identifiers directly, taking
+/// ownership of the token (no clone from a borrowed view).
+pub fn continue_reply(message_id: u16, token: Vec<u8>, block: BlockOpt) -> CoapMessage {
+    let mut resp = CoapMessage::ack_reply(message_id, token, Code::CONTINUE);
     resp.set_option(block.to_option(OptionNumber::BLOCK1));
     resp
 }

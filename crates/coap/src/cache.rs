@@ -18,6 +18,7 @@
 
 use crate::msg::{CoapMessage, Code};
 use crate::opt::{CoapOption, OptionNumber};
+use crate::view::CoapView;
 use std::collections::HashMap;
 
 /// A computed cache key (opaque bytes).
@@ -38,16 +39,7 @@ pub fn cache_key(msg: &CoapMessage) -> CacheKey {
     let mut opts: Vec<&CoapOption> = msg
         .options
         .iter()
-        .filter(|o| {
-            // NoCacheKey options and the ETag used for revalidation are
-            // not part of the key; Block options describe transfer, not
-            // content identity.
-            !o.number.is_no_cache_key()
-                && o.number != OptionNumber::ETAG
-                && o.number != OptionNumber::BLOCK1
-                && o.number != OptionNumber::BLOCK2
-                && o.number != OptionNumber::MAX_AGE
-        })
+        .filter(|o| is_cache_key_option(o.number))
         .collect();
     // Stable sort by option *number only*: repeatable options (Uri-Path,
     // Uri-Query) keep their relative order, because that order is
@@ -62,6 +54,40 @@ pub fn cache_key(msg: &CoapMessage) -> CacheKey {
     }
     if msg.code == Code::FETCH {
         data.extend_from_slice(&msg.payload);
+    }
+    CacheKey(data)
+}
+
+/// Whether an option participates in the cache key (shared between the
+/// owned and view key derivations so they can never diverge).
+fn is_cache_key_option(number: OptionNumber) -> bool {
+    // NoCacheKey options and the ETag used for revalidation are not
+    // part of the key; Block options describe transfer, not content
+    // identity.
+    !number.is_no_cache_key()
+        && number != OptionNumber::ETAG
+        && number != OptionNumber::BLOCK1
+        && number != OptionNumber::BLOCK2
+        && number != OptionNumber::MAX_AGE
+}
+
+/// Compute the cache key of a borrowed request view — byte-identical to
+/// [`cache_key`] of the equivalent owned message.
+///
+/// No sort is needed: wire options are already in ascending number
+/// order (deltas are unsigned), and repeatable options keep their wire
+/// order, which is exactly the stable-by-number order the owned path
+/// produces. The only allocation is the key's own buffer.
+pub fn cache_key_view(msg: &CoapView<'_>) -> CacheKey {
+    let mut data = Vec::with_capacity(32 + msg.payload().len());
+    data.push(msg.code.0);
+    for o in msg.options().filter(|o| is_cache_key_option(o.number)) {
+        data.extend_from_slice(&o.number.0.to_be_bytes());
+        data.extend_from_slice(&(o.value.len() as u16).to_be_bytes());
+        data.extend_from_slice(o.value);
+    }
+    if msg.code == Code::FETCH {
+        data.extend_from_slice(msg.payload());
     }
     CacheKey(data)
 }
@@ -329,6 +355,26 @@ mod tests {
         let k2 = cache_key(&get_req("BBBB"));
         assert_ne!(k1, k2);
         assert_eq!(k1, cache_key(&get_req("AAAA")));
+    }
+
+    /// The view-based key derivation must be byte-identical to the
+    /// owned one — same key, same cache entry.
+    #[test]
+    fn view_key_matches_owned_key() {
+        let mut with_extras = fetch_req(b"query-a");
+        with_extras.set_option(CoapOption::new(OptionNumber::ETAG, vec![9, 9]));
+        with_extras.set_option(CoapOption::uint(OptionNumber::MAX_AGE, 5));
+        with_extras.set_option(CoapOption::uint(OptionNumber::SIZE1, 99));
+        let mut get = get_req("AAAA");
+        get.options.push(CoapOption::new(
+            OptionNumber::URI_QUERY,
+            b"extra=1".to_vec(),
+        ));
+        for msg in [fetch_req(b"q"), with_extras, get] {
+            let wire = msg.encode();
+            let view = crate::view::CoapView::parse(&wire).unwrap();
+            assert_eq!(cache_key_view(&view), cache_key(&msg), "{msg:?}");
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`cache`] — the RFC 7252 §5.6 freshness model: cache keys over
 //!   method + options (minus NoCacheKey) + payload (FETCH) or URI
 //!   (GET), Max-Age expiry, and ETag-based validation (2.03 Valid).
+//! * [`view`] — borrowed, zero-allocation [`CoapView`]s over wire
+//!   bytes for the decode hot path: lazy option iteration over borrowed
+//!   values, borrowed token/payload, with a `to_owned()` escape hatch.
 //!
 //! The implementation is deterministic (seeded jitter) so that testbed
 //! experiments are exactly reproducible.
@@ -53,10 +56,12 @@ pub mod cache;
 pub mod msg;
 pub mod opt;
 pub mod reliability;
+pub mod view;
 
 pub use block::BlockOpt;
 pub use msg::{CoapMessage, Code, MsgType};
 pub use opt::OptionNumber;
+pub use view::{CoapView, OptionView};
 
 /// Errors produced by the CoAP layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

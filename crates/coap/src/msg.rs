@@ -29,7 +29,8 @@ pub enum MsgType {
 }
 
 impl MsgType {
-    fn to_bits(self) -> u8 {
+    /// The 2-bit wire representation (RFC 7252 §3).
+    pub fn to_bits(self) -> u8 {
         match self {
             MsgType::Con => 0,
             MsgType::Non => 1,
@@ -37,7 +38,7 @@ impl MsgType {
             MsgType::Rst => 3,
         }
     }
-    fn from_bits(b: u8) -> Self {
+    pub(crate) fn from_bits(b: u8) -> Self {
         match b & 3 {
             0 => MsgType::Con,
             1 => MsgType::Non,
@@ -169,11 +170,19 @@ impl CoapMessage {
 
     /// Build a piggybacked (ACK) response to `req`.
     pub fn ack_response(req: &CoapMessage, code: Code) -> Self {
+        Self::ack_reply(req.message_id, req.token.clone(), code)
+    }
+
+    /// Build a piggybacked (ACK) response from the exchange identifiers
+    /// directly, taking ownership of the token — the no-clone path for
+    /// reply construction from consumed exchange state or a borrowed
+    /// request view.
+    pub fn ack_reply(message_id: u16, token: Vec<u8>, code: Code) -> Self {
         CoapMessage {
             mtype: MsgType::Ack,
             code,
-            message_id: req.message_id,
-            token: req.token.clone(),
+            message_id,
+            token,
             options: Vec::new(),
             payload: Vec::new(),
         }
@@ -407,15 +416,27 @@ fn push_ext(nib: u8, v: u32, out: &mut Vec<u8>) {
 /// Header, extended bytes and value go directly into `out` — no
 /// intermediate buffers.
 pub fn encode_option_into(prev_number: u16, opt: &CoapOption, out: &mut Vec<u8>) -> u16 {
-    debug_assert!(opt.number.0 >= prev_number, "options must be ordered");
-    let delta = (opt.number.0 - prev_number) as u32;
-    let len = opt.value.len() as u32;
+    encode_raw_option_into(prev_number, opt.number.0, &opt.value, out)
+}
+
+/// [`encode_option_into`] for a raw (number, value) pair — lets callers
+/// emit options whose values live on the stack (e.g. the OSCORE option
+/// in the wire-direct protect path) without building a [`CoapOption`].
+pub fn encode_raw_option_into(
+    prev_number: u16,
+    number: u16,
+    value: &[u8],
+    out: &mut Vec<u8>,
+) -> u16 {
+    debug_assert!(number >= prev_number, "options must be ordered");
+    let delta = (number - prev_number) as u32;
+    let len = value.len() as u32;
     let (dn, ln) = (nibble(delta), nibble(len));
     out.push((dn << 4) | ln);
     push_ext(dn, delta, out);
     push_ext(ln, len, out);
-    out.extend_from_slice(&opt.value);
-    opt.number.0
+    out.extend_from_slice(value);
+    number
 }
 
 /// Append a run of options in ascending option-number order.
@@ -448,8 +469,11 @@ where
     }
 }
 
-/// Read an extended delta/length value.
-fn read_ext(nibble: u8, data: &[u8], pos: &mut usize) -> Result<u32, CoapError> {
+/// Read an extended delta/length value (RFC 7252 §3.1; nibble 15
+/// outside the payload marker is a format error). Shared with the
+/// borrowed [`crate::view::CoapView`] parser so the owned and view
+/// decoders can never diverge on these rules.
+pub(crate) fn read_ext(nibble: u8, data: &[u8], pos: &mut usize) -> Result<u32, CoapError> {
     match nibble {
         0..=12 => Ok(nibble as u32),
         13 => {

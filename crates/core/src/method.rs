@@ -153,6 +153,36 @@ pub fn extract_query(req: &CoapMessage) -> Result<Vec<u8>, DocError> {
     }
 }
 
+/// [`extract_query`] over a borrowed request view. FETCH/POST queries
+/// come back as a borrow of the datagram payload — no copy; only GET's
+/// base64url variable forces an owned decode.
+pub fn extract_query_view<'a>(
+    req: &doc_coap::view::CoapView<'a>,
+) -> Result<std::borrow::Cow<'a, [u8]>, DocError> {
+    match req.code {
+        Code::FETCH | Code::POST => {
+            if req.payload().is_empty() {
+                return Err(DocError::BadRequest);
+            }
+            Ok(std::borrow::Cow::Borrowed(req.payload()))
+        }
+        Code::GET => {
+            for q in req.options_of(OptionNumber::URI_QUERY) {
+                if let Some(encoded) = q.value.strip_prefix(b"dns=") {
+                    // base64url is ASCII; invalid UTF-8 is just an
+                    // invalid encoding.
+                    let s = std::str::from_utf8(encoded).map_err(|_| DocError::BadEncoding)?;
+                    return base64url::decode(s)
+                        .map(std::borrow::Cow::Owned)
+                        .map_err(|_| DocError::BadEncoding);
+                }
+            }
+            Err(DocError::BadRequest)
+        }
+        _ => Err(DocError::BadRequest),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

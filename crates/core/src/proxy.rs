@@ -7,9 +7,11 @@
 //! paper's §4.2 design — and with OSCORE the proxy caches *encrypted*
 //! responses it cannot read (Fig. 4b).
 
-use doc_coap::cache::{cache_key, CacheKey, Lookup, ResponseCache};
+use doc_coap::cache::{cache_key, cache_key_view, CacheKey, Lookup, ResponseCache};
 use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_coap::view::CoapView;
+use doc_coap::CoapError;
 use std::collections::HashMap;
 
 /// What the proxy decided to do with a client request.
@@ -83,44 +85,97 @@ impl CoapProxy {
     }
 
     /// Handle a client request at time `now_ms`.
+    ///
+    /// Owned-message convenience wrapper over the wire hot path: the
+    /// request is encoded once and handled as a borrowed view, so both
+    /// entry points exercise exactly the same logic (the serialize pass
+    /// is the deliberate price for not maintaining two request
+    /// handlers; latency-sensitive callers hold wire bytes already and
+    /// use [`CoapProxy::handle_client_request_wire`] directly). A
+    /// message that cannot be represented on the wire (e.g. a token
+    /// longer than 8 bytes) is answered `4.00 Bad Request` rather than
+    /// processed — with the token truncated to 8 bytes so the reply
+    /// itself stays encodable.
     pub fn handle_client_request(&mut self, req: &CoapMessage, now_ms: u64) -> ProxyAction {
+        if req.token.len() > 8 {
+            self.stats.requests += 1;
+            return ProxyAction::Respond(Box::new(CoapMessage::ack_reply(
+                req.message_id,
+                req.token[..8].to_vec(),
+                Code::BAD_REQUEST,
+            )));
+        }
+        let wire = req.encode();
+        match self.handle_client_request_wire(&wire, now_ms) {
+            Ok(action) => action,
+            Err(_) => {
+                self.stats.requests += 1;
+                ProxyAction::Respond(Box::new(CoapMessage::ack_reply(
+                    req.message_id,
+                    req.token.clone(),
+                    Code::BAD_REQUEST,
+                )))
+            }
+        }
+    }
+
+    /// Handle a client request straight from its datagram bytes — the
+    /// zero-copy hot path. The request is parsed as a borrowed
+    /// [`CoapView`]: a fresh cache hit touches no owned message at all
+    /// (the key is derived from the view, the reply reuses the cached
+    /// entry), and the request is materialized with `to_owned()` only
+    /// at the single point where it must outlive the datagram — when it
+    /// is forwarded upstream and parked in the outstanding-exchange
+    /// table.
+    pub fn handle_client_request_wire(
+        &mut self,
+        wire: &[u8],
+        now_ms: u64,
+    ) -> Result<ProxyAction, CoapError> {
+        let req = CoapView::parse(wire)?;
         self.stats.requests += 1;
-        let client_etag = req.option(OptionNumber::ETAG).map(|o| o.value.clone());
         if !doc_coap::cache::is_cacheable_method(req.code) {
             // POST etc.: pure pass-through.
             self.stats.forwards += 1;
-            return self.forward(req, None, false);
+            return Ok(self.forward(req.to_owned(), None, false));
         }
-        let key = cache_key(req);
+        let key = cache_key_view(&req);
         match self.cache.lookup(&key, now_ms) {
             Lookup::Fresh(cached) => {
                 self.stats.cache_hits += 1;
-                let resp = self.reply_from_entry(req, &cached, client_etag.as_deref());
-                ProxyAction::Respond(Box::new(resp))
+                let client_etag = req.option(OptionNumber::ETAG).map(|o| o.value);
+                let resp = Self::reply_from_entry(
+                    req.message_id,
+                    req.token().to_vec(),
+                    &cached,
+                    client_etag,
+                );
+                Ok(ProxyAction::Respond(Box::new(resp)))
             }
             Lookup::Stale { etag, .. } => {
                 // Revalidate upstream with the cached ETag.
                 self.stats.revalidations += 1;
-                let mut upstream_req = req.clone();
+                let original = req.to_owned();
+                let mut upstream_req = original.clone();
                 upstream_req.set_option(CoapOption::new(OptionNumber::ETAG, etag));
-                self.forward(&upstream_req, Some(req.clone()), true)
+                Ok(self.forward(upstream_req, Some(original), true))
             }
             Lookup::Miss | Lookup::StaleNoEtag => {
                 self.stats.forwards += 1;
-                self.forward(req, None, false)
+                Ok(self.forward(req.to_owned(), None, false))
             }
         }
     }
 
     fn forward(
         &mut self,
-        upstream_req: &CoapMessage,
+        upstream_req: CoapMessage,
         original: Option<CoapMessage>,
         revalidating: bool,
     ) -> ProxyAction {
         let id = self.next_exchange;
         self.next_exchange += 1;
-        let client_request = original.clone().unwrap_or_else(|| upstream_req.clone());
+        let client_request = original.unwrap_or_else(|| upstream_req.clone());
         let client_etag = client_request
             .option(OptionNumber::ETAG)
             .map(|o| o.value.clone());
@@ -134,7 +189,7 @@ impl CoapProxy {
             },
         );
         ProxyAction::Forward {
-            request: Box::new(upstream_req.clone()),
+            request: Box::new(upstream_req),
             exchange_id: id,
         }
     }
@@ -148,21 +203,27 @@ impl CoapProxy {
         resp: &CoapMessage,
         now_ms: u64,
     ) -> Option<CoapMessage> {
-        let out = self.outstanding.remove(&exchange_id)?;
+        let mut out = self.outstanding.remove(&exchange_id)?;
+        // The exchange state is consumed here: its identifiers move
+        // into the reply instead of being cloned.
+        let client_mid = out.client_request.message_id;
+        let client_token = std::mem::take(&mut out.client_request.token);
         match resp.code {
             Code::VALID if out.revalidating => {
                 self.stats.revalidated += 1;
                 let refreshed = self.cache.revalidate(&out.key, resp, now_ms);
                 match refreshed {
-                    Some(entry) => Some(self.reply_from_entry(
-                        &out.client_request,
+                    Some(entry) => Some(Self::reply_from_entry(
+                        client_mid,
+                        client_token,
                         &entry,
                         out.client_etag.as_deref(),
                     )),
                     // Entry evicted meanwhile: degrade to an error the
                     // client will retry.
-                    None => Some(CoapMessage::ack_response(
-                        &out.client_request,
+                    None => Some(CoapMessage::ack_reply(
+                        client_mid,
+                        client_token,
                         Code::BAD_GATEWAY,
                     )),
                 }
@@ -173,14 +234,19 @@ impl CoapProxy {
                 {
                     self.cache.insert(out.key, resp.clone(), now_ms);
                 }
-                Some(self.reply_from_entry(&out.client_request, resp, out.client_etag.as_deref()))
+                Some(Self::reply_from_entry(
+                    client_mid,
+                    client_token,
+                    resp,
+                    out.client_etag.as_deref(),
+                ))
             }
             _ => {
                 // Error responses pass through unchanged (re-keyed to
                 // the client's exchange).
                 let mut relay = resp.clone();
-                relay.message_id = out.client_request.message_id;
-                relay.token = out.client_request.token.clone();
+                relay.message_id = client_mid;
+                relay.token = client_token;
                 Some(relay)
             }
         }
@@ -188,16 +254,18 @@ impl CoapProxy {
 
     /// Build the client-facing reply from a cached/fresh entry,
     /// downgrading to `2.03 Valid` when the client already holds the
-    /// same representation (its ETag matches).
+    /// same representation (its ETag matches). The client token is
+    /// taken by value — moved from consumed exchange state or copied
+    /// once out of a borrowed request view, never double-cloned.
     fn reply_from_entry(
-        &self,
-        client_req: &CoapMessage,
+        client_mid: u16,
+        client_token: Vec<u8>,
         entry: &CoapMessage,
         client_etag: Option<&[u8]>,
     ) -> CoapMessage {
         let entry_etag = entry.option(OptionNumber::ETAG).map(|o| o.value.clone());
-        let mut resp = if client_etag.is_some() && client_etag == entry_etag.as_deref() {
-            let mut v = CoapMessage::ack_response(client_req, Code::VALID);
+        if client_etag.is_some() && client_etag == entry_etag.as_deref() {
+            let mut v = CoapMessage::ack_reply(client_mid, client_token, Code::VALID);
             if let Some(e) = entry_etag {
                 v.set_option(CoapOption::new(OptionNumber::ETAG, e));
             }
@@ -205,15 +273,11 @@ impl CoapProxy {
             v
         } else {
             let mut full = entry.clone();
-            full.message_id = client_req.message_id;
-            full.token = client_req.token.clone();
+            full.message_id = client_mid;
+            full.token = client_token;
             full.mtype = doc_coap::msg::MsgType::Ack;
             full
-        };
-        // Never leak the upstream exchange's identifiers.
-        resp.message_id = client_req.message_id;
-        resp.token = client_req.token.clone();
-        resp
+        }
     }
 }
 
@@ -290,6 +354,43 @@ mod tests {
         assert_eq!(r2.max_age(), 290);
         // Token/MID belong to the second client exchange.
         assert_eq!(r2.token, fetch_req(2).token);
+    }
+
+    /// The wire entry point (borrowed-view hot path) behaves exactly
+    /// like the owned one: miss → forward, hit → cached reply with the
+    /// second client's exchange identifiers.
+    #[test]
+    fn miss_then_hit_on_wire_path() {
+        let mut proxy = CoapProxy::new(8);
+        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let wire1 = fetch_req(1).encode();
+        let action = proxy.handle_client_request_wire(&wire1, 0).unwrap();
+        let r1 = match action {
+            ProxyAction::Forward {
+                request,
+                exchange_id,
+            } => {
+                let upstream = server.handle_request(&request, 0);
+                proxy
+                    .handle_upstream_response(exchange_id, &upstream, 0)
+                    .unwrap()
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r1.code, Code::CONTENT);
+        // Second request hits the cache without any owned decode.
+        let wire2 = fetch_req(2).encode();
+        let r2 = match proxy.handle_client_request_wire(&wire2, 10_000).unwrap() {
+            ProxyAction::Respond(resp) => *resp,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r2.code, Code::CONTENT);
+        assert_eq!(proxy.stats.cache_hits, 1);
+        assert_eq!(r2.token, fetch_req(2).token);
+        assert_eq!(r2.message_id, fetch_req(2).message_id);
+        assert_eq!(r2.max_age(), 290);
+        // Malformed datagrams are rejected, not panicked on.
+        assert!(proxy.handle_client_request_wire(&[0xFF, 0x01], 0).is_err());
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //! configured range, e.g. the 2–8 s of §6.1), which is precisely the
 //! behaviour that makes DoH-like ETags churn.
 
-use crate::method::extract_query;
+use crate::method::extract_query_view;
 use crate::policy::{prepare_response, CachePolicy, PreparedResponse};
 use crate::{DocError, CONTENT_FORMAT_DNS_MESSAGE};
 use doc_coap::block::{Block2Server, BlockAssembler, BlockOpt};
 use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_coap::view::CoapView;
+use doc_coap::CoapError;
+use doc_dns::view::MessageView;
 use doc_dns::{Message, Name, Rcode, Record, RecordClass, RecordData, RecordType};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// A programmable mock recursive resolver.
@@ -190,14 +194,58 @@ impl DocServer {
 
     /// Handle one DoC request from peer `peer` (block-wise transfer
     /// state is scoped per peer).
+    ///
+    /// Owned-message convenience wrapper over the wire hot path: the
+    /// request is encoded once and handled as a borrowed view, so both
+    /// entry points exercise exactly the same logic (the serialize pass
+    /// is the deliberate price for not maintaining two request
+    /// handlers; latency-sensitive callers hold wire bytes already and
+    /// use [`DocServer::handle_request_wire`] directly). A message that
+    /// cannot be represented on the wire (e.g. a token longer than 8
+    /// bytes) is answered `4.00 Bad Request` rather than processed —
+    /// with the token truncated to 8 bytes so the reply itself stays
+    /// encodable.
     pub fn handle_request_from(
         &mut self,
         peer: u64,
         req: &CoapMessage,
         now_ms: u64,
     ) -> CoapMessage {
+        if req.token.len() > 8 {
+            self.stats.requests += 1;
+            self.stats.errors += 1;
+            return CoapMessage::ack_reply(
+                req.message_id,
+                req.token[..8].to_vec(),
+                Code::BAD_REQUEST,
+            );
+        }
+        let wire = req.encode();
+        match self.handle_request_wire(peer, &wire, now_ms) {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.stats.requests += 1;
+                self.stats.errors += 1;
+                CoapMessage::ack_reply(req.message_id, req.token.clone(), Code::BAD_REQUEST)
+            }
+        }
+    }
+
+    /// Handle one DoC request straight from its datagram bytes — the
+    /// zero-copy hot path. The CoAP request is parsed as a borrowed
+    /// [`CoapView`] and the DNS query inside it as a borrowed
+    /// [`MessageView`] (pure validation plus field access, no per-label
+    /// `Vec`s); an owned query is materialized only at the upstream
+    /// resolve boundary, where the resolver builds the response from it.
+    pub fn handle_request_wire(
+        &mut self,
+        peer: u64,
+        wire: &[u8],
+        now_ms: u64,
+    ) -> Result<CoapMessage, CoapError> {
+        let req = CoapView::parse(wire)?;
         self.stats.requests += 1;
-        match self.try_handle(peer, req, now_ms) {
+        Ok(match self.try_handle(peer, &req, now_ms) {
             Ok(resp) => resp,
             Err(e) => {
                 self.stats.errors += 1;
@@ -206,56 +254,58 @@ impl DocServer {
                     DocError::BadRequest => Code::METHOD_NOT_ALLOWED,
                     _ => Code::INTERNAL_SERVER_ERROR,
                 };
-                CoapMessage::ack_response(req, code)
+                CoapMessage::ack_reply(req.message_id, req.token().to_vec(), code)
             }
-        }
+        })
     }
 
     fn try_handle(
         &mut self,
         peer: u64,
-        req: &CoapMessage,
+        req: &CoapView<'_>,
         now_ms: u64,
     ) -> Result<CoapMessage, DocError> {
-        let mut req = req.clone();
-
         // Block1 reassembly: a block-wise transferred query (paper
         // Fig. 12a) is accumulated per token; non-final blocks are
         // answered 2.31 Continue.
-        if let Some(Ok(block1)) = BlockOpt::from_message(&req, OptionNumber::BLOCK1) {
+        let mut reassembled: Option<Vec<u8>> = None;
+        if let Some(Ok(block1)) = BlockOpt::from_view(req, OptionNumber::BLOCK1) {
             let assembler = self
                 .block1_assembly
-                .entry((peer, req.token.clone()))
+                .entry((peer, req.token().to_vec()))
                 .or_default();
-            match assembler.push(block1, &req.payload) {
+            match assembler.push(block1, req.payload()) {
                 Ok(Some(full)) => {
-                    self.block1_assembly.remove(&(peer, req.token.clone()));
-                    req.payload = full;
-                    req.remove_option(OptionNumber::BLOCK1);
+                    self.block1_assembly.remove(&(peer, req.token().to_vec()));
+                    reassembled = Some(full);
                     // fall through to normal processing
                 }
                 Ok(None) => {
-                    return Ok(doc_coap::block::continue_response(&req, block1));
+                    return Ok(doc_coap::block::continue_reply(
+                        req.message_id,
+                        req.token().to_vec(),
+                        block1,
+                    ));
                 }
                 Err(_) => {
-                    self.block1_assembly.remove(&(peer, req.token.clone()));
+                    self.block1_assembly.remove(&(peer, req.token().to_vec()));
                     return Err(DocError::BadRequest);
                 }
             }
         }
-        let req = &req;
 
         // Block2 continuation: serve the next block of a response we
         // already prepared.
-        if let Some(Ok(block2)) = BlockOpt::from_message(req, OptionNumber::BLOCK2) {
+        if let Some(Ok(block2)) = BlockOpt::from_view(req, OptionNumber::BLOCK2) {
             if block2.num > 0 {
-                if let Some(payload) = self.block_state.get(&(peer, req.token.clone())) {
+                if let Some(payload) = self.block_state.get(&(peer, req.token().to_vec())) {
                     let server = Block2Server::new(payload.clone(), block2.size())
                         .map_err(|_| DocError::BadRequest)?;
                     let (slice, opt) = server
                         .block(block2.num, block2.size())
                         .map_err(|_| DocError::BadRequest)?;
-                    let mut resp = CoapMessage::ack_response(req, Code::CONTENT);
+                    let mut resp =
+                        CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::CONTENT);
                     resp.set_option(opt.to_option(OptionNumber::BLOCK2));
                     resp.payload = slice;
                     self.stats.full_responses += 1;
@@ -264,8 +314,24 @@ impl DocServer {
             }
         }
 
-        let query_bytes = extract_query(req)?;
-        let query = Message::decode(&query_bytes).map_err(|_| DocError::BadDnsMessage)?;
+        // FETCH/POST queries stay borrowed from the datagram (or the
+        // reassembled body); only GET's base64url variable is decoded
+        // into an owned buffer. Any other method is rejected by
+        // `extract_query_view` regardless of Block1 reassembly.
+        let query_bytes: Cow<'_, [u8]> = match reassembled {
+            Some(full) if matches!(req.code, Code::FETCH | Code::POST) => {
+                if full.is_empty() {
+                    return Err(DocError::BadRequest);
+                }
+                Cow::Owned(full)
+            }
+            _ => extract_query_view(req)?,
+        };
+        // Validate the DNS query in place; materialize the owned query
+        // only for the upstream resolver, which builds the response
+        // message from it.
+        let qview = MessageView::parse(&query_bytes).map_err(|_| DocError::BadDnsMessage)?;
+        let query = qview.to_owned();
         let resolved = self.upstream.resolve(&query, now_ms);
         let prepared = self.prepare(&resolved);
 
@@ -274,7 +340,8 @@ impl DocServer {
         if let Some(etag_opt) = req.option(OptionNumber::ETAG) {
             if etag_opt.value == prepared.etag {
                 self.stats.validations += 1;
-                let mut resp = CoapMessage::ack_response(req, Code::VALID);
+                let mut resp =
+                    CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::VALID);
                 resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag));
                 resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, prepared.max_age));
                 return Ok(resp);
@@ -282,7 +349,7 @@ impl DocServer {
         }
 
         self.stats.full_responses += 1;
-        let mut resp = CoapMessage::ack_response(req, Code::CONTENT);
+        let mut resp = CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::CONTENT);
         resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag.clone()));
         resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, prepared.max_age));
         resp.set_option(CoapOption::uint(
@@ -291,14 +358,14 @@ impl DocServer {
         ));
 
         // Proactive Block2 slicing.
-        let requested_size = BlockOpt::from_message(req, OptionNumber::BLOCK2)
+        let requested_size = BlockOpt::from_view(req, OptionNumber::BLOCK2)
             .and_then(|r| r.ok())
             .map(|b| b.size());
         let slice_size = requested_size.or(self.block_size);
         match slice_size {
             Some(size) if prepared.payload.len() > size => {
                 self.block_state
-                    .insert((peer, req.token.clone()), prepared.payload.clone());
+                    .insert((peer, req.token().to_vec()), prepared.payload.clone());
                 let server =
                     Block2Server::new(prepared.payload, size).map_err(|_| DocError::BadRequest)?;
                 let (slice, opt) = server.block(0, size).map_err(|_| DocError::BadRequest)?;
@@ -361,6 +428,26 @@ mod tests {
         assert_eq!(msg.answers.len(), 1);
         assert_eq!(msg.answers[0].ttl, 0, "EOL TTLs zeroed");
         assert_eq!(msg.header.rcode, Rcode::NoError);
+    }
+
+    /// The wire entry point (borrowed-view hot path) matches the owned
+    /// one byte for byte, including error replies.
+    #[test]
+    fn wire_path_matches_owned_path() {
+        let mut s1 = server(CachePolicy::EolTtls);
+        let mut s2 = server(CachePolicy::EolTtls);
+        let req = fetch_req(1);
+        let owned = s1.handle_request(&req, 0);
+        let via_wire = s2.handle_request_wire(0, &req.encode(), 0).unwrap();
+        assert_eq!(owned, via_wire);
+        // Malformed DNS payload → 4.00 via both paths.
+        let bad = build_request(DocMethod::Fetch, &[1, 2, 3], MsgType::Con, 2, vec![2]).unwrap();
+        assert_eq!(
+            s1.handle_request(&bad, 0),
+            s2.handle_request_wire(0, &bad.encode(), 0).unwrap()
+        );
+        // Malformed CoAP datagram is rejected, not panicked on.
+        assert!(s2.handle_request_wire(0, &[0xFF], 0).is_err());
     }
 
     #[test]
@@ -473,6 +560,22 @@ mod tests {
         let mut s = server(CachePolicy::EolTtls);
         let req =
             CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1]).with_payload(query_bytes());
+        let resp = s.handle_request(&req, 0);
+        assert_eq!(resp.code, Code::METHOD_NOT_ALLOWED);
+    }
+
+    /// Regression: a Block1-reassembled request must still pass method
+    /// validation — a PUT carrying a final Block1 is not a DoC query.
+    #[test]
+    fn wrong_method_with_block1_rejected() {
+        let mut s = server(CachePolicy::EolTtls);
+        let mut req =
+            CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1]).with_payload(query_bytes());
+        req.set_option(
+            doc_coap::block::BlockOpt::new(0, false, 64)
+                .unwrap()
+                .to_option(OptionNumber::BLOCK1),
+        );
         let resp = s.handle_request(&req, 0);
         assert_eq!(resp.code, Code::METHOD_NOT_ALLOWED);
     }

@@ -103,6 +103,26 @@ impl AesCcm {
         Ok(())
     }
 
+    /// [`AesCcm::seal_in_place`] over only the tail `buf[start..]`: the
+    /// suffix holding the plaintext becomes `ciphertext || tag` while
+    /// everything before `start` (outer headers, options, markers) is
+    /// left untouched. This is what lets OSCORE serialize a whole outer
+    /// message into one buffer and protect the inner part at the end.
+    pub fn seal_suffix_in_place(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+        start: usize,
+    ) -> Result<(), CryptoError> {
+        debug_assert!(start <= buf.len());
+        self.check_seal_params(nonce, buf.len() - start)?;
+        let tag = self.cbc_mac(nonce, aad, &buf[start..]);
+        self.ctr_xor(nonce, &mut buf[start..]);
+        self.append_encrypted_tag(nonce, &tag, buf);
+        Ok(())
+    }
+
     fn check_seal_params(&self, nonce: &[u8], plaintext_len: usize) -> Result<(), CryptoError> {
         if nonce.len() != self.nonce_len() {
             return Err(CryptoError::InvalidParameter);
@@ -129,6 +149,22 @@ impl AesCcm {
         aad: &[u8],
         ciphertext_and_tag: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut plain = Vec::with_capacity(ciphertext_and_tag.len().saturating_sub(self.tag_len));
+        self.open_into(nonce, aad, ciphertext_and_tag, &mut plain)?;
+        Ok(plain)
+    }
+
+    /// Decrypt and verify `ciphertext || tag`, appending the plaintext
+    /// to `out` — the allocation-free unprotect counterpart of
+    /// [`AesCcm::seal_into`] for callers with a reusable buffer. On
+    /// authentication failure `out` is restored to its original length.
+    pub fn open_into(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
         if nonce.len() != self.nonce_len() {
             return Err(CryptoError::InvalidParameter);
         }
@@ -137,19 +173,21 @@ impl AesCcm {
         }
         let split = ciphertext_and_tag.len() - self.tag_len;
         let (ct, recv_tag_enc) = ciphertext_and_tag.split_at(split);
-        let mut plain = ct.to_vec();
-        self.ctr_xor(nonce, &mut plain);
-        let expect_tag = self.cbc_mac(nonce, aad, &plain);
+        let start = out.len();
+        out.extend_from_slice(ct);
+        self.ctr_xor(nonce, &mut out[start..]);
+        let expect_tag = self.cbc_mac(nonce, aad, &out[start..]);
         let a0 = self.counter_block(nonce, 0);
         let s0 = self.aes.encrypt(&a0);
-        let mut recv_tag = vec![0u8; self.tag_len];
+        let mut recv_tag = [0u8; 16];
         for i in 0..self.tag_len {
             recv_tag[i] = recv_tag_enc[i] ^ s0[i];
         }
-        if !ct_eq(&recv_tag, &expect_tag[..self.tag_len]) {
+        if !ct_eq(&recv_tag[..self.tag_len], &expect_tag[..self.tag_len]) {
+            out.truncate(start);
             return Err(CryptoError::AuthFailed);
         }
-        Ok(plain)
+        Ok(())
     }
 
     /// Compute the raw (unencrypted) CBC-MAC tag over B_0 || AAD blocks
@@ -268,7 +306,8 @@ mod tests {
         assert_eq!(opened, plain);
     }
 
-    /// `seal_in_place` / `seal_into` are byte-identical to `seal`.
+    /// `seal_in_place` / `seal_into` / `seal_suffix_in_place` are
+    /// byte-identical to `seal`.
     #[test]
     fn seal_variants_agree() {
         let ccm = AesCcm::new(&[7u8; 16], 8, 2).unwrap();
@@ -286,7 +325,34 @@ mod tests {
         assert_eq!(&framed[..2], &[0xEE, 0xFF]);
         assert_eq!(&framed[2..], &sealed[..]);
 
+        let mut suffixed = vec![0xEE, 0xFF];
+        suffixed.extend_from_slice(plain);
+        ccm.seal_suffix_in_place(&nonce, aad, &mut suffixed, 2)
+            .unwrap();
+        assert_eq!(&suffixed[..2], &[0xEE, 0xFF]);
+        assert_eq!(&suffixed[2..], &sealed[..]);
+
         assert_eq!(ccm.open(&nonce, aad, &sealed).unwrap(), plain);
+    }
+
+    /// `open_into` appends after existing bytes, and restores the
+    /// buffer on authentication failure.
+    #[test]
+    fn open_into_appends_and_rolls_back() {
+        let ccm = AesCcm::cose_ccm_16_64_128(&[7u8; 16]);
+        let nonce = [9u8; 13];
+        let sealed = ccm.seal(&nonce, b"aad", b"payload").unwrap();
+        let mut out = vec![0xAB];
+        ccm.open_into(&nonce, b"aad", &sealed, &mut out).unwrap();
+        assert_eq!(out, b"\xABpayload");
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        let mut out = vec![0xAB];
+        assert_eq!(
+            ccm.open_into(&nonce, b"aad", &bad, &mut out),
+            Err(CryptoError::AuthFailed)
+        );
+        assert_eq!(out, vec![0xAB], "buffer restored on failure");
     }
 
     /// RFC 3610 packet vector #2 (plaintext not block-aligned).

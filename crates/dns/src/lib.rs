@@ -16,6 +16,10 @@
 //!   sketched in §7 of the paper (draft-lenders-dns-cbor): a DNS query
 //!   becomes a CBOR array `[name, ?type, ?class]` (type/class elided for
 //!   AAAA/IN), a response becomes the answer section as a CBOR array.
+//! * [`view`] — borrowed, zero-allocation [`MessageView`]s over wire
+//!   bytes for the decode hot path: lazy question/record iterators that
+//!   resolve compression pointers against the original buffer, with
+//!   `to_owned()` escape hatches back to the owned types.
 //!
 //! The crate is `std`-only but allocation-light; all parsers are total
 //! (no panics on arbitrary input), which the property tests assert.
@@ -49,10 +53,12 @@ pub mod dnssd;
 pub mod message;
 pub mod name;
 pub mod rr;
+pub mod view;
 
 pub use message::{Header, Message, Opcode, Question, Rcode, Section};
 pub use name::{CompressionMap, Name};
 pub use rr::{Record, RecordClass, RecordData, RecordType};
+pub use view::{MessageView, NameRef, QuestionView, RecordView};
 
 /// Errors produced when encoding or decoding DNS data.
 #[derive(Debug, Clone, PartialEq, Eq)]

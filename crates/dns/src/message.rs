@@ -21,7 +21,7 @@ impl Opcode {
             Opcode::Other(v) => v & 0x0F,
         }
     }
-    fn from_u8(v: u8) -> Self {
+    pub(crate) fn from_u8(v: u8) -> Self {
         match v & 0x0F {
             0 => Opcode::Query,
             other => Opcode::Other(other),
@@ -60,7 +60,7 @@ impl Rcode {
             Rcode::Other(v) => v & 0x0F,
         }
     }
-    fn from_u8(v: u8) -> Self {
+    pub(crate) fn from_u8(v: u8) -> Self {
         match v & 0x0F {
             0 => Rcode::NoError,
             1 => Rcode::FormErr,

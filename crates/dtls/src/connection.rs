@@ -24,7 +24,7 @@ use crate::handshake::{
     ClientHello, ClientKeyExchangePsk, HelloVerifyRequest, HsMessage, HsType, ServerHello,
     TLS_PSK_WITH_AES_128_CCM_8, VERIFY_DATA_LEN,
 };
-use crate::record::{CipherState, ContentType, Record, ReplayWindow};
+use crate::record::{CipherState, ContentType, Record, RecordView, ReplayWindow};
 use crate::DtlsError;
 use doc_crypto::prf::{prf, psk_premaster_secret};
 use doc_crypto::sha256::Sha256;
@@ -323,11 +323,12 @@ impl DtlsClient {
         .encode())
     }
 
-    /// Process an incoming datagram.
+    /// Process an incoming datagram. Records are walked as borrowed
+    /// [`RecordView`]s — payloads are only copied out of the datagram
+    /// by decryption (or epoch-0 handshake reassembly).
     pub fn handle_datagram(&mut self, now: u64, datagram: &[u8]) -> Vec<DtlsEvent> {
-        let records = match Record::decode_all(datagram) {
-            Ok(r) => r,
-            Err(_) => return Vec::new(),
+        let Ok(records) = RecordView::iter(datagram).collect::<Result<Vec<_>, _>>() else {
+            return Vec::new();
         };
         let mut events = Vec::new();
         for rec in records {
@@ -339,11 +340,15 @@ impl DtlsClient {
         events
     }
 
-    fn handle_record(&mut self, now: u64, rec: Record) -> Result<Vec<DtlsEvent>, DtlsError> {
+    fn handle_record(
+        &mut self,
+        now: u64,
+        rec: RecordView<'_>,
+    ) -> Result<Vec<DtlsEvent>, DtlsError> {
         match rec.ctype {
             ContentType::Handshake => {
                 let body = if rec.epoch == 0 {
-                    rec.payload.clone()
+                    rec.payload.to_vec()
                 } else {
                     if !self.session.replay.check_and_update(rec.seq) {
                         return Err(DtlsError::Replay);
@@ -352,7 +357,7 @@ impl DtlsClient {
                         .read
                         .as_ref()
                         .ok_or(DtlsError::UnexpectedMessage)?
-                        .open(ContentType::Handshake, rec.epoch, rec.seq, &rec.payload)?
+                        .open(ContentType::Handshake, rec.epoch, rec.seq, rec.payload)?
                 };
                 let (msg, _) = HsMessage::decode(&body)?;
                 self.handle_handshake(now, msg)
@@ -375,7 +380,7 @@ impl DtlsClient {
                     ContentType::ApplicationData,
                     rec.epoch,
                     rec.seq,
-                    &rec.payload,
+                    rec.payload,
                 )?;
                 Ok(vec![DtlsEvent::ApplicationData(plain)])
             }
@@ -600,11 +605,12 @@ impl DtlsServer {
         .encode())
     }
 
-    /// Process an incoming datagram.
+    /// Process an incoming datagram. Records are walked as borrowed
+    /// [`RecordView`]s — payloads are only copied out of the datagram
+    /// by decryption (or epoch-0 handshake reassembly).
     pub fn handle_datagram(&mut self, now: u64, datagram: &[u8]) -> Vec<DtlsEvent> {
-        let records = match Record::decode_all(datagram) {
-            Ok(r) => r,
-            Err(_) => return Vec::new(),
+        let Ok(records) = RecordView::iter(datagram).collect::<Result<Vec<_>, _>>() else {
+            return Vec::new();
         };
         let mut events = Vec::new();
         for rec in records {
@@ -615,11 +621,15 @@ impl DtlsServer {
         events
     }
 
-    fn handle_record(&mut self, _now: u64, rec: Record) -> Result<Vec<DtlsEvent>, DtlsError> {
+    fn handle_record(
+        &mut self,
+        _now: u64,
+        rec: RecordView<'_>,
+    ) -> Result<Vec<DtlsEvent>, DtlsError> {
         match rec.ctype {
             ContentType::Handshake => {
                 let body = if rec.epoch == 0 {
-                    rec.payload.clone()
+                    rec.payload.to_vec()
                 } else {
                     if !self.session.replay.check_and_update(rec.seq) {
                         return Err(DtlsError::Replay);
@@ -628,7 +638,7 @@ impl DtlsServer {
                         .read
                         .as_ref()
                         .ok_or(DtlsError::UnexpectedMessage)?
-                        .open(ContentType::Handshake, rec.epoch, rec.seq, &rec.payload)?
+                        .open(ContentType::Handshake, rec.epoch, rec.seq, rec.payload)?
                 };
                 let (msg, _) = HsMessage::decode(&body)?;
                 self.handle_handshake(msg)
@@ -651,7 +661,7 @@ impl DtlsServer {
                     ContentType::ApplicationData,
                     rec.epoch,
                     rec.seq,
-                    &rec.payload,
+                    rec.payload,
                 )?;
                 Ok(vec![DtlsEvent::ApplicationData(plain)])
             }

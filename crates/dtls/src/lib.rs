@@ -27,6 +27,7 @@ pub mod handshake;
 pub mod record;
 
 pub use connection::{DtlsClient, DtlsEvent, DtlsServer};
+pub use record::{Record, RecordView};
 
 /// Errors produced by the DTLS layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

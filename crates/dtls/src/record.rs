@@ -136,6 +136,95 @@ impl Record {
     }
 }
 
+/// A borrowed DTLS record: header fields decoded, payload left as a
+/// slice of the datagram — the unprotect path's zero-copy counterpart
+/// of [`Record::decode`], which copies every payload into a `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// Content type.
+    pub ctype: ContentType,
+    /// Epoch (increments at ChangeCipherSpec).
+    pub epoch: u16,
+    /// 48-bit sequence number.
+    pub seq: u64,
+    /// Record payload (borrowed; protected in epochs > 0).
+    pub payload: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// Decode one record from the front of `data` without copying the
+    /// payload; returns the view and the number of bytes consumed.
+    /// Accepts and rejects exactly the inputs [`Record::decode`] does.
+    pub fn decode(data: &'a [u8]) -> Result<(Self, usize), DtlsError> {
+        if data.len() < RECORD_HEADER_LEN {
+            return Err(DtlsError::Malformed);
+        }
+        let ctype = ContentType::from_u8(data[0])?;
+        if data[1..3] != VERSION_DTLS12 && data[1..3] != [254, 255] {
+            return Err(DtlsError::Malformed);
+        }
+        let epoch = u16::from_be_bytes([data[3], data[4]]);
+        let mut seq_bytes = [0u8; 8];
+        seq_bytes[2..].copy_from_slice(&data[5..11]);
+        let seq = u64::from_be_bytes(seq_bytes);
+        let len = u16::from_be_bytes([data[11], data[12]]) as usize;
+        let payload = data
+            .get(RECORD_HEADER_LEN..RECORD_HEADER_LEN + len)
+            .ok_or(DtlsError::Malformed)?;
+        Ok((
+            RecordView {
+                ctype,
+                epoch,
+                seq,
+                payload,
+            },
+            RECORD_HEADER_LEN + len,
+        ))
+    }
+
+    /// Iterate every record in a datagram lazily. A malformed record
+    /// surfaces as a final `Err` item; iteration stops after it.
+    pub fn iter(datagram: &'a [u8]) -> RecordViewIter<'a> {
+        RecordViewIter { rest: datagram }
+    }
+
+    /// Materialize an owned [`Record`].
+    pub fn to_owned(&self) -> Record {
+        Record {
+            ctype: self.ctype,
+            epoch: self.epoch,
+            seq: self.seq,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Lazy iterator over the records of a datagram.
+#[derive(Debug, Clone)]
+pub struct RecordViewIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for RecordViewIter<'a> {
+    type Item = Result<RecordView<'a>, DtlsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        match RecordView::decode(self.rest) {
+            Ok((view, used)) => {
+                self.rest = &self.rest[used..];
+                Some(Ok(view))
+            }
+            Err(e) => {
+                self.rest = &[];
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Write-direction cipher state for `TLS_PSK_WITH_AES_128_CCM_8`.
 pub struct CipherState {
     ccm: AesCcm,
@@ -202,6 +291,25 @@ impl CipherState {
         seq: u64,
         payload: &[u8],
     ) -> Result<Vec<u8>, DtlsError> {
+        let mut out = Vec::with_capacity(payload.len().saturating_sub(Self::OVERHEAD));
+        self.open_into(ctype, epoch, seq, payload, &mut out)?;
+        Ok(out)
+    }
+
+    /// Unprotect a record payload, appending the plaintext to a
+    /// caller-owned buffer — with a reused `out` the whole record
+    /// unprotect allocates nothing. Pairs with [`RecordView`] for the
+    /// zero-copy receive path: `RecordView::decode` borrows the payload
+    /// from the datagram, `open_into` decrypts it into the reused
+    /// buffer. On failure `out` is left at its original length.
+    pub fn open_into(
+        &self,
+        ctype: ContentType,
+        epoch: u16,
+        seq: u64,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), DtlsError> {
         if payload.len() < EXPLICIT_NONCE_LEN + TAG_LEN {
             return Err(DtlsError::Malformed);
         }
@@ -211,8 +319,18 @@ impl CipherState {
         let plain_len = ct.len() - TAG_LEN;
         let aad = Self::aad(ctype, epoch, seq, plain_len);
         self.ccm
-            .open(&nonce, &aad, ct)
+            .open_into(&nonce, &aad, ct, out)
             .map_err(|_| DtlsError::Crypto)
+    }
+
+    /// Unprotect a borrowed record in one step (view decode + AEAD
+    /// open into the reused buffer).
+    pub fn open_record_into(
+        &self,
+        record: &RecordView<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DtlsError> {
+        self.open_into(record.ctype, record.epoch, record.seq, record.payload, out)
     }
 
     /// Per-record protection overhead in bytes (nonce + tag) — the
@@ -371,6 +489,68 @@ mod tests {
             .open(ContentType::ApplicationData, 1, 42, &sealed)
             .unwrap();
         assert_eq!(plain, b"dns response");
+    }
+
+    #[test]
+    fn record_view_agrees_with_owned() {
+        let r1 = Record {
+            ctype: ContentType::ChangeCipherSpec,
+            epoch: 0,
+            seq: 1,
+            payload: vec![1],
+        };
+        let r2 = Record {
+            ctype: ContentType::ApplicationData,
+            epoch: 1,
+            seq: 0x0000_FFFF_FFFF_FFFF,
+            payload: vec![9; 20],
+        };
+        let mut wire = r1.encode();
+        wire.extend_from_slice(&r2.encode());
+        let views: Vec<RecordView> = RecordView::iter(&wire).map(|r| r.unwrap()).collect();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].to_owned(), r1);
+        assert_eq!(views[1].to_owned(), r2);
+        // Rejection parity with the owned decoder on truncations.
+        for cut in 0..wire.len() {
+            assert_eq!(
+                RecordView::decode(&wire[..cut]).is_ok(),
+                Record::decode(&wire[..cut]).is_ok(),
+                "divergence at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_into_reuses_buffer_and_rolls_back() {
+        let cs = CipherState::new(&[7u8; 16], [1, 2, 3, 4]);
+        let sealed_rec = Record {
+            ctype: ContentType::ApplicationData,
+            epoch: 1,
+            seq: 42,
+            payload: cs
+                .seal(ContentType::ApplicationData, 1, 42, b"dns response")
+                .unwrap(),
+        };
+        let wire = sealed_rec.encode();
+        let (view, _) = RecordView::decode(&wire).unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            buf.clear();
+            cs.open_record_into(&view, &mut buf).unwrap();
+            assert_eq!(buf, b"dns response");
+        }
+        // Tampered ciphertext leaves the buffer untouched.
+        let mut bad = view.payload.to_vec();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        buf.clear();
+        buf.push(0x77);
+        assert_eq!(
+            cs.open_into(ContentType::ApplicationData, 1, 42, &bad, &mut buf),
+            Err(DtlsError::Crypto)
+        );
+        assert_eq!(buf, vec![0x77]);
     }
 
     #[test]

@@ -15,9 +15,9 @@
 
 use crate::context::{decode_piv, SecurityContext, TAG_LEN};
 use crate::OscoreError;
-use doc_coap::msg::{CoapMessage, Code};
+use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
-use doc_crypto::cbor::Value;
+use doc_coap::view::CoapView;
 use doc_crypto::ccm::AesCcm;
 
 /// Decoded OSCORE option value.
@@ -95,22 +95,107 @@ pub struct RequestBinding {
     pub piv: Vec<u8>,
 }
 
-/// Build the Enc_structure AAD of RFC 8613 §5.4.
-fn build_aad(request_kid: &[u8], request_piv: &[u8]) -> Vec<u8> {
-    let external_aad = Value::Array(vec![
-        Value::Uint(1), // oscore_version
-        Value::Array(vec![Value::int(crate::context::ALG_AES_CCM_16_64_128)]),
-        Value::Bytes(request_kid.to_vec()),
-        Value::Bytes(request_piv.to_vec()),
-        Value::Bytes(Vec::new()), // Class-I options (none)
-    ])
-    .encode();
-    Value::Array(vec![
-        Value::Text("Encrypt0".to_string()),
-        Value::Bytes(Vec::new()), // protected bucket (empty)
-        Value::Bytes(external_aad),
-    ])
-    .encode()
+/// Upper bound on the stack-resident AAD: the constant skeleton (11) +
+/// external-AAD head (≤ 2) + fixed external-AAD bytes (5) + kid/piv
+/// heads and bodies at the ≤ 23 bytes each the `debug_assert` in
+/// [`build_aad`] permits (48) — 66 total, rounded up. Both ids are
+/// bounded far lower in practice by the RFC 8613 §5.2 nonce
+/// construction (≤ 7-byte kid, ≤ 5-byte piv).
+const AAD_BUF_LEN: usize = 72;
+
+/// The Enc_structure AAD of RFC 8613 §5.4, built on the stack.
+struct Aad {
+    buf: [u8; AAD_BUF_LEN],
+    len: usize,
+}
+
+impl Aad {
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+/// Constant CBOR prefix of every Enc_structure this deployment builds:
+/// `array(3)`, `"Encrypt0"`, and the empty protected bucket. Only the
+/// external AAD that follows varies (with the request kid/piv).
+const AAD_SKELETON: [u8; 11] = [
+    0x83, // array(3)
+    0x68, b'E', b'n', b'c', b'r', b'y', b'p', b't', b'0', // text(8) "Encrypt0"
+    0x40, // bytes(0): empty protected bucket
+];
+
+/// Build the Enc_structure AAD of RFC 8613 §5.4 without touching the
+/// heap: the constant skeleton is precomputed and only `(kid, piv)` are
+/// streamed into the stack buffer. Byte-identical to encoding the
+/// equivalent CBOR `Value` tree (asserted in tests).
+fn build_aad(request_kid: &[u8], request_piv: &[u8]) -> Aad {
+    debug_assert!(request_kid.len() <= 23 && request_piv.len() <= 23);
+    debug_assert_eq!(crate::context::ALG_AES_CCM_16_64_128, 10);
+    let mut buf = [0u8; AAD_BUF_LEN];
+    buf[..AAD_SKELETON.len()].copy_from_slice(&AAD_SKELETON);
+    let mut i = AAD_SKELETON.len();
+    // external_aad = [1, [10], kid, piv, h''] wrapped as a byte string.
+    let ea_len = 1 + 1 + 2 + (1 + request_kid.len()) + (1 + request_piv.len()) + 1;
+    if ea_len < 24 {
+        buf[i] = 0x40 | ea_len as u8;
+        i += 1;
+    } else {
+        buf[i] = 0x58;
+        buf[i + 1] = ea_len as u8;
+        i += 2;
+    }
+    buf[i] = 0x85; // array(5)
+    buf[i + 1] = 0x01; // oscore_version = 1
+    buf[i + 2] = 0x81; // algorithms: array(1)
+    buf[i + 3] = 0x0A; // AES-CCM-16-64-128 (COSE alg 10)
+    i += 4;
+    buf[i] = 0x40 | request_kid.len() as u8;
+    i += 1;
+    buf[i..i + request_kid.len()].copy_from_slice(request_kid);
+    i += request_kid.len();
+    buf[i] = 0x40 | request_piv.len() as u8;
+    i += 1;
+    buf[i..i + request_piv.len()].copy_from_slice(request_piv);
+    i += request_piv.len();
+    buf[i] = 0x40; // Class-I options (none)
+    i += 1;
+    Aad { buf, len: i }
+}
+
+/// Append the Class-U options of `msg` whose numbers fall in
+/// `lo..=hi` in ascending (number, position) order — an allocation-free
+/// selection scan over the tiny outer option set, tolerant of any
+/// stored order, and byte-identical to what the owned path's
+/// stable-sorting `encode_options_into` fallback emits. Returns the
+/// last written option number for delta chaining.
+fn encode_outer_options_sorted(
+    msg: &CoapMessage,
+    lo: u16,
+    hi: u16,
+    mut prev: u16,
+    out: &mut Vec<u8>,
+) -> u16 {
+    let mut last: Option<(u16, usize)> = None;
+    loop {
+        let next = msg
+            .options
+            .iter()
+            .enumerate()
+            .filter(|&(i, o)| {
+                is_outer_option(o.number)
+                    && o.number != OptionNumber::OSCORE
+                    && (lo..=hi).contains(&o.number.0)
+                    && last.is_none_or(|l| (o.number.0, i) > l)
+            })
+            .min_by_key(|&(i, o)| (o.number.0, i));
+        match next {
+            Some((i, o)) => {
+                prev = doc_coap::msg::encode_option_into(prev, o, out);
+                last = Some((o.number.0, i));
+            }
+            None => return prev,
+        }
+    }
 }
 
 /// Options that stay on the outer message (Class U). Everything else is
@@ -249,7 +334,7 @@ impl OscoreEndpoint {
         let aad = build_aad(&kid, &piv);
         let nonce = self.ctx.nonce(&kid, &piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        ccm.seal_in_place(&nonce, &aad, &mut ciphertext)
+        ccm.seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let opt = OscoreOption {
             piv: piv.clone(),
@@ -272,6 +357,73 @@ impl OscoreEndpoint {
         Ok((outer, RequestBinding { kid, piv }))
     }
 
+    /// Protect a request straight onto the wire: the outer message is
+    /// serialized into `out` (header, outer options, OSCORE option,
+    /// payload marker) and the inner message is serialized after the
+    /// marker and sealed **in place** at the buffer's tail. With a
+    /// reused `out`, the only allocations are the two `Vec`s of the
+    /// returned [`RequestBinding`] — no outer `CoapMessage` is ever
+    /// materialized. Byte-identical to encoding
+    /// [`OscoreEndpoint::protect_request`]'s outer message.
+    pub fn protect_request_into(
+        &mut self,
+        msg: &CoapMessage,
+        out: &mut Vec<u8>,
+    ) -> Result<RequestBinding, OscoreError> {
+        let piv = self.ctx.next_piv()?;
+        let kid = self.ctx.sender_id.clone();
+        assert!(msg.token.len() <= 8, "token too long");
+        debug_assert!(
+            kid.len() + piv.len() <= 12,
+            "OSCORE ids exceed option buffer"
+        );
+
+        // Outer header: type/token from the caller, code POST.
+        out.push(0x40 | (msg.mtype.to_bits() << 4) | msg.token.len() as u8);
+        out.push(Code::POST.0);
+        out.extend_from_slice(&msg.message_id.to_be_bytes());
+        out.extend_from_slice(&msg.token);
+
+        // OSCORE option value on the stack: flags || piv || kid.
+        let mut optval = [0u8; 13];
+        optval[0] = (piv.len() as u8 & 0x07) | 0x08;
+        optval[1..1 + piv.len()].copy_from_slice(&piv);
+        optval[1 + piv.len()..1 + piv.len() + kid.len()].copy_from_slice(&kid);
+        let optval_len = 1 + piv.len() + kid.len();
+
+        // Outer (Class U) options merged with OSCORE at number 9, in
+        // ascending (number, position) order regardless of how the
+        // caller stored them — the same order the owned path's
+        // stable-sort encode fallback produces.
+        let mut prev = encode_outer_options_sorted(msg, 0, OptionNumber::OSCORE.0 - 1, 0, out);
+        prev = doc_coap::msg::encode_raw_option_into(
+            prev,
+            OptionNumber::OSCORE.0,
+            &optval[..optval_len],
+            out,
+        );
+        encode_outer_options_sorted(msg, OptionNumber::OSCORE.0 + 1, u16::MAX, prev, out);
+
+        // Inner message after the payload marker, sealed at the tail.
+        out.push(0xFF);
+        let inner_start = out.len();
+        out.push(msg.code.0);
+        doc_coap::msg::encode_options_into(
+            msg.options.iter().filter(|o| !is_outer_option(o.number)),
+            out,
+        );
+        if !msg.payload.is_empty() {
+            out.push(0xFF);
+            out.extend_from_slice(&msg.payload);
+        }
+        let aad = build_aad(&kid, &piv);
+        let nonce = self.ctx.nonce(&kid, &piv);
+        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
+        ccm.seal_suffix_in_place(&nonce, aad.as_slice(), out, inner_start)
+            .map_err(|_| OscoreError::Crypto)?;
+        Ok(RequestBinding { kid, piv })
+    }
+
     /// Unprotect a request; enforces replay protection and, when
     /// enabled, the Echo round trip.
     pub fn unprotect_request(
@@ -281,7 +433,43 @@ impl OscoreEndpoint {
         let opt_value = outer
             .option(OptionNumber::OSCORE)
             .ok_or(OscoreError::NotOscore)?;
-        let opt = OscoreOption::decode(&opt_value.value)?;
+        self.unprotect_request_parts(
+            &opt_value.value,
+            outer.mtype,
+            outer.message_id,
+            &outer.token,
+            &outer.payload,
+        )
+    }
+
+    /// [`OscoreEndpoint::unprotect_request`] over a borrowed wire view:
+    /// the outer message is never materialized — option value, token
+    /// and ciphertext are read straight from the datagram.
+    pub fn unprotect_request_view(
+        &mut self,
+        outer: &CoapView<'_>,
+    ) -> Result<(CoapMessage, RequestBinding), OscoreError> {
+        let opt_value = outer
+            .option(OptionNumber::OSCORE)
+            .ok_or(OscoreError::NotOscore)?;
+        self.unprotect_request_parts(
+            opt_value.value,
+            outer.mtype,
+            outer.message_id,
+            outer.token(),
+            outer.payload(),
+        )
+    }
+
+    fn unprotect_request_parts(
+        &mut self,
+        opt_value: &[u8],
+        mtype: MsgType,
+        message_id: u16,
+        token: &[u8],
+        payload: &[u8],
+    ) -> Result<(CoapMessage, RequestBinding), OscoreError> {
+        let opt = OscoreOption::decode(opt_value)?;
         let kid = opt.kid.clone().ok_or(OscoreError::Malformed)?;
         if kid != self.ctx.recipient_id {
             return Err(OscoreError::Crypto);
@@ -291,12 +479,12 @@ impl OscoreEndpoint {
         let nonce = self.ctx.nonce(&kid, &opt.piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
         let plain = ccm
-            .open(&nonce, &aad, &outer.payload)
+            .open(&nonce, aad.as_slice(), payload)
             .map_err(|_| OscoreError::Crypto)?;
         let mut inner = decode_inner(&plain)?;
-        inner.mtype = outer.mtype;
-        inner.message_id = outer.message_id;
-        inner.token = outer.token.clone();
+        inner.mtype = mtype;
+        inner.message_id = message_id;
+        inner.token = token.to_vec();
 
         // Echo-based replay-window initialization (RFC 8613 Appendix
         // B.1.2 / RFC 9175): before accepting the first request, demand
@@ -356,7 +544,7 @@ impl OscoreEndpoint {
         let aad = build_aad(&binding.kid, &binding.piv);
         let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        ccm.seal_in_place(&nonce, &aad, &mut ciphertext)
+        ccm.seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let mut outer = CoapMessage {
             mtype: msg.mtype,
@@ -382,16 +570,51 @@ impl OscoreEndpoint {
         outer
             .option(OptionNumber::OSCORE)
             .ok_or(OscoreError::NotOscore)?;
+        self.unprotect_response_parts(
+            binding,
+            outer.mtype,
+            outer.message_id,
+            &outer.token,
+            &outer.payload,
+        )
+    }
+
+    /// [`OscoreEndpoint::unprotect_response`] over a borrowed wire view.
+    pub fn unprotect_response_view(
+        &self,
+        outer: &CoapView<'_>,
+        binding: &RequestBinding,
+    ) -> Result<CoapMessage, OscoreError> {
+        outer
+            .option(OptionNumber::OSCORE)
+            .ok_or(OscoreError::NotOscore)?;
+        self.unprotect_response_parts(
+            binding,
+            outer.mtype,
+            outer.message_id,
+            outer.token(),
+            outer.payload(),
+        )
+    }
+
+    fn unprotect_response_parts(
+        &self,
+        binding: &RequestBinding,
+        mtype: MsgType,
+        message_id: u16,
+        token: &[u8],
+        payload: &[u8],
+    ) -> Result<CoapMessage, OscoreError> {
         let aad = build_aad(&binding.kid, &binding.piv);
         let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
         let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
         let plain = ccm
-            .open(&nonce, &aad, &outer.payload)
+            .open(&nonce, aad.as_slice(), payload)
             .map_err(|_| OscoreError::Crypto)?;
         let mut inner = decode_inner(&plain)?;
-        inner.mtype = outer.mtype;
-        inner.message_id = outer.message_id;
-        inner.token = outer.token.clone();
+        inner.mtype = mtype;
+        inner.message_id = message_id;
+        inner.token = token.to_vec();
         Ok(inner)
     }
 
@@ -631,6 +854,114 @@ mod tests {
         // tag (8) + OSCORE option (~4) + inner code byte, minus elided
         // inner option bytes — must stay under 16 bytes.
         assert!(overhead <= 16, "OSCORE overhead {overhead} bytes");
+    }
+
+    /// The stack-buffer AAD must be byte-identical to encoding the
+    /// CBOR `Value` tree it replaced (RFC 8613 §5.4 Enc_structure).
+    #[test]
+    fn stack_aad_matches_cbor_value_tree() {
+        use doc_crypto::cbor::Value;
+        let reference = |kid: &[u8], piv: &[u8]| -> Vec<u8> {
+            let external_aad = Value::Array(vec![
+                Value::Uint(1),
+                Value::Array(vec![Value::int(crate::context::ALG_AES_CCM_16_64_128)]),
+                Value::Bytes(kid.to_vec()),
+                Value::Bytes(piv.to_vec()),
+                Value::Bytes(Vec::new()),
+            ])
+            .encode();
+            Value::Array(vec![
+                Value::Text("Encrypt0".to_string()),
+                Value::Bytes(Vec::new()),
+                Value::Bytes(external_aad),
+            ])
+            .encode()
+        };
+        for (kid, piv) in [
+            (&b""[..], &[0x00][..]),
+            (&[0x01][..], &[0x14][..]),
+            (b"clientid", &[1, 2, 3, 4, 5][..]),
+            (&[0xAB; 23][..], &[0xFF; 5][..]), // forces the 2-byte head
+        ] {
+            assert_eq!(
+                build_aad(kid, piv).as_slice(),
+                &reference(kid, piv)[..],
+                "kid {kid:02X?} piv {piv:02X?}"
+            );
+        }
+    }
+
+    /// `protect_request_into` must produce exactly the wire bytes of
+    /// encoding `protect_request`'s outer message.
+    #[test]
+    fn protect_request_into_matches_message_path() {
+        let secret = b"0123456789abcdef";
+        // Two identically-derived endpoints so both paths consume the
+        // same PIV.
+        let mut a = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
+        let mut b = OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
+        let mut wire = Vec::new();
+        for req in [
+            fetch_request(),
+            CoapMessage::request(Code::GET, MsgType::Con, 9, vec![])
+                .with_option(CoapOption::new(OptionNumber::URI_HOST, b"doc".to_vec()))
+                .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+                .with_option(CoapOption::new(
+                    OptionNumber::PROXY_SCHEME,
+                    b"coap".to_vec(),
+                )),
+            // Outer options stored out of order: both paths must fall
+            // back to the same stable ascending order.
+            CoapMessage::request(Code::GET, MsgType::Con, 10, vec![0x0A])
+                .with_option(CoapOption::new(
+                    OptionNumber::PROXY_SCHEME,
+                    b"coap".to_vec(),
+                ))
+                .with_option(CoapOption::uint(OptionNumber::URI_PORT, 5683))
+                .with_option(CoapOption::new(OptionNumber::URI_HOST, b"doc".to_vec()))
+                .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec())),
+        ] {
+            let (outer, binding_a) = a.protect_request(&req).unwrap();
+            wire.clear();
+            let binding_b = b.protect_request_into(&req, &mut wire).unwrap();
+            assert_eq!(wire, outer.encode());
+            assert_eq!(binding_a, binding_b);
+        }
+        // And the server can unprotect it straight from the view.
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[0x01], &[]), false);
+        let view = doc_coap::view::CoapView::parse(&wire).unwrap();
+        let (inner, _) = server.unprotect_request_view(&view).unwrap();
+        assert_eq!(inner.code, Code::GET);
+        assert_eq!(inner.uri_path(), "/dns");
+    }
+
+    #[test]
+    fn unprotect_view_agrees_with_owned() {
+        let (mut client, mut server) = contexts();
+        let req = fetch_request();
+        let (outer, binding) = client.protect_request(&req).unwrap();
+        let wire = outer.encode();
+        let view = doc_coap::view::CoapView::parse(&wire).unwrap();
+        let (inner, s_binding) = server.unprotect_request_view(&view).unwrap();
+        assert_eq!(inner.code, Code::FETCH);
+        assert_eq!(inner.payload, req.payload);
+        assert_eq!(s_binding, binding);
+        // Replay protection also applies on the view path.
+        assert_eq!(
+            server.unprotect_request_view(&view),
+            Err(OscoreError::Replay)
+        );
+        // Response unprotection over a view.
+        let resp =
+            CoapMessage::ack_response(&inner, Code::CONTENT).with_payload(b"answer".to_vec());
+        let outer_resp = server.protect_response(&resp, &s_binding, &outer).unwrap();
+        let resp_wire = outer_resp.encode();
+        let resp_view = doc_coap::view::CoapView::parse(&resp_wire).unwrap();
+        let inner_resp = client
+            .unprotect_response_view(&resp_view, &binding)
+            .unwrap();
+        assert_eq!(inner_resp.payload, b"answer");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 
 use doc_repro::coap::msg::{CoapMessage, Code, MsgType};
 use doc_repro::coap::opt::{CoapOption, OptionNumber};
+use doc_repro::coap::view::CoapView;
 use doc_repro::crypto::base64url;
 use doc_repro::crypto::cbor::Value;
 use doc_repro::crypto::ccm::AesCcm;
+use doc_repro::dns::view::MessageView;
 use doc_repro::dns::{cbor_fmt, Message, Name, Question, Rcode, Record, RecordType};
 use proptest::prelude::*;
 
@@ -129,6 +131,118 @@ proptest! {
     #[test]
     fn coap_decode_total(data in proptest::collection::vec(any::<u8>(), 0..300)) {
         let _ = CoapMessage::decode(&data);
+    }
+
+    /// Equivalence guard for the borrowed DNS decode layer: on
+    /// arbitrary bytes, `MessageView::parse` and `Message::decode`
+    /// either both reject or both accept — and when they accept, every
+    /// field of the view materializes to exactly the owned decode.
+    /// View iterators must be total on whatever parses.
+    #[test]
+    fn dns_view_agrees_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let owned = Message::decode(&data);
+        let view = MessageView::parse(&data);
+        prop_assert_eq!(owned.is_ok(), view.is_ok());
+        if let (Ok(m), Ok(v)) = (owned, view) {
+            prop_assert_eq!(v.to_owned(), m);
+            for (_, r) in v.records() {
+                let _ = (r.name.wire_len(), r.rdata().len());
+            }
+        }
+    }
+
+    /// The same equivalence over *mutated and truncated* valid wire
+    /// messages — the adversarial neighborhood of real traffic, where
+    /// compression pointers and RDATA lengths go subtly wrong.
+    #[test]
+    fn dns_view_agrees_on_mutated_wire(
+        name in arb_name(),
+        n in 0usize..5,
+        flips in proptest::collection::vec(any::<(usize, u8)>(), 0..4),
+        cut in any::<usize>(),
+    ) {
+        let query = Message::query(0, name.clone(), RecordType::Aaaa);
+        let answers = (0..n)
+            .map(|i| Record::aaaa(
+                name.clone(),
+                300,
+                std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i as u16),
+            ))
+            .collect();
+        let mut wire = Message::response(&query, Rcode::NoError, answers).encode();
+        for (pos, bits) in flips {
+            let len = wire.len();
+            wire[pos % len] ^= bits;
+        }
+        wire.truncate(cut % (wire.len() + 1));
+        let owned = Message::decode(&wire);
+        let view = MessageView::parse(&wire);
+        prop_assert_eq!(owned.is_ok(), view.is_ok(), "wire {:02X?}", wire);
+        if let (Ok(m), Ok(v)) = (owned, view) {
+            prop_assert_eq!(v.to_owned(), m);
+        }
+    }
+
+    /// Equivalence guard for the borrowed CoAP decode layer, on
+    /// arbitrary bytes.
+    #[test]
+    fn coap_view_agrees_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let owned = CoapMessage::decode(&data);
+        let view = CoapView::parse(&data);
+        prop_assert_eq!(owned.is_ok(), view.is_ok());
+        if let (Ok(m), Ok(v)) = (owned, view) {
+            prop_assert_eq!(v.to_owned(), m);
+            for o in v.options() {
+                let _ = (o.number, o.value.len());
+            }
+        }
+    }
+
+    /// ... and over mutated/truncated valid CoAP requests.
+    #[test]
+    fn coap_view_agrees_on_mutated_wire(
+        token in proptest::collection::vec(any::<u8>(), 0..=8),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        etag in proptest::collection::vec(any::<u8>(), 1..=8),
+        flips in proptest::collection::vec(any::<(usize, u8)>(), 0..4),
+        cut in any::<usize>(),
+    ) {
+        let mut msg = CoapMessage::request(Code::FETCH, MsgType::Con, 7, token);
+        msg.options.push(CoapOption::new(OptionNumber::ETAG, etag));
+        msg.options.push(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()));
+        msg.options.push(CoapOption::new(OptionNumber::ECHO, vec![0x5A; 300]));
+        msg.payload = payload;
+        let mut wire = msg.encode();
+        for (pos, bits) in flips {
+            let len = wire.len();
+            wire[pos % len] ^= bits;
+        }
+        wire.truncate(cut % (wire.len() + 1));
+        let owned = CoapMessage::decode(&wire);
+        let view = CoapView::parse(&wire);
+        prop_assert_eq!(owned.is_ok(), view.is_ok(), "wire {:02X?}", wire);
+        if let (Ok(m), Ok(v)) = (owned, view) {
+            prop_assert_eq!(v.to_owned(), m);
+        }
+    }
+
+    /// The view-derived cache key is byte-identical to the owned one on
+    /// arbitrary FETCH requests (same key ⇒ same cache entry).
+    #[test]
+    fn cache_key_view_matches_owned(
+        token in proptest::collection::vec(any::<u8>(), 0..=8),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        segs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 0..4),
+    ) {
+        use doc_repro::coap::cache::{cache_key, cache_key_view};
+        let mut msg = CoapMessage::request(Code::FETCH, MsgType::Con, 7, token);
+        for s in segs {
+            msg.options.push(CoapOption::new(OptionNumber::URI_PATH, s));
+        }
+        msg.payload = payload;
+        let wire = msg.encode();
+        let view = CoapView::parse(&wire).unwrap();
+        prop_assert_eq!(cache_key_view(&view), cache_key(&msg));
     }
 
     /// base64url round-trips arbitrary bytes (GET query encoding).
