@@ -1,38 +1,80 @@
 #!/usr/bin/env sh
 # One-command gate for this repository. Later PRs must keep this green.
 #
-#   ./ci.sh          # tier-1 (build + test) + format + lints
+#   ./ci.sh          # full: tier-1 + smoke benches + parsed JSON gates
+#                    #       + format + lints
 #   ./ci.sh quick    # tier-1 only
+#   ./ci.sh bench    # tier-1 build + full measurement windows, then the
+#                    # timing gates: >=2x view-decode speedup (asserted
+#                    # by the encode bench itself) and the 4-vs-1 worker
+#                    # throughput scaling gate (bench_gate
+#                    # --require-scaling; the required ratio follows the
+#                    # machine parallelism recorded in BENCH_proxy.json:
+#                    # >=2x on >=4 cores, a no-collapse bound below).
 #
 # Tier-1 is exactly what the project driver runs:
 #   cargo build --release && cargo test -q
+#
+# The JSON bench artifacts are validated by the bench_gate binary
+# (schema version, row shapes, numeric bounds) — not by grep.
 set -eu
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
+# Modes are dispatched through this case so a new mode can never be
+# mistaken for "no argument" and silently skip gates (the old
+# short-circuit `[ "$1" = quick ] && exit 0` relied on its position
+# under `set -e` to not abort the full run).
+mode="${1:-full}"
+case "$mode" in
+    quick|full|bench) ;;
+    *)
+        echo "usage: $0 [quick|full|bench]" >&2
+        exit 2
+        ;;
+esac
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+run_tier1() {
+    echo "==> tier-1: cargo build --release"
+    cargo build --release
+    echo "==> tier-1: cargo test -q"
+    cargo test -q
+}
 
-[ "${1:-}" = "quick" ] && exit 0
+run_gate() {
+    echo "==> bench_gate: $*"
+    cargo run --release -q -p doc-bench --bin bench_gate -- "$@"
+}
 
-# The allocation bounds are exact and always asserted by the bench; the
-# >=2x view-decode speedup is timing and is only enforced on full
-# measurement windows (default `cargo bench -p doc-bench --bench
-# encode`), not on this shortened smoke run.
-echo "==> codec-bench smoke (emits BENCH_codecs.json; asserts zero-alloc encode+decode and <=4-alloc OSCORE protect)"
-BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench encode
+case "$mode" in
+    quick)
+        run_tier1
+        ;;
+    full)
+        run_tier1
+        # Shortened measurement windows: the allocation bounds are
+        # exact and always asserted in-process by the encode bench; the
+        # structural JSON gates run on the emitted artifacts. Timing
+        # bounds (decode speedup, worker scaling) are only enforced in
+        # bench mode, on full windows.
+        echo "==> codec-bench smoke (emits BENCH_codecs.json; asserts zero-alloc encode+decode)"
+        BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench encode
+        echo "==> proxy-throughput smoke (emits BENCH_proxy.json)"
+        BENCH_PROXY_REQUESTS=3000 BENCH_PROXY_CONCURRENCY=64 \
+            cargo bench -p doc-bench --bench throughput
+        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json
+        echo "==> cargo fmt --check"
+        cargo fmt --check
+        echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+        cargo clippy --workspace --all-targets -- -D warnings
+        ;;
+    bench)
+        echo "==> bench: cargo build --release"
+        cargo build --release
+        echo "==> codec bench, full windows (asserts >=2x view-decode speedup in-process)"
+        cargo bench -p doc-bench --bench encode
+        echo "==> proxy throughput bench, full windows (1/2/4/8 workers)"
+        cargo bench -p doc-bench --bench throughput
+        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --require-scaling
+        ;;
+esac
 
-echo "==> BENCH_codecs.json gate: every *_view/*_into row must report 0 allocs/iter"
-if grep -E '"name": "[^"]*(_view|_into)"' BENCH_codecs.json | grep -v '"allocs_per_iter": 0\.000'; then
-    echo "FAIL: a zero-copy codec row above reports nonzero allocs/iter" >&2
-    exit 1
-fi
-
-echo "==> cargo fmt --check"
-cargo fmt --check
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> ci.sh: all gates green"
+echo "==> ci.sh ($mode): all gates green"

@@ -21,10 +21,9 @@
 //! machine and are asserted too. Runs via
 //! `cargo bench -p doc-bench --bench encode`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use doc_bench::alloc_counter::{alloc_count, CountingAllocator};
 use doc_coap::msg::CoapMessage;
 use doc_coap::view::CoapView;
 use doc_core::method::{build_request, DocMethod};
@@ -33,30 +32,6 @@ use doc_dns::view::MessageView;
 use doc_dns::{Message, RecordType};
 use doc_oscore::context::SecurityContext;
 use doc_oscore::protect::OscoreEndpoint;
-
-/// System allocator wrapper that counts every allocation event
-/// (alloc/realloc/alloc_zeroed — frees are not events of interest).
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
@@ -90,13 +65,13 @@ fn run(name: &'static str, wire_bytes: usize, mut routine: impl FnMut()) -> Samp
     }
     let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
     let batch = (measure.as_nanos() / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
-    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let allocs_before = alloc_count();
     let start = Instant::now();
     for _ in 0..batch {
         routine();
     }
     let elapsed = start.elapsed();
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = alloc_count() - allocs_before;
     Sample {
         name,
         ns_per_iter: elapsed.as_nanos() as f64 / batch as f64,

@@ -1,0 +1,48 @@
+//! A shared allocation-counting `GlobalAlloc` wrapper.
+//!
+//! The `encode` and `throughput` benches and the `doc-bench` load
+//! generator all report heap allocations per operation. The counter
+//! type and its event tally live here once; each binary only opts in
+//! with the two lines Rust requires to be in the final crate:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: doc_bench::alloc_counter::CountingAllocator =
+//!     doc_bench::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! Counted events are alloc/realloc/alloc_zeroed — frees are not
+//! events of interest for the allocs/op bounds. Keeping one impl
+//! guarantees `BENCH_codecs.json` and `BENCH_proxy.json` count
+//! allocations identically.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts every allocation event.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total allocation events since process start.
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}

@@ -1,0 +1,84 @@
+//! `bench_gate` — the parsed CI gate over the `BENCH_*.json`
+//! artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate [--codecs PATH] [--proxy PATH] [--require-scaling]
+//! ```
+//!
+//! * `--codecs PATH` — validate a `doc-bench/codecs/v2` artifact
+//!   (schema + row shapes + the 0 allocs/iter invariant on every
+//!   `*_view`/`*_into` row).
+//! * `--proxy PATH` — validate a `doc-bench/proxy/v1` artifact (schema
+//!   + 1/2/4/8-worker rows + percentile sanity).
+//! * `--require-scaling` — additionally enforce the 4-vs-1 worker
+//!   throughput ratio; the required ratio depends on the parallelism
+//!   recorded in the artifact (≥ 2× on ≥ 4 cores, a no-collapse bound
+//!   on fewer — a 1-core container cannot demonstrate a parallel
+//!   speedup).
+//!
+//! Exit status 0 = every requested gate passed. Any parse error,
+//! schema drift, missing field, or failed bound exits 1 with a
+//! diagnostic — unlike the `grep` pipeline it replaces, which happily
+//! "passed" on files it could not actually interpret.
+
+use doc_bench::{gate, json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_gate: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> json::Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut codecs_path: Option<String> = None;
+    let mut proxy_path: Option<String> = None;
+    let mut require_scaling = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--codecs" => {
+                codecs_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--codecs needs a path"))
+                        .clone(),
+                )
+            }
+            "--proxy" => {
+                proxy_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--proxy needs a path"))
+                        .clone(),
+                )
+            }
+            "--require-scaling" => require_scaling = true,
+            "--help" | "-h" => {
+                println!("usage: bench_gate [--codecs PATH] [--proxy PATH] [--require-scaling]");
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    if codecs_path.is_none() && proxy_path.is_none() {
+        fail("nothing to check: pass --codecs and/or --proxy");
+    }
+    if let Some(path) = codecs_path {
+        match gate::check_codecs(&load(&path)) {
+            Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = proxy_path {
+        match gate::check_proxy(&load(&path), require_scaling) {
+            Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+}

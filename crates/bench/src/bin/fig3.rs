@@ -29,8 +29,8 @@ fn fetch(name: &Name, mid: u16, tok: u8) -> CoapMessage {
 }
 
 fn via_proxy(
-    proxy: &mut CoapProxy,
-    server: &mut DocServer,
+    proxy: &CoapProxy,
+    server: &DocServer,
     req: &CoapMessage,
     now: u64,
     log: &mut Vec<String>,
@@ -91,34 +91,20 @@ fn code_name(c: Code) -> String {
 fn run(policy: CachePolicy) {
     println!("--- {} ---", policy.name());
     let name = Name::parse("example.org").unwrap();
-    let mut up = MockUpstream::new(3, 10, 10);
+    let up = MockUpstream::new(3, 10, 10);
     up.add_aaaa(name.clone(), 1);
-    let mut server = DocServer::new(policy, up);
-    let mut proxy = CoapProxy::new(8);
+    let server = DocServer::new(policy, up);
+    let proxy = CoapProxy::new(8);
     let mut log = Vec::new();
 
     // 1: C2's query is answered by S (filling caches).
     log.push("t=    0ms  C2 -> P   : DoC FETCH example.org AAAA".into());
-    let r1 = via_proxy(
-        &mut proxy,
-        &mut server,
-        &fetch(&name, 1, 2),
-        0,
-        &mut log,
-        "C2",
-    );
+    let r1 = via_proxy(&proxy, &server, &fetch(&name, 1, 2), 0, &mut log, "C2");
     let e1 = r1.option(OptionNumber::ETAG).unwrap().value.clone();
 
     // 2: C1's query hits the proxy cache.
     log.push("t= 4000ms  C1 -> P   : DoC FETCH example.org AAAA".into());
-    via_proxy(
-        &mut proxy,
-        &mut server,
-        &fetch(&name, 2, 1),
-        4_000,
-        &mut log,
-        "C1",
-    );
+    via_proxy(&proxy, &server, &fetch(&name, 2, 1), 4_000, &mut log, "C1");
 
     // 3: TTL expires; a background query refreshes the RRset at the NS
     // (changing TTLs and, under DoH-like, the ETag).
@@ -129,7 +115,7 @@ fn run(policy: CachePolicy) {
     let mut req = fetch(&name, 4, 1);
     req.set_option(doc_coap::opt::CoapOption::new(OptionNumber::ETAG, e1));
     log.push("t=14000ms  C1 -> P   : DoC FETCH w/ ETag e1 (revalidation)".into());
-    let r4 = via_proxy(&mut proxy, &mut server, &req, 14_000, &mut log, "C1");
+    let r4 = via_proxy(&proxy, &server, &req, 14_000, &mut log, "C1");
 
     for l in &log {
         println!("  {l}");
@@ -144,7 +130,8 @@ fn run(policy: CachePolicy) {
     );
     println!(
         "  server stats: {} validations, {} full responses",
-        server.stats.validations, server.stats.full_responses
+        server.stats().validations,
+        server.stats().full_responses
     );
     println!();
 }

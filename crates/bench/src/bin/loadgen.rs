@@ -1,0 +1,93 @@
+//! `doc-bench` — the standalone closed-loop load generator.
+//!
+//! Replays the paper's DoC query mix against the sharded multi-worker
+//! proxy front-end and prints one summary row per worker count:
+//!
+//! ```text
+//! cargo run --release -p doc-bench --bin doc-bench -- \
+//!     --workers 1,2,4,8 --requests 200000 --concurrency 256 \
+//!     --names 256 --shards 16 --json BENCH_proxy.json
+//! ```
+//!
+//! All flags are optional; the defaults match the `throughput` bench.
+//! With `--json PATH` the run also emits the `doc-bench/proxy/v1`
+//! artifact consumed by `bench_gate`.
+
+use doc_bench::alloc_counter::{alloc_count, CountingAllocator};
+use doc_bench::throughput::{proxy_json, run_load, LoadSpec, ThroughputRow, WORKER_SWEEP};
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const USAGE: &str = "usage: doc-bench [--workers N,N,..] [--requests N] [--concurrency N] \
+                     [--names N] [--shards N] [--get-permille N] [--json PATH]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn print_row(r: &ThroughputRow) {
+    println!(
+        "{:>3} workers  {:>10.0} req/s  p50 {:>8.1} µs  p99 {:>8.1} µs  {:>6.1} allocs/req  hit rate {:>5.1}%",
+        r.workers,
+        r.req_per_s,
+        r.p50_us,
+        r.p99_us,
+        r.allocs_per_req,
+        r.cache_hit_rate * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers: Vec<usize> = WORKER_SWEEP.to_vec();
+    let mut base = LoadSpec::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    let parse_num =
+        |v: Option<&String>| -> u64 { v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                workers = list
+                    .split(',')
+                    .map(|w| w.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if workers.is_empty() {
+                    usage();
+                }
+            }
+            "--requests" => base.total_requests = parse_num(it.next()),
+            "--concurrency" => base.concurrency = parse_num(it.next()) as usize,
+            "--names" => base.unique_names = parse_num(it.next()) as u32,
+            "--shards" => base.shards = parse_num(it.next()) as usize,
+            "--get-permille" => base.get_permille = parse_num(it.next()) as u32,
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ => usage(),
+        }
+    }
+    println!(
+        "doc-bench load generator: {} requests/run, concurrency {}, {} names, {} shards, GET {}‰",
+        base.total_requests, base.concurrency, base.unique_names, base.shards, base.get_permille
+    );
+    let mut rows = Vec::new();
+    for w in workers {
+        let spec = LoadSpec {
+            workers: w,
+            ..base.clone()
+        };
+        let row = run_load(&spec, &alloc_count);
+        print_row(&row);
+        rows.push(row);
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, proxy_json(&rows)).expect("write JSON artifact");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Parsed, schema-validating CI gates over the `BENCH_*.json`
+//! artifacts.
+//!
+//! Replaces the original `grep`-based zero-alloc check in `ci.sh`,
+//! which only pattern-matched text lines: it could not tell a schema
+//! drift, a truncated file, or a renamed field from a passing run. The
+//! checks here parse the documents with [`crate::json`], validate the
+//! schema version and row shapes, and only then apply the numeric
+//! gates:
+//!
+//! * **codecs** (`BENCH_codecs.json`, schema `doc-bench/codecs/v2`):
+//!   every `*_view`/`*_into` row must report exactly 0 allocs/iter —
+//!   the machine-independent zero-copy invariant of PRs 2/3.
+//! * **proxy** (`BENCH_proxy.json`, schema `doc-bench/proxy/v1`): rows
+//!   for 1/2/4/8 workers with sane req/s and latency percentiles;
+//!   optionally the worker-scaling gate, whose required 4-vs-1 speedup
+//!   depends on how many cores the measuring machine actually had
+//!   (recorded in the artifact): a 1-core container cannot prove a
+//!   parallel speedup, only that the pool does not collapse.
+
+use crate::json::Json;
+
+/// Worker counts every proxy artifact must report.
+pub const REQUIRED_WORKER_ROWS: [u32; 4] = [1, 2, 4, 8];
+
+/// Required 4-worker/1-worker throughput ratio given the parallelism
+/// of the machine that produced the measurement.
+///
+/// * ≥ 4 cores: the tentpole claim — ≥ 2× at 4 workers.
+/// * 2–3 cores: some real parallelism must show up.
+/// * 1 core: threads cannot beat one core; require only that the pool
+///   does not collapse under oversubscription.
+pub fn required_scaling(available_parallelism: u32) -> f64 {
+    match available_parallelism {
+        0 | 1 => 0.40,
+        2 | 3 => 1.15,
+        _ => 2.0,
+    }
+}
+
+fn field_f64(row: &Json, name: &str, ctx: &str) -> Result<f64, String> {
+    row.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field \"{name}\""))
+}
+
+fn field_str<'a>(row: &'a Json, name: &str, ctx: &str) -> Result<&'a str, String> {
+    row.get(name)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string field \"{name}\""))
+}
+
+fn check_schema(doc: &Json, expected: &str) -> Result<(), String> {
+    let schema = field_str(doc, "schema", "document root")?;
+    if schema != expected {
+        return Err(format!(
+            "schema mismatch: expected \"{expected}\", found \"{schema}\""
+        ));
+    }
+    Ok(())
+}
+
+/// Validate `BENCH_codecs.json`: schema `doc-bench/codecs/v2`, well-
+/// formed rows, and the zero-alloc invariant on every `*_view`/`*_into`
+/// row. Returns a human-readable summary on success.
+pub fn check_codecs(doc: &Json) -> Result<String, String> {
+    check_schema(doc, "doc-bench/codecs/v2")?;
+    let rows = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("document root: missing \"benchmarks\" array")?;
+    if rows.is_empty() {
+        return Err("\"benchmarks\" array is empty".into());
+    }
+    let mut zero_copy_rows = 0;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("benchmarks[{i}]");
+        let name = field_str(row, "name", &ctx)?;
+        let ns = field_f64(row, "ns_per_iter", &ctx)?;
+        let allocs = field_f64(row, "allocs_per_iter", &ctx)?;
+        if !ns.is_finite() || ns <= 0.0 {
+            return Err(format!("{ctx} ({name}): ns_per_iter {ns} is not positive"));
+        }
+        if !allocs.is_finite() || allocs < 0.0 {
+            return Err(format!("{ctx} ({name}): allocs_per_iter {allocs} invalid"));
+        }
+        if name.contains("_view") || name.contains("_into") {
+            zero_copy_rows += 1;
+            if allocs != 0.0 {
+                return Err(format!(
+                    "zero-copy row \"{name}\" reports {allocs} allocs/iter (must be exactly 0)"
+                ));
+            }
+        }
+    }
+    if zero_copy_rows == 0 {
+        return Err("no *_view/*_into rows found — zero-alloc gate would be vacuous".into());
+    }
+    Ok(format!(
+        "codecs: {} rows, {} zero-copy rows all at 0 allocs/iter",
+        rows.len(),
+        zero_copy_rows
+    ))
+}
+
+/// One parsed row of the proxy artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyRow {
+    /// Worker-thread count of the run.
+    pub workers: u32,
+    /// Closed-loop throughput.
+    pub req_per_s: f64,
+    /// Median sojourn latency (enqueue → reply), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile sojourn latency, microseconds.
+    pub p99_us: f64,
+    /// Heap allocations per request over the measured window.
+    pub allocs_per_req: f64,
+}
+
+/// Validate `BENCH_proxy.json` structure and return the parsed rows
+/// plus the recorded machine parallelism.
+pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
+    check_schema(doc, "doc-bench/proxy/v1")?;
+    let cores = doc
+        .get("machine")
+        .and_then(|m| m.get("available_parallelism"))
+        .and_then(Json::as_f64)
+        .ok_or("document root: missing machine.available_parallelism")? as u32;
+    if cores == 0 {
+        return Err("machine.available_parallelism is 0".into());
+    }
+    let rows_json = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("document root: missing \"rows\" array")?;
+    let mut rows = Vec::new();
+    for (i, row) in rows_json.iter().enumerate() {
+        let ctx = format!("rows[{i}]");
+        let parsed = ProxyRow {
+            workers: field_f64(row, "workers", &ctx)? as u32,
+            req_per_s: field_f64(row, "req_per_s", &ctx)?,
+            p50_us: field_f64(row, "p50_us", &ctx)?,
+            p99_us: field_f64(row, "p99_us", &ctx)?,
+            allocs_per_req: field_f64(row, "allocs_per_req", &ctx)?,
+        };
+        if parsed.req_per_s <= 0.0 || !parsed.req_per_s.is_finite() {
+            return Err(format!("{ctx}: req_per_s {} invalid", parsed.req_per_s));
+        }
+        if parsed.p50_us > parsed.p99_us {
+            return Err(format!(
+                "{ctx}: p50 {}µs exceeds p99 {}µs",
+                parsed.p50_us, parsed.p99_us
+            ));
+        }
+        rows.push(parsed);
+    }
+    for w in REQUIRED_WORKER_ROWS {
+        if !rows.iter().any(|r| r.workers == w) {
+            return Err(format!("missing row for {w} workers"));
+        }
+    }
+    Ok((rows, cores))
+}
+
+/// Validate `BENCH_proxy.json`; with `require_scaling`, also enforce
+/// the 4-vs-1 worker throughput ratio for the measuring machine's
+/// parallelism. Returns a human-readable summary on success.
+pub fn check_proxy(doc: &Json, require_scaling: bool) -> Result<String, String> {
+    let (rows, cores) = parse_proxy(doc)?;
+    let rate = |w: u32| {
+        rows.iter()
+            .find(|r| r.workers == w)
+            .map(|r| r.req_per_s)
+            .expect("presence checked in parse_proxy")
+    };
+    let ratio = rate(4) / rate(1);
+    let mut summary = format!(
+        "proxy: {} rows, machine parallelism {cores}, 4w/1w throughput ratio {ratio:.2}",
+        rows.len()
+    );
+    if require_scaling {
+        let required = required_scaling(cores);
+        if ratio < required {
+            return Err(format!(
+                "worker scaling gate failed: 4-worker/1-worker throughput ratio {ratio:.2} \
+                 < required {required:.2} (machine parallelism {cores}; \
+                 1w {:.0} req/s, 4w {:.0} req/s)",
+                rate(1),
+                rate(4)
+            ));
+        }
+        summary.push_str(&format!(" >= required {required:.2}"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn codecs_doc(allocs_view: f64) -> String {
+        format!(
+            r#"{{"schema": "doc-bench/codecs/v2", "benchmarks": [
+                {{"name": "dns/encode_query_into", "ns_per_iter": 100.0, "allocs_per_iter": 0.0, "wire_bytes": 42}},
+                {{"name": "dns/decode_query_view", "ns_per_iter": 50.0, "allocs_per_iter": {allocs_view}, "wire_bytes": 42}},
+                {{"name": "dns/decode_query", "ns_per_iter": 200.0, "allocs_per_iter": 8.0, "wire_bytes": 42}}
+            ]}}"#
+        )
+    }
+
+    fn proxy_doc(cores: u32, r1: f64, r4: f64) -> String {
+        let row = |w: u32, r: f64| {
+            format!(
+                r#"{{"workers": {w}, "req_per_s": {r}, "p50_us": 10.0, "p99_us": 50.0, "allocs_per_req": 20.0, "requests": 1000}}"#
+            )
+        };
+        format!(
+            r#"{{"schema": "doc-bench/proxy/v1", "machine": {{"available_parallelism": {cores}}}, "rows": [{},{},{},{}]}}"#,
+            row(1, r1),
+            row(2, (r1 + r4) / 2.0),
+            row(4, r4),
+            row(8, r4)
+        )
+    }
+
+    #[test]
+    fn codecs_gate_passes_clean_artifact() {
+        let doc = parse(&codecs_doc(0.0)).unwrap();
+        let summary = check_codecs(&doc).unwrap();
+        assert!(summary.contains("2 zero-copy rows"));
+    }
+
+    #[test]
+    fn codecs_gate_rejects_nonzero_alloc_view_row() {
+        let doc = parse(&codecs_doc(0.5)).unwrap();
+        let err = check_codecs(&doc).unwrap_err();
+        assert!(err.contains("decode_query_view"), "{err}");
+    }
+
+    #[test]
+    fn codecs_gate_rejects_schema_drift_and_shape_errors() {
+        let wrong_schema = parse(r#"{"schema": "doc-bench/codecs/v1", "benchmarks": []}"#).unwrap();
+        assert!(check_codecs(&wrong_schema).unwrap_err().contains("schema"));
+        let empty = parse(r#"{"schema": "doc-bench/codecs/v2", "benchmarks": []}"#).unwrap();
+        assert!(check_codecs(&empty).unwrap_err().contains("empty"));
+        let missing_field = parse(
+            r#"{"schema": "doc-bench/codecs/v2", "benchmarks": [{"name": "a_view", "ns_per_iter": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_codecs(&missing_field)
+            .unwrap_err()
+            .contains("allocs_per_iter"));
+    }
+
+    #[test]
+    fn proxy_gate_scaling_threshold_follows_parallelism() {
+        assert_eq!(required_scaling(1), 0.40);
+        assert_eq!(required_scaling(2), 1.15);
+        assert_eq!(required_scaling(4), 2.0);
+        assert_eq!(required_scaling(16), 2.0);
+        // 4 cores, 2.5× scaling: passes.
+        let good = parse(&proxy_doc(4, 100_000.0, 250_000.0)).unwrap();
+        assert!(check_proxy(&good, true).is_ok());
+        // 4 cores, 1.5× scaling: fails the tentpole gate.
+        let bad = parse(&proxy_doc(4, 100_000.0, 150_000.0)).unwrap();
+        assert!(check_proxy(&bad, true).unwrap_err().contains("scaling"));
+        // 1 core, 0.8× — fine there (no collapse), and the same
+        // artifact passes without the scaling gate anywhere.
+        let one_core = parse(&proxy_doc(1, 100_000.0, 80_000.0)).unwrap();
+        assert!(check_proxy(&one_core, true).is_ok());
+        assert!(check_proxy(&bad, false).is_ok());
+    }
+
+    #[test]
+    fn proxy_gate_requires_all_worker_rows() {
+        let doc = parse(
+            r#"{"schema": "doc-bench/proxy/v1", "machine": {"available_parallelism": 4},
+                "rows": [{"workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_proxy(&doc, false).unwrap_err().contains("2 workers"));
+    }
+
+    #[test]
+    fn proxy_gate_rejects_inverted_percentiles() {
+        let doc = parse(
+            r#"{"schema": "doc-bench/proxy/v1", "machine": {"available_parallelism": 4},
+                "rows": [{"workers": 1, "req_per_s": 1.0, "p50_us": 9.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_proxy(&doc, false).unwrap_err().contains("p50"));
+    }
+}

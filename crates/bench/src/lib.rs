@@ -26,6 +26,11 @@
 //! `cargo bench -p doc-bench` additionally runs the Criterion
 //! micro-benchmarks (`codecs`, `crypto`, `ablations`).
 
+pub mod alloc_counter;
+pub mod gate;
+pub mod json;
+pub mod throughput;
+
 /// Render a labelled CDF as text rows (latency ms → cumulative
 /// fraction) at the given probe points.
 pub fn cdf_rows(latencies_ms: &[u64], total: usize, probes: &[u64]) -> Vec<(u64, f64)> {

@@ -18,12 +18,42 @@
 
 use crate::msg::{CoapMessage, Code};
 use crate::opt::{CoapOption, OptionNumber};
+use crate::shard::{BuildPassThrough, Fnv1a};
 use crate::view::CoapView;
 use std::collections::HashMap;
 
-/// A computed cache key (opaque bytes).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CacheKey(Vec<u8>);
+/// A computed cache key: opaque bytes plus their FNV-1a hash, computed
+/// once at derivation time. The hash does double duty — it selects the
+/// shard in [`crate::shard::ShardedResponseCache`] and, through a
+/// pass-through hasher, indexes the per-shard map — so key bytes are
+/// never hashed a second time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    hash: u64,
+    data: Vec<u8>,
+}
+
+impl CacheKey {
+    fn from_bytes(data: Vec<u8>) -> Self {
+        CacheKey {
+            hash: Fnv1a::hash_bytes(&data),
+            data,
+        }
+    }
+
+    /// The FNV-1a hash computed when the key was derived.
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl std::hash::Hash for CacheKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Emit only the precomputed value; paired with a pass-through
+        // hasher this makes map operations hash-free.
+        state.write_u64(self.hash);
+    }
+}
 
 /// Does this method allow response caching?
 ///
@@ -55,7 +85,7 @@ pub fn cache_key(msg: &CoapMessage) -> CacheKey {
     if msg.code == Code::FETCH {
         data.extend_from_slice(&msg.payload);
     }
-    CacheKey(data)
+    CacheKey::from_bytes(data)
 }
 
 /// Whether an option participates in the cache key (shared between the
@@ -89,7 +119,7 @@ pub fn cache_key_view(msg: &CoapView<'_>) -> CacheKey {
     if msg.code == Code::FETCH {
         data.extend_from_slice(msg.payload());
     }
-    CacheKey(data)
+    CacheKey::from_bytes(data)
 }
 
 /// One cached response.
@@ -149,7 +179,7 @@ pub struct CacheStats {
 /// An LRU-ish response cache (FIFO eviction, matching the small
 /// fixed-size caches of `CONFIG_NANOCOAP_CACHE_ENTRIES` in Table 6).
 pub struct ResponseCache {
-    entries: HashMap<CacheKey, Entry>,
+    entries: HashMap<CacheKey, Entry, BuildPassThrough>,
     order: Vec<CacheKey>,
     capacity: usize,
     stats: CacheStats,
@@ -160,7 +190,7 @@ impl ResponseCache {
     /// clients use 8, the proxy 50 — Table 6).
     pub fn new(capacity: usize) -> Self {
         ResponseCache {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             order: Vec::new(),
             capacity: capacity.max(1),
             stats: CacheStats::default(),

@@ -56,6 +56,7 @@ pub mod cache;
 pub mod msg;
 pub mod opt;
 pub mod reliability;
+pub mod shard;
 pub mod view;
 
 pub use block::BlockOpt;

@@ -294,7 +294,7 @@ mod tests {
     }
 
     fn server(policy: CachePolicy, ttl: u32) -> DocServer {
-        let mut up = MockUpstream::new(1, ttl, ttl);
+        let up = MockUpstream::new(1, ttl, ttl);
         up.add_aaaa(name(), 1);
         DocServer::new(policy, up)
     }

@@ -396,7 +396,7 @@ impl<'a> Driver<'a> {
         }
         sim.add_route(&[proxy_id, br_id, server_id]);
 
-        let mut upstream = MockUpstream::new(cfg.seed ^ 0x5e4, cfg.ttl_range.0, cfg.ttl_range.1);
+        let upstream = MockUpstream::new(cfg.seed ^ 0x5e4, cfg.ttl_range.0, cfg.ttl_range.1);
         let names: Vec<doc_dns::Name> = (0..cfg.num_names as u32).map(experiment_name).collect();
         for nm in &names {
             match cfg.record_type {
@@ -903,8 +903,7 @@ impl<'a> Driver<'a> {
                     return;
                 };
                 let resp = self.server.upstream.resolve(&query, now);
-                self.server.stats.requests += 1;
-                self.server.stats.full_responses += 1;
+                self.server.count_raw_dns_response();
                 let wire = self.server_wrap(from, resp.encode());
                 self.sim
                     .send_datagram(self.server_id, from, wire, Tag::Response);
@@ -1082,8 +1081,8 @@ impl<'a> Driver<'a> {
             proxy_br,
             events: self.events,
             client_stats,
-            proxy_stats: self.proxy.stats,
-            server_stats: self.server.stats,
+            proxy_stats: self.proxy.stats(),
+            server_stats: self.server.stats(),
         }
     }
 }

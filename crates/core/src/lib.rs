@@ -36,6 +36,7 @@ pub mod client;
 pub mod experiment;
 pub mod method;
 pub mod policy;
+pub mod pool;
 pub mod proxy;
 pub mod server;
 pub mod transport;
@@ -45,6 +46,7 @@ pub mod uri_template;
 pub use client::DocClient;
 pub use method::DocMethod;
 pub use policy::CachePolicy;
+pub use pool::{Datagram, ProxyPool, Reply, SpmcRing};
 pub use proxy::CoapProxy;
 pub use server::{DocServer, MockUpstream};
 

@@ -1,0 +1,607 @@
+//! Multi-worker datagram front-end: a bounded SPMC ring fanning
+//! request datagrams onto N worker threads.
+//!
+//! The paper's evaluation is single-node and the whole protocol stack
+//! is sans-IO, so scaling across cores is purely a front-end concern:
+//! workers pull raw datagrams off a shared ring and run the *existing*
+//! borrowed-view hot path — [`CoapProxy::handle_client_request_wire`]
+//! for the proxy leg and [`DocServer::handle_request_wire`] for the
+//! origin leg — against state that is lock-striped per shard
+//! ([`doc_coap::shard`]). Nothing in the protocol logic knows it is
+//! being run concurrently.
+//!
+//! * [`SpmcRing`] — a bounded single-producer/multi-consumer ring of
+//!   fixed power-of-two capacity. The producer blocks when the ring is
+//!   full (closed-loop backpressure: in-flight work is bounded by the
+//!   ring), consumers block when it is empty and drain in batches to
+//!   amortize lock/wake traffic.
+//! * [`ProxyPool`] — N workers sharing one `Arc<CoapProxy>` and one
+//!   `Arc<DocServer>`; each datagram runs the full client → proxy →
+//!   (origin, on a cache miss) → client exchange and the reply is
+//!   handed to a caller-supplied sink.
+//!
+//! The ring is transport-agnostic: the closed-loop throughput harness
+//! (`doc-bench`) feeds it from a replayed query mix, and the
+//! `doc-netsim` simulator feeds it via its batched event drain
+//! (`Sim::drain_due`).
+
+use crate::proxy::{CoapProxy, ProxyAction};
+use crate::server::DocServer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A bounded single-producer/multi-consumer ring buffer.
+///
+/// Fixed storage allocated once at construction; `push` blocks while
+/// the ring is full, `pop`/`pop_batch` block while it is empty. After
+/// [`SpmcRing::close`], pushes fail and pops drain the remaining items
+/// before returning `None`.
+pub struct SpmcRing<T> {
+    state: Mutex<RingState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct RingState<T> {
+    /// `capacity` slots; `None` = empty slot.
+    slots: Box<[Option<T>]>,
+    /// Next slot to pop (wraps with the power-of-two mask).
+    head: u64,
+    /// Next slot to push.
+    tail: u64,
+    closed: bool,
+}
+
+impl<T> RingState<T> {
+    fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+    fn mask(&self) -> u64 {
+        self.slots.len() as u64 - 1
+    }
+}
+
+impl<T> SpmcRing<T> {
+    /// Create a ring with `capacity` slots (rounded up to a power of
+    /// two, at least 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        SpmcRing {
+            state: Mutex::new(RingState {
+                slots: (0..cap).map(|_| None).collect(),
+                head: 0,
+                tail: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().unwrap().slots.len()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push an item, blocking while the ring is full. Returns the item
+    /// back if the ring was closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        while st.len() == st.slots.len() && !st.closed {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return Err(item);
+        }
+        let idx = (st.tail & st.mask()) as usize;
+        st.slots[idx] = Some(item);
+        st.tail += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop one item, blocking while the ring is empty. Returns `None`
+    /// once the ring is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.len() > 0 {
+                let idx = (st.head & st.mask()) as usize;
+                let item = st.slots[idx].take();
+                st.head += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return item;
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Pop up to `max` items into `out`, blocking while the ring is
+    /// empty. Returns the number of items appended — 0 only once the
+    /// ring is closed and drained. Batch draining takes the lock once
+    /// per batch instead of once per datagram.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let n = st.len().min(max.max(1));
+            if n > 0 {
+                for _ in 0..n {
+                    let idx = (st.head & st.mask()) as usize;
+                    out.push(st.slots[idx].take().expect("occupied slot"));
+                    st.head += 1;
+                }
+                drop(st);
+                // Several slots freed: there may be room for more than
+                // one producer push and other consumers may still find
+                // items.
+                self.not_full.notify_all();
+                return n;
+            }
+            if st.closed {
+                return 0;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Close the ring: subsequent pushes fail, pops drain what is left.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Closes the ring when dropped — including when a worker unwinds.
+/// Without this, a panicking consumer would leave the producer parked
+/// forever on the full ring's condvar instead of letting the scope
+/// join and propagate the panic.
+struct CloseOnDrop<'a, T>(&'a SpmcRing<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// One request datagram entering the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Peer (client) identifier — scopes block-wise transfer state.
+    pub peer: u64,
+    /// Caller-chosen sequence number, carried through to the reply.
+    pub seq: u64,
+    /// Virtual receive time in milliseconds (drives cache freshness).
+    pub now_ms: u64,
+    /// The CoAP request wire bytes.
+    pub wire: Vec<u8>,
+}
+
+/// One reply datagram leaving the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Peer the reply goes back to.
+    pub peer: u64,
+    /// Sequence number of the request this answers.
+    pub seq: u64,
+    /// Index of the worker that served the exchange.
+    pub worker: usize,
+    /// The CoAP response wire bytes (`None`: the datagram was
+    /// malformed and dropped, like a real UDP front-end would).
+    pub wire: Option<Vec<u8>>,
+}
+
+/// Counters aggregated over one [`ProxyPool::run`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolRunStats {
+    /// Datagrams pulled off the ring.
+    pub processed: u64,
+    /// Replies produced.
+    pub replies: u64,
+    /// Malformed datagrams dropped.
+    pub errors: u64,
+}
+
+/// A multi-worker proxy front-end: N threads sharing one thread-safe
+/// [`CoapProxy`] and [`DocServer`].
+pub struct ProxyPool {
+    /// The shared (sharded) caching proxy.
+    pub proxy: Arc<CoapProxy>,
+    /// The shared origin server.
+    pub server: Arc<DocServer>,
+    workers: usize,
+}
+
+/// How many datagrams a worker drains from the ring per lock
+/// acquisition.
+const POP_BATCH: usize = 32;
+
+impl ProxyPool {
+    /// Create a pool of `workers` threads (at least 1) over shared
+    /// proxy/server state.
+    pub fn new(workers: usize, proxy: Arc<CoapProxy>, server: Arc<DocServer>) -> Self {
+        ProxyPool {
+            proxy,
+            server,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serve one request datagram end to end on the calling thread:
+    /// proxy view path, then (on miss/revalidation) the origin's view
+    /// path, then the upstream response re-entering the proxy. Returns
+    /// the reply wire bytes, or `None` for malformed datagrams.
+    ///
+    /// `upstream_buf` is a scratch buffer reused across calls for the
+    /// re-encoded upstream request.
+    pub fn serve(&self, d: &Datagram, upstream_buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+        match self.proxy.handle_client_request_wire(&d.wire, d.now_ms) {
+            Ok(ProxyAction::Respond(resp)) => Some(resp.encode()),
+            Ok(ProxyAction::Forward {
+                request,
+                exchange_id,
+            }) => {
+                upstream_buf.clear();
+                request.encode_into(upstream_buf);
+                let upstream_resp = self
+                    .server
+                    .handle_request_wire(d.peer, upstream_buf, d.now_ms)
+                    .ok()?;
+                self.proxy
+                    .handle_upstream_response(exchange_id, &upstream_resp, d.now_ms)
+                    .map(|r| r.encode())
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Fan `datagrams` over the worker threads through a bounded ring
+    /// of `ring_capacity` slots and hand every reply to `on_reply`
+    /// (called from worker threads; replies arrive in completion
+    /// order, not submission order).
+    ///
+    /// The calling thread is the single producer: it blocks while the
+    /// ring is full, which bounds in-flight work and gives closed-loop
+    /// behaviour when the iterator is replayed load.
+    pub fn run<I>(
+        &self,
+        ring_capacity: usize,
+        datagrams: I,
+        on_reply: &(dyn Fn(Reply) + Sync),
+    ) -> PoolRunStats
+    where
+        I: IntoIterator<Item = Datagram>,
+    {
+        let ring: SpmcRing<Datagram> = SpmcRing::new(ring_capacity);
+        let processed = AtomicU64::new(0);
+        let replies = AtomicU64::new(0);
+        let errors = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // The producer needs the same unwind protection as the
+            // workers: if the datagram iterator panics, the scope body
+            // unwinds before the explicit close below, and scope()
+            // would join workers parked on the empty ring forever.
+            let _producer_guard = CloseOnDrop(&ring);
+            for worker in 0..self.workers {
+                let ring = &ring;
+                let processed = &processed;
+                let replies = &replies;
+                let errors = &errors;
+                scope.spawn(move || {
+                    // If this worker unwinds (serve or on_reply
+                    // panicking), the guard closes the ring so the
+                    // producer unblocks and the scope can join and
+                    // propagate the panic instead of deadlocking.
+                    let _close_guard = CloseOnDrop(ring);
+                    let mut batch: Vec<Datagram> = Vec::with_capacity(POP_BATCH);
+                    let mut upstream_buf: Vec<u8> = Vec::with_capacity(256);
+                    while ring.pop_batch(&mut batch, POP_BATCH) > 0 {
+                        for d in batch.drain(..) {
+                            let wire = self.serve(&d, &mut upstream_buf);
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            match wire {
+                                Some(_) => replies.fetch_add(1, Ordering::Relaxed),
+                                None => errors.fetch_add(1, Ordering::Relaxed),
+                            };
+                            on_reply(Reply {
+                                peer: d.peer,
+                                seq: d.seq,
+                                worker,
+                                wire,
+                            });
+                        }
+                    }
+                });
+            }
+            for d in datagrams {
+                if ring.push(d).is_err() {
+                    break;
+                }
+            }
+            ring.close();
+        });
+        PoolRunStats {
+            processed: processed.load(Ordering::Relaxed),
+            replies: replies.load(Ordering::Relaxed),
+            errors: errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{build_request, DocMethod};
+    use crate::policy::CachePolicy;
+    use crate::server::MockUpstream;
+    use doc_coap::msg::{Code, MsgType};
+    use doc_coap::view::CoapView;
+    use doc_dns::{Message, Name, RecordType};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn ring_is_bounded_fifo() {
+        let ring = SpmcRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pop(), Some(0));
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(4).unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(ring.pop_batch(&mut batch, 8), 3);
+        assert_eq!(batch, vec![2, 3, 4]);
+        ring.close();
+        assert_eq!(ring.pop(), None);
+        assert!(ring.push(9).is_err());
+    }
+
+    #[test]
+    fn ring_full_push_blocks_until_pop() {
+        let ring = Arc::new(SpmcRing::new(2));
+        ring.push(1u32).unwrap();
+        ring.push(2).unwrap();
+        let r2 = Arc::clone(&ring);
+        let producer = std::thread::spawn(move || r2.push(3).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ring.pop(), Some(1), "push of 3 must still be parked");
+        assert!(producer.join().unwrap());
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+    }
+
+    #[test]
+    fn ring_multi_consumer_partitions_items() {
+        let ring = Arc::new(SpmcRing::new(8));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let mut batch = Vec::new();
+                    while ring.pop_batch(&mut batch, 4) > 0 {
+                        seen.lock().unwrap().append(&mut batch);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..100u32 {
+            ring.push(i).unwrap();
+        }
+        ring.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>(), "exactly-once delivery");
+    }
+
+    fn fetch_wire(name: &str, seq: u64) -> Vec<u8> {
+        let mut q = Message::query(0, Name::parse(name).unwrap(), RecordType::Aaaa);
+        q.canonicalize_id();
+        build_request(
+            DocMethod::Fetch,
+            &q.encode(),
+            MsgType::Con,
+            seq as u16,
+            vec![seq as u8, (seq >> 8) as u8],
+        )
+        .unwrap()
+        .encode()
+    }
+
+    fn pool(workers: usize, names: &[&str]) -> ProxyPool {
+        let up = MockUpstream::new(7, 3600, 3600);
+        for n in names {
+            up.add_aaaa(Name::parse(n).unwrap(), 1);
+        }
+        ProxyPool::new(
+            workers,
+            Arc::new(CoapProxy::with_shards(256, 8)),
+            Arc::new(DocServer::new(CachePolicy::EolTtls, up)),
+        )
+    }
+
+    #[test]
+    fn pool_serves_all_datagrams_with_matching_exchanges() {
+        let names = ["a.example.org", "b.example.org", "c.example.org"];
+        let pool = pool(4, &names);
+        let total = 300u64;
+        let replies = Mutex::new(Vec::new());
+        let stats = pool.run(
+            16,
+            (0..total).map(|seq| Datagram {
+                peer: seq % 5,
+                seq,
+                now_ms: seq,
+                wire: fetch_wire(names[(seq % 3) as usize], seq),
+            }),
+            &|r| replies.lock().unwrap().push(r),
+        );
+        assert_eq!(stats.processed, total);
+        assert_eq!(stats.replies, total);
+        assert_eq!(stats.errors, 0);
+        let replies = replies.lock().unwrap();
+        assert_eq!(replies.len(), total as usize);
+        for r in replies.iter() {
+            // Each reply carries its own request's token and MID — no
+            // cross-exchange mix-ups under concurrency.
+            let wire = r.wire.as_ref().expect("reply present");
+            let v = CoapView::parse(wire).unwrap();
+            assert_eq!(v.code, Code::CONTENT, "seq {}", r.seq);
+            assert_eq!(v.message_id, r.seq as u16);
+            assert_eq!(v.token(), &[r.seq as u8, (r.seq >> 8) as u8]);
+        }
+        // 3 distinct names with 1-hour TTLs: all but the first touches
+        // are proxy cache hits. Concurrent first touches can each miss
+        // before the insert lands, so the miss count is bounded by
+        // names × workers, not names.
+        let p = pool.proxy.stats();
+        assert_eq!(p.requests, total as u32);
+        assert!(p.cache_hits >= total as u32 - 12, "hits {}", p.cache_hits);
+    }
+
+    #[test]
+    fn pool_drops_malformed_datagrams() {
+        let pool = pool(2, &["a.example.org"]);
+        let errors = AtomicUsize::new(0);
+        let stats = pool.run(
+            4,
+            (0..10u64).map(|seq| Datagram {
+                peer: 0,
+                seq,
+                now_ms: 0,
+                wire: if seq % 2 == 0 {
+                    fetch_wire("a.example.org", seq)
+                } else {
+                    vec![0xFF, 0x00, 0x01] // not a CoAP datagram
+                },
+            }),
+            &|r| {
+                if r.wire.is_none() {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        assert_eq!(stats.processed, 10);
+        assert_eq!(stats.replies, 5);
+        assert_eq!(stats.errors, 5);
+        assert_eq!(errors.load(Ordering::Relaxed), 5);
+    }
+
+    /// A panicking worker must propagate out of `run` (via the scope
+    /// join), not leave the producer deadlocked on the full ring.
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let pool = pool(1, &["a.example.org"]);
+        // Far more datagrams than ring slots, so the producer would
+        // park on the full ring if the sole (panicked) worker stopped
+        // draining without closing it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(
+                4,
+                (0..1000u64).map(|seq| Datagram {
+                    peer: 0,
+                    seq,
+                    now_ms: 0,
+                    wire: fetch_wire("a.example.org", seq),
+                }),
+                &|_| panic!("reply sink failure"),
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate");
+    }
+
+    /// A panicking datagram source must propagate out of `run` the
+    /// same way a panicking worker does — not leave the workers parked
+    /// on the open ring's condvar.
+    #[test]
+    fn producer_panic_propagates_instead_of_deadlocking() {
+        let pool = pool(2, &["a.example.org"]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(
+                4,
+                (0..100u64).map(|seq| {
+                    if seq == 50 {
+                        panic!("load source failure");
+                    }
+                    Datagram {
+                        peer: 0,
+                        seq,
+                        now_ms: 0,
+                        wire: fetch_wire("a.example.org", seq),
+                    }
+                }),
+                &|_| {},
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate");
+    }
+
+    #[test]
+    fn single_and_multi_worker_agree_on_totals() {
+        let names = ["x.example.org", "y.example.org"];
+        let total = 200u64;
+        let run = |workers| {
+            let pool = pool(workers, &names);
+            // Prime the cache single-threaded so the measured run has
+            // no first-touch races; after that, totals are exact and
+            // identical for every worker count.
+            let mut buf = Vec::new();
+            for (i, n) in names.iter().enumerate() {
+                pool.serve(
+                    &Datagram {
+                        peer: 9,
+                        seq: 1000 + i as u64,
+                        now_ms: 0,
+                        wire: fetch_wire(n, 1000 + i as u64),
+                    },
+                    &mut buf,
+                );
+            }
+            let stats = pool.run(
+                8,
+                (0..total).map(|seq| Datagram {
+                    peer: 0,
+                    seq,
+                    now_ms: 5, // single instant: no TTL churn
+                    wire: fetch_wire(names[(seq % 2) as usize], seq),
+                }),
+                &|_| {},
+            );
+            (stats, pool.proxy.stats(), pool.server.stats())
+        };
+        let (s1, p1, sv1) = run(1);
+        let (s4, p4, sv4) = run(4);
+        assert_eq!(s1, s4);
+        assert_eq!(p1.requests, p4.requests);
+        assert_eq!(p1.cache_hits, p4.cache_hits);
+        assert_eq!(p1.cache_hits, total as u32, "every measured request hits");
+        assert_eq!(sv1.full_responses, sv4.full_responses);
+    }
+}

@@ -6,13 +6,24 @@
 //! and ETag revalidation towards the origin. That is the point of the
 //! paper's §4.2 design — and with OSCORE the proxy caches *encrypted*
 //! responses it cannot read (Fig. 4b).
+//!
+//! The proxy is **thread-safe**: every public method takes `&self`, so
+//! an `Arc<CoapProxy>` can be shared across the workers of a
+//! [`crate::pool`] front-end. Internally the response cache and the
+//! outstanding-exchange table are lock-striped
+//! ([`ShardedResponseCache`]/[`ShardedCache`]) and the statistics are
+//! atomics; single-threaded callers pay only uncontended locks, and
+//! with a single shard (the [`CoapProxy::new`] default) behaviour is
+//! bit-identical to the historical unsharded proxy, FIFO eviction
+//! included.
 
-use doc_coap::cache::{cache_key, cache_key_view, CacheKey, Lookup, ResponseCache};
+use doc_coap::cache::{cache_key_view, CacheKey, Lookup};
 use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_coap::shard::{ShardedCache, ShardedResponseCache};
 use doc_coap::view::CoapView;
 use doc_coap::CoapError;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// What the proxy decided to do with a client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,13 +63,39 @@ struct Outstanding {
     revalidating: bool,
 }
 
+/// Lock-free statistics counters behind the [`ProxyStats`] snapshot.
+#[derive(Default)]
+struct AtomicProxyStats {
+    requests: AtomicU32,
+    cache_hits: AtomicU32,
+    revalidations: AtomicU32,
+    revalidated: AtomicU32,
+    forwards: AtomicU32,
+}
+
+impl AtomicProxyStats {
+    fn snapshot(&self) -> ProxyStats {
+        ProxyStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            revalidations: self.revalidations.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bump a counter by one (relaxed: counters are advisory statistics).
+fn bump(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
 /// The caching forward proxy.
 pub struct CoapProxy {
-    cache: ResponseCache,
-    outstanding: HashMap<u64, Outstanding>,
-    next_exchange: u64,
-    /// Statistics.
-    pub stats: ProxyStats,
+    cache: ShardedResponseCache,
+    outstanding: ShardedCache<u64, Outstanding>,
+    next_exchange: AtomicU64,
+    stats: AtomicProxyStats,
 }
 
 impl Default for CoapProxy {
@@ -69,14 +106,30 @@ impl Default for CoapProxy {
 
 impl CoapProxy {
     /// Create a proxy with a cache of `capacity` entries (the paper's
-    /// proxy uses `CONFIG_NANOCOAP_CACHE_ENTRIES = 50`, Table 6).
+    /// proxy uses `CONFIG_NANOCOAP_CACHE_ENTRIES = 50`, Table 6) on a
+    /// single shard — observationally identical to the historical
+    /// unsharded proxy, which the paper-reproduction experiments rely
+    /// on.
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
+    }
+
+    /// Create a proxy whose response cache and exchange table are
+    /// striped over `shards` locks — the scale-out configuration used
+    /// by the [`crate::pool`] worker front-end. `capacity` is the
+    /// *total* cache budget, split evenly across shards.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         CoapProxy {
-            cache: ResponseCache::new(capacity),
-            outstanding: HashMap::new(),
-            next_exchange: 0,
-            stats: ProxyStats::default(),
+            cache: ShardedResponseCache::new(capacity, shards),
+            outstanding: ShardedCache::new(shards),
+            next_exchange: AtomicU64::new(0),
+            stats: AtomicProxyStats::default(),
         }
+    }
+
+    /// A snapshot of the proxy statistics.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats.snapshot()
     }
 
     /// Cache statistics from the underlying response cache.
@@ -96,9 +149,9 @@ impl CoapProxy {
     /// longer than 8 bytes) is answered `4.00 Bad Request` rather than
     /// processed — with the token truncated to 8 bytes so the reply
     /// itself stays encodable.
-    pub fn handle_client_request(&mut self, req: &CoapMessage, now_ms: u64) -> ProxyAction {
+    pub fn handle_client_request(&self, req: &CoapMessage, now_ms: u64) -> ProxyAction {
         if req.token.len() > 8 {
-            self.stats.requests += 1;
+            bump(&self.stats.requests);
             return ProxyAction::Respond(Box::new(CoapMessage::ack_reply(
                 req.message_id,
                 req.token[..8].to_vec(),
@@ -109,7 +162,7 @@ impl CoapProxy {
         match self.handle_client_request_wire(&wire, now_ms) {
             Ok(action) => action,
             Err(_) => {
-                self.stats.requests += 1;
+                bump(&self.stats.requests);
                 ProxyAction::Respond(Box::new(CoapMessage::ack_reply(
                     req.message_id,
                     req.token.clone(),
@@ -128,21 +181,24 @@ impl CoapProxy {
     /// is forwarded upstream and parked in the outstanding-exchange
     /// table.
     pub fn handle_client_request_wire(
-        &mut self,
+        &self,
         wire: &[u8],
         now_ms: u64,
     ) -> Result<ProxyAction, CoapError> {
         let req = CoapView::parse(wire)?;
-        self.stats.requests += 1;
+        bump(&self.stats.requests);
+        // The key (and its FNV hash) is derived from the view exactly
+        // once per request; every later consumer — cache lookup, shard
+        // selection, the outstanding-exchange entry — reuses it.
+        let key = cache_key_view(&req);
         if !doc_coap::cache::is_cacheable_method(req.code) {
             // POST etc.: pure pass-through.
-            self.stats.forwards += 1;
-            return Ok(self.forward(req.to_owned(), None, false));
+            bump(&self.stats.forwards);
+            return Ok(self.forward(key, req.to_owned(), None, false));
         }
-        let key = cache_key_view(&req);
         match self.cache.lookup(&key, now_ms) {
             Lookup::Fresh(cached) => {
-                self.stats.cache_hits += 1;
+                bump(&self.stats.cache_hits);
                 let client_etag = req.option(OptionNumber::ETAG).map(|o| o.value);
                 let resp = Self::reply_from_entry(
                     req.message_id,
@@ -154,27 +210,27 @@ impl CoapProxy {
             }
             Lookup::Stale { etag, .. } => {
                 // Revalidate upstream with the cached ETag.
-                self.stats.revalidations += 1;
+                bump(&self.stats.revalidations);
                 let original = req.to_owned();
                 let mut upstream_req = original.clone();
                 upstream_req.set_option(CoapOption::new(OptionNumber::ETAG, etag));
-                Ok(self.forward(upstream_req, Some(original), true))
+                Ok(self.forward(key, upstream_req, Some(original), true))
             }
             Lookup::Miss | Lookup::StaleNoEtag => {
-                self.stats.forwards += 1;
-                Ok(self.forward(req.to_owned(), None, false))
+                bump(&self.stats.forwards);
+                Ok(self.forward(key, req.to_owned(), None, false))
             }
         }
     }
 
     fn forward(
-        &mut self,
+        &self,
+        key: CacheKey,
         upstream_req: CoapMessage,
         original: Option<CoapMessage>,
         revalidating: bool,
     ) -> ProxyAction {
-        let id = self.next_exchange;
-        self.next_exchange += 1;
+        let id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
         let client_request = original.unwrap_or_else(|| upstream_req.clone());
         let client_etag = client_request
             .option(OptionNumber::ETAG)
@@ -182,7 +238,7 @@ impl CoapProxy {
         self.outstanding.insert(
             id,
             Outstanding {
-                key: cache_key(&client_request),
+                key,
                 client_request,
                 client_etag,
                 revalidating,
@@ -198,7 +254,7 @@ impl CoapProxy {
     /// response to relay to the client (None if the exchange is
     /// unknown).
     pub fn handle_upstream_response(
-        &mut self,
+        &self,
         exchange_id: u64,
         resp: &CoapMessage,
         now_ms: u64,
@@ -210,7 +266,7 @@ impl CoapProxy {
         let client_token = std::mem::take(&mut out.client_request.token);
         match resp.code {
             Code::VALID if out.revalidating => {
-                self.stats.revalidated += 1;
+                bump(&self.stats.revalidated);
                 let refreshed = self.cache.revalidate(&out.key, resp, now_ms);
                 match refreshed {
                     Some(entry) => Some(Self::reply_from_entry(
@@ -312,15 +368,15 @@ mod tests {
     }
 
     fn doc_server(policy: CachePolicy, ttl: u32) -> DocServer {
-        let mut up = MockUpstream::new(5, ttl, ttl);
+        let up = MockUpstream::new(5, ttl, ttl);
         up.add_aaaa(name(), 1);
         DocServer::new(policy, up)
     }
 
     /// Drive request → proxy → server → proxy → response.
     fn via_proxy(
-        proxy: &mut CoapProxy,
-        server: &mut DocServer,
+        proxy: &CoapProxy,
+        server: &DocServer,
         req: &CoapMessage,
         now: u64,
     ) -> CoapMessage {
@@ -340,16 +396,16 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 300);
-        let r1 = via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 300);
+        let r1 = via_proxy(&proxy, &server, &fetch_req(1), 0);
         assert_eq!(r1.code, Code::CONTENT);
-        assert_eq!(proxy.stats.forwards, 1);
+        assert_eq!(proxy.stats().forwards, 1);
         // Second client request: cache hit, no upstream traffic.
-        let r2 = via_proxy(&mut proxy, &mut server, &fetch_req(2), 10_000);
+        let r2 = via_proxy(&proxy, &server, &fetch_req(2), 10_000);
         assert_eq!(r2.code, Code::CONTENT);
-        assert_eq!(proxy.stats.cache_hits, 1);
-        assert_eq!(server.stats.requests, 1, "server not contacted again");
+        assert_eq!(proxy.stats().cache_hits, 1);
+        assert_eq!(server.stats().requests, 1, "server not contacted again");
         // Max-Age was decremented by the proxy.
         assert_eq!(r2.max_age(), 290);
         // Token/MID belong to the second client exchange.
@@ -361,8 +417,8 @@ mod tests {
     /// second client's exchange identifiers.
     #[test]
     fn miss_then_hit_on_wire_path() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 300);
         let wire1 = fetch_req(1).encode();
         let action = proxy.handle_client_request_wire(&wire1, 0).unwrap();
         let r1 = match action {
@@ -385,7 +441,7 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(r2.code, Code::CONTENT);
-        assert_eq!(proxy.stats.cache_hits, 1);
+        assert_eq!(proxy.stats().cache_hits, 1);
         assert_eq!(r2.token, fetch_req(2).token);
         assert_eq!(r2.message_id, fetch_req(2).message_id);
         assert_eq!(r2.max_age(), 290);
@@ -395,50 +451,50 @@ mod tests {
 
     #[test]
     fn stale_entry_revalidates_eol() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 5);
-        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 5);
+        via_proxy(&proxy, &server, &fetch_req(1), 0);
         // Another client refreshes the RRset at the origin at t=7 s.
         server.handle_request(&fetch_req(9), 7_000);
         // At t=9 s the proxy entry is stale; EOL TTLs lets the upstream
         // confirm with 2.03 and the proxy serves the cached body.
-        let r = via_proxy(&mut proxy, &mut server, &fetch_req(2), 9_000);
+        let r = via_proxy(&proxy, &server, &fetch_req(2), 9_000);
         assert_eq!(r.code, Code::CONTENT);
         assert!(!r.payload.is_empty());
-        assert_eq!(proxy.stats.revalidations, 1);
-        assert_eq!(proxy.stats.revalidated, 1);
-        assert_eq!(server.stats.validations, 1);
+        assert_eq!(proxy.stats().revalidations, 1);
+        assert_eq!(proxy.stats().revalidated, 1);
+        assert_eq!(server.stats().validations, 1);
         // Fresh (decayed) Max-Age propagated: 3 s remaining.
         assert_eq!(r.max_age(), 3);
     }
 
     #[test]
     fn stale_entry_full_fetch_doh_like() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::DohLike, 5);
-        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::DohLike, 5);
+        via_proxy(&proxy, &server, &fetch_req(1), 0);
         // Upstream TTL decays via another client's refresh (Fig. 3
         // step 3): the DoH-like payload changes.
         server.handle_request(&fetch_req(9), 7_000);
-        let r = via_proxy(&mut proxy, &mut server, &fetch_req(2), 9_000);
+        let r = via_proxy(&proxy, &server, &fetch_req(2), 9_000);
         assert_eq!(r.code, Code::CONTENT);
-        assert_eq!(proxy.stats.revalidations, 1);
-        assert_eq!(proxy.stats.revalidated, 0, "DoH-like ETag broke");
-        assert_eq!(server.stats.validations, 0);
-        assert_eq!(server.stats.full_responses, 3);
+        assert_eq!(proxy.stats().revalidations, 1);
+        assert_eq!(proxy.stats().revalidated, 0, "DoH-like ETag broke");
+        assert_eq!(server.stats().validations, 0);
+        assert_eq!(server.stats().full_responses, 3);
     }
 
     /// Fig. 3 step 5: a client that already holds the representation
     /// (same ETag) gets a tiny 2.03 from the proxy cache.
     #[test]
     fn client_etag_match_gets_203_from_proxy() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 300);
-        let r1 = via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 300);
+        let r1 = via_proxy(&proxy, &server, &fetch_req(1), 0);
         let etag = r1.option(OptionNumber::ETAG).unwrap().value.clone();
         let mut req2 = fetch_req(2);
         req2.set_option(CoapOption::new(OptionNumber::ETAG, etag));
-        let r2 = via_proxy(&mut proxy, &mut server, &req2, 5_000);
+        let r2 = via_proxy(&proxy, &server, &req2, 5_000);
         assert_eq!(r2.code, Code::VALID);
         assert!(r2.payload.is_empty());
         assert_eq!(r2.max_age(), 295);
@@ -446,8 +502,8 @@ mod tests {
 
     #[test]
     fn post_bypasses_cache() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 300);
         let mk = |mid: u16| {
             build_request(
                 DocMethod::Post,
@@ -458,15 +514,15 @@ mod tests {
             )
             .unwrap()
         };
-        via_proxy(&mut proxy, &mut server, &mk(1), 0);
-        via_proxy(&mut proxy, &mut server, &mk(2), 1000);
-        assert_eq!(proxy.stats.cache_hits, 0);
-        assert_eq!(server.stats.requests, 2, "every POST reaches the origin");
+        via_proxy(&proxy, &server, &mk(1), 0);
+        via_proxy(&proxy, &server, &mk(2), 1000);
+        assert_eq!(proxy.stats().cache_hits, 0);
+        assert_eq!(server.stats().requests, 2, "every POST reaches the origin");
     }
 
     #[test]
     fn error_responses_pass_through() {
-        let mut proxy = CoapProxy::new(8);
+        let proxy = CoapProxy::new(8);
         let req = fetch_req(1);
         let action = proxy.handle_client_request(&req, 0);
         let (fwd, id) = match action {
@@ -484,19 +540,19 @@ mod tests {
 
     #[test]
     fn unknown_exchange_ignored() {
-        let mut proxy = CoapProxy::new(8);
+        let proxy = CoapProxy::new(8);
         let resp = CoapMessage::ack_response(&fetch_req(1), Code::CONTENT);
         assert!(proxy.handle_upstream_response(99, &resp, 0).is_none());
     }
 
     #[test]
     fn different_queries_different_entries() {
-        let mut proxy = CoapProxy::new(8);
-        let mut server = doc_server(CachePolicy::EolTtls, 300);
+        let proxy = CoapProxy::new(8);
+        let server = doc_server(CachePolicy::EolTtls, 300);
         server
             .upstream
             .add_aaaa(Name::parse("other.example.org").unwrap(), 1);
-        via_proxy(&mut proxy, &mut server, &fetch_req(1), 0);
+        via_proxy(&proxy, &server, &fetch_req(1), 0);
         // A query for a different name must miss.
         let mut q2 = Message::query(
             0,
@@ -505,8 +561,8 @@ mod tests {
         );
         q2.canonicalize_id();
         let req2 = build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 2, vec![2]).unwrap();
-        via_proxy(&mut proxy, &mut server, &req2, 100);
-        assert_eq!(proxy.stats.forwards, 2);
-        assert_eq!(proxy.stats.cache_hits, 0);
+        via_proxy(&proxy, &server, &req2, 100);
+        assert_eq!(proxy.stats().forwards, 2);
+        assert_eq!(proxy.stats().cache_hits, 0);
     }
 }

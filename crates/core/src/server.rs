@@ -10,6 +10,16 @@
 //! whose records refresh their TTLs on expiry (uniformly drawn from a
 //! configured range, e.g. the 2–8 s of §6.1), which is precisely the
 //! behaviour that makes DoH-like ETags churn.
+//!
+//! Both the server and the mock upstream are **thread-safe**: every
+//! public method takes `&self`, so an `Arc<DocServer>` can back the
+//! workers of a [`crate::pool`] front-end. The upstream's resource
+//! table (zone + per-RRset TTL state) is lock-striped behind a
+//! [`ShardedCache`], its xorshift state is an atomic (the draw
+//! sequence is unchanged for single-threaded drivers, so seeded
+//! experiments stay bit-identical), the block-wise transfer tables are
+//! sharded by `(peer, token)`, and the statistics are atomics exposed
+//! through snapshot accessors.
 
 use crate::method::extract_query_view;
 use crate::policy::{prepare_response, CachePolicy, PreparedResponse};
@@ -17,60 +27,107 @@ use crate::{DocError, CONTENT_FORMAT_DNS_MESSAGE};
 use doc_coap::block::{Block2Server, BlockAssembler, BlockOpt};
 use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
+use doc_coap::shard::ShardedCache;
 use doc_coap::view::CoapView;
 use doc_coap::CoapError;
 use doc_dns::view::MessageView;
 use doc_dns::{Message, Name, Rcode, Record, RecordClass, RecordData, RecordType};
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// One RRset of the mock zone: the records plus the TTL state machine
+/// (absolute expiry of the current TTL draw; 0 = not yet drawn).
+struct Rrset {
+    data: Vec<RecordData>,
+    expires_at_ms: u64,
+}
+
+/// One xorshift64 step (shared by the upstream's atomic RNG).
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x
+}
 
 /// A programmable mock recursive resolver.
 pub struct MockUpstream {
-    zone: HashMap<(Name, RecordType), Vec<RecordData>>,
+    /// The resource table: zone data + TTL state, lock-striped so
+    /// concurrent workers resolving different names never contend.
+    zone: ShardedCache<(Name, RecordType), Rrset>,
     ttl_min: u32,
     ttl_max: u32,
-    /// Per-RRset TTL state: (expires_at_ms, refreshes).
-    state: HashMap<(Name, RecordType), u64>,
-    rng: u64,
-    /// Number of resolutions that had to "contact the name server"
-    /// (TTL expired) — the NS-query events of Fig. 3.
-    pub ns_queries: u32,
-    /// Number of resolutions served from the mock's own cache.
-    pub cache_hits: u32,
+    rng: AtomicU64,
+    ns_queries: AtomicU32,
+    cache_hits: AtomicU32,
 }
 
 impl MockUpstream {
     /// Create an upstream whose record TTLs refresh uniformly within
     /// `[ttl_min, ttl_max]` seconds.
     pub fn new(seed: u64, ttl_min: u32, ttl_max: u32) -> Self {
+        Self::with_shards(seed, ttl_min, ttl_max, 8)
+    }
+
+    /// Like [`MockUpstream::new`], with the resource table striped over
+    /// `shards` locks (rounded up to a power of two) — the scale-out
+    /// knob for multi-worker front-ends.
+    pub fn with_shards(seed: u64, ttl_min: u32, ttl_max: u32, shards: usize) -> Self {
         assert!(ttl_min <= ttl_max && ttl_min > 0);
         MockUpstream {
-            zone: HashMap::new(),
+            zone: ShardedCache::new(shards),
             ttl_min,
             ttl_max,
-            state: HashMap::new(),
-            rng: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
-            ns_queries: 0,
-            cache_hits: 0,
+            rng: AtomicU64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1),
+            ns_queries: AtomicU32::new(0),
+            cache_hits: AtomicU32::new(0),
         }
     }
 
-    fn rand(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
+    /// Number of resolutions that had to "contact the name server"
+    /// (TTL expired) — the NS-query events of Fig. 3.
+    pub fn ns_queries(&self) -> u32 {
+        self.ns_queries.load(Ordering::Relaxed)
     }
 
-    /// Register an RRset.
-    pub fn add_rrset(&mut self, name: Name, rtype: RecordType, data: Vec<RecordData>) {
-        self.zone.insert((name, rtype), data);
+    /// Number of resolutions served from the mock's own cache.
+    pub fn cache_hits(&self) -> u32 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Draw the next xorshift64* value. Same sequence as the historical
+    /// single-threaded RNG; under concurrency each draw is still unique
+    /// and uniform, just non-deterministically interleaved.
+    fn rand(&self) -> u64 {
+        let prev = self
+            .rng
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| {
+                Some(xorshift64(x))
+            })
+            .expect("fetch_update closure never fails");
+        xorshift64(prev).wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Register an RRset. Re-registering an existing `(name, rtype)`
+    /// replaces the record data but keeps the in-flight TTL window,
+    /// matching the historical behaviour where record data and TTL
+    /// state lived in separate maps.
+    pub fn add_rrset(&self, name: Name, rtype: RecordType, data: Vec<RecordData>) {
+        let key = (name, rtype);
+        self.zone
+            .with_shard_mut(&key, |shard| match shard.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().data = data,
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Rrset {
+                        data,
+                        expires_at_ms: 0,
+                    });
+                }
+            });
     }
 
     /// Convenience: register `n` AAAA records `2001:db8::i` for a name.
-    pub fn add_aaaa(&mut self, name: Name, n: u16) {
+    pub fn add_aaaa(&self, name: Name, n: u16) {
         let data = (1..=n)
             .map(|i| RecordData::Aaaa(std::net::Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i)))
             .collect();
@@ -78,7 +135,7 @@ impl MockUpstream {
     }
 
     /// Convenience: register `n` A records `192.0.2.i` for a name.
-    pub fn add_a(&mut self, name: Name, n: u8) {
+    pub fn add_a(&self, name: Name, n: u8) {
         let data = (1..=n)
             .map(|i| RecordData::A(std::net::Ipv4Addr::new(192, 0, 2, i)))
             .collect();
@@ -88,31 +145,34 @@ impl MockUpstream {
     /// Resolve a DNS query at virtual time `now_ms`. Returns a response
     /// with *remaining* TTLs (the decrementing behaviour of a real
     /// recursive cache).
-    pub fn resolve(&mut self, query: &Message, now_ms: u64) -> Message {
+    pub fn resolve(&self, query: &Message, now_ms: u64) -> Message {
         let Some(q) = query.questions.first() else {
             return Message::response(query, Rcode::FormErr, vec![]);
         };
         let key = (q.qname.clone(), q.qtype);
-        let Some(data) = self.zone.get(&key).cloned() else {
+        // One shard lock covers the whole read-check-refresh sequence,
+        // so two workers cannot both decide to refresh the same RRset.
+        let resolved = self.zone.with_shard_mut(&key, |shard| {
+            let rrset = shard.get_mut(&key)?;
+            let remaining_ms = if rrset.expires_at_ms > now_ms {
+                bump(&self.cache_hits);
+                rrset.expires_at_ms - now_ms
+            } else {
+                bump(&self.ns_queries);
+                let span = (self.ttl_max - self.ttl_min) as u64;
+                let ttl_s = self.ttl_min as u64
+                    + if span == 0 {
+                        0
+                    } else {
+                        self.rand() % (span + 1)
+                    };
+                rrset.expires_at_ms = now_ms + ttl_s * 1000;
+                ttl_s * 1000
+            };
+            Some((rrset.data.clone(), remaining_ms))
+        });
+        let Some((data, remaining_ms)) = resolved else {
             return Message::response(query, Rcode::NxDomain, vec![]);
-        };
-        // TTL state machine: refresh on expiry.
-        let expires = self.state.get(&key).copied().unwrap_or(0);
-        let remaining_ms = if expires > now_ms {
-            self.cache_hits += 1;
-            expires - now_ms
-        } else {
-            self.ns_queries += 1;
-            let span = (self.ttl_max - self.ttl_min) as u64;
-            let ttl_s = self.ttl_min as u64
-                + if span == 0 {
-                    0
-                } else {
-                    self.rand() % (span + 1)
-                };
-            let new_expiry = now_ms + ttl_s * 1000;
-            self.state.insert(key.clone(), new_expiry);
-            ttl_s * 1000
         };
         let ttl = remaining_ms.div_ceil(1000) as u32;
         let answers: Vec<Record> = data
@@ -143,6 +203,31 @@ pub struct ServerStats {
     pub errors: u32,
 }
 
+/// Lock-free counters behind the [`ServerStats`] snapshot.
+#[derive(Default)]
+struct AtomicServerStats {
+    requests: AtomicU32,
+    validations: AtomicU32,
+    full_responses: AtomicU32,
+    errors: AtomicU32,
+}
+
+impl AtomicServerStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            validations: self.validations.load(Ordering::Relaxed),
+            full_responses: self.full_responses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bump a counter by one (relaxed: counters are advisory statistics).
+fn bump(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
 /// The DoC server.
 pub struct DocServer {
     policy: CachePolicy,
@@ -153,24 +238,44 @@ pub struct DocServer {
     /// Recent prepared responses for Block2 continuation, keyed by
     /// (peer, request token) — clients reuse one token per block-wise
     /// transaction.
-    block_state: HashMap<(u64, Vec<u8>), Vec<u8>>,
+    block_state: ShardedCache<(u64, Vec<u8>), Vec<u8>>,
     /// In-progress Block1 query reassembly, keyed by (peer, token).
-    block1_assembly: HashMap<(u64, Vec<u8>), BlockAssembler>,
-    /// Statistics.
-    pub stats: ServerStats,
+    block1_assembly: ShardedCache<(u64, Vec<u8>), BlockAssembler>,
+    stats: AtomicServerStats,
 }
 
 impl DocServer {
     /// Create a server with the given policy and upstream.
     pub fn new(policy: CachePolicy, upstream: MockUpstream) -> Self {
+        Self::with_shards(policy, upstream, 8)
+    }
+
+    /// Like [`DocServer::new`], with the block-wise transfer tables
+    /// striped over `shards` locks (rounded up to a power of two). The
+    /// upstream's own resource-table striping is configured on
+    /// [`MockUpstream::with_shards`].
+    pub fn with_shards(policy: CachePolicy, upstream: MockUpstream, shards: usize) -> Self {
         DocServer {
             policy,
             upstream,
             block_size: None,
-            block_state: HashMap::new(),
-            block1_assembly: HashMap::new(),
-            stats: ServerStats::default(),
+            block_state: ShardedCache::new(shards),
+            block1_assembly: ShardedCache::new(shards),
+            stats: AtomicServerStats::default(),
         }
+    }
+
+    /// A snapshot of the server statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Account a DNS response served outside the CoAP path (the
+    /// experiment harness answers UDP/DTLS transports straight from the
+    /// upstream; those still count as served requests).
+    pub fn count_raw_dns_response(&self) {
+        bump(&self.stats.requests);
+        bump(&self.stats.full_responses);
     }
 
     /// Enable proactive Block2 slicing of responses larger than
@@ -188,7 +293,7 @@ impl DocServer {
     /// Handle one DoC request, producing the CoAP response
     /// (single-peer convenience wrapper of
     /// [`DocServer::handle_request_from`]).
-    pub fn handle_request(&mut self, req: &CoapMessage, now_ms: u64) -> CoapMessage {
+    pub fn handle_request(&self, req: &CoapMessage, now_ms: u64) -> CoapMessage {
         self.handle_request_from(0, req, now_ms)
     }
 
@@ -205,15 +310,10 @@ impl DocServer {
     /// bytes) is answered `4.00 Bad Request` rather than processed —
     /// with the token truncated to 8 bytes so the reply itself stays
     /// encodable.
-    pub fn handle_request_from(
-        &mut self,
-        peer: u64,
-        req: &CoapMessage,
-        now_ms: u64,
-    ) -> CoapMessage {
+    pub fn handle_request_from(&self, peer: u64, req: &CoapMessage, now_ms: u64) -> CoapMessage {
         if req.token.len() > 8 {
-            self.stats.requests += 1;
-            self.stats.errors += 1;
+            bump(&self.stats.requests);
+            bump(&self.stats.errors);
             return CoapMessage::ack_reply(
                 req.message_id,
                 req.token[..8].to_vec(),
@@ -224,8 +324,8 @@ impl DocServer {
         match self.handle_request_wire(peer, &wire, now_ms) {
             Ok(resp) => resp,
             Err(_) => {
-                self.stats.requests += 1;
-                self.stats.errors += 1;
+                bump(&self.stats.requests);
+                bump(&self.stats.errors);
                 CoapMessage::ack_reply(req.message_id, req.token.clone(), Code::BAD_REQUEST)
             }
         }
@@ -238,17 +338,17 @@ impl DocServer {
     /// `Vec`s); an owned query is materialized only at the upstream
     /// resolve boundary, where the resolver builds the response from it.
     pub fn handle_request_wire(
-        &mut self,
+        &self,
         peer: u64,
         wire: &[u8],
         now_ms: u64,
     ) -> Result<CoapMessage, CoapError> {
         let req = CoapView::parse(wire)?;
-        self.stats.requests += 1;
+        bump(&self.stats.requests);
         Ok(match self.try_handle(peer, &req, now_ms) {
             Ok(resp) => resp,
             Err(e) => {
-                self.stats.errors += 1;
+                bump(&self.stats.errors);
                 let code = match e {
                     DocError::BadEncoding | DocError::BadDnsMessage => Code::BAD_REQUEST,
                     DocError::BadRequest => Code::METHOD_NOT_ALLOWED,
@@ -260,37 +360,48 @@ impl DocServer {
     }
 
     fn try_handle(
-        &mut self,
+        &self,
         peer: u64,
         req: &CoapView<'_>,
         now_ms: u64,
     ) -> Result<CoapMessage, DocError> {
         // Block1 reassembly: a block-wise transferred query (paper
         // Fig. 12a) is accumulated per token; non-final blocks are
-        // answered 2.31 Continue.
+        // answered 2.31 Continue. The whole push-or-finish sequence
+        // runs under the key's shard lock, so concurrent blocks of one
+        // transaction cannot interleave mid-assembly.
+        enum Block1Outcome {
+            Done(Vec<u8>),
+            Continue,
+            Bad,
+        }
         let mut reassembled: Option<Vec<u8>> = None;
         if let Some(Ok(block1)) = BlockOpt::from_view(req, OptionNumber::BLOCK1) {
-            let assembler = self
-                .block1_assembly
-                .entry((peer, req.token().to_vec()))
-                .or_default();
-            match assembler.push(block1, req.payload()) {
-                Ok(Some(full)) => {
-                    self.block1_assembly.remove(&(peer, req.token().to_vec()));
-                    reassembled = Some(full);
-                    // fall through to normal processing
+            let key = (peer, req.token().to_vec());
+            let outcome = self.block1_assembly.with_shard_mut(&key, |shard| {
+                let assembler = shard.entry(key.clone()).or_default();
+                match assembler.push(block1, req.payload()) {
+                    Ok(Some(full)) => {
+                        shard.remove(&key);
+                        Block1Outcome::Done(full)
+                    }
+                    Ok(None) => Block1Outcome::Continue,
+                    Err(_) => {
+                        shard.remove(&key);
+                        Block1Outcome::Bad
+                    }
                 }
-                Ok(None) => {
+            });
+            match outcome {
+                Block1Outcome::Done(full) => reassembled = Some(full),
+                Block1Outcome::Continue => {
                     return Ok(doc_coap::block::continue_reply(
                         req.message_id,
                         req.token().to_vec(),
                         block1,
                     ));
                 }
-                Err(_) => {
-                    self.block1_assembly.remove(&(peer, req.token().to_vec()));
-                    return Err(DocError::BadRequest);
-                }
+                Block1Outcome::Bad => return Err(DocError::BadRequest),
             }
         }
 
@@ -298,8 +409,8 @@ impl DocServer {
         // already prepared.
         if let Some(Ok(block2)) = BlockOpt::from_view(req, OptionNumber::BLOCK2) {
             if block2.num > 0 {
-                if let Some(payload) = self.block_state.get(&(peer, req.token().to_vec())) {
-                    let server = Block2Server::new(payload.clone(), block2.size())
+                if let Some(payload) = self.block_state.get_cloned(&(peer, req.token().to_vec())) {
+                    let server = Block2Server::new(payload, block2.size())
                         .map_err(|_| DocError::BadRequest)?;
                     let (slice, opt) = server
                         .block(block2.num, block2.size())
@@ -308,7 +419,7 @@ impl DocServer {
                         CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::CONTENT);
                     resp.set_option(opt.to_option(OptionNumber::BLOCK2));
                     resp.payload = slice;
-                    self.stats.full_responses += 1;
+                    bump(&self.stats.full_responses);
                     return Ok(resp);
                 }
             }
@@ -339,7 +450,7 @@ impl DocServer {
         // confirm with 2.03 Valid carrying only ETag + Max-Age.
         if let Some(etag_opt) = req.option(OptionNumber::ETAG) {
             if etag_opt.value == prepared.etag {
-                self.stats.validations += 1;
+                bump(&self.stats.validations);
                 let mut resp =
                     CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::VALID);
                 resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag));
@@ -348,7 +459,7 @@ impl DocServer {
             }
         }
 
-        self.stats.full_responses += 1;
+        bump(&self.stats.full_responses);
         let mut resp = CoapMessage::ack_reply(req.message_id, req.token().to_vec(), Code::CONTENT);
         resp.set_option(CoapOption::new(OptionNumber::ETAG, prepared.etag.clone()));
         resp.set_option(CoapOption::uint(OptionNumber::MAX_AGE, prepared.max_age));
@@ -395,7 +506,7 @@ mod tests {
     }
 
     fn server(policy: CachePolicy) -> DocServer {
-        let mut up = MockUpstream::new(1, 300, 300);
+        let up = MockUpstream::new(1, 300, 300);
         up.add_aaaa(name(), 1);
         DocServer::new(policy, up)
     }
@@ -419,7 +530,7 @@ mod tests {
 
     #[test]
     fn resolves_fetch_request() {
-        let mut s = server(CachePolicy::EolTtls);
+        let s = server(CachePolicy::EolTtls);
         let resp = s.handle_request(&fetch_req(1), 0);
         assert_eq!(resp.code, Code::CONTENT);
         assert_eq!(resp.max_age(), 300);
@@ -434,8 +545,8 @@ mod tests {
     /// one byte for byte, including error replies.
     #[test]
     fn wire_path_matches_owned_path() {
-        let mut s1 = server(CachePolicy::EolTtls);
-        let mut s2 = server(CachePolicy::EolTtls);
+        let s1 = server(CachePolicy::EolTtls);
+        let s2 = server(CachePolicy::EolTtls);
         let req = fetch_req(1);
         let owned = s1.handle_request(&req, 0);
         let via_wire = s2.handle_request_wire(0, &req.encode(), 0).unwrap();
@@ -452,7 +563,7 @@ mod tests {
 
     #[test]
     fn doh_like_keeps_ttls() {
-        let mut s = server(CachePolicy::DohLike);
+        let s = server(CachePolicy::DohLike);
         let resp = s.handle_request(&fetch_req(1), 0);
         let msg = Message::decode(&resp.payload).unwrap();
         assert_eq!(msg.answers[0].ttl, 300);
@@ -461,7 +572,7 @@ mod tests {
     #[test]
     fn get_and_post_also_work() {
         for method in [DocMethod::Get, DocMethod::Post] {
-            let mut s = server(CachePolicy::EolTtls);
+            let s = server(CachePolicy::EolTtls);
             let req = build_request(method, &query_bytes(), MsgType::Con, 5, vec![5]).unwrap();
             let resp = s.handle_request(&req, 0);
             assert_eq!(resp.code, Code::CONTENT, "{method:?}");
@@ -470,9 +581,9 @@ mod tests {
 
     #[test]
     fn nxdomain_for_unknown_name() {
-        let mut up = MockUpstream::new(1, 60, 60);
+        let up = MockUpstream::new(1, 60, 60);
         up.add_aaaa(name(), 1);
-        let mut s = DocServer::new(CachePolicy::EolTtls, up);
+        let s = DocServer::new(CachePolicy::EolTtls, up);
         let mut q = Message::query(
             0,
             Name::parse("other.example.org").unwrap(),
@@ -489,7 +600,7 @@ mod tests {
 
     #[test]
     fn etag_revalidation_valid() {
-        let mut s = server(CachePolicy::EolTtls);
+        let s = server(CachePolicy::EolTtls);
         let resp1 = s.handle_request(&fetch_req(1), 0);
         let etag = resp1.option(OptionNumber::ETAG).unwrap().value.clone();
         // Client revalidates with the ETag (records unchanged).
@@ -499,7 +610,7 @@ mod tests {
         assert_eq!(resp2.code, Code::VALID);
         assert!(resp2.payload.is_empty());
         assert_eq!(resp2.option(OptionNumber::ETAG).unwrap().value, etag);
-        assert_eq!(s.stats.validations, 1);
+        assert_eq!(s.stats().validations, 1);
     }
 
     /// Fig. 3 steps 3/4: when a revalidation hits the upstream while
@@ -509,13 +620,13 @@ mod tests {
     #[test]
     fn revalidation_across_ttl_refresh() {
         let mk = |policy| {
-            let mut up = MockUpstream::new(7, 5, 5);
+            let up = MockUpstream::new(7, 5, 5);
             up.add_aaaa(name(), 1);
             DocServer::new(policy, up)
         };
         for (policy, expect_valid) in [(CachePolicy::DohLike, false), (CachePolicy::EolTtls, true)]
         {
-            let mut s = mk(policy);
+            let s = mk(policy);
             // t=0: our client caches the response (TTL 5, ETag e1).
             let resp1 = s.handle_request(&fetch_req(1), 0);
             let etag = resp1.option(OptionNumber::ETAG).unwrap().value.clone();
@@ -537,27 +648,27 @@ mod tests {
 
     #[test]
     fn upstream_ttl_decrements_between_queries() {
-        let mut s = server(CachePolicy::DohLike);
+        let s = server(CachePolicy::DohLike);
         let r1 = s.handle_request(&fetch_req(1), 0);
         assert_eq!(r1.max_age(), 300);
         let r2 = s.handle_request(&fetch_req(2), 100_000);
         assert_eq!(r2.max_age(), 200);
-        assert_eq!(s.upstream.ns_queries, 1);
-        assert_eq!(s.upstream.cache_hits, 1);
+        assert_eq!(s.upstream.ns_queries(), 1);
+        assert_eq!(s.upstream.cache_hits(), 1);
     }
 
     #[test]
     fn malformed_dns_rejected() {
-        let mut s = server(CachePolicy::EolTtls);
+        let s = server(CachePolicy::EolTtls);
         let req = build_request(DocMethod::Fetch, &[1, 2, 3], MsgType::Con, 1, vec![1]).unwrap();
         let resp = s.handle_request(&req, 0);
         assert_eq!(resp.code, Code::BAD_REQUEST);
-        assert_eq!(s.stats.errors, 1);
+        assert_eq!(s.stats().errors, 1);
     }
 
     #[test]
     fn wrong_method_rejected() {
-        let mut s = server(CachePolicy::EolTtls);
+        let s = server(CachePolicy::EolTtls);
         let req =
             CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1]).with_payload(query_bytes());
         let resp = s.handle_request(&req, 0);
@@ -568,7 +679,7 @@ mod tests {
     /// validation — a PUT carrying a final Block1 is not a DoC query.
     #[test]
     fn wrong_method_with_block1_rejected() {
-        let mut s = server(CachePolicy::EolTtls);
+        let s = server(CachePolicy::EolTtls);
         let mut req =
             CoapMessage::request(Code::PUT, MsgType::Con, 1, vec![1]).with_payload(query_bytes());
         req.set_option(
@@ -582,9 +693,9 @@ mod tests {
 
     #[test]
     fn block2_slicing() {
-        let mut up = MockUpstream::new(1, 300, 300);
+        let up = MockUpstream::new(1, 300, 300);
         up.add_aaaa(name(), 4); // 4 AAAA records: >100-byte response
-        let mut s = DocServer::new(CachePolicy::EolTtls, up).with_block_size(32);
+        let s = DocServer::new(CachePolicy::EolTtls, up).with_block_size(32);
         let resp0 = s.handle_request(&fetch_req(1), 0);
         assert_eq!(resp0.code, Code::CONTENT);
         let b0 = BlockOpt::from_message(&resp0, OptionNumber::BLOCK2)
@@ -622,10 +733,10 @@ mod tests {
     #[test]
     fn multiple_names_tracked_independently() {
         let n2 = Name::parse("second.example.org").unwrap();
-        let mut up = MockUpstream::new(3, 300, 300);
+        let up = MockUpstream::new(3, 300, 300);
         up.add_aaaa(name(), 1);
         up.add_a(n2.clone(), 2);
-        let mut s = DocServer::new(CachePolicy::EolTtls, up);
+        let s = DocServer::new(CachePolicy::EolTtls, up);
         let mut q2 = Message::query(0, n2, RecordType::A);
         q2.canonicalize_id();
         let req2 = build_request(DocMethod::Fetch, &q2.encode(), MsgType::Con, 9, vec![9]).unwrap();

@@ -375,9 +375,11 @@ impl Sim {
         }
     }
 
-    /// Advance to the next event. Returns `None` when the queue is
-    /// empty.
-    pub fn next_event(&mut self) -> Option<(u64, SimEvent)> {
+    /// Process exactly one queue entry. `None` = queue empty;
+    /// `Some(None)` = an internal step (store-and-forward hop) was
+    /// taken without surfacing an event; `Some(Some(ev))` = an event
+    /// for the driver.
+    fn step(&mut self) -> Option<Option<(u64, SimEvent)>> {
         loop {
             let Reverse((at_us, _, id)) = self.queue.pop()?;
             let Some(pending) = self.pending.remove(&id) else {
@@ -386,7 +388,7 @@ impl Sim {
             self.now_us = self.now_us.max(at_us);
             match pending {
                 Pending::Timer { node, token } => {
-                    return Some((self.now_ms(), SimEvent::Timer { node, token }));
+                    return Some(Some((self.now_ms(), SimEvent::Timer { node, token })));
                 }
                 Pending::HopArrival {
                     from,
@@ -397,13 +399,67 @@ impl Sim {
                     tag,
                 } => {
                     if hop_idx == route.len() - 1 {
-                        return Some((self.now_ms(), SimEvent::Datagram { from, to, bytes }));
+                        return Some(Some((
+                            self.now_ms(),
+                            SimEvent::Datagram { from, to, bytes },
+                        )));
                     }
                     // Store-and-forward to the next hop.
                     self.transmit_hop(route, hop_idx, bytes, tag, from, to);
+                    return Some(None);
                 }
             }
         }
+    }
+
+    /// Advance to the next event. Returns `None` when the queue is
+    /// empty.
+    pub fn next_event(&mut self) -> Option<(u64, SimEvent)> {
+        loop {
+            match self.step()? {
+                Some(ev) => return Some(ev),
+                None => continue,
+            }
+        }
+    }
+
+    /// The (virtual µs) timestamp of the next scheduled entry, skipping
+    /// cancelled ones. `None` when the queue is drained.
+    pub fn peek_due_us(&mut self) -> Option<u64> {
+        while let Some(&Reverse((at_us, _, id))) = self.queue.peek() {
+            if self.pending.contains_key(&id) {
+                return Some(at_us);
+            }
+            self.queue.pop(); // drop cancelled entries eagerly
+        }
+        None
+    }
+
+    /// Batched event drain: pop every event scheduled at or before
+    /// `horizon_us` into `out`, returning how many were appended.
+    ///
+    /// This is the bulk feed for a worker-pool front-end
+    /// (`doc-core::pool`): instead of ping-ponging one event at a time,
+    /// the driver drains a whole virtual-time window and fans the
+    /// arrived datagrams onto the pool's ring in one go. Intermediate
+    /// hops scheduled inside the window are simulated as part of the
+    /// drain; events they produce beyond the horizon stay queued.
+    pub fn drain_due(&mut self, horizon_us: u64, out: &mut Vec<(u64, SimEvent)>) -> usize {
+        let mut n = 0;
+        while let Some(at_us) = self.peek_due_us() {
+            if at_us > horizon_us {
+                break;
+            }
+            match self.step() {
+                Some(Some(ev)) => {
+                    out.push(ev);
+                    n += 1;
+                }
+                Some(None) => continue,
+                None => break,
+            }
+        }
+        n
     }
 
     /// Whether any events remain.
@@ -623,6 +679,49 @@ mod tests {
         assert_eq!(count, 10);
         // one ~119-byte frame ≈ 3.8 ms; 10 serialized ≥ 30 ms.
         assert!(last >= 30, "last arrival {last} ms");
+    }
+
+    #[test]
+    fn drain_due_matches_sequential_stream() {
+        let run = |seed| {
+            let mut sim = two_hop_sim(100, seed);
+            for i in 0..20 {
+                sim.send_datagram(0, 3, vec![i as u8; 100], Tag::Query);
+                sim.set_timer(0, 10 * i as u64, i as u64);
+            }
+            sim
+        };
+        // Reference: the classic one-event-at-a-time pump.
+        let mut seq_sim = run(21);
+        let mut sequential = Vec::new();
+        while let Some(ev) = seq_sim.next_event() {
+            sequential.push(ev);
+        }
+        // Batched: drain in 50 ms windows until idle.
+        let mut batch_sim = run(21);
+        let mut batched = Vec::new();
+        let mut horizon_us = 0;
+        while !batch_sim.is_idle() {
+            horizon_us += 50_000;
+            batch_sim.drain_due(horizon_us, &mut batched);
+        }
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_sim.link_stats(0, 1), batch_sim.link_stats(0, 1));
+    }
+
+    #[test]
+    fn drain_due_respects_horizon() {
+        let mut sim = two_hop_sim(0, 22);
+        sim.set_timer(0, 10, 1);
+        sim.set_timer(0, 500, 2);
+        let mut out = Vec::new();
+        // Only the 10 ms timer fits the 100 ms window.
+        assert_eq!(sim.drain_due(100_000, &mut out), 1);
+        assert_eq!(out, vec![(10, SimEvent::Timer { node: 0, token: 1 })]);
+        assert!(!sim.is_idle(), "the 500 ms timer must stay queued");
+        assert_eq!(sim.peek_due_us(), Some(500_000));
+        assert_eq!(sim.drain_due(u64::MAX, &mut out), 1);
+        assert!(sim.is_idle());
     }
 
     #[test]

@@ -29,8 +29,8 @@ fn fetch(name: &Name, mid: u16, token: u8) -> CoapMessage {
 }
 
 fn via_proxy(
-    proxy: &mut CoapProxy,
-    server: &mut DocServer,
+    proxy: &CoapProxy,
+    server: &DocServer,
     req: &CoapMessage,
     now: u64,
 ) -> (CoapMessage, bool) {
@@ -54,13 +54,13 @@ fn via_proxy(
 fn scenario(policy: CachePolicy) {
     println!("--- policy: {} ---", policy.name());
     let name = Name::parse("hub.smart-home.example.org").expect("valid name");
-    let mut upstream = MockUpstream::new(11, 10, 10);
+    let upstream = MockUpstream::new(11, 10, 10);
     upstream.add_aaaa(name.clone(), 4);
-    let mut server = DocServer::new(policy, upstream);
-    let mut proxy = CoapProxy::new(16);
+    let server = DocServer::new(policy, upstream);
+    let proxy = CoapProxy::new(16);
 
     // t=0: C1 populates the proxy cache.
-    let (r, upstream_used) = via_proxy(&mut proxy, &mut server, &fetch(&name, 1, 1), 0);
+    let (r, upstream_used) = via_proxy(&proxy, &server, &fetch(&name, 1, 1), 0);
     println!(
         "t= 0s C1: {} via {} ({} B payload, Max-Age {})",
         r.code,
@@ -79,7 +79,7 @@ fn scenario(policy: CachePolicy) {
         .clone();
 
     // t=4s: C2 asks the same name — served from the proxy cache.
-    let (r, upstream_used) = via_proxy(&mut proxy, &mut server, &fetch(&name, 2, 2), 4_000);
+    let (r, upstream_used) = via_proxy(&proxy, &server, &fetch(&name, 2, 2), 4_000);
     println!(
         "t= 4s C2: {} via {} (Max-Age {})",
         r.code,
@@ -98,7 +98,7 @@ fn scenario(policy: CachePolicy) {
     // t=14s: C1 revalidates with its old ETag.
     let mut reval = fetch(&name, 4, 1);
     reval.set_option(CoapOption::new(OptionNumber::ETAG, etag));
-    let (r, _) = via_proxy(&mut proxy, &mut server, &reval, 14_000);
+    let (r, _) = via_proxy(&proxy, &server, &reval, 14_000);
     match r.code {
         Code::VALID => println!(
             "t=14s C1: revalidation OK — 2.03 Valid, 0 payload bytes (saved {} B)",
@@ -112,11 +112,11 @@ fn scenario(policy: CachePolicy) {
     }
     println!(
         "proxy: {} hits, {} revalidations ({} succeeded); server: {} validations, {} full responses\n",
-        proxy.stats.cache_hits,
-        proxy.stats.revalidations,
-        proxy.stats.revalidated,
-        server.stats.validations,
-        server.stats.full_responses
+        proxy.stats().cache_hits,
+        proxy.stats().revalidations,
+        proxy.stats().revalidated,
+        server.stats().validations,
+        server.stats().full_responses
     );
 }
 

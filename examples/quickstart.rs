@@ -17,9 +17,9 @@ use doc_repro::doc::server::{DocServer, MockUpstream};
 fn main() {
     // 1. A mock recursive resolver that knows one name.
     let name = Name::parse("sensor-7.things.example.org").expect("valid name");
-    let mut upstream = MockUpstream::new(1, 300, 300);
+    let upstream = MockUpstream::new(1, 300, 300);
     upstream.add_aaaa(name.clone(), 2);
-    let mut server = DocServer::new(CachePolicy::EolTtls, upstream);
+    let server = DocServer::new(CachePolicy::EolTtls, upstream);
 
     // 2. A DoC client using the preferred FETCH method with both the
     //    client-side DNS cache and the CoAP response cache enabled.

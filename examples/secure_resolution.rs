@@ -34,9 +34,9 @@ fn oscore_resolution(name: &Name, query: &[u8]) {
     let mut client = OscoreEndpoint::new(SecurityContext::derive(secret, salt, b"C", b"S"), false);
     let mut server_osc =
         OscoreEndpoint::new(SecurityContext::derive(secret, salt, b"S", b"C"), false);
-    let mut upstream = MockUpstream::new(2, 600, 600);
+    let upstream = MockUpstream::new(2, 600, 600);
     upstream.add_aaaa(name.clone(), 1);
-    let mut server = DocServer::new(doc_repro::doc::policy::CachePolicy::EolTtls, upstream);
+    let server = DocServer::new(doc_repro::doc::policy::CachePolicy::EolTtls, upstream);
 
     // Build the inner FETCH and protect it.
     let inner = build_request(
@@ -133,7 +133,7 @@ fn dtls_resolution(name: &Name, query: &[u8]) {
     println!("   handshake complete: {flights} flights, {bytes} bytes");
 
     // Resolve over the established session.
-    let mut upstream = MockUpstream::new(3, 600, 600);
+    let upstream = MockUpstream::new(3, 600, 600);
     upstream.add_aaaa(name.clone(), 1);
     let record = client.send_application_data(query).expect("session up");
     println!(

@@ -13,7 +13,7 @@ use doc_repro::doc::server::{DocServer, MockUpstream};
 
 fn server_with(n_answers: u16, block: usize) -> (DocServer, Name) {
     let name = Name::parse("name-00000.c.example.org").unwrap();
-    let mut up = MockUpstream::new(1, 60, 60);
+    let up = MockUpstream::new(1, 60, 60);
     up.add_aaaa(name.clone(), n_answers);
     (
         DocServer::new(CachePolicy::EolTtls, up).with_block_size(block),
@@ -31,7 +31,7 @@ fn query_bytes(name: &Name) -> Vec<u8> {
 /// against the real server.
 #[test]
 fn block1_query_then_block2_response() {
-    let (mut server, name) = server_with(4, 32);
+    let (server, name) = server_with(4, 32);
     let dns_query = query_bytes(&name);
     assert!(dns_query.len() > 32, "query needs slicing at 32 B blocks");
 
@@ -99,7 +99,7 @@ fn block1_query_then_block2_response() {
 /// server keys state per (peer, token)).
 #[test]
 fn concurrent_transfers_do_not_collide() {
-    let (mut server, name) = server_with(4, 32);
+    let (server, name) = server_with(4, 32);
     let dns_query = query_bytes(&name);
     let tok_a = vec![0xA0];
     let tok_b = vec![0xB0];
@@ -128,7 +128,7 @@ fn concurrent_transfers_do_not_collide() {
             }
         }
     }
-    assert_eq!(server.stats.errors, 0);
+    assert_eq!(server.stats().errors, 0);
 }
 
 /// Fig. 15 behaviour in the full simulator: smaller blocks succeed less

@@ -32,7 +32,7 @@ struct Testbed {
 impl Testbed {
     fn new(policy: CachePolicy) -> (Self, Name) {
         let name = Name::parse("example.org").unwrap();
-        let mut up = MockUpstream::new(5, 10, 10);
+        let up = MockUpstream::new(5, 10, 10);
         up.add_aaaa(name.clone(), 1);
         (
             Testbed {
@@ -73,7 +73,7 @@ fn fig3_doh_like_sequence() {
     let (r1, hit) = tb.query(&fetch(&name, 1, 2), 0);
     assert!(!hit);
     assert_eq!(r1.code, Code::CONTENT);
-    assert_eq!(tb.server.upstream.ns_queries, 1);
+    assert_eq!(tb.server.upstream.ns_queries(), 1);
     let e1 = r1.option(OptionNumber::ETAG).unwrap().value.clone();
     assert_eq!(r1.max_age(), 10);
 
@@ -84,13 +84,13 @@ fn fig3_doh_like_sequence() {
     assert_eq!(r2.code, Code::CONTENT);
     assert_eq!(r2.max_age(), 6);
     assert_eq!(r2.option(OptionNumber::ETAG).unwrap().value, e1);
-    assert_eq!(tb.server.stats.requests, 1, "server untouched in step 2");
+    assert_eq!(tb.server.stats().requests, 1, "server untouched in step 2");
 
     // Step 3: at t=12 s the RRset expired; a background query (a
     // client outside the proxy path) reaches the NS and refreshes the
     // RRset — from here on the upstream TTL decays relative to e1.
     tb.server.handle_request(&fetch(&name, 3, 9), 12_000);
-    assert_eq!(tb.server.upstream.ns_queries, 2, "NS queried again");
+    assert_eq!(tb.server.upstream.ns_queries(), 2, "NS queried again");
 
     // Step 4: C1 revalidates e1 at t=15 s. The proxy's entry is stale
     // (expired at 10 s), so it revalidates upstream — but the remaining
@@ -102,7 +102,7 @@ fn fig3_doh_like_sequence() {
     assert!(!hit, "stale entry goes upstream");
     assert_eq!(r4.code, Code::CONTENT, "Fig. 3 step 4: revalidation fails");
     assert!(!r4.payload.is_empty(), "full retransfer");
-    assert_eq!(tb.server.stats.validations, 0);
+    assert_eq!(tb.server.stats().validations, 0);
     let e2 = r4.option(OptionNumber::ETAG).unwrap().value.clone();
     assert_ne!(e2, e1, "TTL decay changed the DoH-like ETag");
 
@@ -134,7 +134,7 @@ fn fig3_eol_ttls_fixes_step_4() {
     assert!(!hit, "stale proxy entry revalidates upstream");
     // Upstream confirmed with 2.03 — no full transfer anywhere, and
     // the client's copy is still valid too.
-    assert_eq!(tb.server.stats.validations, 1);
+    assert_eq!(tb.server.stats().validations, 1);
     assert_eq!(r4.code, Code::VALID, "EOL TTLs: revalidation succeeds");
     assert!(r4.payload.is_empty());
     // The propagated Max-Age reflects the decayed TTL.

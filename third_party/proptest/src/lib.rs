@@ -120,6 +120,61 @@ pub mod strategy {
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// A strategy that always produces one value (upstream
+    /// `proptest::strategy::Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A uniform choice between boxed strategies of one value type —
+    /// the strategy behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Tuples of strategies are strategies for tuples of their values
+    /// (upstream behaviour; distinct from `any::<(A, B)>()`, which
+    /// goes through `Arbitrary`).
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident => $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0 => 0);
+    impl_tuple_strategy!(S0 => 0, S1 => 1);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
 }
 
 pub mod arbitrary {
@@ -387,8 +442,8 @@ pub mod string {
 
 pub mod prelude {
     pub use crate::arbitrary::{Any, Arbitrary};
-    pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     use core::marker::PhantomData;
 
     /// The canonical strategy for "any value of type `T`".
@@ -424,6 +479,22 @@ macro_rules! proptest {
             }
         }
     )*};
+}
+
+/// Uniform choice between strategies producing one value type
+/// (upstream `prop_oneof!`, unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(
+            {
+                let boxed: ::std::boxed::Box<
+                    dyn $crate::strategy::Strategy<Value = _>,
+                > = ::std::boxed::Box::new($strat);
+                boxed
+            }
+        ),+])
+    };
 }
 
 /// `assert!` under a name the proptest API exposes inside properties.
