@@ -3,7 +3,9 @@
 #
 #   ./ci.sh          # full: tier-1 + smoke benches + parsed JSON gates
 #                    #       + format + lints
-#   ./ci.sh quick    # tier-1 only
+#   ./ci.sh quick    # tier-1 + the DoQ-vs-analytical-model conformance
+#                    # test re-run in release (it gates the simulated
+#                    # QUIC transport against doc-models::quic)
 #   ./ci.sh bench    # tier-1 build + full measurement windows, then the
 #                    # timing gates: >=2x view-decode speedup (asserted
 #                    # by the encode bench itself) and the 4-vs-1 worker
@@ -44,12 +46,24 @@ run_gate() {
     cargo run --release -q -p doc-bench --bin bench_gate -- "$@"
 }
 
+run_conformance() {
+    # The DoQ conformance suite (simulated transport vs the
+    # doc-models::quic analytical envelope) is part of tier-1's debug
+    # run already; re-running it in release guards the packet-size
+    # arithmetic against debug-only behaviour (overflow checks) and
+    # gives quick mode an explicit, named gate.
+    echo "==> quic conformance (release): cargo test --release -q --test quic_conformance"
+    cargo test --release -q --test quic_conformance
+}
+
 case "$mode" in
     quick)
         run_tier1
+        run_conformance
         ;;
     full)
         run_tier1
+        run_conformance
         # Shortened measurement windows: the allocation bounds are
         # exact and always asserted in-process by the encode bench; the
         # structural JSON gates run on the emitted artifacts. Timing

@@ -10,8 +10,9 @@
 //! * `--codecs PATH` — validate a `doc-bench/codecs/v2` artifact
 //!   (schema + row shapes + the 0 allocs/iter invariant on every
 //!   `*_view`/`*_into` row).
-//! * `--proxy PATH` — validate a `doc-bench/proxy/v1` artifact (schema
-//!   + 1/2/4/8-worker rows + percentile sanity).
+//! * `--proxy PATH` — validate a `doc-bench/proxy/v2` artifact
+//!   (schema + 1/2/4/8-worker CoAP rows + doq/doh/dot rows +
+//!   percentile sanity).
 //! * `--require-scaling` — additionally enforce the 4-vs-1 worker
 //!   throughput ratio; the required ratio depends on the parallelism
 //!   recorded in the artifact (≥ 2× on ≥ 4 cores, a no-collapse bound

@@ -4,7 +4,7 @@
 use doc_bench::cdf_rows;
 use doc_core::experiment::{run, ExperimentConfig};
 use doc_core::method::DocMethod;
-use doc_core::transport::TransportKind;
+use doc_core::transport::{TransportKind, TRANSPORT_MATRIX};
 use doc_dns::RecordType;
 
 fn main() {
@@ -19,29 +19,20 @@ fn main() {
             print!(" {p:>6}");
         }
         println!();
-        let configs: Vec<(String, TransportKind, DocMethod)> = vec![
-            ("UDP".into(), TransportKind::Udp, DocMethod::Fetch),
-            ("DTLSv1.2".into(), TransportKind::Dtls, DocMethod::Fetch),
-            ("CoAP FETCH".into(), TransportKind::Coap, DocMethod::Fetch),
-            ("CoAP GET".into(), TransportKind::Coap, DocMethod::Get),
-            ("CoAP POST".into(), TransportKind::Coap, DocMethod::Post),
-            (
-                "CoAPSv1.2 FETCH".into(),
-                TransportKind::Coaps,
-                DocMethod::Fetch,
-            ),
-            ("CoAPSv1.2 GET".into(), TransportKind::Coaps, DocMethod::Get),
-            (
-                "CoAPSv1.2 POST".into(),
-                TransportKind::Coaps,
-                DocMethod::Post,
-            ),
-            (
-                "OSCORE FETCH".into(),
-                TransportKind::Oscore,
-                DocMethod::Fetch,
-            ),
-        ];
+        // Rows come from the shared transport × method matrix (the same
+        // table the end-to-end suite and the throughput bench use), so
+        // a new transport appears here automatically.
+        let configs: Vec<(String, TransportKind, DocMethod)> = TRANSPORT_MATRIX
+            .iter()
+            .map(|&(transport, method)| {
+                let label = if transport.coap_based() {
+                    format!("{} {}", transport.name(), method.name())
+                } else {
+                    transport.name().to_string()
+                };
+                (label, transport, method)
+            })
+            .collect();
         for (label, transport, method) in configs {
             // Average over 10 repetitions like the paper ("All runs are
             // repeated 10 times").

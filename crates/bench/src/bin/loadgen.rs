@@ -10,17 +10,22 @@
 //! ```
 //!
 //! All flags are optional; the defaults match the `throughput` bench.
-//! With `--json PATH` the run also emits the `doc-bench/proxy/v1`
-//! artifact consumed by `bench_gate`.
+//! `--transport coap|doq|doh|dot` selects the wire format the pool
+//! serves (default `coap`). With `--json PATH` the run also emits the
+//! rows in the `doc-bench/proxy/v2` format — note the full `bench_gate`
+//! check additionally requires the complete transport row set, which
+//! the `throughput` bench produces.
 
 use doc_bench::alloc_counter::{alloc_count, CountingAllocator};
 use doc_bench::throughput::{proxy_json, run_load, LoadSpec, ThroughputRow, WORKER_SWEEP};
+use doc_core::pool::ServeMode;
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 const USAGE: &str = "usage: doc-bench [--workers N,N,..] [--requests N] [--concurrency N] \
-                     [--names N] [--shards N] [--get-permille N] [--json PATH]";
+                     [--names N] [--shards N] [--get-permille N] \
+                     [--transport coap|doq|doh|dot] [--json PATH]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -29,7 +34,8 @@ fn usage() -> ! {
 
 fn print_row(r: &ThroughputRow) {
     println!(
-        "{:>3} workers  {:>10.0} req/s  p50 {:>8.1} µs  p99 {:>8.1} µs  {:>6.1} allocs/req  hit rate {:>5.1}%",
+        "{:<5} {:>3} workers  {:>10.0} req/s  p50 {:>8.1} µs  p99 {:>8.1} µs  {:>6.1} allocs/req  hit rate {:>5.1}%",
+        r.mode.label(),
         r.workers,
         r.req_per_s,
         r.p50_us,
@@ -64,6 +70,15 @@ fn main() {
             "--names" => base.unique_names = parse_num(it.next()) as u32,
             "--shards" => base.shards = parse_num(it.next()) as usize,
             "--get-permille" => base.get_permille = parse_num(it.next()) as u32,
+            "--transport" => {
+                base.mode = match it.next().map(String::as_str) {
+                    Some("coap") => ServeMode::Coap,
+                    Some("doq") => ServeMode::Doq,
+                    Some("doh") => ServeMode::DohLite,
+                    Some("dot") => ServeMode::Dot,
+                    _ => usage(),
+                }
+            }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => {
                 println!("{USAGE}");

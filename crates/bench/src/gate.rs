@@ -11,8 +11,10 @@
 //! * **codecs** (`BENCH_codecs.json`, schema `doc-bench/codecs/v2`):
 //!   every `*_view`/`*_into` row must report exactly 0 allocs/iter —
 //!   the machine-independent zero-copy invariant of PRs 2/3.
-//! * **proxy** (`BENCH_proxy.json`, schema `doc-bench/proxy/v1`): rows
-//!   for 1/2/4/8 workers with sane req/s and latency percentiles;
+//! * **proxy** (`BENCH_proxy.json`, schema `doc-bench/proxy/v2`):
+//!   per-transport rows — a 1/2/4/8-worker CoAP sweep plus at least
+//!   one row each for the DoQ/DoH/DoT stream workloads — with sane
+//!   req/s and latency percentiles;
 //!   optionally the worker-scaling gate, whose required 4-vs-1 speedup
 //!   depends on how many cores the measuring machine actually had
 //!   (recorded in the artifact): a 1-core container cannot prove a
@@ -20,8 +22,12 @@
 
 use crate::json::Json;
 
-/// Worker counts every proxy artifact must report.
+/// Worker counts every proxy artifact must report for the CoAP rows.
 pub const REQUIRED_WORKER_ROWS: [u32; 4] = [1, 2, 4, 8];
+
+/// Stream-transport rows every proxy artifact must carry at least once
+/// (schema v2; the PR-5 DoQ/DoH/DoT workloads).
+pub const REQUIRED_STREAM_TRANSPORTS: [&str; 3] = ["doq", "doh", "dot"];
 
 /// Required 4-worker/1-worker throughput ratio given the parallelism
 /// of the machine that produced the measurement.
@@ -104,8 +110,10 @@ pub fn check_codecs(doc: &Json) -> Result<String, String> {
 }
 
 /// One parsed row of the proxy artifact.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ProxyRow {
+    /// Transport label (`coap`, `doq`, `doh`, `dot`).
+    pub transport: String,
     /// Worker-thread count of the run.
     pub workers: u32,
     /// Closed-loop throughput.
@@ -119,9 +127,11 @@ pub struct ProxyRow {
 }
 
 /// Validate `BENCH_proxy.json` structure and return the parsed rows
-/// plus the recorded machine parallelism.
+/// plus the recorded machine parallelism. Schema v2: every row carries
+/// its `transport`; the CoAP rows must sweep 1/2/4/8 workers and each
+/// stream transport (doq/doh/dot) must appear at least once.
 pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
-    check_schema(doc, "doc-bench/proxy/v1")?;
+    check_schema(doc, "doc-bench/proxy/v2")?;
     let cores = doc
         .get("machine")
         .and_then(|m| m.get("available_parallelism"))
@@ -138,12 +148,18 @@ pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
     for (i, row) in rows_json.iter().enumerate() {
         let ctx = format!("rows[{i}]");
         let parsed = ProxyRow {
+            transport: field_str(row, "transport", &ctx)?.to_string(),
             workers: field_f64(row, "workers", &ctx)? as u32,
             req_per_s: field_f64(row, "req_per_s", &ctx)?,
             p50_us: field_f64(row, "p50_us", &ctx)?,
             p99_us: field_f64(row, "p99_us", &ctx)?,
             allocs_per_req: field_f64(row, "allocs_per_req", &ctx)?,
         };
+        let known = parsed.transport == "coap"
+            || REQUIRED_STREAM_TRANSPORTS.contains(&parsed.transport.as_str());
+        if !known {
+            return Err(format!("{ctx}: unknown transport \"{}\"", parsed.transport));
+        }
         if parsed.req_per_s <= 0.0 || !parsed.req_per_s.is_finite() {
             return Err(format!("{ctx}: req_per_s {} invalid", parsed.req_per_s));
         }
@@ -156,8 +172,13 @@ pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
         rows.push(parsed);
     }
     for w in REQUIRED_WORKER_ROWS {
-        if !rows.iter().any(|r| r.workers == w) {
-            return Err(format!("missing row for {w} workers"));
+        if !rows.iter().any(|r| r.transport == "coap" && r.workers == w) {
+            return Err(format!("missing coap row for {w} workers"));
+        }
+    }
+    for t in REQUIRED_STREAM_TRANSPORTS {
+        if !rows.iter().any(|r| r.transport == t) {
+            return Err(format!("missing row for transport \"{t}\""));
         }
     }
     Ok((rows, cores))
@@ -170,7 +191,7 @@ pub fn check_proxy(doc: &Json, require_scaling: bool) -> Result<String, String> 
     let (rows, cores) = parse_proxy(doc)?;
     let rate = |w: u32| {
         rows.iter()
-            .find(|r| r.workers == w)
+            .find(|r| r.transport == "coap" && r.workers == w)
             .map(|r| r.req_per_s)
             .expect("presence checked in parse_proxy")
     };
@@ -211,17 +232,20 @@ mod tests {
     }
 
     fn proxy_doc(cores: u32, r1: f64, r4: f64) -> String {
-        let row = |w: u32, r: f64| {
+        let row = |t: &str, w: u32, r: f64| {
             format!(
-                r#"{{"workers": {w}, "req_per_s": {r}, "p50_us": 10.0, "p99_us": 50.0, "allocs_per_req": 20.0, "requests": 1000}}"#
+                r#"{{"transport": "{t}", "workers": {w}, "req_per_s": {r}, "p50_us": 10.0, "p99_us": 50.0, "allocs_per_req": 20.0, "requests": 1000}}"#
             )
         };
         format!(
-            r#"{{"schema": "doc-bench/proxy/v1", "machine": {{"available_parallelism": {cores}}}, "rows": [{},{},{},{}]}}"#,
-            row(1, r1),
-            row(2, (r1 + r4) / 2.0),
-            row(4, r4),
-            row(8, r4)
+            r#"{{"schema": "doc-bench/proxy/v2", "machine": {{"available_parallelism": {cores}}}, "rows": [{},{},{},{},{},{},{}]}}"#,
+            row("coap", 1, r1),
+            row("coap", 2, (r1 + r4) / 2.0),
+            row("coap", 4, r4),
+            row("coap", 8, r4),
+            row("doq", 4, r4),
+            row("doh", 4, r4),
+            row("dot", 4, r4)
         )
     }
 
@@ -276,18 +300,51 @@ mod tests {
     #[test]
     fn proxy_gate_requires_all_worker_rows() {
         let doc = parse(
-            r#"{"schema": "doc-bench/proxy/v1", "machine": {"available_parallelism": 4},
-                "rows": [{"workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
+            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+                "rows": [{"transport": "coap", "workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
         )
         .unwrap();
         assert!(check_proxy(&doc, false).unwrap_err().contains("2 workers"));
     }
 
     #[test]
+    fn proxy_gate_requires_stream_transport_rows() {
+        // A v2 artifact with only the CoAP sweep must be rejected: the
+        // DoQ/DoH/DoT workloads cannot silently drop out of CI.
+        let row = |w: u32| {
+            format!(
+                r#"{{"transport": "coap", "workers": {w}, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}}"#
+            )
+        };
+        let doc = parse(&format!(
+            r#"{{"schema": "doc-bench/proxy/v2", "machine": {{"available_parallelism": 4}}, "rows": [{},{},{},{}]}}"#,
+            row(1),
+            row(2),
+            row(4),
+            row(8)
+        ))
+        .unwrap();
+        let err = check_proxy(&doc, false).unwrap_err();
+        assert!(err.contains("doq"), "{err}");
+        // v1 artifacts (no transport field) fail the schema check.
+        let v1 = parse(r#"{"schema": "doc-bench/proxy/v1", "machine": {"available_parallelism": 4}, "rows": []}"#).unwrap();
+        assert!(check_proxy(&v1, false).unwrap_err().contains("schema"));
+        // Unknown transport labels are rejected.
+        let doc = parse(
+            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+                "rows": [{"transport": "smtp", "workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_proxy(&doc, false)
+            .unwrap_err()
+            .contains("unknown transport"));
+    }
+
+    #[test]
     fn proxy_gate_rejects_inverted_percentiles() {
         let doc = parse(
-            r#"{"schema": "doc-bench/proxy/v1", "machine": {"available_parallelism": 4},
-                "rows": [{"workers": 1, "req_per_s": 1.0, "p50_us": 9.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
+            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+                "rows": [{"transport": "coap", "workers": 1, "req_per_s": 1.0, "p50_us": 9.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
         )
         .unwrap();
         assert!(check_proxy(&doc, false).unwrap_err().contains("p50"));

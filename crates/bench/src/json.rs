@@ -78,12 +78,20 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth. The recursive-descent parser
+/// recurses once per `[`/`{`, so without a bound a pathological
+/// document like 100 000 open brackets would overflow the stack — a
+/// *panic*, exactly what a gate must never do on bad input. The bench
+/// artifacts nest 3 deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -97,6 +105,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -149,12 +158,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -172,6 +191,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -181,10 +201,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -195,6 +217,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -378,5 +401,68 @@ mod tests {
         let e = parse("[1, x]").unwrap_err();
         assert_eq!(e.at, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    /// The malformed-input corpus: every pathological shape an
+    /// attacker-controlled (or merely corrupted) artifact could take
+    /// must produce an `Err`, never a panic, a stack overflow, or a
+    /// silent acceptance. This is the gate binary's first line of
+    /// defence — `bench_gate` runs unattended in CI.
+    #[test]
+    fn malformed_corpus_errors_instead_of_panicking() {
+        let corpus: Vec<String> = vec![
+            // Unterminated strings, in every position.
+            "\"never ends".into(),
+            "{\"key".into(),
+            "{\"key\": \"value".into(),
+            "[\"a\", \"b".into(),
+            "\"ends in escape\\".into(),
+            // Bad escapes.
+            "\"\\q\"".into(),
+            "\"\\u12\"".into(),
+            "\"\\uZZZZ\"".into(),
+            "\"\\uD800\"".into(), // lone surrogate
+            "\"\\x41\"".into(),
+            // Duplicate keys (RFC 8259 allows, this gate rejects —
+            // a duplicated "req_per_s" must not silently win).
+            "{\"a\": 1, \"a\": 2}".into(),
+            "{\"rows\": [], \"rows\": []}".into(),
+            // Deep nesting: far past MAX_DEPTH; without the depth
+            // bound these overflow the parser's stack.
+            "[".repeat(100_000),
+            format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000)),
+            "{\"a\":".repeat(50_000) + "1",
+            format!("{}null{}", "[[[[[[".repeat(30_000), "]]]]]]".repeat(30_000)),
+            // Structural garbage.
+            "{]".into(),
+            "[}".into(),
+            "{,}".into(),
+            "[1 2]".into(),
+            "{\"a\" 1}".into(),
+            "{1: 2}".into(),
+            "+1".into(),
+            "Infinity".into(),
+            "NaN".into(),
+            "'single'".into(),
+            "\u{FEFF}{}".into(), // BOM is not JSON whitespace
+        ];
+        for bad in &corpus {
+            let head: String = bad.chars().take(40).collect();
+            assert!(parse(bad).is_err(), "silently accepted: {head:?}…");
+        }
+        // The depth bound is exact: MAX_DEPTH nests parse, one more
+        // does not.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&over).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // Sibling containers do not accumulate depth.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(parse(&wide).is_ok());
     }
 }

@@ -16,7 +16,7 @@
 //! live in the final binary), and the proxy cache hit rate.
 
 use doc_core::policy::CachePolicy;
-use doc_core::pool::{Datagram, ProxyPool};
+use doc_core::pool::{Datagram, ProxyPool, ServeMode};
 use doc_core::server::{DocServer, MockUpstream};
 use doc_core::transport::experiment_name;
 use doc_core::{CoapProxy, DocMethod};
@@ -39,10 +39,13 @@ pub struct LoadSpec {
     /// Distinct names in the replayed mix.
     pub unique_names: u32,
     /// GET share of the mix in permille (rest is FETCH, the paper's
-    /// preferred method).
+    /// preferred method; CoAP mode only).
     pub get_permille: u32,
     /// Upstream TTL in seconds (large = cache-hit steady state).
     pub ttl_s: u32,
+    /// Wire format the pool serves (CoAP proxy path or a DoQ/DoH/DoT
+    /// stream framing).
+    pub mode: ServeMode,
 }
 
 impl Default for LoadSpec {
@@ -55,6 +58,7 @@ impl Default for LoadSpec {
             unique_names: 256,
             get_permille: 300,
             ttl_s: 3600,
+            mode: ServeMode::Coap,
         }
     }
 }
@@ -62,6 +66,8 @@ impl Default for LoadSpec {
 /// Result of one throughput run (one `BENCH_proxy.json` row).
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputRow {
+    /// Wire format of this run (`transport` field of the artifact).
+    pub mode: ServeMode,
     /// Worker-thread count of this run.
     pub workers: usize,
     /// Requests replayed.
@@ -116,20 +122,27 @@ pub fn build_mix(spec: &LoadSpec, upstream: &MockUpstream) -> QueryMix {
         }
         let mut q = Message::query(0, name, rtype);
         q.canonicalize_id();
-        let method = if (i * 1000 / spec.unique_names.max(1)) < spec.get_permille {
-            DocMethod::Get
-        } else {
-            DocMethod::Fetch
+        let wire = match spec.mode {
+            ServeMode::Coap => {
+                let method = if (i * 1000 / spec.unique_names.max(1)) < spec.get_permille {
+                    DocMethod::Get
+                } else {
+                    DocMethod::Fetch
+                };
+                doc_core::method::build_request(
+                    method,
+                    &q.encode(),
+                    doc_coap::msg::MsgType::Con,
+                    i as u16,
+                    vec![i as u8, (i >> 8) as u8],
+                )
+                .expect("experiment queries are well-formed")
+                .encode()
+            }
+            ServeMode::Doq | ServeMode::Dot => doc_quic::doq::encode_doq(&q.encode()),
+            ServeMode::DohLite => doc_quic::doq::encode_doh_request(&q.encode()),
         };
-        let req = doc_core::method::build_request(
-            method,
-            &q.encode(),
-            doc_coap::msg::MsgType::Con,
-            i as u16,
-            vec![i as u8, (i >> 8) as u8],
-        )
-        .expect("experiment queries are well-formed");
-        wires.push(req.encode());
+        wires.push(wire);
     }
     QueryMix { wires }
 }
@@ -163,7 +176,12 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         upstream,
         spec.shards,
     ));
-    let pool = ProxyPool::new(spec.workers, Arc::clone(&proxy), Arc::clone(&server));
+    let pool = ProxyPool::with_mode(
+        spec.workers,
+        Arc::clone(&proxy),
+        Arc::clone(&server),
+        spec.mode,
+    );
 
     // Prime: every mix entry once, single-threaded.
     let mut scratch = Vec::new();
@@ -179,7 +197,13 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         );
         assert!(served.is_some(), "mix entry {i} must be servable");
     }
-    let hits_before = proxy.cache_stats().hits;
+    // Hit accounting: CoAP measures the proxy response cache; the
+    // stream modes have no CoAP proxy, so the steady-state signal is
+    // the upstream's own TTL cache (primed above, long TTLs).
+    let hits_before = match spec.mode {
+        ServeMode::Coap => proxy.cache_stats().hits,
+        _ => server.upstream.cache_hits(),
+    };
 
     // Measured closed-loop window.
     let total = spec.total_requests;
@@ -217,8 +241,12 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         latencies.append(&mut b.lock().unwrap());
     }
     latencies.sort_unstable();
-    let hits = proxy.cache_stats().hits - hits_before;
+    let hits = match spec.mode {
+        ServeMode::Coap => proxy.cache_stats().hits,
+        _ => server.upstream.cache_hits(),
+    } - hits_before;
     ThroughputRow {
+        mode: spec.mode,
         workers: spec.workers,
         requests: total,
         replies: stats.replies,
@@ -231,19 +259,21 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
     }
 }
 
-/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v1`)
+/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v2`)
 /// for a set of runs, recording the measuring machine's parallelism so
-/// the gate can scale its expectations.
+/// the gate can scale its expectations. Every row carries its
+/// `transport` label (`coap`, `doq`, `doh`, `dot`).
 pub fn proxy_json(rows: &[ThroughputRow]) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = format!(
-        "{{\n  \"schema\": \"doc-bench/proxy/v1\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"doc-bench/proxy/v2\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workers\": {}, \"requests\": {}, \"req_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"allocs_per_req\": {:.2}, \"cache_hit_rate\": {:.4}}}{}\n",
+            "    {{\"transport\": \"{}\", \"workers\": {}, \"requests\": {}, \"req_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"allocs_per_req\": {:.2}, \"cache_hit_rate\": {:.4}}}{}\n",
+            r.mode.label(),
             r.workers,
             r.requests,
             r.req_per_s,
@@ -258,8 +288,21 @@ pub fn proxy_json(rows: &[ThroughputRow]) -> String {
     json
 }
 
-/// The standard worker sweep of the throughput bench.
+/// The standard worker sweep of the throughput bench (CoAP rows).
 pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The stream-transport rows of the bench, derived from the shared
+/// transport matrix so a new transport cannot be dropped from the
+/// artifact without also dropping it from the end-to-end suite.
+pub fn stream_modes() -> Vec<ServeMode> {
+    let mut modes: Vec<ServeMode> = doc_core::transport::TRANSPORT_MATRIX
+        .iter()
+        .filter(|(kind, _)| kind.stream_based())
+        .map(|&(kind, _)| ServeMode::for_transport(kind))
+        .collect();
+    modes.dedup();
+    modes
+}
 
 /// Read an env-var override for a numeric knob.
 pub fn env_u64(var: &str, default: u64) -> u64 {
@@ -328,8 +371,39 @@ mod tests {
     }
 
     #[test]
+    fn stream_mode_load_runs_are_sane() {
+        for mode in stream_modes() {
+            let spec = LoadSpec {
+                workers: 2,
+                total_requests: 300,
+                concurrency: 16,
+                unique_names: 8,
+                mode,
+                ..LoadSpec::default()
+            };
+            let row = run_load(&spec, &|| 0);
+            assert_eq!(row.replies, 300, "{mode:?}");
+            assert!(row.req_per_s > 0.0, "{mode:?}");
+            assert!(
+                row.cache_hit_rate > 0.95,
+                "{mode:?}: primed upstream must be hit-dominated, got {}",
+                row.cache_hit_rate
+            );
+        }
+    }
+
+    #[test]
+    fn stream_modes_cover_doq_doh_dot() {
+        assert_eq!(
+            stream_modes(),
+            vec![ServeMode::Doq, ServeMode::DohLite, ServeMode::Dot]
+        );
+    }
+
+    #[test]
     fn proxy_json_round_trips_through_the_gate() {
-        let row = |workers| ThroughputRow {
+        let row = |mode, workers| ThroughputRow {
+            mode,
             workers,
             requests: 100,
             replies: 100,
@@ -340,7 +414,12 @@ mod tests {
             allocs_per_req: 12.0,
             cache_hit_rate: 0.99,
         };
-        let json = proxy_json(&[row(1), row(2), row(4), row(8)]);
+        let mut rows: Vec<ThroughputRow> = WORKER_SWEEP
+            .iter()
+            .map(|&w| row(ServeMode::Coap, w))
+            .collect();
+        rows.extend(stream_modes().into_iter().map(|m| row(m, 4)));
+        let json = proxy_json(&rows);
         let doc = crate::json::parse(&json).expect("emitted JSON parses");
         crate::gate::check_proxy(&doc, false).expect("emitted JSON passes the structural gate");
     }

@@ -27,8 +27,52 @@
 
 use crate::proxy::{CoapProxy, ProxyAction};
 use crate::server::DocServer;
+use crate::transport::TransportKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// What wire format the pool's workers speak.
+///
+/// The CoAP mode runs the full client → proxy → origin exchange (the
+/// paper's DoC deployment). The stream modes serve the DoQ/DoH/DoT
+/// application layer — parse the framed DNS message, resolve it
+/// against the origin's upstream, frame the response — which is the
+/// per-request hot path those transports add on top of QUIC-lite
+/// (connection crypto is per-session, not per-request, and is measured
+/// by the `doc-quic` crate itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// CoAP proxy + origin view path (default).
+    Coap,
+    /// RFC 9250 2-byte length-prefixed DNS (also the DoT framing).
+    Doq,
+    /// DoH-lite HEADERS+DATA framing.
+    DohLite,
+    /// RFC 7858 length-prefixed DNS, one message per datagram.
+    Dot,
+}
+
+impl ServeMode {
+    /// The pool mode serving a transport's application framing.
+    pub fn for_transport(kind: TransportKind) -> ServeMode {
+        match kind {
+            TransportKind::Quic => ServeMode::Doq,
+            TransportKind::DohLite => ServeMode::DohLite,
+            TransportKind::Dot => ServeMode::Dot,
+            _ => ServeMode::Coap,
+        }
+    }
+
+    /// Artifact label (`BENCH_proxy.json` `transport` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeMode::Coap => "coap",
+            ServeMode::Doq => "doq",
+            ServeMode::DohLite => "doh",
+            ServeMode::Dot => "dot",
+        }
+    }
+}
 
 /// A bounded single-producer/multi-consumer ring buffer.
 ///
@@ -226,6 +270,7 @@ pub struct ProxyPool {
     /// The shared origin server.
     pub server: Arc<DocServer>,
     workers: usize,
+    mode: ServeMode,
 }
 
 /// How many datagrams a worker drains from the ring per lock
@@ -234,18 +279,34 @@ const POP_BATCH: usize = 32;
 
 impl ProxyPool {
     /// Create a pool of `workers` threads (at least 1) over shared
-    /// proxy/server state.
+    /// proxy/server state, speaking CoAP.
     pub fn new(workers: usize, proxy: Arc<CoapProxy>, server: Arc<DocServer>) -> Self {
+        Self::with_mode(workers, proxy, server, ServeMode::Coap)
+    }
+
+    /// Like [`ProxyPool::new`] with an explicit wire format.
+    pub fn with_mode(
+        workers: usize,
+        proxy: Arc<CoapProxy>,
+        server: Arc<DocServer>,
+        mode: ServeMode,
+    ) -> Self {
         ProxyPool {
             proxy,
             server,
             workers: workers.max(1),
+            mode,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The wire format the workers speak.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
     }
 
     /// Serve one request datagram end to end on the calling thread:
@@ -256,6 +317,9 @@ impl ProxyPool {
     /// `upstream_buf` is a scratch buffer reused across calls for the
     /// re-encoded upstream request.
     pub fn serve(&self, d: &Datagram, upstream_buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+        if self.mode != ServeMode::Coap {
+            return self.serve_stream(d);
+        }
         match self.proxy.handle_client_request_wire(&d.wire, d.now_ms) {
             Ok(ProxyAction::Respond(resp)) => Some(resp.encode()),
             Ok(ProxyAction::Forward {
@@ -274,6 +338,26 @@ impl ProxyPool {
             }
             Err(_) => None,
         }
+    }
+
+    /// Serve one framed DNS request in a stream mode: unframe, resolve
+    /// against the origin's upstream, re-frame. Malformed framing (or
+    /// a non-DNS body) drops the datagram, like the CoAP path.
+    fn serve_stream(&self, d: &Datagram) -> Option<Vec<u8>> {
+        let dns = match self.mode {
+            ServeMode::Doq | ServeMode::Dot => doc_quic::doq::decode_doq(&d.wire).ok()?,
+            ServeMode::DohLite => doc_quic::doq::decode_doh(&d.wire).ok()?,
+            ServeMode::Coap => unreachable!("handled by serve"),
+        };
+        let query = doc_dns::Message::decode(dns).ok()?;
+        let resp = self.server.upstream.resolve(&query, d.now_ms);
+        self.server.count_raw_dns_response();
+        let bytes = resp.encode();
+        Some(match self.mode {
+            ServeMode::Doq | ServeMode::Dot => doc_quic::doq::encode_doq(&bytes),
+            ServeMode::DohLite => doc_quic::doq::encode_doh_response(&bytes),
+            ServeMode::Coap => unreachable!("handled by serve"),
+        })
     }
 
     /// Fan `datagrams` over the worker threads through a bounded ring
@@ -484,6 +568,59 @@ mod tests {
         let p = pool.proxy.stats();
         assert_eq!(p.requests, total as u32);
         assert!(p.cache_hits >= total as u32 - 12, "hits {}", p.cache_hits);
+    }
+
+    #[test]
+    fn stream_modes_serve_framed_dns() {
+        use doc_quic::doq;
+        for mode in [ServeMode::Doq, ServeMode::DohLite, ServeMode::Dot] {
+            let up = MockUpstream::new(7, 3600, 3600);
+            up.add_aaaa(Name::parse("a.example.org").unwrap(), 1);
+            let pool = ProxyPool::with_mode(
+                2,
+                Arc::new(CoapProxy::with_shards(64, 4)),
+                Arc::new(DocServer::new(CachePolicy::EolTtls, up)),
+                mode,
+            );
+            assert_eq!(pool.mode(), mode);
+            let mut q = Message::query(9, Name::parse("a.example.org").unwrap(), RecordType::Aaaa);
+            q.header.rd = true;
+            let framed = match mode {
+                ServeMode::DohLite => doq::encode_doh_request(&q.encode()),
+                _ => doq::encode_doq(&q.encode()),
+            };
+            let replies = Mutex::new(Vec::new());
+            let stats = pool.run(
+                8,
+                (0..50u64).map(|seq| Datagram {
+                    peer: 0,
+                    seq,
+                    now_ms: 1,
+                    wire: if seq == 13 {
+                        vec![0xFF; 3] // malformed framing is dropped
+                    } else {
+                        framed.clone()
+                    },
+                }),
+                &|r| replies.lock().unwrap().push(r),
+            );
+            assert_eq!(stats.processed, 50, "{mode:?}");
+            assert_eq!(stats.replies, 49, "{mode:?}");
+            assert_eq!(stats.errors, 1, "{mode:?}");
+            let replies = replies.lock().unwrap();
+            let wire = replies
+                .iter()
+                .find(|r| r.wire.is_some())
+                .and_then(|r| r.wire.clone())
+                .expect("a reply");
+            let dns = match mode {
+                ServeMode::DohLite => doq::decode_doh(&wire).unwrap(),
+                _ => doq::decode_doq(&wire).unwrap(),
+            };
+            let resp = Message::decode(dns).unwrap();
+            assert_eq!(resp.header.id, 9, "{mode:?}: response echoes the query ID");
+            assert_eq!(resp.answers.len(), 1, "{mode:?}");
+        }
     }
 
     #[test]

@@ -122,6 +122,12 @@ pub fn build_profile(transport: TransportKind, with_get: bool) -> BuildProfile {
         TransportKind::Udp | TransportKind::Coap => {}
         TransportKind::Dtls | TransportKind::Coaps => push(&mut rows, Module::Dtls),
         TransportKind::Oscore => push(&mut rows, Module::Oscore),
+        // The stream transports are not part of Fig. 5; their build
+        // cost is approximated by the DTLS crypto substrate they share
+        // (AES-CCM record protection) so the profile stays total.
+        TransportKind::Quic | TransportKind::DohLite | TransportKind::Dot => {
+            push(&mut rows, Module::Dtls)
+        }
     }
     // DNS message handling.
     let (dns_rom, dns_ram) = Module::Dns.cost();

@@ -1,0 +1,480 @@
+//! The QUIC-lite connection: a sans-IO state machine pairing a 1-RTT
+//! PSK handshake (CRYPTO-lite flights), per-stream reassembly, ACK
+//! generation and timer-driven loss recovery.
+//!
+//! Like every protocol crate in this workspace the connection is
+//! driven with explicit millisecond timestamps: the caller feeds
+//! datagrams through [`Connection::handle_datagram`], pumps
+//! [`Connection::poll`] when [`Connection::next_timeout`] fires (the
+//! `doc-netsim` event queue does this in the experiment driver), and
+//! transmits whatever datagrams come back. Nothing here does IO.
+//!
+//! ## Handshake (1-RTT accounting)
+//!
+//! ```text
+//! client                                server
+//!   | Handshake[CRYPTO client_random]  →  |   derive keys, established
+//!   | ←  Handshake[CRYPTO server_random]  |
+//!   derive keys, established              |
+//!   | 1-RTT[STREAM …]                  →  |   (first query, 1 RTT after start)
+//! ```
+//!
+//! Keys are `HKDF(psk || client_random || server_random)` split into a
+//! client-write and a server-write direction ([`crate::packet`]); the
+//! client can send protected data exactly one round trip after its
+//! first flight, which is the 1-RTT figure the `doc-models::quic`
+//! analytical model assumes.
+
+use crate::frame::Frame;
+use crate::packet::{Header, PacketKeys, Space, CID_LEN};
+use crate::stream::RecvStream;
+use crate::QuicError;
+use std::collections::{BTreeSet, HashMap};
+
+/// Delayed-ACK timer: a standalone ACK goes out this long after an
+/// ack-eliciting packet unless an outgoing packet piggybacks it first.
+pub const ACK_DELAY_MS: u64 = 25;
+/// Initial retransmission timeout (doubles per retry).
+pub const INITIAL_RTO_MS: u64 = 300;
+/// Retransmissions per packet before its frames are abandoned.
+pub const MAX_RETRIES: u32 = 7;
+/// Largest frame payload packed into one packet (headroom below the
+/// 1280-byte IPv6 MTU; the simulated exchanges are far smaller).
+const MAX_PACKET_PAYLOAD: usize = 1024;
+
+/// Connection role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Client,
+    Server,
+}
+
+/// Events surfaced by [`Connection::handle_datagram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuicEvent {
+    /// A datagram to transmit immediately (handshake reply, ACK).
+    Transmit(Vec<u8>),
+    /// Newly contiguous application bytes on a stream. `fin` is true
+    /// once the peer's side of the stream is complete.
+    Stream {
+        /// Stream ID.
+        id: u64,
+        /// The newly delivered bytes (may be empty on a bare FIN).
+        data: Vec<u8>,
+        /// Whether the stream's receive side is now finished.
+        fin: bool,
+    },
+    /// The handshake completed; 1-RTT data can flow.
+    Established,
+}
+
+struct SentPacket {
+    space: Space,
+    /// Retransmittable frames only (CRYPTO/STREAM).
+    frames: Vec<Frame>,
+    /// Packet number of the latest transmission (retransmissions are
+    /// sent under fresh pns and re-keyed here).
+    last_pn: u64,
+    retries: u32,
+    rto_ms: u64,
+    deadline_ms: u64,
+}
+
+/// A QUIC-lite connection endpoint.
+pub struct Connection {
+    role: Role,
+    cid: [u8; CID_LEN],
+    psk: Vec<u8>,
+    local_random: [u8; 32],
+    established: bool,
+    tx_keys: Option<PacketKeys>,
+    rx_keys: Option<PacketKeys>,
+    next_pn: u64,
+    // Receiver ACK state.
+    rx_seen: BTreeSet<u64>,
+    ack_pending: bool,
+    ack_deadline: Option<u64>,
+    // Sender loss recovery.
+    sent: Vec<SentPacket>,
+    /// Datagrams that exhausted their retries (observability).
+    abandoned: u64,
+    // Streams.
+    next_stream_id: u64,
+    send_offset: HashMap<u64, u64>,
+    recv: HashMap<u64, RecvStream>,
+}
+
+fn random32(seed: u64) -> [u8; 32] {
+    let mut x = seed | 1;
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_mut(8) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        chunk.copy_from_slice(&x.wrapping_mul(0x2545F4914F6CDD1D).to_be_bytes());
+    }
+    out
+}
+
+impl Connection {
+    fn new(role: Role, seed: u64, psk: &[u8]) -> Self {
+        Connection {
+            role,
+            cid: [0xD0, 0xC1],
+            psk: psk.to_vec(),
+            local_random: random32(seed ^ role as u64),
+            established: false,
+            tx_keys: None,
+            rx_keys: None,
+            next_pn: 0,
+            rx_seen: BTreeSet::new(),
+            ack_pending: false,
+            ack_deadline: None,
+            sent: Vec::new(),
+            abandoned: 0,
+            next_stream_id: 0,
+            send_offset: HashMap::new(),
+            recv: HashMap::new(),
+        }
+    }
+
+    /// A client endpoint (initiates the handshake, opens streams
+    /// 0, 4, 8, …).
+    pub fn client(seed: u64, psk: &[u8]) -> Self {
+        Connection::new(Role::Client, seed, psk)
+    }
+
+    /// A server endpoint (answers the handshake, replies on the
+    /// client's streams).
+    pub fn server(seed: u64, psk: &[u8]) -> Self {
+        Connection::new(Role::Server, seed, psk)
+    }
+
+    /// Whether 1-RTT keys are installed.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// Datagrams whose frames were abandoned after [`MAX_RETRIES`].
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Packets currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.sent.len()
+    }
+
+    fn derive_keys(&mut self, peer_random: &[u8]) {
+        let mut secret = self.psk.clone();
+        match self.role {
+            Role::Client => {
+                secret.extend_from_slice(&self.local_random);
+                secret.extend_from_slice(peer_random);
+            }
+            Role::Server => {
+                secret.extend_from_slice(peer_random);
+                secret.extend_from_slice(&self.local_random);
+            }
+        }
+        let (tx, rx) = match self.role {
+            Role::Client => ("client write", "server write"),
+            Role::Server => ("server write", "client write"),
+        };
+        self.tx_keys = Some(PacketKeys::derive(&secret, tx));
+        self.rx_keys = Some(PacketKeys::derive(&secret, rx));
+        self.established = true;
+    }
+
+    /// Build one packet carrying `frames`; tracks retransmittable
+    /// frames for loss recovery when `now_ms` is given.
+    fn build_packet(&mut self, space: Space, frames: &[Frame], track_at: Option<u64>) -> Vec<u8> {
+        let pn = self.next_pn;
+        self.next_pn += 1;
+        let mut datagram = Vec::new();
+        Header::encode_into(space, self.cid, pn, &mut datagram);
+        let header_len = datagram.len();
+        let mut payload = Vec::new();
+        for f in frames {
+            f.encode_into(&mut payload);
+        }
+        match space {
+            Space::Handshake => datagram.extend_from_slice(&payload),
+            Space::OneRtt => {
+                let header = datagram[..header_len].to_vec();
+                self.tx_keys
+                    .as_ref()
+                    .expect("1-RTT packet before keys")
+                    .seal_into(pn, &header, &payload, &mut datagram)
+                    .expect("seal cannot fail on sane sizes");
+            }
+        }
+        if let Some(now_ms) = track_at {
+            let keep: Vec<Frame> = frames
+                .iter()
+                .filter(|f| f.retransmittable())
+                .cloned()
+                .collect();
+            if !keep.is_empty() {
+                self.sent.push(SentPacket {
+                    space,
+                    frames: keep,
+                    last_pn: pn,
+                    retries: 0,
+                    rto_ms: INITIAL_RTO_MS,
+                    deadline_ms: now_ms + INITIAL_RTO_MS,
+                });
+            }
+        }
+        datagram
+    }
+
+    /// Take the pending ACK as a frame to piggyback on an outgoing
+    /// packet (clears the delayed-ACK timer).
+    fn take_ack(&mut self) -> Option<Frame> {
+        let largest = *self.rx_seen.last()?;
+        if !self.ack_pending {
+            return None;
+        }
+        self.ack_pending = false;
+        self.ack_deadline = None;
+        // Contiguous run below `largest`.
+        let mut first_range = 0;
+        while self.rx_seen.contains(&(largest - first_range - 1)) {
+            first_range += 1;
+            if first_range == largest {
+                break;
+            }
+        }
+        Some(Frame::Ack {
+            largest,
+            first_range,
+        })
+    }
+
+    /// Client: produce the first handshake flight.
+    pub fn connect(&mut self, now_ms: u64) -> Vec<Vec<u8>> {
+        assert_eq!(self.role, Role::Client, "only clients initiate");
+        let crypto = Frame::Crypto {
+            offset: 0,
+            data: self.local_random.to_vec(),
+        };
+        vec![self.build_packet(Space::Handshake, &[crypto], Some(now_ms))]
+    }
+
+    /// Allocate the next locally initiated bidirectional stream ID.
+    pub fn open_stream(&mut self) -> u64 {
+        let id = self.next_stream_id;
+        self.next_stream_id += 4;
+        id
+    }
+
+    /// Send `data` on stream `id` (appended at the stream's current
+    /// send offset), optionally finishing the stream. Returns the
+    /// datagrams to transmit.
+    pub fn send_stream(
+        &mut self,
+        id: u64,
+        data: &[u8],
+        fin: bool,
+        now_ms: u64,
+    ) -> Result<Vec<Vec<u8>>, QuicError> {
+        if !self.established {
+            return Err(QuicError::NotEstablished);
+        }
+        let mut out = Vec::new();
+        let offset = self.send_offset.entry(id).or_insert(0);
+        let mut chunks: Vec<Frame> = Vec::new();
+        if data.is_empty() {
+            chunks.push(Frame::Stream {
+                id,
+                offset: *offset,
+                fin,
+                data: Vec::new(),
+            });
+        } else {
+            for (i, chunk) in data.chunks(MAX_PACKET_PAYLOAD).enumerate() {
+                let last = (i + 1) * MAX_PACKET_PAYLOAD >= data.len();
+                chunks.push(Frame::Stream {
+                    id,
+                    offset: *offset + (i * MAX_PACKET_PAYLOAD) as u64,
+                    fin: fin && last,
+                    data: chunk.to_vec(),
+                });
+            }
+        }
+        *offset += data.len() as u64;
+        for (i, frame) in chunks.into_iter().enumerate() {
+            // Piggyback the pending ACK on the first packet.
+            let mut frames = Vec::new();
+            if i == 0 {
+                if let Some(ack) = self.take_ack() {
+                    frames.push(ack);
+                }
+            }
+            frames.push(frame);
+            out.push(self.build_packet(Space::OneRtt, &frames, Some(now_ms)));
+        }
+        Ok(out)
+    }
+
+    /// Process one received datagram.
+    pub fn handle_datagram(&mut self, now_ms: u64, datagram: &[u8]) -> Vec<QuicEvent> {
+        let mut events = Vec::new();
+        let Ok(header) = Header::decode(datagram) else {
+            return events; // garbage datagrams are dropped silently
+        };
+        let body = &datagram[header.len..];
+        let frames = match header.space {
+            Space::Handshake => match Frame::decode_all(body) {
+                Ok(f) => f,
+                Err(_) => return events,
+            },
+            Space::OneRtt => {
+                let Some(keys) = self.rx_keys.as_ref() else {
+                    return events; // data before keys: drop
+                };
+                let aad = &datagram[..header.len];
+                let Ok(plain) = keys.open(header.pn, aad, body) else {
+                    return events; // bad auth: drop
+                };
+                match Frame::decode_all(&plain) {
+                    Ok(f) => f,
+                    Err(_) => return events,
+                }
+            }
+        };
+        // De-duplicate retransmitted packets (1-RTT replay guard; the
+        // handshake flight is idempotent and re-answered below).
+        if header.space == Space::OneRtt && !self.rx_seen.insert(header.pn) {
+            return events;
+        }
+        let mut ack_eliciting = false;
+        for frame in frames {
+            ack_eliciting |= frame.ack_eliciting();
+            match frame {
+                Frame::Crypto { data, .. } => {
+                    if header.space != Space::Handshake {
+                        continue;
+                    }
+                    match self.role {
+                        Role::Server => {
+                            let was_established = self.established;
+                            if !was_established {
+                                self.derive_keys(&data);
+                                events.push(QuicEvent::Established);
+                            }
+                            // Answer (and re-answer, if our reply was
+                            // lost) with the server flight.
+                            let crypto = Frame::Crypto {
+                                offset: 0,
+                                data: self.local_random.to_vec(),
+                            };
+                            let reply = self.build_packet(Space::Handshake, &[crypto], None);
+                            events.push(QuicEvent::Transmit(reply));
+                        }
+                        Role::Client => {
+                            if !self.established {
+                                self.derive_keys(&data);
+                                // The handshake flight is answered;
+                                // stop retransmitting it.
+                                self.sent.retain(|p| p.space != Space::Handshake);
+                                events.push(QuicEvent::Established);
+                            }
+                        }
+                    }
+                }
+                Frame::Ack {
+                    largest,
+                    first_range,
+                } => {
+                    self.on_ack(largest, first_range);
+                }
+                Frame::Stream {
+                    id,
+                    offset,
+                    fin,
+                    data,
+                } => {
+                    let stream = self.recv.entry(id).or_default();
+                    let delivered = stream.push(offset, &data, fin);
+                    let finished = stream.is_finished();
+                    if !delivered.is_empty() || finished {
+                        events.push(QuicEvent::Stream {
+                            id,
+                            data: delivered,
+                            fin: finished,
+                        });
+                    }
+                }
+                Frame::Ping | Frame::Padding => {}
+            }
+        }
+        if ack_eliciting && header.space == Space::OneRtt {
+            self.ack_pending = true;
+            let deadline = now_ms + ACK_DELAY_MS;
+            self.ack_deadline = Some(self.ack_deadline.map_or(deadline, |d| d.min(deadline)));
+        }
+        // Bound the dedup set (packets older than the ack window are
+        // long decided either way).
+        while self.rx_seen.len() > 256 {
+            self.rx_seen.pop_first();
+        }
+        events
+    }
+
+    fn on_ack(&mut self, largest: u64, first_range: u64) {
+        // Each tracked entry is identified by the pn of its latest
+        // transmission. The single ACK range covers
+        // `largest - first_range ..= largest`; an entry whose latest
+        // transmission falls inside it is delivered. Older entries
+        // (earlier transmissions lost) keep their RTO.
+        let low = largest - first_range;
+        self.sent.retain(|p| !(low..=largest).contains(&p.last_pn));
+    }
+
+    /// Earliest timer deadline (delayed ACK or retransmission), if any.
+    pub fn next_timeout(&self) -> Option<u64> {
+        let rto = self.sent.iter().map(|p| p.deadline_ms).min();
+        match (self.ack_pending.then_some(self.ack_deadline).flatten(), rto) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fire due timers: emit a standalone ACK if the delayed-ACK timer
+    /// expired, retransmit timed-out packets. Returns datagrams to
+    /// transmit.
+    pub fn poll(&mut self, now_ms: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if self.ack_pending && self.ack_deadline.is_some_and(|d| d <= now_ms) {
+            if let Some(ack) = self.take_ack() {
+                let pkt = self.build_packet(Space::OneRtt, &[ack], None);
+                out.push(pkt);
+            }
+        }
+        let mut due: Vec<SentPacket> = Vec::new();
+        let mut i = 0;
+        while i < self.sent.len() {
+            if self.sent[i].deadline_ms <= now_ms {
+                due.push(self.sent.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for mut p in due {
+            if p.retries >= MAX_RETRIES {
+                self.abandoned += 1;
+                continue;
+            }
+            p.retries += 1;
+            p.rto_ms *= 2;
+            let datagram = self.build_packet(p.space, &p.frames, None);
+            p.deadline_ms = now_ms + p.rto_ms;
+            p.last_pn = self.next_pn - 1;
+            out.push(datagram);
+            self.sent.push(p);
+        }
+        out
+    }
+}

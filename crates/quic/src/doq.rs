@@ -1,0 +1,203 @@
+//! DNS message framings carried on QUIC-lite streams:
+//!
+//! * **DoQ** (RFC 9250): one query per bidirectional stream, the DNS
+//!   message prefixed by a 2-byte big-endian length, stream FIN after
+//!   exactly one message. [`decode_doq`] enforces the "exactly one" —
+//!   trailing bytes after the framed message are a protocol error.
+//! * **DoH-lite** (HTTP/3-flavoured): one request per stream, a
+//!   varint-framed HEADERS frame carrying a fixed header block followed
+//!   by a varint-framed DATA frame with the DNS message — the
+//!   structural overhead a DoH exchange adds over DoQ.
+//! * **DoT-lite** (RFC 7858): the whole session multiplexed on one
+//!   stream; each message 2-byte length-prefixed, pipelined back to
+//!   back. [`DotReassembler`] splits the byte stream back into
+//!   messages.
+
+use crate::{varint, QuicError};
+
+/// DoH-lite HEADERS frame type (HTTP/3 §7.2.2).
+const H3_HEADERS: u64 = 0x01;
+/// DoH-lite DATA frame type (HTTP/3 §7.2.1).
+const H3_DATA: u64 = 0x00;
+/// The static header block of a DoH-lite request — the serialized
+/// pseudo-headers a DoH POST carries (uncompressed; QPACK is out of
+/// scope, the *byte count* is what matters for the transport
+/// comparison).
+pub const DOH_REQUEST_HEADERS: &[u8] =
+    b":method POST :path /dns-query content-type application/dns-message";
+/// The static header block of a DoH-lite response.
+pub const DOH_RESPONSE_HEADERS: &[u8] = b":status 200 content-type application/dns-message";
+
+/// Frame a DNS message for a DoQ stream (2-byte BE length prefix).
+///
+/// # Panics
+/// Panics if the message exceeds the 65535-byte field (DNS messages
+/// cannot).
+pub fn encode_doq(dns: &[u8]) -> Vec<u8> {
+    let len = u16::try_from(dns.len()).expect("DNS message fits 16-bit length");
+    let mut out = Vec::with_capacity(2 + dns.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(dns);
+    out
+}
+
+/// Decode the single DoQ message of a finished stream. Rejects
+/// truncation *and* trailing garbage: RFC 9250 allows exactly one
+/// message per stream.
+pub fn decode_doq(stream: &[u8]) -> Result<&[u8], QuicError> {
+    let len_bytes: [u8; 2] = stream
+        .get(..2)
+        .ok_or(QuicError::Truncated)?
+        .try_into()
+        .expect("2 bytes");
+    let len = u16::from_be_bytes(len_bytes) as usize;
+    let body = stream.get(2..2 + len).ok_or(QuicError::Truncated)?;
+    if stream.len() != 2 + len {
+        return Err(QuicError::TrailingData);
+    }
+    Ok(body)
+}
+
+fn encode_h3(headers: &[u8], dns: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(headers.len() + dns.len() + 6);
+    varint::encode_into(H3_HEADERS, &mut out);
+    varint::encode_into(headers.len() as u64, &mut out);
+    out.extend_from_slice(headers);
+    varint::encode_into(H3_DATA, &mut out);
+    varint::encode_into(dns.len() as u64, &mut out);
+    out.extend_from_slice(dns);
+    out
+}
+
+/// Frame a DNS query as a DoH-lite request stream.
+pub fn encode_doh_request(dns: &[u8]) -> Vec<u8> {
+    encode_h3(DOH_REQUEST_HEADERS, dns)
+}
+
+/// Frame a DNS response as a DoH-lite response stream.
+pub fn encode_doh_response(dns: &[u8]) -> Vec<u8> {
+    encode_h3(DOH_RESPONSE_HEADERS, dns)
+}
+
+/// Decode a DoH-lite stream: HEADERS frame then DATA frame, nothing
+/// else. Returns the DNS message bytes.
+pub fn decode_doh(stream: &[u8]) -> Result<&[u8], QuicError> {
+    let (t, mut at) = varint::decode(stream)?;
+    if t != H3_HEADERS {
+        return Err(QuicError::Malformed);
+    }
+    let (hlen, n) = varint::decode(&stream[at..])?;
+    at += n;
+    let hend = at.checked_add(hlen as usize).ok_or(QuicError::Malformed)?;
+    stream.get(at..hend).ok_or(QuicError::Truncated)?;
+    at = hend;
+    let (t, n) = varint::decode(&stream[at..])?;
+    if t != H3_DATA {
+        return Err(QuicError::Malformed);
+    }
+    at += n;
+    let (dlen, n) = varint::decode(&stream[at..])?;
+    at += n;
+    let dend = at.checked_add(dlen as usize).ok_or(QuicError::Malformed)?;
+    let dns = stream.get(at..dend).ok_or(QuicError::Truncated)?;
+    if stream.len() != dend {
+        return Err(QuicError::TrailingData);
+    }
+    Ok(dns)
+}
+
+/// Frame a DNS message for the pipelined DoT-lite stream (same 2-byte
+/// prefix as DoQ, but messages are concatenated on one stream).
+pub fn encode_dot(dns: &[u8]) -> Vec<u8> {
+    encode_doq(dns)
+}
+
+/// Incremental splitter for the DoT-lite byte stream: push whatever
+/// contiguous bytes arrived, pop every complete length-prefixed
+/// message.
+#[derive(Debug, Default)]
+pub struct DotReassembler {
+    buf: Vec<u8>,
+}
+
+impl DotReassembler {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes buffered awaiting a complete message.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append stream bytes and return every message they complete.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 2 {
+                return out;
+            }
+            let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+            if self.buf.len() < 2 + len {
+                return out;
+            }
+            out.push(self.buf[2..2 + len].to_vec());
+            self.buf.drain(..2 + len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doq_roundtrip_rejects_trailing_and_truncation() {
+        let dns = vec![0xAB; 44];
+        let framed = encode_doq(&dns);
+        assert_eq!(decode_doq(&framed).unwrap(), dns.as_slice());
+        let mut trailing = framed.clone();
+        trailing.push(0);
+        assert_eq!(decode_doq(&trailing), Err(QuicError::TrailingData));
+        for cut in 0..framed.len() {
+            assert!(decode_doq(&framed[..cut]).is_err(), "cut {cut}");
+        }
+        // Empty message is legal framing (2 zero bytes).
+        assert_eq!(decode_doq(&encode_doq(&[])).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn doh_roundtrip_both_directions() {
+        let dns = vec![0x42; 70];
+        for framed in [encode_doh_request(&dns), encode_doh_response(&dns)] {
+            assert_eq!(decode_doh(&framed).unwrap(), dns.as_slice());
+            let mut trailing = framed.clone();
+            trailing.push(0);
+            assert_eq!(decode_doh(&trailing), Err(QuicError::TrailingData));
+            for cut in 0..framed.len() {
+                assert!(decode_doh(&framed[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        // A DATA-first stream is not a DoH exchange.
+        assert!(decode_doh(&encode_h3(b"", b"x")[3..]).is_err());
+    }
+
+    #[test]
+    fn dot_reassembler_splits_pipelined_messages() {
+        let msgs: Vec<Vec<u8>> = (1..4u8).map(|i| vec![i; i as usize * 10]).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_dot(m));
+        }
+        let mut r = DotReassembler::new();
+        let mut got = Vec::new();
+        // Feed in awkward 7-byte chunks.
+        for chunk in wire.chunks(7) {
+            got.extend(r.push(chunk));
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(r.pending(), 0);
+    }
+}

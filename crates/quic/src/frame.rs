@@ -1,0 +1,283 @@
+//! QUIC-lite frames: the varint-framed subset the simulated transports
+//! need — PADDING, PING, ACK, CRYPTO and STREAM — with wire layouts
+//! taken from RFC 9000 §19 (ACK reduced to a single range, STREAM
+//! always length-delimited so frames can be concatenated).
+
+use crate::{varint, QuicError};
+
+/// Frame-type byte values (RFC 9000 §19; STREAM is a type *range*).
+const TYPE_PADDING: u64 = 0x00;
+const TYPE_PING: u64 = 0x01;
+const TYPE_ACK: u64 = 0x02;
+const TYPE_CRYPTO: u64 = 0x06;
+/// STREAM frame base type; OR-ed with the FIN (0x01), LEN (0x02) and
+/// OFF (0x04) bits. The codec always sets LEN.
+const TYPE_STREAM_BASE: u64 = 0x08;
+
+/// One QUIC-lite frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A single padding byte.
+    Padding,
+    /// PING: ack-eliciting no-op (used as a keep-alive/probe).
+    Ping,
+    /// ACK with one range: acknowledges packet numbers
+    /// `largest - first_range ..= largest`.
+    Ack {
+        /// Largest acknowledged packet number.
+        largest: u64,
+        /// Length of the contiguous range below `largest`.
+        first_range: u64,
+    },
+    /// CRYPTO-lite: handshake bytes at an offset (the QUIC-lite
+    /// handshake fits one frame, but the layout keeps the real shape).
+    Crypto {
+        /// Byte offset into the handshake stream.
+        offset: u64,
+        /// Handshake payload.
+        data: Vec<u8>,
+    },
+    /// STREAM data for a bidirectional stream.
+    Stream {
+        /// Stream ID (client-initiated bidirectional: 0, 4, 8, …).
+        id: u64,
+        /// Byte offset of `data` within the stream.
+        offset: u64,
+        /// Whether this frame ends the sending side of the stream.
+        fin: bool,
+        /// Stream payload bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Frame {
+    /// Whether the frame elicits an acknowledgement (everything but
+    /// ACK and PADDING, per RFC 9000 §13.2.1).
+    pub fn ack_eliciting(&self) -> bool {
+        !matches!(self, Frame::Ack { .. } | Frame::Padding)
+    }
+
+    /// Whether a lost frame must be retransmitted (CRYPTO/STREAM carry
+    /// application state; ACK/PING/PADDING are regenerated on demand).
+    pub fn retransmittable(&self) -> bool {
+        matches!(self, Frame::Crypto { .. } | Frame::Stream { .. })
+    }
+
+    /// Append the wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Padding => varint::encode_into(TYPE_PADDING, out),
+            Frame::Ping => varint::encode_into(TYPE_PING, out),
+            Frame::Ack {
+                largest,
+                first_range,
+            } => {
+                varint::encode_into(TYPE_ACK, out);
+                varint::encode_into(*largest, out);
+                varint::encode_into(*first_range, out);
+            }
+            Frame::Crypto { offset, data } => {
+                varint::encode_into(TYPE_CRYPTO, out);
+                varint::encode_into(*offset, out);
+                varint::encode_into(data.len() as u64, out);
+                out.extend_from_slice(data);
+            }
+            Frame::Stream {
+                id,
+                offset,
+                fin,
+                data,
+            } => {
+                let mut t = TYPE_STREAM_BASE | 0x02; // LEN always set
+                if *offset > 0 {
+                    t |= 0x04;
+                }
+                if *fin {
+                    t |= 0x01;
+                }
+                varint::encode_into(t, out);
+                varint::encode_into(*id, out);
+                if *offset > 0 {
+                    varint::encode_into(*offset, out);
+                }
+                varint::encode_into(data.len() as u64, out);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+
+    /// Wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one frame from the front of `data`; returns the frame and
+    /// the number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(Frame, usize), QuicError> {
+        let (t, mut used) = varint::decode(data)?;
+        let frame = match t {
+            TYPE_PADDING => Frame::Padding,
+            TYPE_PING => Frame::Ping,
+            TYPE_ACK => {
+                let (largest, n) = varint::decode(&data[used..])?;
+                used += n;
+                let (first_range, n) = varint::decode(&data[used..])?;
+                used += n;
+                if first_range > largest {
+                    return Err(QuicError::Malformed);
+                }
+                Frame::Ack {
+                    largest,
+                    first_range,
+                }
+            }
+            TYPE_CRYPTO => {
+                let (offset, n) = varint::decode(&data[used..])?;
+                used += n;
+                let (len, n) = varint::decode(&data[used..])?;
+                used += n;
+                let end = used.checked_add(len as usize).ok_or(QuicError::Malformed)?;
+                let bytes = data.get(used..end).ok_or(QuicError::Truncated)?;
+                used = end;
+                Frame::Crypto {
+                    offset,
+                    data: bytes.to_vec(),
+                }
+            }
+            t if (TYPE_STREAM_BASE..TYPE_STREAM_BASE + 8).contains(&t) => {
+                let bits = t - TYPE_STREAM_BASE;
+                if bits & 0x02 == 0 {
+                    // Length-less STREAM frames (extend to end of
+                    // packet) are never produced by this codec.
+                    return Err(QuicError::Malformed);
+                }
+                let (id, n) = varint::decode(&data[used..])?;
+                used += n;
+                let offset = if bits & 0x04 != 0 {
+                    let (off, n) = varint::decode(&data[used..])?;
+                    used += n;
+                    off
+                } else {
+                    0
+                };
+                let (len, n) = varint::decode(&data[used..])?;
+                used += n;
+                let end = used.checked_add(len as usize).ok_or(QuicError::Malformed)?;
+                let bytes = data.get(used..end).ok_or(QuicError::Truncated)?;
+                used = end;
+                if offset.checked_add(len).is_none() {
+                    return Err(QuicError::Malformed);
+                }
+                Frame::Stream {
+                    id,
+                    offset,
+                    fin: bits & 0x01 != 0,
+                    data: bytes.to_vec(),
+                }
+            }
+            _ => return Err(QuicError::Malformed),
+        };
+        Ok((frame, used))
+    }
+
+    /// Decode every frame of a packet payload. Rejects any malformed or
+    /// trailing bytes — a packet is either fully understood or dropped.
+    pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>, QuicError> {
+        let mut out = Vec::new();
+        while !data.is_empty() {
+            let (frame, used) = Frame::decode(data)?;
+            out.push(frame);
+            data = &data[used..];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_shapes() -> Vec<Frame> {
+        vec![
+            Frame::Padding,
+            Frame::Ping,
+            Frame::Ack {
+                largest: 7000,
+                first_range: 12,
+            },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
+            Frame::Stream {
+                id: 4,
+                offset: 0,
+                fin: true,
+                data: vec![9; 44],
+            },
+            Frame::Stream {
+                id: 0,
+                offset: 300,
+                fin: false,
+                data: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_individually_and_concatenated() {
+        let frames = all_shapes();
+        let mut wire = Vec::new();
+        for f in &frames {
+            let one = f.encode();
+            let (back, used) = Frame::decode(&one).unwrap();
+            assert_eq!(&back, f);
+            assert_eq!(used, one.len());
+            wire.extend_from_slice(&one);
+        }
+        assert_eq!(Frame::decode_all(&wire).unwrap(), frames);
+    }
+
+    #[test]
+    fn truncations_are_errors_not_panics() {
+        for f in all_shapes() {
+            let wire = f.encode();
+            for cut in 0..wire.len() {
+                assert!(
+                    Frame::decode_all(&wire[..cut]).is_err() || cut == 0,
+                    "{f:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        // Unknown frame type.
+        assert_eq!(Frame::decode(&[0x1F]), Err(QuicError::Malformed));
+        // ACK range larger than largest.
+        let mut bad = Vec::new();
+        varint::encode_into(TYPE_ACK, &mut bad);
+        varint::encode_into(1, &mut bad);
+        varint::encode_into(2, &mut bad);
+        assert_eq!(Frame::decode(&bad), Err(QuicError::Malformed));
+        // Length-less STREAM frame.
+        assert_eq!(
+            Frame::decode(&[0x08, 0x00, 0x00]),
+            Err(QuicError::Malformed)
+        );
+        // STREAM length overruns the buffer.
+        let mut long = Vec::new();
+        Frame::Stream {
+            id: 0,
+            offset: 0,
+            fin: false,
+            data: vec![1, 2, 3],
+        }
+        .encode_into(&mut long);
+        long.truncate(long.len() - 1);
+        assert_eq!(Frame::decode(&long), Err(QuicError::Truncated));
+    }
+}

@@ -1,0 +1,123 @@
+//! Stream reassembly: the receive side of a QUIC-lite stream.
+//!
+//! STREAM frames may arrive out of order and duplicated (loss recovery
+//! retransmits whole frames); [`RecvStream`] reassembles them into the
+//! contiguous byte sequence the application layer consumes. Delivery is
+//! *progressive* — newly contiguous bytes are surfaced as soon as they
+//! exist — because DoT multiplexes its whole session onto one stream
+//! that never finishes, while DoQ/DoH read one message per stream up to
+//! the FIN.
+
+use std::collections::BTreeMap;
+
+/// Receive-side reassembly buffer for one stream.
+#[derive(Debug, Default)]
+pub struct RecvStream {
+    /// Bytes delivered to the application so far (stream offset of the
+    /// next expected byte).
+    delivered: u64,
+    /// Out-of-order segments, keyed by start offset.
+    segments: BTreeMap<u64, Vec<u8>>,
+    /// Stream length fixed by a FIN frame, once seen.
+    fin_at: Option<u64>,
+    /// Whether the FIN point has been delivered.
+    finished: bool,
+}
+
+impl RecvStream {
+    /// Create an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether all bytes up to the FIN have been delivered.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Offset of the next byte the application will receive.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Insert a frame's bytes at `offset` (with optional FIN) and
+    /// return any newly contiguous bytes. Duplicate and overlapping
+    /// segments are tolerated (retransmissions resend whole frames).
+    pub fn push(&mut self, offset: u64, data: &[u8], fin: bool) -> Vec<u8> {
+        if fin {
+            self.fin_at = Some(offset + data.len() as u64);
+        }
+        let end = offset + data.len() as u64;
+        if end > self.delivered && !data.is_empty() {
+            // Clip the already-delivered prefix, then stash.
+            let skip = self.delivered.saturating_sub(offset) as usize;
+            let start = offset.max(self.delivered);
+            self.segments
+                .entry(start)
+                .and_modify(|existing| {
+                    if existing.len() < data.len() - skip {
+                        *existing = data[skip..].to_vec();
+                    }
+                })
+                .or_insert_with(|| data[skip..].to_vec());
+        }
+        // Drain everything now contiguous.
+        let mut out = Vec::new();
+        while let Some((&start, _)) = self.segments.first_key_value() {
+            if start > self.delivered {
+                break;
+            }
+            let (start, seg) = self.segments.pop_first().expect("non-empty");
+            let skip = (self.delivered - start) as usize;
+            if skip < seg.len() {
+                out.extend_from_slice(&seg[skip..]);
+                self.delivered = start + seg.len() as u64;
+            }
+        }
+        if self.fin_at == Some(self.delivered) {
+            self.finished = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut s = RecvStream::new();
+        assert_eq!(s.push(0, b"hello ", false), b"hello ");
+        assert_eq!(s.push(6, b"world", true), b"world");
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates() {
+        let mut s = RecvStream::new();
+        assert_eq!(s.push(6, b"world", true), b"");
+        assert!(!s.is_finished());
+        assert_eq!(s.push(6, b"world", true), b""); // duplicate
+        assert_eq!(s.push(0, b"hello ", false), b"hello world");
+        assert!(s.is_finished());
+        assert_eq!(s.push(0, b"hello ", false), b""); // stale retransmit
+        assert_eq!(s.delivered(), 11);
+    }
+
+    #[test]
+    fn empty_fin_finishes() {
+        let mut s = RecvStream::new();
+        assert_eq!(s.push(0, b"msg", false), b"msg");
+        assert_eq!(s.push(3, b"", true), b"");
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn overlapping_segments_keep_longest() {
+        let mut s = RecvStream::new();
+        assert_eq!(s.push(4, b"56", false), b"");
+        assert_eq!(s.push(4, b"5678", false), b"");
+        assert_eq!(s.push(0, b"1234", false), b"12345678");
+    }
+}

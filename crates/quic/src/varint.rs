@@ -1,0 +1,100 @@
+//! RFC 9000 §16 variable-length integers.
+//!
+//! The two most significant bits of the first byte encode the total
+//! length (1, 2, 4 or 8 bytes); the remaining bits carry the value in
+//! network byte order. Every frame field in the QUIC-lite codec —
+//! frame types, stream IDs, offsets, lengths, packet numbers — is a
+//! varint, exactly like real QUIC.
+
+use crate::QuicError;
+
+/// Largest value a varint can carry (2^62 - 1).
+pub const VARINT_MAX: u64 = (1 << 62) - 1;
+
+/// Number of bytes the varint encoding of `v` occupies.
+///
+/// # Panics
+/// Panics if `v` exceeds [`VARINT_MAX`] (a codec-internal bug; all wire
+/// inputs are range-checked at decode time).
+pub fn len(v: u64) -> usize {
+    match v {
+        0..=0x3F => 1,
+        0x40..=0x3FFF => 2,
+        0x4000..=0x3FFF_FFFF => 4,
+        0x4000_0000..=VARINT_MAX => 8,
+        _ => panic!("varint value out of range"),
+    }
+}
+
+/// Append the varint encoding of `v` to `out`.
+///
+/// # Panics
+/// Panics if `v` exceeds [`VARINT_MAX`].
+pub fn encode_into(v: u64, out: &mut Vec<u8>) {
+    match len(v) {
+        1 => out.push(v as u8),
+        2 => out.extend_from_slice(&(v as u16 | 0x4000).to_be_bytes()),
+        4 => out.extend_from_slice(&(v as u32 | 0x8000_0000).to_be_bytes()),
+        _ => out.extend_from_slice(&(v | 0xC000_0000_0000_0000).to_be_bytes()),
+    }
+}
+
+/// Decode one varint from the front of `data`; returns the value and
+/// the number of bytes consumed.
+pub fn decode(data: &[u8]) -> Result<(u64, usize), QuicError> {
+    let first = *data.first().ok_or(QuicError::Truncated)?;
+    let n = 1usize << (first >> 6);
+    if data.len() < n {
+        return Err(QuicError::Truncated);
+    }
+    let mut v = (first & 0x3F) as u64;
+    for b in &data[1..n] {
+        v = (v << 8) | *b as u64;
+    }
+    Ok((v, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x3F,
+            0x40,
+            0x3FFF,
+            0x4000,
+            0x3FFF_FFFF,
+            0x4000_0000,
+            VARINT_MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_into(v, &mut buf);
+            assert_eq!(buf.len(), len(v));
+            assert_eq!(decode(&buf).unwrap(), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn rfc9000_appendix_a_examples() {
+        // RFC 9000 A.1: the canonical worked examples.
+        assert_eq!(decode(&[0x25]).unwrap(), (37, 1));
+        assert_eq!(decode(&[0x7B, 0xBD]).unwrap(), (15293, 2));
+        assert_eq!(decode(&[0x9D, 0x7F, 0x3E, 0x7D]).unwrap(), (494_878_333, 4));
+        assert_eq!(
+            decode(&[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C]).unwrap(),
+            (151_288_809_941_952_652, 8)
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert_eq!(decode(&[]), Err(QuicError::Truncated));
+        assert_eq!(decode(&[0x40]), Err(QuicError::Truncated));
+        assert_eq!(decode(&[0x80, 0, 0]), Err(QuicError::Truncated));
+        assert_eq!(decode(&[0xC0; 7]), Err(QuicError::Truncated));
+    }
+}

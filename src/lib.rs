@@ -42,3 +42,6 @@ pub use doc_datasets as datasets;
 
 /// Build-size / QUIC / feature-matrix models (Fig. 5/8/9, Table 1).
 pub use doc_models as models;
+
+/// QUIC-lite simulated transport (DoQ/DoH/DoT stream framings).
+pub use doc_quic as quic;

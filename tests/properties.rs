@@ -10,6 +10,7 @@ use doc_repro::crypto::cbor::Value;
 use doc_repro::crypto::ccm::AesCcm;
 use doc_repro::dns::view::MessageView;
 use doc_repro::dns::{cbor_fmt, Message, Name, Question, Rcode, Record, RecordType};
+use doc_repro::quic::{doq, frame::Frame, packet, varint};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -350,6 +351,136 @@ proptest! {
             prop_assert!(f.total <= doc_repro::sixlowpan::MAX_FRAME);
             prop_assert_eq!(f.total, f.mac + f.sixlowpan + f.payload);
         }
+    }
+
+    /// QUIC-lite varints round-trip for every representable value and
+    /// report their own encoded length.
+    #[test]
+    fn quic_varint_roundtrip(v in 0u64..=(1 << 62) - 1) {
+        let mut buf = Vec::new();
+        varint::encode_into(v, &mut buf);
+        prop_assert_eq!(buf.len(), varint::len(v));
+        prop_assert_eq!(varint::decode(&buf).unwrap(), (v, buf.len()));
+    }
+
+    /// The varint decoder is total on arbitrary bytes, and whatever it
+    /// accepts re-encodes to at most the consumed length (QUIC varints
+    /// admit non-canonical longer encodings; the value must survive).
+    #[test]
+    fn quic_varint_decode_total(data in proptest::collection::vec(any::<u8>(), 0..12)) {
+        if let Ok((v, used)) = varint::decode(&data) {
+            prop_assert!(used <= data.len());
+            prop_assert!(varint::len(v) <= used);
+        }
+    }
+
+    /// QUIC-lite frames round-trip through the codec, individually and
+    /// concatenated into one packet payload.
+    #[test]
+    fn quic_frame_roundtrip(
+        id in (0u64..1 << 20).prop_map(|v| v * 4),
+        offset in 0u64..1 << 30,
+        fin in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        crypto in proptest::collection::vec(any::<u8>(), 0..64),
+        largest in 0u64..1 << 40,
+        range in 0u64..1 << 10,
+    ) {
+        let frames = vec![
+            Frame::Ack { largest: largest + range, first_range: range },
+            Frame::Crypto { offset, data: crypto },
+            Frame::Stream { id, offset, fin, data },
+            Frame::Ping,
+            Frame::Padding,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            let one = f.encode();
+            let (back, used) = Frame::decode(&one).unwrap();
+            prop_assert_eq!(&back, f);
+            prop_assert_eq!(used, one.len());
+            wire.extend_from_slice(&one);
+        }
+        prop_assert_eq!(Frame::decode_all(&wire).unwrap(), frames);
+    }
+
+    /// Frame and packet-header decoding is total: arbitrary bytes,
+    /// and mutated/truncated valid encodings, never panic.
+    #[test]
+    fn quic_decode_total_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Frame::decode_all(&data);
+        let _ = packet::Header::decode(&data);
+        let _ = doq::decode_doq(&data);
+        let _ = doq::decode_doh(&data);
+        let mut r = doq::DotReassembler::new();
+        let _ = r.push(&data);
+    }
+
+    /// ... including the adversarial neighborhood of valid frames.
+    #[test]
+    fn quic_frame_decode_total_on_mutated_wire(
+        data in proptest::collection::vec(any::<u8>(), 0..100),
+        offset in 0u64..1 << 20,
+        flips in proptest::collection::vec(any::<(usize, u8)>(), 0..4),
+        cut in any::<usize>(),
+    ) {
+        let mut wire = Vec::new();
+        Frame::Stream { id: 4, offset, fin: true, data: data.clone() }.encode_into(&mut wire);
+        Frame::Crypto { offset, data }.encode_into(&mut wire);
+        Frame::Ack { largest: offset + 1, first_range: 1 }.encode_into(&mut wire);
+        for (pos, bits) in flips {
+            let len = wire.len();
+            wire[pos % len] ^= bits;
+        }
+        wire.truncate(cut % (wire.len() + 1));
+        let _ = Frame::decode_all(&wire); // must not panic
+    }
+
+    /// DoQ 2-byte length framing: round-trips, rejects every
+    /// truncation, and rejects trailing garbage (RFC 9250: exactly one
+    /// message per stream).
+    #[test]
+    fn doq_framing_exactly_one_message(
+        dns in proptest::collection::vec(any::<u8>(), 0..300),
+        garbage in proptest::collection::vec(any::<u8>(), 1..16),
+        cut in any::<usize>(),
+    ) {
+        let framed = doq::encode_doq(&dns);
+        prop_assert_eq!(framed.len(), dns.len() + 2);
+        prop_assert_eq!(doq::decode_doq(&framed).unwrap(), dns.as_slice());
+        let mut trailing = framed.clone();
+        trailing.extend_from_slice(&garbage);
+        prop_assert!(doq::decode_doq(&trailing).is_err(), "trailing garbage accepted");
+        let cut = cut % framed.len().max(1);
+        if cut < framed.len() {
+            prop_assert!(doq::decode_doq(&framed[..cut]).is_err(), "truncation accepted");
+        }
+        // The DoH framing enforces the same exactly-one discipline.
+        let doh = doq::encode_doh_request(&dns);
+        prop_assert_eq!(doq::decode_doh(&doh).unwrap(), dns.as_slice());
+        let mut doh_trailing = doh.clone();
+        doh_trailing.extend_from_slice(&garbage);
+        prop_assert!(doq::decode_doh(&doh_trailing).is_err());
+    }
+
+    /// The DoT splitter reassembles any pipelined message sequence
+    /// from any chunking of the byte stream.
+    #[test]
+    fn dot_splitter_reassembles_any_chunking(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..6),
+        chunk in 1usize..20,
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&doq::encode_dot(m));
+        }
+        let mut r = doq::DotReassembler::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk.max(1)) {
+            got.extend(r.push(piece));
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(r.pending(), 0);
     }
 
     /// OSCORE protects any payload: round-trips, hides the plaintext,

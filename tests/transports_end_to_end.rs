@@ -10,7 +10,7 @@ use doc_repro::dns::RecordType;
 use doc_repro::doc::experiment::{run, ExperimentConfig};
 use doc_repro::doc::method::DocMethod;
 use doc_repro::doc::policy::CachePolicy;
-use doc_repro::doc::transport::TransportKind;
+use doc_repro::doc::transport::{TransportKind, TRANSPORT_MATRIX};
 
 fn cfg(transport: TransportKind, method: DocMethod) -> ExperimentConfig {
     ExperimentConfig {
@@ -24,19 +24,13 @@ fn cfg(transport: TransportKind, method: DocMethod) -> ExperimentConfig {
     }
 }
 
+/// Every row of the shared transport × method matrix — the same table
+/// the throughput bench and Fig. 7 derive their sweeps from, so a new
+/// transport cannot be silently omitted here — resolves under 10%
+/// frame loss.
 #[test]
 fn all_transports_resolve() {
-    for (transport, method) in [
-        (TransportKind::Udp, DocMethod::Fetch),
-        (TransportKind::Dtls, DocMethod::Fetch),
-        (TransportKind::Coap, DocMethod::Fetch),
-        (TransportKind::Coap, DocMethod::Get),
-        (TransportKind::Coap, DocMethod::Post),
-        (TransportKind::Coaps, DocMethod::Fetch),
-        (TransportKind::Coaps, DocMethod::Get),
-        (TransportKind::Coaps, DocMethod::Post),
-        (TransportKind::Oscore, DocMethod::Fetch),
-    ] {
+    for (transport, method) in TRANSPORT_MATRIX {
         let r = run(&cfg(transport, method));
         assert!(
             r.success_rate() > 0.85,
@@ -47,6 +41,34 @@ fn all_transports_resolve() {
         );
         assert!(r.server_stats.requests > 0 || transport == TransportKind::Udp);
     }
+}
+
+/// The stream transports really traverse the lossy simulated network:
+/// bytes move on the client↔proxy hop, DoH's HTTP framing costs more
+/// than DoQ's bare length prefix, and the per-query numbers come back
+/// deterministic.
+#[test]
+fn stream_transports_shape() {
+    let doq = run(&cfg(TransportKind::Quic, DocMethod::Fetch));
+    let doh = run(&cfg(TransportKind::DohLite, DocMethod::Fetch));
+    let dot = run(&cfg(TransportKind::Dot, DocMethod::Fetch));
+    for (label, r) in [("DoQ", &doq), ("DoH", &doh), ("DoT", &dot)] {
+        assert!(r.success_rate() > 0.85, "{label}: {}", r.success_rate());
+        assert!(r.client_proxy.bytes > 0, "{label}: no traffic on the air");
+        assert!(
+            r.server_stats.requests >= 25,
+            "{label}: {:?}",
+            r.server_stats
+        );
+    }
+    assert!(
+        doh.client_proxy.bytes > doq.client_proxy.bytes,
+        "DoH framing must cost more than DoQ: {} vs {}",
+        doh.client_proxy.bytes,
+        doq.client_proxy.bytes
+    );
+    let again = run(&cfg(TransportKind::Quic, DocMethod::Fetch));
+    assert_eq!(doq.queries, again.queries);
 }
 
 /// Fig. 7 grouping: averaged over seeds, the unfragmented UDP A-record

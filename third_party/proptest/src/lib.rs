@@ -12,9 +12,16 @@
 //! seed from its `module_path!()` + name + case index, so failures are
 //! reproducible across runs and machines. The number of cases per
 //! property defaults to 64 and can be raised with the
-//! `PROPTEST_CASES` environment variable. Shrinking is not
-//! implemented — a failing case panics with the assertion message of
-//! the underlying `assert!`.
+//! `PROPTEST_CASES` environment variable.
+//!
+//! **Shrinking** is implemented for the integer, tuple and
+//! `collection::vec` strategies (binary search toward the lower bound
+//! / shorter vectors, then element-wise shrink): when a case fails,
+//! the runner greedily applies [`Strategy::shrink`] candidates that
+//! still fail and reports the *minimized* input alongside the original
+//! assertion message. Strategies built with `prop_map`,
+//! `string_regex` or `prop_oneof!` generate without shrinking (their
+//! inverse is unknown), matching the subset-stand-in philosophy.
 //!
 //! [proptest]: https://docs.rs/proptest
 
@@ -67,6 +74,15 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate simplifications of `value`, most aggressive
+        /// first. The runner keeps any candidate that still fails and
+        /// re-shrinks from there; an empty list ends shrinking. The
+        /// default (no candidates) is correct for strategies whose
+        /// inverse is unknown (`prop_map`, unions, regex strings).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -75,6 +91,31 @@ pub mod strategy {
             Map { inner: self, f }
         }
     }
+
+    /// Binary-search shrink candidates for an integer in `[lo, value]`:
+    /// the lower bound, then `value - d` for `d` halving from
+    /// `(value - lo) / 2` down to 1. Whichever side of the failure
+    /// boundary the candidates land on, the greedy runner halves its
+    /// distance to the boundary every round — O(log range) to the
+    /// exact smallest failing value.
+    macro_rules! int_shrink {
+        ($lo:expr, $value:expr) => {{
+            let lo = $lo;
+            let value = $value;
+            let mut out = Vec::new();
+            if value > lo {
+                out.push(lo);
+                let mut d = (value - lo) / 2;
+                while d > 0 {
+                    out.push(value - d);
+                    d /= 2;
+                }
+            }
+            out
+        }};
+    }
+
+    pub(crate) use int_shrink;
 
     /// Strategy returned by [`Strategy::prop_map`].
     pub struct Map<S, F> {
@@ -103,6 +144,9 @@ pub mod strategy {
                     let span = (self.end - self.start) as u64;
                     self.start + rng.below(span) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(self.start, *value)
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -114,6 +158,9 @@ pub mod strategy {
                         return rng.next_u64() as $t;
                     }
                     lo + rng.below(span + 1) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(*self.start(), *value)
                 }
             }
         )*};
@@ -157,13 +204,28 @@ pub mod strategy {
 
     /// Tuples of strategies are strategies for tuples of their values
     /// (upstream behaviour; distinct from `any::<(A, B)>()`, which
-    /// goes through `Arbitrary`).
+    /// goes through `Arbitrary`). Shrinking simplifies one component
+    /// at a time, holding the others fixed.
     macro_rules! impl_tuple_strategy {
         ($($S:ident => $idx:tt),+) => {
-            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone,)+
+            {
                 type Value = ($($S::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
@@ -175,6 +237,8 @@ pub mod strategy {
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
 }
 
 pub mod arbitrary {
@@ -185,6 +249,12 @@ pub mod arbitrary {
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Shrink candidates (see [`Strategy::shrink`]); defaults to
+        /// none.
+        fn shrink_value(&self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     /// Strategy returned by [`crate::prelude::any`].
@@ -196,23 +266,65 @@ pub mod arbitrary {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_value()
+        }
     }
 
-    macro_rules! impl_arbitrary_int {
+    macro_rules! impl_arbitrary_uint {
         ($($t:ty),*) => {$(
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
                 }
+                fn shrink_value(&self) -> Vec<$t> {
+                    // Binary search toward 0: the range ladder with
+                    // lo = 0 (one shared implementation, not a copy).
+                    crate::strategy::int_shrink!(0, *self)
+                }
             }
         )*};
     }
 
-    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    macro_rules! impl_arbitrary_sint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                fn shrink_value(&self) -> Vec<$t> {
+                    // Binary search toward 0 from either side
+                    // (descending-delta ladder; `d` carries the sign).
+                    let v = *self;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        out.push(0);
+                        let mut d = v / 2;
+                        while d != 0 {
+                            out.push(v - d);
+                            d /= 2;
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+    impl_arbitrary_sint!(i8, i16, i32, i64, isize);
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -223,19 +335,30 @@ pub mod arbitrary {
     }
 
     macro_rules! impl_arbitrary_tuple {
-        ($($name:ident),+) => {
-            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+        ($($name:ident => $idx:tt),+) => {
+            impl<$($name: Arbitrary + Clone),+> Arbitrary for ($($name,)+) {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     ($($name::arbitrary(rng),)+)
+                }
+                fn shrink_value(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink_value() {
+                            let mut next = self.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
 
-    impl_arbitrary_tuple!(A);
-    impl_arbitrary_tuple!(A, B);
-    impl_arbitrary_tuple!(A, B, C);
-    impl_arbitrary_tuple!(A, B, C, D);
+    impl_arbitrary_tuple!(A => 0);
+    impl_arbitrary_tuple!(A => 0, B => 1);
+    impl_arbitrary_tuple!(A => 0, B => 1, C => 2);
+    impl_arbitrary_tuple!(A => 0, B => 1, C => 2, D => 3);
 }
 
 pub mod collection {
@@ -288,13 +411,56 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    /// Cap for element-wise shrinking: beyond this length only the
+    /// length itself shrinks (keeps the candidate count bounded).
+    const ELEMENT_SHRINK_MAX_LEN: usize = 32;
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
             let len = self.size.min + rng.below(span + 1) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let min = self.size.min;
+            // Binary search on the length (drop the tail): the
+            // shortest allowed prefix, then prefixes shortened by a
+            // halving delta — the same ladder as the integer shrink.
+            if len > min {
+                out.push(value[..min].to_vec());
+                let mut d = (len - min) / 2;
+                while d > 0 {
+                    out.push(value[..len - d].to_vec());
+                    d /= 2;
+                }
+            }
+            // Per-index removal (prefix truncation alone cannot drop a
+            // leading non-witness element), then element-wise shrink.
+            if len <= ELEMENT_SHRINK_MAX_LEN {
+                if len > min {
+                    for i in 0..len {
+                        let mut next = value.clone();
+                        next.remove(i);
+                        out.push(next);
+                    }
+                }
+                for (i, elem) in value.iter().enumerate() {
+                    for cand in self.elem.shrink(elem) {
+                        let mut next = value.clone();
+                        next[i] = cand;
+                        out.push(next);
+                    }
+                }
+            }
+            out
         }
     }
 }
@@ -461,22 +627,110 @@ pub fn cases() -> u64 {
         .unwrap_or(64)
 }
 
+/// Budget of candidate evaluations per failing case — shrinking is
+/// O(log range) per component, so this is generous while still
+/// bounding adversarial strategies.
+const SHRINK_BUDGET: usize = 1024;
+
+/// Greedily minimize `failing` under `fails`: repeatedly take the
+/// first [`Strategy::shrink`] candidate that still fails, until no
+/// candidate does (a local minimum) or the budget runs out. With the
+/// binary-search candidate lists of the integer/vec strategies this
+/// converges to the exact boundary value.
+pub fn minimize<S: strategy::Strategy>(
+    strat: &S,
+    mut failing: S::Value,
+    fails: &dyn Fn(&S::Value) -> bool,
+) -> S::Value {
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in strat.shrink(&failing) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if fails(&cand) {
+                failing = cand;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: no candidate still fails
+    }
+    failing
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Drive one property: generate `cases()` inputs, and on the first
+/// failure shrink it to a minimal failing input (suppressing the panic
+/// hook while probing candidates) and fail the test with both the
+/// minimized input and the underlying assertion message.
+pub fn run_property<S, F>(label: &str, strat: S, test: F)
+where
+    S: strategy::Strategy,
+    S::Value: Clone + core::fmt::Debug,
+    F: Fn(S::Value),
+{
+    let fails = |v: &S::Value| {
+        let v = v.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(v))).is_err()
+    };
+    for case in 0..cases() {
+        let mut rng = test_runner::TestRng::deterministic(label, case);
+        let value = strat.generate(&mut rng);
+        // The passing path never touches the global panic hook, so the
+        // common case is race-free under parallel libtest threads (the
+        // original failure prints once through the default hook, which
+        // libtest captures).
+        if !fails(&value) {
+            continue;
+        }
+        // Shrink quietly: the default hook would print a backtrace for
+        // every failing candidate. The hook is process-global, so the
+        // swap/restore pair is serialized across concurrently failing
+        // property tests — otherwise interleaved take/set could leave
+        // the silent hook installed for the rest of the process.
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let minimal = minimize(&strat, value, &fails);
+        // One more run of the minimal case to capture its message.
+        let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(minimal.clone())))
+            .err()
+            .map(|p| panic_message(p.as_ref()))
+            .unwrap_or_else(|| "test stopped failing during shrink re-run".into());
+        std::panic::set_hook(prev_hook);
+        drop(guard);
+        panic!(
+            "{label}: case {case} failed.\n\
+             minimal failing input (after shrinking): {minimal:?}\n\
+             caused by: {msg}"
+        );
+    }
+}
+
 /// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
 /// becomes a `#[test]` that runs the body over deterministically
-/// generated inputs.
+/// generated inputs, shrinking failures to minimal counterexamples.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {$(
         $(#[$meta])*
         fn $name() {
-            for case in 0..$crate::cases() {
-                let mut rng = $crate::test_runner::TestRng::deterministic(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case,
-                );
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                $body
-            }
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                ($($strat,)+),
+                |($($arg,)+)| $body,
+            );
         }
     )*};
 }
@@ -552,6 +806,110 @@ mod tests {
         fn range_strategy_in_bounds(x in 10u32..20, y in 3usize..=3) {
             prop_assert!((10..20).contains(&x));
             prop_assert_eq!(y, 3);
+        }
+    }
+
+    // ---- shrinking self-tests -------------------------------------
+
+    /// Integer shrinking binary-searches to the exact failure
+    /// boundary: the smallest value satisfying the failing predicate.
+    #[test]
+    fn integer_shrink_finds_exact_boundary() {
+        let strat = 0u32..1000;
+        let fails = |v: &u32| *v >= 57;
+        let minimal = crate::minimize(&strat, 913, &fails);
+        assert_eq!(minimal, 57);
+        // Offset ranges shrink toward their own lower bound.
+        let strat = 100u32..=1000;
+        let fails = |v: &u32| *v >= 100; // everything fails
+        assert_eq!(crate::minimize(&strat, 700, &fails), 100);
+        // `any` integers shrink toward zero, signed from both sides.
+        let strat = any::<i32>();
+        assert_eq!(crate::minimize(&strat, -800, &|v: &i32| *v <= -13), -13);
+        assert_eq!(crate::minimize(&strat, 800, &|v: &i32| *v >= 13), 13);
+    }
+
+    /// Vec shrinking binary-searches the length down to the minimal
+    /// failing length, then shrinks the surviving elements.
+    #[test]
+    fn vec_shrink_minimizes_length_and_elements() {
+        let strat = crate::collection::vec(0u32..1000, 0..50);
+        // Fails whenever there are ≥ 3 elements: minimal length is 3.
+        let start: Vec<u32> = (0..40).map(|i| i * 7 + 3).collect();
+        let minimal = crate::minimize(&strat, start, &|v: &Vec<u32>| v.len() >= 3);
+        assert_eq!(minimal.len(), 3);
+        // Fails while any element ≥ 500: single smallest witness.
+        let minimal = crate::minimize(&strat, vec![3, 999, 4, 800, 5], &|v: &Vec<u32>| {
+            v.iter().any(|&x| x >= 500)
+        });
+        assert_eq!(minimal, vec![500]);
+    }
+
+    /// Tuple strategies shrink one component at a time.
+    #[test]
+    fn tuple_shrink_minimizes_each_component() {
+        let strat = (0u32..100, crate::collection::vec(any::<u8>(), 0..20));
+        let fails = |v: &(u32, Vec<u8>)| v.0 >= 7 && v.1.len() >= 2;
+        let minimal = crate::minimize(&strat, (93, vec![1; 17]), &fails);
+        assert_eq!(minimal.0, 7);
+        assert_eq!(minimal.1.len(), 2);
+    }
+
+    /// Shrink candidate lists are well-formed: aggressive-first, never
+    /// containing the value itself, empty at the lower bound.
+    #[test]
+    fn shrink_candidates_are_well_formed() {
+        use crate::strategy::Strategy;
+        let strat = 5u32..100;
+        assert_eq!(strat.shrink(&5), Vec::<u32>::new());
+        let cands = strat.shrink(&80);
+        assert_eq!(cands, vec![5, 43, 62, 71, 76, 78, 79]);
+        let vstrat = crate::collection::vec(any::<u8>(), 1..10);
+        // At the minimum length only the elements shrink.
+        assert!(vstrat.shrink(&vec![9]).iter().all(|c| c.len() == 1));
+        assert!(vstrat.shrink(&vec![0]).is_empty());
+        let cands = vstrat.shrink(&vec![200, 200, 200, 200, 200]);
+        assert_eq!(cands[0], vec![200]); // min-length prefix first
+        assert!(cands.iter().all(|c| c != &vec![200u8; 5]));
+    }
+
+    /// End-to-end through the macro: a failing property panics with
+    /// the *minimized* counterexample in the message.
+    #[test]
+    fn failing_property_reports_minimal_input() {
+        proptest! {
+            fn inner_failing_property(v in crate::collection::vec(0u32..1000, 0..40)) {
+                // "Bug": sums ≥ 1000 are mishandled. The minimal
+                // failing input is a single element ≥ 1000… which the
+                // element range forbids, so the true minimum is a
+                // short vector summing to just ≥ 1000.
+                prop_assert!(v.iter().map(|&x| x as u64).sum::<u64>() < 1000);
+            }
+        }
+        let err = std::panic::catch_unwind(inner_failing_property).expect_err("property must fail");
+        let msg = crate::panic_message(err.as_ref());
+        assert!(
+            msg.contains("minimal failing input"),
+            "message must carry the shrink report: {msg}"
+        );
+        // The counterexample survived minimization: parse the reported
+        // vector and check it is tight (removing any element drops the
+        // sum below the failure threshold).
+        let start = msg.find('[').expect("vector in message");
+        let end = msg[start..].find(']').expect("vector in message") + start;
+        let v: Vec<u64> = msg[start + 1..end]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().expect("integer"))
+            .collect();
+        let sum: u64 = v.iter().sum();
+        assert!(sum >= 1000, "reported input must still fail: {v:?}");
+        for i in 0..v.len() {
+            let without: u64 = sum - v[i];
+            assert!(
+                without < 1000,
+                "dropping element {i} still fails — not minimal: {v:?}"
+            );
         }
     }
 }
