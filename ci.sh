@@ -13,6 +13,11 @@
 #                    # --require-scaling; the required ratio follows the
 #                    # machine parallelism recorded in BENCH_proxy.json:
 #                    # >=2x on >=4 cores, a no-collapse bound below).
+#   ./ci.sh fuzz     # release build + the deterministic differential
+#                    # fuzzing campaign (fuzz_gate): 100k fixed-seed
+#                    # iterations across the five parser families,
+#                    # failing with a shrunk counterexample on any
+#                    # owned/view/re-encode disagreement.
 #
 # Tier-1 is exactly what the project driver runs:
 #   cargo build --release && cargo test -q
@@ -27,9 +32,9 @@ set -eu
 # under `set -e` to not abort the full run).
 mode="${1:-full}"
 case "$mode" in
-    quick|full|bench) ;;
+    quick|full|bench|fuzz) ;;
     *)
-        echo "usage: $0 [quick|full|bench]" >&2
+        echo "usage: $0 [quick|full|bench|fuzz]" >&2
         exit 2
         ;;
 esac
@@ -44,6 +49,16 @@ run_tier1() {
 run_gate() {
     echo "==> bench_gate: $*"
     cargo run --release -q -p doc-bench --bin bench_gate -- "$@"
+}
+
+run_fuzz() {
+    # The differential fuzzing gate: one mutated corpus through every
+    # parser family (owned vs view vs re-encode), 20k iterations per
+    # family under a fixed seed, so the campaign is reproducible and
+    # every CI run is a fuzzing run. A divergence exits non-zero with a
+    # shrunk counterexample and a one-line replay command.
+    echo "==> fuzz_gate: deterministic differential campaign (100k iterations)"
+    cargo run --release -q -p doc-fuzz --bin fuzz_gate
 }
 
 run_conformance() {
@@ -64,6 +79,7 @@ case "$mode" in
     full)
         run_tier1
         run_conformance
+        run_fuzz
         # Shortened measurement windows: the allocation bounds are
         # exact and always asserted in-process by the encode bench; the
         # structural JSON gates run on the emitted artifacts. Timing
@@ -88,6 +104,11 @@ case "$mode" in
         echo "==> proxy throughput bench, full windows (1/2/4/8 workers)"
         cargo bench -p doc-bench --bench throughput
         run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --require-scaling
+        ;;
+    fuzz)
+        echo "==> fuzz: cargo build --release"
+        cargo build --release
+        run_fuzz
         ;;
 esac
 

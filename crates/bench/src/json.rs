@@ -59,6 +59,69 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serialize back to a compact JSON document. Re-parsing the
+    /// output yields a value equal to `self`: `f64`'s `Display` is the
+    /// shortest decimal that parses back to the same bits (and never
+    /// produces exponent or non-finite forms for values [`parse`]
+    /// admits), and object keys are unique and already sorted by the
+    /// `BTreeMap`.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the compact serialization of `self` to `out`.
+    pub fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write!(out, "{n}").expect("write to String"),
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(key, out);
+                    out.push(':');
+                    value.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to String"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure at a byte offset.
@@ -325,9 +388,15 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        // Overflowing literals like `1e999` parse to infinity, which
+        // would smuggle a non-finite value through `Num` — and could
+        // never be serialized back to valid JSON. Reject them (found
+        // by the differential fuzz harness's re-encode check).
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            Ok(_) => Err(self.err("number overflows the finite f64 range")),
+            Err(_) => Err(self.err("invalid number")),
+        }
     }
 }
 
@@ -394,6 +463,26 @@ mod tests {
         for good in ["0", "-0", "-0.5", "10", "1e9", "1.25E-2"] {
             assert!(parse(good).is_ok(), "rejected: {good:?}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_rejected() {
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
+        assert!(parse("[1e400]").is_err());
+        assert!(parse("1e308").is_ok()); // largest finite decade
+    }
+
+    #[test]
+    fn encode_roundtrips_compact_form() {
+        let doc = r#"{"a":[1,2.5,-3,true,null,"x\n\"y\\z"],"b":{"k":0.1},"c":""}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.encode(), doc, "compact form is canonical");
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        // Control characters escape as \u00XX and survive the trip.
+        let v = parse("\"\\u0001\\u001f\"").unwrap();
+        assert_eq!(v.encode(), "\"\\u0001\\u001f\"");
+        assert_eq!(parse(&v.encode()).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! `fuzz_gate` — the bounded differential fuzzing campaign CI runs.
+//!
+//! With no arguments it fuzzes every built-in family for the default
+//! iteration count under the default seed, exiting 0 on a clean run
+//! and 2 with a full divergence report (shrunk counterexample, hex
+//! dump, replay command) on the first disagreement. `./ci.sh fuzz`
+//! invokes exactly this.
+//!
+//! ```text
+//! fuzz_gate [--target NAME] [--seed N|0xN] [--iters N] [--list] [--emit-seeds]
+//! ```
+
+use std::process::ExitCode;
+
+use doc_fuzz::{corpus, run_campaign, targets, Campaign};
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("not a number: {s:?}"))
+}
+
+struct Args {
+    target: Option<String>,
+    seed: Option<u64>,
+    iters: Option<u64>,
+    list: bool,
+    emit_seeds: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target: None,
+        seed: None,
+        iters: None,
+        list: false,
+        emit_seeds: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--target" => args.target = Some(value("--target")?),
+            "--seed" => args.seed = Some(parse_u64(&value("--seed")?)?),
+            "--iters" => args.iters = Some(parse_u64(&value("--iters")?)?),
+            "--list" => args.list = true,
+            "--emit-seeds" => args.emit_seeds = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn emit_seeds(selected: &[Box<dyn doc_fuzz::DifferentialTarget>]) -> std::io::Result<()> {
+    for target in selected {
+        let dir = corpus::corpus_root().join(target.name());
+        std::fs::create_dir_all(&dir)?;
+        for (i, seed) in target.seeds().iter().enumerate() {
+            let path = dir.join(format!("seed-{i:02}.hex"));
+            let comment = format!(
+                "{} seed {i}: built-in valid message (fuzz_gate --emit-seeds)",
+                target.name()
+            );
+            std::fs::write(&path, corpus::render(seed, &comment))?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz_gate: {e}");
+            eprintln!(
+                "usage: fuzz_gate [--target NAME] [--seed N] [--iters N] [--list] [--emit-seeds]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for t in targets::all() {
+            println!("{}", t.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<_> = match &args.target {
+        Some(name) => match targets::by_name(name) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("fuzz_gate: unknown target {name:?} (try --list)");
+                return ExitCode::from(2);
+            }
+        },
+        None => targets::all(),
+    };
+
+    if args.emit_seeds {
+        return match emit_seeds(&selected) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fuzz_gate: emitting seeds failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let cfg = Campaign {
+        seed: args.seed.unwrap_or(doc_fuzz::DEFAULT_SEED),
+        iterations: args.iters.unwrap_or(doc_fuzz::engine::DEFAULT_ITERATIONS),
+        ..Campaign::default()
+    };
+
+    let mut total_iters = 0u64;
+    let mut total_accepted = 0u64;
+    for target in &selected {
+        let started = std::time::Instant::now();
+        match run_campaign(target.as_ref(), &cfg) {
+            Ok(stats) => {
+                total_iters += stats.iterations;
+                total_accepted += stats.accepted;
+                println!(
+                    "{:6}: {} iterations ({} replayed), {} accepted, {} rejected, corpus {} [{:?}]",
+                    stats.target,
+                    stats.iterations,
+                    stats.replayed,
+                    stats.accepted,
+                    stats.rejected,
+                    stats.corpus_len,
+                    started.elapsed(),
+                );
+            }
+            Err(divergence) => {
+                eprintln!("{divergence}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!(
+        "fuzz_gate: clean — {total_iters} iterations across {} targets (seed {:#x}, {total_accepted} accepted)",
+        selected.len(),
+        cfg.seed,
+    );
+    ExitCode::SUCCESS
+}

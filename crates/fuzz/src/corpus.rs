@@ -1,0 +1,81 @@
+//! On-disk seed/regression corpus under `tests/corpus/<family>/`.
+//!
+//! Each family (one per [`crate::target::DifferentialTarget`]) owns a
+//! directory of `*.hex` files: hex byte pairs separated by whitespace,
+//! `#`-to-end-of-line comments — reviewable in a diff, unlike raw
+//! binary blobs. Files come from two sources: seed entries emitted by
+//! `fuzz_gate --emit-seeds` (valid messages from the paper's query
+//! mixes) and minimized crashers pinned after a divergence was fixed,
+//! so a past bug can never recur silently (`tests/corpus_replay.rs`
+//! replays every entry in tier-1).
+
+use std::path::PathBuf;
+
+/// Workspace-relative corpus root (`tests/corpus/`).
+pub fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Load every `*.hex` entry of `family`, sorted by file name (the
+/// order is part of campaign determinism). Returns `(file_name,
+/// bytes)` pairs; a malformed file is an error, not a skip — a corpus
+/// entry that cannot be replayed is itself a regression.
+pub fn load_family(family: &str) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let dir = corpus_root().join(family);
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hex") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = std::fs::read_to_string(&path)?;
+        let bytes = crate::hex::from_hex(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        entries.push((name, bytes));
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Render `bytes` as corpus file content: a `#` comment header, then
+/// 16 hex pairs per line.
+pub fn render(bytes: &[u8], comment: &str) -> String {
+    let mut out = String::new();
+    for line in comment.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    if bytes.is_empty() {
+        out.push_str("# (empty input)\n");
+    }
+    for chunk in bytes.chunks(16) {
+        let row: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parses_back() {
+        let bytes: Vec<u8> = (0..40).collect();
+        let text = render(&bytes, "two\nlines");
+        assert!(text.starts_with("# two\n# lines\n"));
+        assert_eq!(crate::hex::from_hex(&text).unwrap(), bytes);
+        assert_eq!(crate::hex::from_hex(&render(&[], "empty")).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The deterministic campaign engine.
+//!
+//! A campaign over one target is a pure function of `(target name,
+//! seed, iteration count, corpus files)`: the RNG is
+//! [`TestRng::deterministic`] keyed on both, the corpus is loaded in
+//! sorted file order, and targets are required to be pure. Running the
+//! same campaign twice therefore produces byte-identical statistics —
+//! and any divergence report carries everything needed to replay it.
+//!
+//! Each campaign starts by replaying every corpus entry unmutated
+//! (seed entries must stay accepted, pinned crashers must stay fixed),
+//! then runs the mutation loop: pick a base and a donor entry, derive
+//! a mutant via [`crate::mutate::mutate`], and feed it to
+//! [`DifferentialTarget::check`]. Accepted mutants join the in-memory
+//! corpus (up to a cap), so the campaign walks deeper into each format
+//! as it runs. A reported divergence is first shrunk with the proptest
+//! stand-in's [`proptest::minimize`] byte-vector shrinker to a minimal
+//! reproducer.
+
+use std::collections::HashSet;
+
+use proptest::collection::vec;
+use proptest::prelude::any;
+use proptest::test_runner::TestRng;
+
+use crate::corpus;
+use crate::hex;
+use crate::mutate::{mutate, MAX_INPUT_LEN};
+use crate::target::{DifferentialTarget, Outcome};
+
+/// Default campaign seed — baked into `./ci.sh fuzz` so every CI run
+/// replays the same campaign unless a seed is passed explicitly.
+pub const DEFAULT_SEED: u64 = 0xD0C5EED;
+
+/// Default per-target iteration count: five targets at this depth make
+/// the 100k-iteration CI campaign.
+pub const DEFAULT_ITERATIONS: u64 = 20_000;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// RNG seed; combined with the target name, it determines the
+    /// whole mutation stream.
+    pub seed: u64,
+    /// Mutation iterations per target (corpus replay is extra).
+    pub iterations: u64,
+    /// Cap on the in-memory corpus (seeds + disk entries + accepted
+    /// mutants). Growth stops at the cap; the campaign keeps running.
+    pub max_corpus: usize,
+    /// Whether to load `tests/corpus/<family>/` from disk. Disabled by
+    /// in-tree tests that must not depend on checked-in corpus files.
+    pub load_disk_corpus: bool,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            seed: DEFAULT_SEED,
+            iterations: DEFAULT_ITERATIONS,
+            max_corpus: 512,
+            load_disk_corpus: true,
+        }
+    }
+}
+
+/// What a clean campaign did, for the gate's summary output. Equality
+/// of two stats values is the determinism check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Target family name.
+    pub target: String,
+    /// Mutation iterations executed.
+    pub iterations: u64,
+    /// Corpus entries replayed before mutation started.
+    pub replayed: usize,
+    /// Mutants every implementation accepted (and agreed on).
+    pub accepted: u64,
+    /// Mutants every implementation rejected (identically).
+    pub rejected: u64,
+    /// Final in-memory corpus size.
+    pub corpus_len: usize,
+}
+
+/// A divergence between implementations of one family: the campaign's
+/// counterexample, already shrunk to a minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Target family name.
+    pub target: String,
+    /// Campaign seed that produced it.
+    pub seed: u64,
+    /// Iteration at which the original counterexample appeared
+    /// (`None` for a corpus-replay failure before mutation started).
+    pub iteration: Option<u64>,
+    /// The target's description of the disagreement, re-evaluated on
+    /// the minimal input.
+    pub cause: String,
+    /// Minimal counterexample after shrinking.
+    pub input: Vec<u8>,
+    /// Length of the pre-shrink counterexample.
+    pub original_len: usize,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "differential divergence in target `{}`", self.target)?;
+        writeln!(f, "  campaign seed : {:#x}", self.seed)?;
+        match self.iteration {
+            Some(i) => writeln!(f, "  at iteration  : {i}")?,
+            None => writeln!(f, "  at            : corpus replay (before mutation)")?,
+        }
+        writeln!(f, "  cause         : {}", self.cause)?;
+        writeln!(
+            f,
+            "  counterexample: {} bytes (shrunk from {} bytes)",
+            self.input.len(),
+            self.original_len
+        )?;
+        f.write_str(&hex::dump(&self.input))?;
+        writeln!(f, "  replay the campaign:")?;
+        writeln!(
+            f,
+            "    cargo run --release -p doc-fuzz --bin fuzz_gate -- --target {} --seed {:#x}",
+            self.target, self.seed
+        )?;
+        writeln!(
+            f,
+            "  pin after fixing: save the bytes above ({}) as tests/corpus/{}/*.hex",
+            hex::to_hex(&self.input),
+            self.target
+        )
+    }
+}
+
+/// FNV-1a over an input — the corpus dedup key.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run one campaign over one target. `Err` carries the shrunk
+/// divergence; a malformed or unreadable corpus file panics, because a
+/// corpus that cannot be replayed is itself a CI failure.
+pub fn run_campaign(
+    target: &dyn DifferentialTarget,
+    cfg: &Campaign,
+) -> Result<CampaignStats, Box<Divergence>> {
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    for entry in target.seeds() {
+        if entry.len() <= MAX_INPUT_LEN && seen.insert(fnv(&entry)) {
+            pool.push(entry);
+        }
+    }
+    if cfg.load_disk_corpus {
+        match corpus::load_family(target.name()) {
+            Ok(entries) => {
+                for (_, entry) in entries {
+                    if entry.len() <= MAX_INPUT_LEN && seen.insert(fnv(&entry)) {
+                        pool.push(entry);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("corpus for `{}` unreadable: {e}", target.name()),
+        }
+    }
+    if pool.is_empty() {
+        // The mutator grows an empty buffer, so a target without seeds
+        // still fuzzes.
+        pool.push(Vec::new());
+    }
+
+    // Replay phase: every pool entry must check clean before any
+    // mutation — this is what makes pinned crashers regression tests.
+    let replayed = pool.len();
+    for entry in &pool {
+        if let Err(cause) = target.check(entry) {
+            return Err(shrink(target, cfg, None, cause, entry.clone()));
+        }
+    }
+
+    let mut rng = TestRng::deterministic(target.name(), cfg.seed);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for iteration in 0..cfg.iterations {
+        let base = rng.below(pool.len() as u64) as usize;
+        let donor = rng.below(pool.len() as u64) as usize;
+        let input = mutate(&pool[base], &pool[donor], &mut rng);
+        match target.check(&input) {
+            Ok(Outcome::Accepted) => {
+                accepted += 1;
+                if pool.len() < cfg.max_corpus && seen.insert(fnv(&input)) {
+                    pool.push(input);
+                }
+            }
+            Ok(Outcome::Rejected) => rejected += 1,
+            Err(cause) => return Err(shrink(target, cfg, Some(iteration), cause, input)),
+        }
+    }
+
+    Ok(CampaignStats {
+        target: target.name().to_string(),
+        iterations: cfg.iterations,
+        replayed,
+        accepted,
+        rejected,
+        corpus_len: pool.len(),
+    })
+}
+
+/// Shrink a counterexample to a minimal diverging input via the
+/// proptest stand-in's byte-vector shrink ladder, then re-ask the
+/// target for the cause on the minimal bytes (the minimal input may
+/// diverge differently than the original).
+fn shrink(
+    target: &dyn DifferentialTarget,
+    cfg: &Campaign,
+    iteration: Option<u64>,
+    original_cause: String,
+    input: Vec<u8>,
+) -> Box<Divergence> {
+    let original_len = input.len();
+    let strat = vec(any::<u8>(), 0..=original_len.max(1));
+    let minimal = proptest::minimize(&strat, input, &|v: &Vec<u8>| target.check(v).is_err());
+    let cause = match target.check(&minimal) {
+        Err(c) => c,
+        Ok(_) => original_cause,
+    };
+    Box::new(Divergence {
+        target: target.name().to_string(),
+        seed: cfg.seed,
+        iteration,
+        cause,
+        input: minimal,
+        original_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every built-in family survives a short campaign, exercises the
+    /// accept path (not just shallow rejections), and is
+    /// replay-deterministic: identical stats on identical seeds.
+    #[test]
+    fn short_campaigns_are_clean_and_deterministic() {
+        let cfg = Campaign {
+            iterations: 400,
+            ..Campaign::default()
+        };
+        for target in crate::targets::all() {
+            let first = run_campaign(target.as_ref(), &cfg)
+                .unwrap_or_else(|d| panic!("unexpected divergence:\n{d}"));
+            let second = run_campaign(target.as_ref(), &cfg).unwrap();
+            assert_eq!(first, second, "campaign must be deterministic");
+            assert!(
+                first.accepted > 0,
+                "{}: no mutant ever crossed the accept boundary",
+                first.target
+            );
+            assert!(first.rejected > 0, "{}: nothing rejected?", first.target);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Hex rendering and parsing for corpus files and divergence reports.
+
+/// Render `bytes` as a classic offset/hex/ASCII dump, 16 bytes per
+/// row — the form a divergence report embeds so a counterexample can
+/// be eyeballed without tooling.
+pub fn dump(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "    (empty input)\n".to_string();
+    }
+    let mut out = String::new();
+    for (row, chunk) in bytes.chunks(16).enumerate() {
+        out.push_str(&format!("    {:04x}  ", row * 16));
+        for i in 0..16 {
+            match chunk.get(i) {
+                Some(b) => out.push_str(&format!("{b:02x} ")),
+                None => out.push_str("   "),
+            }
+            if i == 7 {
+                out.push(' ');
+            }
+        }
+        out.push_str(" |");
+        for &b in chunk {
+            out.push(if (0x20..0x7F).contains(&b) {
+                b as char
+            } else {
+                '.'
+            });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Compact lowercase hex of `bytes` (no separators) — the form the
+/// replay instructions quote for pinning a counterexample as a corpus
+/// regression entry.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Parse the corpus file format: hex digit pairs separated by
+/// arbitrary whitespace, with `#` starting a comment that runs to the
+/// end of the line.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let mut nibbles: Vec<u8> = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for c in line.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            let v = c
+                .to_digit(16)
+                .ok_or_else(|| format!("non-hex character {c:?}"))? as u8;
+            nibbles.push(v);
+        }
+    }
+    if !nibbles.len().is_multiple_of(2) {
+        return Err("odd number of hex digits".to_string());
+    }
+    Ok(nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip_with_comments_and_whitespace() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        let file = "# a comment\n00 ff\n  1e # trailing comment\n2B\n";
+        assert_eq!(from_hex(file).unwrap(), vec![0x00, 0xFF, 0x1E, 0x2B]);
+        assert!(from_hex("0").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn dump_shows_offsets_hex_and_ascii() {
+        let d = dump(b"doc-fuzz differential harness!!!");
+        assert!(d.contains("0000"), "first row offset");
+        assert!(d.contains("0010"), "second row offset");
+        assert!(d.contains("64 6f 63"), "hex bytes");
+        assert!(d.contains("|doc-fuzz"), "ascii gutter");
+        assert!(dump(&[]).contains("empty"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The structured mutation core.
+//!
+//! Generic byte fuzzing (bit flips, random overwrites, truncation,
+//! splicing) finds shallow rejections quickly but rarely crosses the
+//! accept boundary of a length-prefixed binary format. The mutators
+//! here therefore also know the *shapes* the workspace's formats use,
+//! without knowing the formats themselves:
+//!
+//! * 2-byte big-endian length fields (DNS counts, DoQ/DoT framing,
+//!   DTLS record lengths, CoAP message IDs) — the interesting-u16
+//!   mutator writes boundary values *and the actual remaining length*
+//!   at a random offset, which forges a consistent length field often
+//!   enough to walk deep into nested TLV structures;
+//! * DNS compression pointers (`0b11......` + offset) — injected
+//!   pointing at random earlier offsets to exercise pointer-chase
+//!   validation in both decoder stacks;
+//! * QUIC varint length-prefix boundaries (1/2/4/8-byte forms);
+//! * CoAP option machinery bytes (`0xDD`/`0xEE` extended deltas,
+//!   `0xFF` payload marker) via the interesting-byte table.
+//!
+//! All randomness flows through the vendored proptest stand-in's
+//! [`TestRng`], so a campaign seed fully determines the mutation
+//! stream.
+
+use proptest::test_runner::TestRng;
+
+/// Upper bound on mutated input length: large enough for multi-record
+/// datagrams and pipelined DoT streams, small enough that a campaign
+/// iteration (and shrinking a counterexample) stays cheap.
+pub const MAX_INPUT_LEN: usize = 1024;
+
+/// Byte values with structural meaning somewhere in the workspace's
+/// formats: zero/all-ones, varint length prefixes (`0x40`, `0x80`,
+/// `0xC0`), the DNS compression-pointer tag (`0xC0`), reserved DNS
+/// label tags (`0x40`..`0xBF`), CoAP extended option nibbles
+/// (`0xDD`, `0xEE`) and the CoAP payload marker (`0xFF`).
+const INTERESTING_BYTES: &[u8] = &[
+    0x00, 0x01, 0x3F, 0x40, 0x41, 0x7F, 0x80, 0xBF, 0xC0, 0xC1, 0xDD, 0xEE, 0xFE, 0xFF,
+];
+
+/// Wire encodings of QUIC varint boundary values (RFC 9000 §16):
+/// the largest 1/2-byte values and the smallest 2/4/8-byte values.
+const VARINT_BOUNDARIES: &[&[u8]] = &[
+    &[0x3F],
+    &[0x40, 0x40],
+    &[0x7F, 0xFF],
+    &[0x80, 0x00, 0x40, 0x00],
+    &[0xBF, 0xFF, 0xFF, 0xFF],
+    &[0xC0, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00],
+];
+
+/// Derive a mutated input from `base`, splicing material from `donor`
+/// (another corpus entry). Applies 1–3 mutation operations, then caps
+/// the result at [`MAX_INPUT_LEN`].
+pub fn mutate(base: &[u8], donor: &[u8], rng: &mut TestRng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let rounds = 1 + rng.below(3);
+    for _ in 0..rounds {
+        mutate_once(&mut out, donor, rng);
+    }
+    out.truncate(MAX_INPUT_LEN);
+    out
+}
+
+fn mutate_once(buf: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) {
+    if buf.is_empty() {
+        // Only growth is meaningful on an empty buffer.
+        let n = 1 + rng.below(8) as usize;
+        buf.extend((0..n).map(|_| rng.next_u64() as u8));
+        return;
+    }
+    let len = buf.len();
+    match rng.below(12) {
+        // Flip one bit.
+        0 => {
+            let bit = rng.below(len as u64 * 8) as usize;
+            buf[bit / 8] ^= 1 << (bit % 8);
+        }
+        // Overwrite one byte with a random value.
+        1 => {
+            let pos = rng.below(len as u64) as usize;
+            buf[pos] = rng.next_u64() as u8;
+        }
+        // Overwrite one byte with a structurally interesting value.
+        2 => {
+            let pos = rng.below(len as u64) as usize;
+            buf[pos] = INTERESTING_BYTES[rng.below(INTERESTING_BYTES.len() as u64) as usize];
+        }
+        // Write an interesting u16 (big-endian) — including the true
+        // remaining length, which forges consistent length fields.
+        3 => {
+            if len >= 2 {
+                let pos = rng.below(len as u64 - 1) as usize;
+                let remaining = (len - pos - 2) as u16;
+                let candidates = [
+                    0u16,
+                    1,
+                    remaining,
+                    remaining.wrapping_add(1),
+                    remaining.wrapping_sub(1),
+                    0x00FF,
+                    0x8000,
+                    0xFFFF,
+                ];
+                let v = candidates[rng.below(candidates.len() as u64) as usize];
+                buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+            }
+        }
+        // Truncate at a random point (possibly to empty).
+        4 => {
+            buf.truncate(rng.below(len as u64 + 1) as usize);
+        }
+        // Append random bytes.
+        5 => {
+            let n = 1 + rng.below(16) as usize;
+            buf.extend((0..n).map(|_| rng.next_u64() as u8));
+        }
+        // Overwrite a window with donor bytes (splice in place).
+        6 => {
+            if !donor.is_empty() {
+                let dst = rng.below(len as u64) as usize;
+                let src = rng.below(donor.len() as u64) as usize;
+                let n = (1 + rng.below(16) as usize)
+                    .min(len - dst)
+                    .min(donor.len() - src);
+                buf[dst..dst + n].copy_from_slice(&donor[src..src + n]);
+            }
+        }
+        // Insert a donor chunk at a random position.
+        7 => {
+            if !donor.is_empty() {
+                let at = rng.below(len as u64 + 1) as usize;
+                let src = rng.below(donor.len() as u64) as usize;
+                let n = (1 + rng.below(16) as usize).min(donor.len() - src);
+                buf.splice(at..at, donor[src..src + n].iter().copied());
+            }
+        }
+        // Remove an interior chunk.
+        8 => {
+            let at = rng.below(len as u64) as usize;
+            let n = (1 + rng.below(16) as usize).min(len - at);
+            buf.drain(at..at + n);
+        }
+        // Inject a DNS-style compression pointer (0b11 tag + offset).
+        9 => {
+            if len >= 2 {
+                let pos = rng.below(len as u64 - 1) as usize;
+                buf[pos] = 0xC0 | rng.below(0x40) as u8;
+                buf[pos + 1] = rng.next_u64() as u8;
+            }
+        }
+        // Overwrite with a varint boundary encoding.
+        10 => {
+            let pat = VARINT_BOUNDARIES[rng.below(VARINT_BOUNDARIES.len() as u64) as usize];
+            let pos = rng.below(len as u64) as usize;
+            let n = pat.len().min(len - pos);
+            buf[pos..pos + n].copy_from_slice(&pat[..n]);
+        }
+        // Self-concatenate — multi-record datagrams, pipelined DoT.
+        _ => {
+            let copy = buf.clone();
+            buf.extend_from_slice(&copy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_and_bounded() {
+        let base: Vec<u8> = (0..100).collect();
+        let donor = vec![0xAA; 40];
+        let mut a = TestRng::deterministic("mutate", 7);
+        let mut b = TestRng::deterministic("mutate", 7);
+        for _ in 0..2000 {
+            let x = mutate(&base, &donor, &mut a);
+            let y = mutate(&base, &donor, &mut b);
+            assert_eq!(x, y, "same seed, same mutation stream");
+            assert!(x.len() <= MAX_INPUT_LEN);
+        }
+    }
+
+    #[test]
+    fn mutation_changes_inputs_and_recovers_from_empty() {
+        let base: Vec<u8> = (0..32).collect();
+        let mut rng = TestRng::deterministic("mutate-change", 0);
+        let mut changed = 0;
+        for _ in 0..200 {
+            if mutate(&base, &base, &mut rng) != base {
+                changed += 1;
+            }
+        }
+        assert!(
+            changed > 150,
+            "mutations mostly change the input: {changed}"
+        );
+        // An empty base must still produce work.
+        let out = mutate(&[], &[], &mut rng);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! The extension point: one [`DifferentialTarget`] per parser family.
+
+/// What a parser family decided about one input, when all of its
+/// implementations agreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every implementation accepted the input, the parses were
+    /// semantically equal, and re-encoding was stable.
+    Accepted,
+    /// Every implementation rejected the input (with equal errors,
+    /// where the family's errors are comparable).
+    Rejected,
+}
+
+/// A parser family under differential test.
+///
+/// `check` is the whole contract: run one input through every
+/// implementation of the family and return `Ok` if they agree —
+/// [`Outcome::Accepted`] or [`Outcome::Rejected`] — or `Err` with a
+/// human-readable description of the divergence. The engine treats any
+/// `Err` as a counterexample: it shrinks the input to a minimal
+/// reproducer and fails the campaign.
+///
+/// Implementations must be pure functions of `input`: no I/O, no
+/// global state, no randomness. Determinism of the whole campaign
+/// rests on it.
+pub trait DifferentialTarget {
+    /// Stable family name: the corpus directory under `tests/corpus/`
+    /// and the `--target` selector of `fuzz_gate`.
+    fn name(&self) -> &'static str;
+
+    /// Built-in seed inputs: valid wire messages derived from the
+    /// paper's query mixes. These bootstrap the mutation corpus even
+    /// when no on-disk corpus exists, and `fuzz_gate --emit-seeds`
+    /// writes them out as the initial `tests/corpus/<family>/` entries.
+    fn seeds(&self) -> Vec<Vec<u8>>;
+
+    /// Run `input` through every implementation and cross-check.
+    fn check(&self, input: &[u8]) -> Result<Outcome, String>;
+}

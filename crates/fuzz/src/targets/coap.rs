@@ -1,0 +1,97 @@
+//! CoAP: owned [`CoapMessage::decode`] vs zero-copy [`CoapView::parse`].
+//!
+//! The CoAP pair is held to the strictest contract of the five
+//! families: the two decoders share one error enum and walk the
+//! message in the same order, so this target requires *identical
+//! errors* on rejection, not just agreement that the input is bad —
+//! any drift in option-header validation between the owned and view
+//! parsers surfaces as a divergence even when both reject.
+//!
+//! Re-encoding is value-stable rather than byte-stable: option deltas
+//! and lengths have redundant extended encodings (13/14 nibbles), so a
+//! mutant may carry a non-minimal form the encoder normalizes.
+
+use doc_coap::opt::CoapOption;
+use doc_coap::OptionNumber;
+use doc_coap::{CoapMessage, CoapView, Code, MsgType};
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct CoapTarget;
+
+impl DifferentialTarget for CoapTarget {
+    fn name(&self) -> &'static str {
+        "coap"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        // The DoC message shapes from the paper: FETCH request carrying
+        // a DNS query, 2.05 Content response carrying the answer, plus
+        // the empty-ACK/RST signalling messages.
+        let dns_query = doc_dns::Message::query(
+            0,
+            doc_dns::Name::parse("sensor.iot.example.com").expect("valid name"),
+            doc_dns::RecordType::Aaaa,
+        )
+        .encode();
+        let fetch = CoapMessage::request(Code::FETCH, MsgType::Con, 0x1234, vec![0xC0, 0x01])
+            .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+            .with_option(CoapOption::uint(OptionNumber::CONTENT_FORMAT, 553))
+            .with_option(CoapOption::uint(OptionNumber::ACCEPT, 553))
+            .with_payload(dns_query.clone());
+        let get = CoapMessage::request(Code::GET, MsgType::Non, 0x0001, vec![0x01]);
+        let response = CoapMessage::ack_reply(0x1234, vec![0xC0, 0x01], Code::CONTENT)
+            .with_option(CoapOption::uint(OptionNumber::CONTENT_FORMAT, 553))
+            .with_option(CoapOption::uint(OptionNumber::MAX_AGE, 54))
+            .with_payload(dns_query);
+        vec![
+            fetch.encode(),
+            get.encode(),
+            response.encode(),
+            CoapMessage::empty_ack(0x1234).encode(),
+            CoapMessage::reset(0x9999).encode(),
+        ]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        let owned = CoapMessage::decode(input);
+        let view = CoapView::parse(input);
+        let msg = match (owned, view) {
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return Err(format!(
+                        "both reject but with different errors: owned {a:?} vs view {b:?}"
+                    ));
+                }
+                return Ok(Outcome::Rejected);
+            }
+            (Ok(_), Err(e)) => {
+                return Err(format!("owned decode accepted, view rejected with {e:?}"))
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!("view accepted, owned decode rejected with {e:?}"))
+            }
+            (Ok(msg), Ok(view)) => {
+                let via_view = view.to_owned();
+                if via_view != msg {
+                    return Err(format!(
+                        "accepted parses disagree: owned {msg:?} vs view {via_view:?}"
+                    ));
+                }
+                msg
+            }
+        };
+        let wire = msg.encode();
+        let back = CoapMessage::decode(&wire)
+            .map_err(|e| format!("re-encode rejected by owned decode: {e:?}"))?;
+        if back != msg {
+            return Err("re-encode not value-stable (owned decode)".to_string());
+        }
+        let vback =
+            CoapView::parse(&wire).map_err(|e| format!("re-encode rejected by view: {e:?}"))?;
+        if vback.to_owned() != msg {
+            return Err("re-encode not value-stable (view)".to_string());
+        }
+        Ok(Outcome::Accepted)
+    }
+}

@@ -1,0 +1,143 @@
+//! DNS: owned [`Message::decode`] vs zero-copy [`MessageView::parse`].
+//!
+//! The two decoders were written to accept and reject exactly the same
+//! byte strings (the view's doc comment promises it); this target holds
+//! them to it on every mutated input. Error *kinds* are allowed to
+//! differ — the two walks visit the message in different orders, so a
+//! doubly-broken input can legitimately trip a different first error —
+//! but acceptance must agree, accepted parses must be semantically
+//! identical after `to_owned()`, and re-encoding (compressed and
+//! uncompressed) must be value-stable through both decoders.
+//!
+//! Re-encoding is checked at the *value* level, not byte-for-byte:
+//! decoding lowercases names and drops RDATA trailing junk that some
+//! name-typed records tolerate, so the wire form is not canonical even
+//! though the decoded value is.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use doc_datasets::records::TrafficMix;
+use doc_datasets::{generate_corpus, Dataset};
+use doc_dns::{Message, MessageView, Name, Rcode, Record, RecordClass, RecordData, RecordType};
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct DnsTarget;
+
+impl DifferentialTarget for DnsTarget {
+    fn name(&self) -> &'static str {
+        "dns"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        let mut seeds = Vec::new();
+        // Queries and responses over names drawn from the paper's IoT
+        // name-length model — realistic label structure, including the
+        // long mDNS/UUID tail.
+        for (i, entry) in generate_corpus(Dataset::IotTotal, TrafficMix::IotWithMdns, 6, 0xD0C)
+            .iter()
+            .enumerate()
+        {
+            let query = Message::query(0x1000 + i as u16, entry.name.clone(), entry.rtype);
+            let answers = vec![
+                Record::a(entry.name.clone(), 300, Ipv4Addr::new(192, 0, 2, i as u8)),
+                Record::aaaa(
+                    entry.name.clone(),
+                    300,
+                    Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i as u16),
+                ),
+            ];
+            let response = Message::response(&query, Rcode::NoError, answers);
+            seeds.push(query.encode());
+            seeds.push(response.encode());
+            seeds.push(response.encode_uncompressed());
+        }
+        // An mDNS-style service response: PTR + SRV + TXT share name
+        // suffixes, so the compressed encoding exercises pointer chains.
+        let service = Name::parse("_coap._udp.local").expect("valid name");
+        let instance = Name::parse("sensor-1a2b._coap._udp.local").expect("valid name");
+        let host = Name::parse("sensor-1a2b.local").expect("valid name");
+        let query = Message::query(0, service.clone(), RecordType::Ptr);
+        let mut response = Message::response(
+            &query,
+            Rcode::NoError,
+            vec![Record {
+                name: service,
+                rtype: RecordType::Ptr,
+                rclass: RecordClass::In,
+                ttl: 120,
+                data: RecordData::Ptr(instance.clone()),
+            }],
+        );
+        response.additional = vec![
+            Record {
+                name: instance.clone(),
+                rtype: RecordType::Srv,
+                rclass: RecordClass::In,
+                ttl: 120,
+                data: RecordData::Srv {
+                    priority: 0,
+                    weight: 0,
+                    port: 5683,
+                    target: host.clone(),
+                },
+            },
+            Record {
+                name: instance,
+                rtype: RecordType::Txt,
+                rclass: RecordClass::In,
+                ttl: 120,
+                data: RecordData::Txt(vec![b"path=/dns".to_vec(), b"if=core.dns".to_vec()]),
+            },
+            Record::a(host, 120, Ipv4Addr::new(192, 0, 2, 99)),
+        ];
+        seeds.push(response.encode());
+        seeds
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        let owned = Message::decode(input);
+        let view = MessageView::parse(input);
+        let msg = match (owned, view) {
+            (Err(_), Err(_)) => return Ok(Outcome::Rejected),
+            (Ok(_), Err(e)) => {
+                return Err(format!("owned decode accepted, view rejected with {e:?}"))
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!("view accepted, owned decode rejected with {e:?}"))
+            }
+            (Ok(msg), Ok(view)) => {
+                let via_view = view.to_owned();
+                if via_view != msg {
+                    return Err(format!(
+                        "accepted parses disagree: owned {msg:?} vs view {via_view:?}"
+                    ));
+                }
+                if view.min_ttl() != msg.min_ttl() {
+                    return Err(format!(
+                        "min_ttl disagrees: owned {:?} vs view {:?}",
+                        msg.min_ttl(),
+                        view.min_ttl()
+                    ));
+                }
+                msg
+            }
+        };
+        for (label, wire) in [
+            ("compressed", msg.encode()),
+            ("uncompressed", msg.encode_uncompressed()),
+        ] {
+            let back = Message::decode(&wire)
+                .map_err(|e| format!("{label} re-encode rejected by owned decode: {e:?}"))?;
+            if back != msg {
+                return Err(format!("{label} re-encode not value-stable (owned decode)"));
+            }
+            let vback = MessageView::parse(&wire)
+                .map_err(|e| format!("{label} re-encode rejected by view: {e:?}"))?;
+            if vback.to_owned() != msg {
+                return Err(format!("{label} re-encode not value-stable (view)"));
+            }
+        }
+        Ok(Outcome::Accepted)
+    }
+}

@@ -1,0 +1,151 @@
+//! DTLS 1.2 records: owned [`Record::decode`]/[`Record::decode_all`]
+//! vs zero-copy [`RecordView::decode`]/[`RecordView::iter`].
+//!
+//! Both decoders share one error enum and validate fields in the same
+//! order, so rejection must produce *identical* errors. The datagram
+//! walk is compared record-by-record: `decode_all` and the lazy view
+//! iterator must agree on every record, and on where (and how) a
+//! malformed datagram fails.
+//!
+//! Re-encoding is value-stable but deliberately not byte-stable: both
+//! decoders accept the `{254,255}` protocol version initial
+//! ClientHellos use, while the encoder always writes `{254,253}`
+//! (DTLS 1.2) — the version is normalized away, not stored.
+
+use doc_dtls::record::{ContentType, Record, RecordView};
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct DtlsTarget;
+
+impl DifferentialTarget for DtlsTarget {
+    fn name(&self) -> &'static str {
+        "dtls"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        let hello = Record {
+            ctype: ContentType::Handshake,
+            epoch: 0,
+            seq: 0,
+            payload: vec![0x01; 60],
+        };
+        let ccs = Record {
+            ctype: ContentType::ChangeCipherSpec,
+            epoch: 0,
+            seq: 5,
+            payload: vec![0x01],
+        };
+        let app = Record {
+            ctype: ContentType::ApplicationData,
+            epoch: 1,
+            seq: 1,
+            payload: (0..40).collect(),
+        };
+        let alert = Record {
+            ctype: ContentType::Alert,
+            epoch: 1,
+            seq: 2,
+            payload: vec![0x02, 0x28],
+        };
+        // A handshake flight: several records in one datagram.
+        let mut flight = Vec::new();
+        ccs.encode_into(&mut flight);
+        app.encode_into(&mut flight);
+        alert.encode_into(&mut flight);
+        // The {254,255} version variant an initial ClientHello carries.
+        let mut old_version = hello.encode();
+        old_version[2] = 255;
+        vec![hello.encode(), app.encode(), flight, old_version]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        // Single-record decode from the front of the datagram.
+        match (Record::decode(input), RecordView::decode(input)) {
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return Err(format!(
+                        "front record: both reject, different errors: owned {a:?} vs view {b:?}"
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return Err(format!("front record: owned accepted, view rejected {e:?}"))
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!("front record: view accepted, owned rejected {e:?}"))
+            }
+            (Ok((rec, used_o)), Ok((view, used_v))) => {
+                if used_o != used_v {
+                    return Err(format!(
+                        "front record: consumed lengths differ: owned {used_o} vs view {used_v}"
+                    ));
+                }
+                if view.to_owned() != rec {
+                    return Err(format!(
+                        "front record parses disagree: owned {rec:?} vs view {:?}",
+                        view.to_owned()
+                    ));
+                }
+            }
+        }
+
+        // Whole-datagram walk: eager Vec vs lazy iterator.
+        let owned_all = Record::decode_all(input);
+        let mut via_iter = Vec::new();
+        let mut iter_err = None;
+        for item in RecordView::iter(input) {
+            match item {
+                Ok(v) => via_iter.push(v.to_owned()),
+                Err(e) => {
+                    iter_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let records = match (owned_all, iter_err) {
+            (Ok(recs), None) => {
+                if recs != via_iter {
+                    return Err(format!(
+                        "datagram walks disagree: owned {recs:?} vs view {via_iter:?}"
+                    ));
+                }
+                recs
+            }
+            (Ok(_), Some(e)) => {
+                return Err(format!("decode_all accepted, view iterator failed {e:?}"))
+            }
+            (Err(e), None) => return Err(format!("view iterator clean, decode_all failed {e:?}")),
+            (Err(a), Some(b)) => {
+                if a != b {
+                    return Err(format!(
+                        "datagram walks reject differently: owned {a:?} vs view {b:?}"
+                    ));
+                }
+                return Ok(Outcome::Rejected);
+            }
+        };
+
+        // Value-stable re-encode of the whole flight, through both
+        // decoders again.
+        let mut wire = Vec::new();
+        for rec in &records {
+            rec.encode_into(&mut wire);
+        }
+        let back = Record::decode_all(&wire)
+            .map_err(|e| format!("re-encoded flight rejected by decode_all: {e:?}"))?;
+        if back != records {
+            return Err("re-encode not value-stable (owned decode)".to_string());
+        }
+        let vback: Result<Vec<Record>, _> = RecordView::iter(&wire)
+            .map(|r| r.map(|v| v.to_owned()))
+            .collect();
+        match vback {
+            Ok(v) if v == records => Ok(Outcome::Accepted),
+            Ok(_) => Err("re-encode not value-stable (view)".to_string()),
+            Err(e) => Err(format!(
+                "re-encoded flight rejected by view iterator: {e:?}"
+            )),
+        }
+    }
+}

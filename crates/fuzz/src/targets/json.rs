@@ -1,0 +1,80 @@
+//! The bench-gate JSON codec: parser vs serializer.
+//!
+//! The CI gate (`crates/bench/src/gate.rs`) trusts this parser with
+//! machine-generated artifacts, so its differential pair is the
+//! serializer added alongside it: every accepted document must
+//! re-serialize to a form the parser accepts, parse back to the same
+//! value, and reach a *fixed point* (serializing the re-parsed value
+//! reproduces the same bytes — the compact form is canonical). The
+//! gate's structural reader `parse_proxy` is run on every accepted
+//! document as a must-not-panic check.
+//!
+//! This pairing already paid for itself while the harness was built:
+//! the parser accepted `1e999` as `f64::INFINITY`, which the
+//! serializer cannot represent — a value smuggled through `Num` that
+//! no artifact check downstream expected. The parser now rejects
+//! non-finite numbers, and the corpus pins that input.
+
+use doc_bench::gate::parse_proxy;
+use doc_bench::json;
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct JsonTarget;
+
+impl DifferentialTarget for JsonTarget {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        [
+            // The bench-gate artifact shape.
+            r#"{"schema": "doc-bench/throughput-v1", "rows": [
+                {"transport": "coap", "workers": 4, "rps": 52143.5, "p99_us": 813},
+                {"transport": "doq", "workers": 4, "rps": 48217.0, "p99_us": 922}
+            ], "meta": {"commit": "abc123", "warmup": true}}"#,
+            // Scalars and corner values.
+            "null",
+            "[true, false, null, 0, -1, 1.5, 1e3, 0.25, \"x\"]",
+            // Escapes and unicode.
+            r#"{"s": "tab\t nl\n quote\" back\\ ué"}"#,
+            // Deep-ish nesting (well under MAX_DEPTH).
+            "[[[[[[[[[[1]]]]]]]]]]",
+            "{}",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        // The parser's domain is strings; non-UTF-8 inputs are outside
+        // it (the gate reads artifacts as text), not a divergence.
+        let Ok(text) = std::str::from_utf8(input) else {
+            return Ok(Outcome::Rejected);
+        };
+        let value = match json::parse(text) {
+            Ok(v) => v,
+            Err(_) => return Ok(Outcome::Rejected),
+        };
+        let compact = value.encode();
+        let back = json::parse(&compact).map_err(|e| {
+            format!("serialized form rejected by the parser: {e} (serialized: {compact:?})")
+        })?;
+        if back != value {
+            return Err(format!(
+                "value not preserved through serialize/parse: {value:?} vs {back:?}"
+            ));
+        }
+        let fixed_point = back.encode();
+        if fixed_point != compact {
+            return Err(format!(
+                "compact form is not a fixed point: {compact:?} vs {fixed_point:?}"
+            ));
+        }
+        // The gate's structural reader must classify, never panic.
+        let _ = parse_proxy(&value);
+        Ok(Outcome::Accepted)
+    }
+}

@@ -1,0 +1,182 @@
+//! QUIC-lite codecs: varints, frames, and the three DNS stream
+//! framings (DoQ, DoH-lite, DoT-lite).
+//!
+//! This family has no owned/view pair; the differential here is
+//! *encoder vs decoder* and *eager vs incremental*:
+//!
+//! * a decoded varint must re-encode canonically and decode back to
+//!   the same value in no more bytes than the wire form (non-canonical
+//!   encodings are accepted but never produced);
+//! * a decoded frame sequence must survive re-encode → re-decode
+//!   (frames normalize redundant wire choices, e.g. an OFF bit with
+//!   offset 0, so the check is value-level);
+//! * DoQ framing is fully canonical, so `encode_doq(decode_doq(x))`
+//!   must reproduce `x` *byte-exactly*;
+//! * the incremental [`DotReassembler`] must split a pipelined stream
+//!   into exactly the messages whole-buffer reassembly produces, for
+//!   any chunking, consuming exactly the framed prefix.
+
+use doc_quic::doq::{
+    decode_doh, decode_doq, encode_doh_request, encode_doh_response, encode_doq, encode_dot,
+    DotReassembler,
+};
+use doc_quic::frame::Frame;
+use doc_quic::varint;
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct QuicTarget;
+
+impl DifferentialTarget for QuicTarget {
+    fn name(&self) -> &'static str {
+        "quic"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        let dns = doc_dns::Message::query(
+            0,
+            doc_dns::Name::parse("sensor.iot.example.com").expect("valid name"),
+            doc_dns::RecordType::Aaaa,
+        )
+        .encode();
+        let mut frames = Vec::new();
+        for f in [
+            Frame::Ping,
+            Frame::Ack {
+                largest: 4242,
+                first_range: 7,
+            },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![0x17; 24],
+            },
+            Frame::Stream {
+                id: 0,
+                offset: 64,
+                fin: true,
+                data: dns.clone(),
+            },
+            Frame::Padding,
+        ] {
+            f.encode_into(&mut frames);
+        }
+        // A pipelined DoT stream of two messages.
+        let mut dot = encode_dot(&dns);
+        dot.extend_from_slice(&encode_dot(&[0xAB; 30]));
+        vec![
+            encode_doq(&dns),
+            encode_doh_request(&dns),
+            encode_doh_response(&dns),
+            dot,
+            frames,
+        ]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        let mut accepted = false;
+
+        // Varint: decode → canonical re-encode → decode.
+        if let Ok((v, used)) = varint::decode(input) {
+            let mut canonical = Vec::new();
+            varint::encode_into(v, &mut canonical);
+            if canonical.len() > used {
+                return Err(format!(
+                    "varint {v} decoded from {used} bytes but re-encodes to {} — \
+                     canonical form longer than an accepted wire form",
+                    canonical.len()
+                ));
+            }
+            match varint::decode(&canonical) {
+                Ok((back, n)) if back == v && n == canonical.len() => {}
+                other => {
+                    return Err(format!(
+                        "varint {v} canonical re-encode decodes to {other:?}"
+                    ))
+                }
+            }
+        }
+
+        // Frames: decode_all → re-encode → decode_all, value-stable.
+        if let Ok(frames) = Frame::decode_all(input) {
+            if !input.is_empty() {
+                accepted = true;
+            }
+            let mut wire = Vec::new();
+            for f in &frames {
+                f.encode_into(&mut wire);
+            }
+            match Frame::decode_all(&wire) {
+                Ok(back) if back == frames => {}
+                Ok(back) => {
+                    return Err(format!(
+                        "frame re-encode not value-stable: {frames:?} vs {back:?}"
+                    ))
+                }
+                Err(e) => return Err(format!("re-encoded frames rejected: {e:?}")),
+            }
+        }
+
+        // DoQ: fully canonical framing, byte-exact roundtrip.
+        if let Ok(body) = decode_doq(input) {
+            accepted = true;
+            let reframed = encode_doq(body);
+            if reframed != input {
+                return Err(format!(
+                    "DoQ framing not byte-canonical: {}-byte body reframes to {} bytes",
+                    body.len(),
+                    reframed.len()
+                ));
+            }
+        }
+
+        // DoH-lite: the carried DNS bytes survive both framings.
+        if let Ok(body) = decode_doh(input) {
+            accepted = true;
+            for (label, framed) in [
+                ("request", encode_doh_request(body)),
+                ("response", encode_doh_response(body)),
+            ] {
+                match decode_doh(&framed) {
+                    Ok(back) if back == body => {}
+                    other => {
+                        return Err(format!("DoH {label} reframing loses the body: {other:?}"))
+                    }
+                }
+            }
+        }
+
+        // DoT-lite: incremental chunked reassembly vs one-shot, plus
+        // exact accounting of consumed vs pending bytes.
+        let mut whole = DotReassembler::new();
+        let one_shot = whole.push(input);
+        let mut chunked = DotReassembler::new();
+        let mut incremental = Vec::new();
+        for chunk in input.chunks(7) {
+            incremental.extend(chunked.push(chunk));
+        }
+        if one_shot != incremental || whole.pending() != chunked.pending() {
+            return Err(format!(
+                "DoT reassembly depends on chunking: {} msgs/{} pending vs {} msgs/{} pending",
+                one_shot.len(),
+                whole.pending(),
+                incremental.len(),
+                chunked.pending()
+            ));
+        }
+        let consumed: Vec<u8> = one_shot.iter().flat_map(|m| encode_dot(m)).collect();
+        if whole.pending() > input.len() || consumed != input[..input.len() - whole.pending()] {
+            return Err(
+                "DoT reassembler consumed bytes that do not re-frame to the input".to_string(),
+            );
+        }
+        if !one_shot.is_empty() && whole.pending() == 0 {
+            accepted = true;
+        }
+
+        Ok(if accepted {
+            Outcome::Accepted
+        } else {
+            Outcome::Rejected
+        })
+    }
+}

@@ -1,0 +1,131 @@
+//! Proof that the harness *detects*: a deliberately broken decoder is
+//! differentially tested against the real varint codec, and the
+//! campaign must (a) find the disagreement, (b) shrink it to the
+//! provably minimal counterexample, (c) emit an actionable report, and
+//! (d) reproduce the identical finding when replayed with the same
+//! seed. A fuzzing gate whose failure path is untested is just a
+//! random-number generator with good intentions.
+
+use doc_fuzz::{run_campaign, Campaign, DifferentialTarget, Outcome};
+use doc_quic::varint;
+
+/// The real varint codec vs a decoder with a classic length-table bug:
+/// the 2-byte prefix (first byte `01......`) is read as a 1-byte form.
+/// An input diverges iff its first byte is in `0x40..=0x7F`, so the
+/// minimal counterexample is exactly `[0x40]` — reachable by the
+/// greedy shrinker (prefix truncation keeps the diverging first byte;
+/// the integer ladder walks it down to the 0x40 boundary).
+struct BrokenVarint;
+
+fn broken_decode(data: &[u8]) -> Result<(u64, usize), ()> {
+    let first = *data.first().ok_or(())?;
+    // BUG under test: prefix 1 should map to 2 bytes.
+    let n = match first >> 6 {
+        0 | 1 => 1,
+        2 => 4,
+        _ => 8,
+    };
+    let bytes = data.get(..n).ok_or(())?;
+    let mut v = (first & 0x3F) as u64;
+    for &b in &bytes[1..] {
+        v = (v << 8) | b as u64;
+    }
+    Ok((v, n))
+}
+
+impl DifferentialTarget for BrokenVarint {
+    fn name(&self) -> &'static str {
+        "broken-varint"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        // Valid for both decoders (no 0x40..=0x7F first byte): the
+        // campaign must *discover* the diverging region by mutation.
+        vec![
+            vec![0x00],
+            vec![0x3F],
+            vec![0x80, 0x01, 0x02, 0x03],
+            vec![0xC0, 0, 0, 0, 0x40, 0, 0, 0],
+        ]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        match (varint::decode(input), broken_decode(input)) {
+            (Err(_), Err(())) => Ok(Outcome::Rejected),
+            (Ok(real), Ok(broken)) if real == broken => Ok(Outcome::Accepted),
+            (real, broken) => Err(format!(
+                "varint decoders disagree: real {real:?} vs broken {broken:?}"
+            )),
+        }
+    }
+}
+
+fn campaign() -> Campaign {
+    Campaign {
+        iterations: 5_000,
+        // The broken target has no corpus directory; nothing to load.
+        load_disk_corpus: false,
+        ..Campaign::default()
+    }
+}
+
+#[test]
+fn injected_bug_is_found_shrunk_and_reported() {
+    let divergence =
+        run_campaign(&BrokenVarint, &campaign()).expect_err("the broken decoder must be caught");
+
+    // (b) Shrunk to the provably minimal counterexample.
+    assert_eq!(
+        divergence.input,
+        vec![0x40],
+        "shrinker must reach the one-byte boundary input"
+    );
+    assert!(
+        divergence.original_len >= divergence.input.len(),
+        "original counterexample cannot be smaller than the minimum"
+    );
+    assert!(
+        divergence.iteration.is_some(),
+        "found by mutation, not replay"
+    );
+
+    // (c) The report is self-contained: target, seed, hex dump of the
+    // counterexample, and a copy-pasteable replay command.
+    let report = divergence.to_string();
+    for needle in [
+        "divergence in target `broken-varint`",
+        "0xd0c5eed",
+        "shrunk from",
+        "0000  40",
+        "--target broken-varint --seed 0xd0c5eed",
+        "tests/corpus/broken-varint/",
+        "decoders disagree",
+    ] {
+        assert!(
+            report.contains(needle),
+            "report missing {needle:?}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn divergence_replays_identically_under_the_same_seed() {
+    let first = run_campaign(&BrokenVarint, &campaign()).expect_err("caught");
+    let second = run_campaign(&BrokenVarint, &campaign()).expect_err("caught");
+    assert_eq!(first.iteration, second.iteration);
+    assert_eq!(first.input, second.input);
+    assert_eq!(first.cause, second.cause);
+
+    // A different seed may find a different original counterexample,
+    // but the shrunk minimum is the same boundary byte.
+    let other = run_campaign(
+        &BrokenVarint,
+        &Campaign {
+            seed: 0xABCD,
+            ..campaign()
+        },
+    )
+    .expect_err("caught under any seed");
+    assert_eq!(other.input, vec![0x40]);
+    assert_eq!(other.seed, 0xABCD);
+}

@@ -1,0 +1,76 @@
+//! Tier-1 replay of the on-disk fuzzing corpus (`tests/corpus/`).
+//!
+//! Every `*.hex` entry — seed messages emitted by `fuzz_gate
+//! --emit-seeds` and minimized crashers pinned after a fix — is fed
+//! through its family's differential check on every `cargo test` run.
+//! A divergence on a pinned entry means a fixed bug came back; a
+//! malformed corpus file fails loudly rather than being skipped.
+
+use doc_fuzz::target::Outcome;
+use doc_fuzz::{corpus, targets};
+
+/// Every corpus entry replays clean through its family's check.
+#[test]
+fn every_corpus_entry_replays_clean() {
+    for target in targets::all() {
+        let entries = corpus::load_family(target.name())
+            .unwrap_or_else(|e| panic!("corpus for `{}` unreadable: {e}", target.name()));
+        assert!(
+            !entries.is_empty(),
+            "tests/corpus/{}/ has no entries — run `fuzz_gate --emit-seeds`",
+            target.name()
+        );
+        for (file, bytes) in &entries {
+            if let Err(divergence) = target.check(bytes) {
+                panic!(
+                    "corpus entry tests/corpus/{}/{file} diverges:\n{divergence}\n{}",
+                    target.name(),
+                    doc_fuzz::hex::dump(bytes)
+                );
+            }
+        }
+    }
+}
+
+/// The corpus is not vacuous: every family has at least one entry its
+/// parsers fully accept (seeds are valid messages, so shallow
+/// rejections alone cannot pass this).
+#[test]
+fn every_family_has_an_accepted_entry() {
+    for target in targets::all() {
+        let entries = corpus::load_family(target.name()).expect("readable corpus");
+        let accepted = entries
+            .iter()
+            .filter(|(_, bytes)| target.check(bytes) == Ok(Outcome::Accepted))
+            .count();
+        assert!(
+            accepted > 0,
+            "tests/corpus/{}/ contains no accepted (valid) entry",
+            target.name()
+        );
+    }
+}
+
+/// Pinned regression entries exist and carry provenance comments —
+/// the corpus documents *why* each crasher is pinned.
+#[test]
+fn regression_entries_are_commented() {
+    let mut regressions = 0;
+    for target in targets::all() {
+        let dir = corpus::corpus_root().join(target.name());
+        for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if !name.starts_with("regression-") {
+                continue;
+            }
+            regressions += 1;
+            let text = std::fs::read_to_string(&path).expect("readable entry");
+            assert!(
+                text.lines().next().is_some_and(|l| l.starts_with('#')),
+                "{name}: regression entry must start with a provenance comment"
+            );
+        }
+    }
+    assert!(regressions > 0, "no pinned regression entries found");
+}

@@ -10,6 +10,7 @@ use doc_repro::crypto::cbor::Value;
 use doc_repro::crypto::ccm::AesCcm;
 use doc_repro::dns::view::MessageView;
 use doc_repro::dns::{cbor_fmt, Message, Name, Question, Rcode, Record, RecordType};
+use doc_repro::dtls::record::{ContentType, Record as DtlsRecord, RecordView as DtlsRecordView};
 use doc_repro::quic::{doq, frame::Frame, packet, varint};
 use proptest::prelude::*;
 
@@ -225,6 +226,69 @@ proptest! {
         if let (Ok(m), Ok(v)) = (owned, view) {
             prop_assert_eq!(v.to_owned(), m);
         }
+    }
+
+    /// Equivalence guard for the borrowed DTLS record layer, on
+    /// arbitrary bytes: `RecordView::decode` and `Record::decode` must
+    /// agree byte-for-byte — same acceptance, same *error*, same
+    /// consumed length, same materialized record — and the lazy
+    /// datagram iterator must walk exactly like `Record::decode_all`.
+    #[test]
+    fn dtls_view_agrees_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let owned = DtlsRecord::decode(&data);
+        let view = DtlsRecordView::decode(&data);
+        match (owned, view) {
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (Ok((rec, used_o)), Ok((v, used_v))) => {
+                prop_assert_eq!(used_o, used_v);
+                prop_assert_eq!(v.to_owned(), rec);
+            }
+            (o, v) => prop_assert!(false, "acceptance differs: {:?} vs {:?}", o, v),
+        }
+        let all = DtlsRecord::decode_all(&data);
+        let walked: Result<Vec<_>, _> =
+            DtlsRecordView::iter(&data).map(|r| r.map(|v| v.to_owned())).collect();
+        prop_assert_eq!(all, walked);
+    }
+
+    /// ... and over mutated/truncated valid DTLS flights — the
+    /// adversarial neighborhood where record length fields and version
+    /// bytes go subtly wrong mid-datagram.
+    #[test]
+    fn dtls_view_agrees_on_mutated_wire(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 1..4),
+        epoch in any::<u16>(),
+        seq in 0u64..(1 << 48),
+        flips in proptest::collection::vec(any::<(usize, u8)>(), 0..4),
+        cut in any::<usize>(),
+    ) {
+        let mut wire = Vec::new();
+        for (i, payload) in payloads.into_iter().enumerate() {
+            DtlsRecord {
+                ctype: if i % 2 == 0 { ContentType::Handshake } else { ContentType::ApplicationData },
+                epoch,
+                seq: seq.wrapping_add(i as u64) & ((1 << 48) - 1),
+                payload,
+            }
+            .encode_into(&mut wire);
+        }
+        for (pos, bits) in flips {
+            let len = wire.len();
+            wire[pos % len] ^= bits;
+        }
+        wire.truncate(cut % (wire.len() + 1));
+        match (DtlsRecord::decode(&wire), DtlsRecordView::decode(&wire)) {
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "wire {:02X?}", wire),
+            (Ok((rec, used_o)), Ok((v, used_v))) => {
+                prop_assert_eq!(used_o, used_v);
+                prop_assert_eq!(v.to_owned(), rec);
+            }
+            (o, v) => prop_assert!(false, "acceptance differs on {:02X?}: {:?} vs {:?}", wire, o, v),
+        }
+        let all = DtlsRecord::decode_all(&wire);
+        let walked: Result<Vec<_>, _> =
+            DtlsRecordView::iter(&wire).map(|r| r.map(|v| v.to_owned())).collect();
+        prop_assert_eq!(all, walked);
     }
 
     /// The view-derived cache key is byte-identical to the owned one on

@@ -14,14 +14,16 @@
 //! property defaults to 64 and can be raised with the
 //! `PROPTEST_CASES` environment variable.
 //!
-//! **Shrinking** is implemented for the integer, tuple and
-//! `collection::vec` strategies (binary search toward the lower bound
-//! / shorter vectors, then element-wise shrink): when a case fails,
-//! the runner greedily applies [`Strategy::shrink`] candidates that
-//! still fail and reports the *minimized* input alongside the original
-//! assertion message. Strategies built with `prop_map`,
-//! `string_regex` or `prop_oneof!` generate without shrinking (their
-//! inverse is unknown), matching the subset-stand-in philosophy.
+//! **Shrinking** follows the value's *provenance*: generation returns
+//! a lazily-explored [`strategy::Shrinkable`] tree rooted at the
+//! generated value, and on failure the runner greedily descends into
+//! children that still fail ([`minimize_tree`]). Base strategies
+//! (integers, vectors, tuples) shrink by binary search toward the
+//! lower bound / shorter vectors, then element-wise. `prop_map`
+//! shrinks by shrinking the *pre-image* and re-applying the map, and
+//! `prop_oneof!` shrinks within the arm that generated the value — no
+//! inverse function needed. Only `string_regex` values are reported
+//! unshrunk.
 //!
 //! [proptest]: https://docs.rs/proptest
 
@@ -67,6 +69,103 @@ pub mod test_runner {
 
 pub mod strategy {
     use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generated value together with a lazily-computed tree of
+    /// simplifications — the provenance-aware counterpart of
+    /// [`Strategy::shrink`] (upstream proptest's `ValueTree`).
+    ///
+    /// Where `shrink` can only simplify a value it is handed (so
+    /// `prop_map` outputs could not shrink at all — their pre-image is
+    /// unknown), a `Shrinkable` is built *during generation* and
+    /// remembers how the value came to be: a mapped tree shrinks its
+    /// pre-image and re-applies the map, a `prop_oneof!` tree shrinks
+    /// within the arm that was chosen, a tuple tree shrinks one
+    /// component tree at a time. Children are produced on demand so
+    /// the exponentially large tree is never materialized.
+    ///
+    /// The `'a` lifetime ties the tree to the strategy that produced
+    /// it (children thunks may consult the strategy for candidates).
+    pub struct Shrinkable<'a, T> {
+        /// The value at this node.
+        pub value: T,
+        children: Rc<dyn Fn() -> Vec<Shrinkable<'a, T>> + 'a>,
+    }
+
+    impl<'a, T: 'a> Shrinkable<'a, T> {
+        /// A node whose shrink candidates come from `children`
+        /// (most aggressive first, same contract as
+        /// [`Strategy::shrink`]).
+        pub fn new(value: T, children: impl Fn() -> Vec<Shrinkable<'a, T>> + 'a) -> Self {
+            Shrinkable {
+                value,
+                children: Rc::new(children),
+            }
+        }
+
+        /// A node with no simplifications.
+        pub fn leaf(value: T) -> Self {
+            Shrinkable::new(value, Vec::new)
+        }
+
+        /// Candidate simplifications of this node, most aggressive
+        /// first.
+        pub fn children(&self) -> Vec<Shrinkable<'a, T>> {
+            (self.children)()
+        }
+    }
+
+    impl<'a, T: Clone> Clone for Shrinkable<'a, T> {
+        fn clone(&self) -> Self {
+            Shrinkable {
+                value: self.value.clone(),
+                children: Rc::clone(&self.children),
+            }
+        }
+    }
+
+    impl<'a, T: Clone + 'static> Shrinkable<'a, T> {
+        /// Wrap `value` in a tree whose candidates come from
+        /// `strat.shrink`, recursively — the adapter that gives every
+        /// plain [`Strategy`] (integers, vectors, `any`) a provenance
+        /// tree for free.
+        pub fn from_strategy<S>(strat: &'a S, value: T) -> Self
+        where
+            S: Strategy<Value = T> + ?Sized,
+        {
+            let probe = value.clone();
+            Shrinkable {
+                value,
+                children: Rc::new(move || {
+                    strat
+                        .shrink(&probe)
+                        .into_iter()
+                        .map(|cand| Shrinkable::from_strategy(strat, cand))
+                        .collect()
+                }),
+            }
+        }
+    }
+
+    /// Map every value in `tree` through `f`, preserving the shrink
+    /// structure of the pre-image — how `prop_map` shrinks.
+    pub(crate) fn map_shrinkable<'a, T, U, F>(
+        tree: Shrinkable<'a, T>,
+        f: &'a F,
+    ) -> Shrinkable<'a, U>
+    where
+        T: Clone + 'static,
+        U: 'a,
+        F: Fn(T) -> U,
+    {
+        let value = f(tree.value.clone());
+        Shrinkable::new(value, move || {
+            tree.children()
+                .into_iter()
+                .map(|child| map_shrinkable(child, f))
+                .collect()
+        })
+    }
 
     /// A generator of values of type `Self::Value`.
     pub trait Strategy {
@@ -77,10 +176,27 @@ pub mod strategy {
         /// Candidate simplifications of `value`, most aggressive
         /// first. The runner keeps any candidate that still fails and
         /// re-shrinks from there; an empty list ends shrinking. The
-        /// default (no candidates) is correct for strategies whose
-        /// inverse is unknown (`prop_map`, unions, regex strings).
+        /// default (no candidates) is correct for strategies with no
+        /// meaningful simplification order (regex strings, `Just`);
+        /// composite strategies (`prop_map`, `prop_oneof!`) instead
+        /// override [`Strategy::generate_shrinkable`], which shrinks
+        /// by provenance and does not need an inverse.
         fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
             Vec::new()
+        }
+
+        /// Generate a value wrapped in its shrink tree. Consumes the
+        /// RNG exactly as [`Strategy::generate`] does, so the two are
+        /// interchangeable for reproducing a case from its seed. The
+        /// default adapts [`Strategy::shrink`]; strategies whose
+        /// shrinking needs generation-time provenance (`prop_map`,
+        /// `prop_oneof!`, tuples, vectors of such) override it.
+        fn generate_shrinkable<'s>(&'s self, rng: &mut TestRng) -> Shrinkable<'s, Self::Value>
+        where
+            Self::Value: Clone + 'static,
+        {
+            let value = self.generate(rng);
+            Shrinkable::from_strategy(self, value)
         }
 
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -126,12 +242,23 @@ pub mod strategy {
     impl<S, F, U> Strategy for Map<S, F>
     where
         S: Strategy,
+        S::Value: Clone + 'static,
         F: Fn(S::Value) -> U,
     {
         type Value = U;
 
         fn generate(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.generate(rng))
+        }
+
+        /// Shrink by shrinking the pre-image and re-applying the map:
+        /// the inner strategy's tree is generated alongside the value,
+        /// so no inverse of `f` is needed.
+        fn generate_shrinkable<'s>(&'s self, rng: &mut TestRng) -> Shrinkable<'s, U>
+        where
+            U: Clone + 'static,
+        {
+            map_shrinkable(self.inner.generate_shrinkable(rng), &self.f)
         }
     }
 
@@ -200,6 +327,18 @@ pub mod strategy {
             let idx = rng.below(self.arms.len() as u64) as usize;
             self.arms[idx].generate(rng)
         }
+
+        /// Shrink within the arm that generated the value: the choice
+        /// is made here, so the chosen arm's own tree is the tree.
+        /// (Values never migrate to another arm — a minimal
+        /// counterexample stays the *kind* of value that failed.)
+        fn generate_shrinkable<'s>(&'s self, rng: &mut TestRng) -> Shrinkable<'s, T>
+        where
+            T: Clone + 'static,
+        {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate_shrinkable(rng)
+        }
     }
 
     /// Tuples of strategies are strategies for tuples of their values
@@ -210,7 +349,7 @@ pub mod strategy {
         ($($S:ident => $idx:tt),+) => {
             impl<$($S: Strategy),+> Strategy for ($($S,)+)
             where
-                $($S::Value: Clone,)+
+                $($S::Value: Clone + 'static,)+
             {
                 type Value = ($($S::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -226,6 +365,37 @@ pub mod strategy {
                         }
                     )+
                     out
+                }
+                /// Component trees generated up front; shrink one
+                /// component at a time (so e.g. a mapped component
+                /// keeps its pre-image provenance inside the tuple).
+                fn generate_shrinkable<'s>(
+                    &'s self,
+                    rng: &mut TestRng,
+                ) -> Shrinkable<'s, Self::Value>
+                where
+                    Self::Value: Clone + 'static,
+                {
+                    // Nested item: the `$S` here are fresh generic
+                    // *value* types, unrelated to the impl's strategy
+                    // types of the same name.
+                    fn combine<'a, $($S: Clone + 'static),+>(
+                        parts: ($(Shrinkable<'a, $S>,)+),
+                    ) -> Shrinkable<'a, ($($S,)+)> {
+                        let value = ($(parts.$idx.value.clone(),)+);
+                        Shrinkable::new(value, move || {
+                            let mut out = Vec::new();
+                            $(
+                                for cand in parts.$idx.children() {
+                                    let mut next = parts.clone();
+                                    next.$idx = cand;
+                                    out.push(combine(next));
+                                }
+                            )+
+                            out
+                        })
+                    }
+                    combine(($(self.$idx.generate_shrinkable(rng),)+))
                 }
             }
         };
@@ -415,9 +585,51 @@ pub mod collection {
     /// length itself shrinks (keeps the candidate count bounded).
     const ELEMENT_SHRINK_MAX_LEN: usize = 32;
 
+    /// The vec shrink ladder over element *trees* instead of element
+    /// values: same candidate order as [`VecStrategy::shrink`]
+    /// (length binary search, per-index removal, element-wise), but
+    /// each surviving element shrinks through its own provenance tree
+    /// — so a `vec(mapped_strategy, ..)` shrinks its elements too.
+    fn vec_shrinkable<'a, T: Clone + 'static>(
+        min: usize,
+        elems: Vec<crate::strategy::Shrinkable<'a, T>>,
+    ) -> crate::strategy::Shrinkable<'a, Vec<T>> {
+        use crate::strategy::Shrinkable;
+        let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+        Shrinkable::new(value, move || {
+            let len = elems.len();
+            let mut out = Vec::new();
+            if len > min {
+                out.push(vec_shrinkable(min, elems[..min].to_vec()));
+                let mut d = (len - min) / 2;
+                while d > 0 {
+                    out.push(vec_shrinkable(min, elems[..len - d].to_vec()));
+                    d /= 2;
+                }
+            }
+            if len <= ELEMENT_SHRINK_MAX_LEN {
+                if len > min {
+                    for i in 0..len {
+                        let mut next = elems.clone();
+                        next.remove(i);
+                        out.push(vec_shrinkable(min, next));
+                    }
+                }
+                for (i, elem) in elems.iter().enumerate() {
+                    for cand in elem.children() {
+                        let mut next = elems.clone();
+                        next[i] = cand;
+                        out.push(vec_shrinkable(min, next));
+                    }
+                }
+            }
+            out
+        })
+    }
+
     impl<S: Strategy> Strategy for VecStrategy<S>
     where
-        S::Value: Clone,
+        S::Value: Clone + 'static,
     {
         type Value = Vec<S::Value>;
 
@@ -425,6 +637,21 @@ pub mod collection {
             let span = (self.size.max - self.size.min) as u64;
             let len = self.size.min + rng.below(span + 1) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn generate_shrinkable<'s>(
+            &'s self,
+            rng: &mut TestRng,
+        ) -> crate::strategy::Shrinkable<'s, Vec<S::Value>>
+        where
+            Vec<S::Value>: Clone + 'static,
+        {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            let elems = (0..len)
+                .map(|_| self.elem.generate_shrinkable(rng))
+                .collect();
+            vec_shrinkable(self.size.min, elems)
         }
 
         fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
@@ -659,6 +886,32 @@ pub fn minimize<S: strategy::Strategy>(
     failing
 }
 
+/// Greedily minimize a failing [`strategy::Shrinkable`] under `fails`:
+/// repeatedly descend into the first child that still fails, until no
+/// child does (a local minimum) or the budget runs out. Because trees
+/// carry provenance, this shrinks through `prop_map` and within
+/// `prop_oneof!` arms — cases [`minimize`] cannot touch.
+pub fn minimize_tree<'a, T: Clone + 'a>(
+    mut tree: strategy::Shrinkable<'a, T>,
+    fails: &dyn Fn(&T) -> bool,
+) -> T {
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in tree.children() {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if fails(&cand.value) {
+                tree = cand;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: no candidate still fails
+    }
+    tree.value
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -676,7 +929,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub fn run_property<S, F>(label: &str, strat: S, test: F)
 where
     S: strategy::Strategy,
-    S::Value: Clone + core::fmt::Debug,
+    S::Value: Clone + core::fmt::Debug + 'static,
     F: Fn(S::Value),
 {
     let fails = |v: &S::Value| {
@@ -685,12 +938,14 @@ where
     };
     for case in 0..cases() {
         let mut rng = test_runner::TestRng::deterministic(label, case);
-        let value = strat.generate(&mut rng);
+        // The shrink tree consumes the RNG exactly as `generate`
+        // would, so cases match plain generation seed-for-seed.
+        let tree = strat.generate_shrinkable(&mut rng);
         // The passing path never touches the global panic hook, so the
         // common case is race-free under parallel libtest threads (the
         // original failure prints once through the default hook, which
         // libtest captures).
-        if !fails(&value) {
+        if !fails(&tree.value) {
             continue;
         }
         // Shrink quietly: the default hook would print a backtrace for
@@ -702,7 +957,7 @@ where
         let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let minimal = minimize(&strat, value, &fails);
+        let minimal = minimize_tree(tree, &fails);
         // One more run of the minimal case to capture its message.
         let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(minimal.clone())))
             .err()
@@ -911,5 +1166,94 @@ mod tests {
                 "dropping element {i} still fails — not minimal: {v:?}"
             );
         }
+    }
+
+    // ---- provenance (tree) shrinking self-tests -------------------
+
+    /// A `prop_map`ed value shrinks by shrinking its pre-image: the
+    /// minimal failing output is the image of the minimal failing
+    /// input, found without any inverse of the map.
+    #[test]
+    fn mapped_strategy_shrinks_through_the_map() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..1000).prop_map(|x| x * 2 + 1);
+        let fails = |v: &u32| *v >= 101; // x >= 50, minimal image 101
+        for case in 0..64 {
+            let mut rng = crate::test_runner::TestRng::deterministic("map-shrink", case);
+            let tree = strat.generate_shrinkable(&mut rng);
+            if !fails(&tree.value) {
+                continue;
+            }
+            let minimal = crate::minimize_tree(tree, &fails);
+            assert_eq!(minimal, 101, "exact boundary through the map");
+            return;
+        }
+        panic!("no failing case generated in 64 tries");
+    }
+
+    /// `prop_oneof!` shrinks within the arm that generated the value:
+    /// a failing value from the high arm bottoms out at that arm's
+    /// lower bound, never migrating into the other arm's range.
+    #[test]
+    fn oneof_shrinks_within_the_chosen_arm() {
+        use crate::strategy::Strategy;
+        let strat = crate::prop_oneof![500u32..1000, 0u32..100];
+        let fails = |v: &u32| *v >= 50;
+        let (mut high_seen, mut low_seen) = (false, false);
+        for case in 0..200 {
+            let mut rng = crate::test_runner::TestRng::deterministic("oneof-shrink", case);
+            let tree = strat.generate_shrinkable(&mut rng);
+            let original = tree.value;
+            if !fails(&original) {
+                continue;
+            }
+            let minimal = crate::minimize_tree(tree, &fails);
+            if original >= 500 {
+                assert_eq!(minimal, 500, "high arm bottoms out at its lower bound");
+                high_seen = true;
+            } else {
+                assert_eq!(minimal, 50, "low arm reaches the exact boundary");
+                low_seen = true;
+            }
+        }
+        assert!(high_seen && low_seen, "both arms must be exercised");
+    }
+
+    /// Elements of a `vec(mapped, ..)` shrink too: the tree carries
+    /// each element's pre-image, so the witness minimizes to the
+    /// smallest failing image in the shortest failing vector.
+    #[test]
+    fn vec_of_mapped_elements_shrinks_elementwise() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec((0u32..1000).prop_map(|x| x * 2), 0..30);
+        let fails = |v: &Vec<u32>| v.iter().any(|&x| x >= 500); // x*2>=500 → minimal 500
+        for case in 0..64 {
+            let mut rng = crate::test_runner::TestRng::deterministic("vec-map-shrink", case);
+            let tree = strat.generate_shrinkable(&mut rng);
+            if !fails(&tree.value) {
+                continue;
+            }
+            let minimal = crate::minimize_tree(tree, &fails);
+            assert_eq!(minimal, vec![500], "single minimal mapped witness");
+            return;
+        }
+        panic!("no failing case generated in 64 tries");
+    }
+
+    /// End-to-end through the macro: a failing property over a mapped
+    /// strategy panics with the exactly-minimized counterexample.
+    #[test]
+    fn failing_mapped_property_reports_minimal_input() {
+        proptest! {
+            fn inner_mapped_failing(v in (0u32..10_000).prop_map(|x| x * 3)) {
+                prop_assert!(v < 300); // x >= 100 fails, minimal image 300
+            }
+        }
+        let err = std::panic::catch_unwind(inner_mapped_failing).expect_err("property must fail");
+        let msg = crate::panic_message(err.as_ref());
+        assert!(
+            msg.contains("minimal failing input (after shrinking): (300,)"),
+            "mapped counterexample must minimize to the boundary: {msg}"
+        );
     }
 }
