@@ -14,10 +14,18 @@
 #                    # machine parallelism recorded in BENCH_proxy.json:
 #                    # >=2x on >=4 cores, a no-collapse bound below).
 #   ./ci.sh fuzz     # release build + the deterministic differential
-#                    # fuzzing campaign (fuzz_gate): 100k fixed-seed
-#                    # iterations across the five parser families,
+#                    # fuzzing campaign (fuzz_gate): 120k fixed-seed
+#                    # iterations across the six parser families,
 #                    # failing with a shrunk counterexample on any
 #                    # owned/view/re-encode disagreement.
+#   ./ci.sh check    # static analysis + model checking: lint_gate
+#                    # (workspace invariant linter: panic-free parsers,
+#                    # 0-alloc hot paths, SAFETY-commented unsafe, with
+#                    # `// lint:allow(<rule>): <reason>` waivers) and
+#                    # check_gate (doc-check: exhaustive bounded
+#                    # thread-interleaving exploration of the real
+#                    # SpmcRing/ShardedCache/proxy-stats primitives,
+#                    # failing with a minimal replayable schedule).
 #
 # Tier-1 is exactly what the project driver runs:
 #   cargo build --release && cargo test -q
@@ -32,9 +40,9 @@ set -eu
 # under `set -e` to not abort the full run).
 mode="${1:-full}"
 case "$mode" in
-    quick|full|bench|fuzz) ;;
+    quick|full|bench|fuzz|check) ;;
     *)
-        echo "usage: $0 [quick|full|bench|fuzz]" >&2
+        echo "usage: $0 [quick|full|bench|fuzz|check]" >&2
         exit 2
         ;;
 esac
@@ -57,8 +65,21 @@ run_fuzz() {
     # family under a fixed seed, so the campaign is reproducible and
     # every CI run is a fuzzing run. A divergence exits non-zero with a
     # shrunk counterexample and a one-line replay command.
-    echo "==> fuzz_gate: deterministic differential campaign (100k iterations)"
+    echo "==> fuzz_gate: deterministic differential campaign (120k iterations)"
     cargo run --release -q -p doc-fuzz --bin fuzz_gate
+}
+
+run_check() {
+    # Static analysis + model checking. lint_gate walks every workspace
+    # source with the doc-lint rules and fails on any unwaivered
+    # violation; check_gate exhaustively explores bounded thread
+    # interleavings of the real concurrency primitives via doc-check
+    # and fails with a minimal, replayable schedule on any panic or
+    # deadlock.
+    echo "==> lint_gate: workspace invariant linter"
+    cargo run --release -q -p doc-lint --bin lint_gate
+    echo "==> check_gate: bounded model checking of the concurrency primitives"
+    cargo run --release -q -p doc-repro --bin check_gate
 }
 
 run_conformance() {
@@ -79,6 +100,7 @@ case "$mode" in
     full)
         run_tier1
         run_conformance
+        run_check
         run_fuzz
         # Shortened measurement windows: the allocation bounds are
         # exact and always asserted in-process by the encode bench; the
@@ -109,6 +131,9 @@ case "$mode" in
         echo "==> fuzz: cargo build --release"
         cargo build --release
         run_fuzz
+        ;;
+    check)
+        run_check
         ;;
 esac
 

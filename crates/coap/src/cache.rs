@@ -109,6 +109,7 @@ fn is_cache_key_option(number: OptionNumber) -> bool {
 /// order, which is exactly the stable-by-number order the owned path
 /// produces. The only allocation is the key's own buffer.
 pub fn cache_key_view(msg: &CoapView<'_>) -> CacheKey {
+    // lint:allow(no-alloc-in-into): the key's own buffer is this function's output, sized exactly once
     let mut data = Vec::with_capacity(32 + msg.payload().len());
     data.push(msg.code.0);
     for o in msg.options().filter(|o| is_cache_key_option(o.number)) {

@@ -452,11 +452,13 @@ where
 {
     let start = out.len();
     let mut prev = 0u16;
+    // lint:allow(no-alloc-in-into): clones the iterator handle, not the options
     for opt in opts.clone() {
         if opt.number.0 < prev {
             // Out of order: roll back and sort (stable, preserving the
             // relative order of repeated options — RFC 7252 §3.1).
             out.truncate(start);
+            // lint:allow(no-alloc-in-into): documented out-of-order fallback; the common pre-sorted path never reaches this
             let mut sorted: Vec<&CoapOption> = opts.collect();
             sorted.sort_by_key(|o| o.number.0);
             let mut prev = 0u16;

@@ -32,7 +32,11 @@ use crate::cache::{CacheKey, CacheStats, Lookup, ResponseCache};
 use crate::msg::CoapMessage;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
-use std::sync::Mutex;
+// `doc_check::sync::Mutex` is a passthrough to `std::sync::Mutex`
+// outside model executions; under `check_gate` it lets the model
+// checker explore this module's lock interleavings (see
+// `crates/check`).
+use doc_check::sync::Mutex;
 
 /// FNV-1a, the stable 64-bit hash used for shard selection and for the
 /// sharded maps. Deterministic across runs and processes (unlike

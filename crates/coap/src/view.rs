@@ -57,20 +57,19 @@ impl<'a> CoapView<'a> {
     /// Parse and fully validate `data`, accepting and rejecting exactly
     /// the inputs [`CoapMessage::decode`] does, without allocating.
     pub fn parse(data: &'a [u8]) -> Result<Self, CoapError> {
-        if data.len() < 4 {
-            return Err(CoapError::Truncated);
-        }
-        let ver = data[0] >> 6;
+        let (header, _) = data.split_first_chunk::<4>().ok_or(CoapError::Truncated)?;
+        let &[first, code_byte, mid_hi, mid_lo] = header;
+        let ver = first >> 6;
         if ver != 1 {
             return Err(CoapError::BadVersion);
         }
-        let mtype = MsgType::from_bits(data[0] >> 4);
-        let tkl = (data[0] & 0x0F) as usize;
+        let mtype = MsgType::from_bits(first >> 4);
+        let tkl = (first & 0x0F) as usize;
         if tkl > 8 {
             return Err(CoapError::BadHeader);
         }
-        let code = Code(data[1]);
-        let message_id = u16::from_be_bytes([data[2], data[3]]);
+        let code = Code(code_byte);
+        let message_id = u16::from_be_bytes([mid_hi, mid_lo]);
         let token = data.get(4..4 + tkl).ok_or(CoapError::Truncated)?;
 
         // Validate the option run and locate the payload.
@@ -79,15 +78,14 @@ impl<'a> CoapView<'a> {
         let mut number = 0u16;
         let mut options_end = data.len();
         let mut payload: &[u8] = &[];
-        while pos < data.len() {
-            let byte = data[pos];
+        while let Some(&byte) = data.get(pos) {
             if byte == 0xFF {
                 options_end = pos;
                 pos += 1;
-                if pos == data.len() {
+                payload = data.get(pos..).ok_or(CoapError::Truncated)?;
+                if payload.is_empty() {
                     return Err(CoapError::Truncated);
                 }
-                payload = &data[pos..];
                 break;
             }
             pos += 1;
@@ -106,7 +104,9 @@ impl<'a> CoapView<'a> {
             code,
             message_id,
             token,
-            options_wire: &data[options_start..options_end],
+            options_wire: data
+                .get(options_start..options_end)
+                .ok_or(CoapError::Truncated)?,
             payload,
         })
     }
@@ -175,10 +175,7 @@ impl<'a> Iterator for OptionIter<'a> {
     type Item = OptionView<'a>;
 
     fn next(&mut self) -> Option<OptionView<'a>> {
-        if self.pos >= self.wire.len() {
-            return None;
-        }
-        let byte = self.wire[self.pos];
+        let byte = *self.wire.get(self.pos)?;
         self.pos += 1;
         let delta = read_ext(byte >> 4, self.wire, &mut self.pos).ok()?;
         let len = read_ext(byte & 0x0F, self.wire, &mut self.pos).ok()? as usize;

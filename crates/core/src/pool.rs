@@ -28,8 +28,12 @@
 use crate::proxy::{CoapProxy, ProxyAction};
 use crate::server::DocServer;
 use crate::transport::TransportKind;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+// The sync primitives come from `doc-check`: outside a model execution
+// they are passthroughs to `std::sync`, inside one every operation is
+// a scheduling point — so `check_gate` explores the interleavings of
+// *this* ring, not a copy (see `crates/check`).
+use doc_check::sync::atomic::{AtomicU64, Ordering};
+use doc_check::sync::{Arc, Condvar, Mutex};
 
 /// What wire format the pool's workers speak.
 ///

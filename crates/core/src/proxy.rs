@@ -23,7 +23,9 @@ use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_coap::shard::{ShardedCache, ShardedResponseCache};
 use doc_coap::view::CoapView;
 use doc_coap::CoapError;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+// Model-checkable atomics (passthrough to `std` outside `check_gate`
+// executions — see `crates/check`).
+use doc_check::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// What the proxy decided to do with a client request.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -58,6 +58,7 @@ impl<'a> NameRef<'a> {
     /// Materialize an owned (lowercased) [`Name`].
     pub fn to_owned(&self) -> Name {
         let labels: Vec<&[u8]> = self.labels().collect();
+        // lint:allow(no-panic-in-parsers): labels were bounds- and length-checked by skip_name before this view existed
         Name::from_labels(&labels).expect("validated on parse")
     }
 
@@ -213,11 +214,8 @@ fn validate_rdata(
     rdata_start: usize,
     rdlen: usize,
 ) -> Result<(), DnsError> {
-    let end = rdata_start
-        .checked_add(rdlen)
-        .filter(|&e| e <= msg.len())
-        .ok_or(DnsError::Truncated)?;
-    let slice = &msg[rdata_start..end];
+    let end = rdata_start.checked_add(rdlen).ok_or(DnsError::Truncated)?;
+    let slice = msg.get(rdata_start..end).ok_or(DnsError::Truncated)?;
     match rtype {
         RecordType::A if slice.len() != 4 => return Err(DnsError::BadRdata),
         RecordType::Aaaa if slice.len() != 16 => return Err(DnsError::BadRdata),
@@ -231,8 +229,8 @@ fn validate_rdata(
         }
         RecordType::Txt => {
             let mut i = 0usize;
-            while i < slice.len() {
-                let l = slice[i] as usize;
+            while let Some(&l) = slice.get(i) {
+                let l = l as usize;
                 if slice.get(i + 1..i + 1 + l).is_none() {
                     return Err(DnsError::BadRdata);
                 }
@@ -317,12 +315,14 @@ pub struct RecordView<'a> {
 impl RecordView<'_> {
     /// Raw RDATA bytes (undecoded; names inside may be compressed).
     pub fn rdata(&self) -> &[u8] {
+        // lint:allow(no-panic-in-parsers): rdata_start..+rdlen was bounds-checked by validate_rdata before this view existed
         &self.msg[self.rdata_start..self.rdata_start + self.rdlen]
     }
 
     /// Decode the typed RDATA (allocates — the escape hatch).
     pub fn data(&self) -> RecordData {
         RecordData::decode(self.rtype, self.msg, self.rdata_start, self.rdlen)
+            // lint:allow(no-panic-in-parsers): validate_rdata accepted exactly this RDATA at parse; decode cannot fail
             .expect("validated on parse")
     }
 
@@ -357,11 +357,11 @@ impl<'a> MessageView<'a> {
     /// Parse and fully validate `msg`, accepting and rejecting exactly
     /// the inputs [`Message::decode`] does, without allocating.
     pub fn parse(msg: &'a [u8]) -> Result<Self, DnsError> {
-        if msg.len() < 12 {
-            return Err(DnsError::Truncated);
-        }
-        let id = u16::from_be_bytes([msg[0], msg[1]]);
-        let flags = u16::from_be_bytes([msg[2], msg[3]]);
+        let (fixed, _) = msg.split_first_chunk::<12>().ok_or(DnsError::Truncated)?;
+        let &[id_hi, id_lo, f_hi, f_lo, qd_hi, qd_lo, an_hi, an_lo, ns_hi, ns_lo, ar_hi, ar_lo] =
+            fixed;
+        let id = u16::from_be_bytes([id_hi, id_lo]);
+        let flags = u16::from_be_bytes([f_hi, f_lo]);
         let header = Header {
             id,
             qr: flags & (1 << 15) != 0,
@@ -372,10 +372,10 @@ impl<'a> MessageView<'a> {
             ra: flags & (1 << 7) != 0,
             rcode: Rcode::from_u8(flags as u8),
         };
-        let qdcount = u16::from_be_bytes([msg[4], msg[5]]) as usize;
-        let ancount = u16::from_be_bytes([msg[6], msg[7]]) as usize;
-        let nscount = u16::from_be_bytes([msg[8], msg[9]]) as usize;
-        let arcount = u16::from_be_bytes([msg[10], msg[11]]) as usize;
+        let qdcount = u16::from_be_bytes([qd_hi, qd_lo]) as usize;
+        let ancount = u16::from_be_bytes([an_hi, an_lo]) as usize;
+        let nscount = u16::from_be_bytes([ns_hi, ns_lo]) as usize;
+        let arcount = u16::from_be_bytes([ar_hi, ar_lo]) as usize;
         let min_len = 12 + qdcount * 5 + (ancount + nscount + arcount) * 11;
         if min_len > msg.len() {
             return Err(DnsError::Inconsistent);
@@ -489,28 +489,36 @@ impl<'a> MessageView<'a> {
 /// Validate one record and advance `*pos` past it.
 fn skip_record(msg: &[u8], pos: &mut usize) -> Result<(), DnsError> {
     skip_name(msg, pos)?;
-    let fixed = msg.get(*pos..*pos + 10).ok_or(DnsError::Truncated)?;
-    let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
-    let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+    let Some(&[t_hi, t_lo, _, _, _, _, _, _, l_hi, l_lo]) = msg.get(*pos..*pos + 10) else {
+        return Err(DnsError::Truncated);
+    };
+    let rtype = RecordType::from_u16(u16::from_be_bytes([t_hi, t_lo]));
+    let rdlen = u16::from_be_bytes([l_hi, l_lo]) as usize;
     *pos += 10;
     validate_rdata(rtype, msg, *pos, rdlen)?;
     *pos += rdlen;
     Ok(())
 }
 
-/// Read the record at `*pos` (already validated) as a view.
-fn read_record<'a>(msg: &'a [u8], pos: &mut usize) -> RecordView<'a> {
+/// Read the record at `*pos` (already validated) as a view. `None` is
+/// unreachable after `MessageView::parse` succeeded, but the checked
+/// reads keep this total on any input.
+fn read_record<'a>(msg: &'a [u8], pos: &mut usize) -> Option<RecordView<'a>> {
     let name = NameRef { msg, offset: *pos };
-    skip_name(msg, pos).expect("validated on parse");
-    let fixed = &msg[*pos..*pos + 10];
-    let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
-    let rclass = RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]]));
-    let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
-    let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+    skip_name(msg, pos).ok()?;
+    let Some(&[t_hi, t_lo, c_hi, c_lo, ttl0, ttl1, ttl2, ttl3, l_hi, l_lo]) =
+        msg.get(*pos..*pos + 10)
+    else {
+        return None;
+    };
+    let rtype = RecordType::from_u16(u16::from_be_bytes([t_hi, t_lo]));
+    let rclass = RecordClass::from_u16(u16::from_be_bytes([c_hi, c_lo]));
+    let ttl = u32::from_be_bytes([ttl0, ttl1, ttl2, ttl3]);
+    let rdlen = u16::from_be_bytes([l_hi, l_lo]) as usize;
     *pos += 10;
     let rdata_start = *pos;
     *pos += rdlen;
-    RecordView {
+    Some(RecordView {
         msg,
         name,
         rtype,
@@ -518,7 +526,7 @@ fn read_record<'a>(msg: &'a [u8], pos: &mut usize) -> RecordView<'a> {
         ttl,
         rdata_start,
         rdlen,
-    }
+    })
 }
 
 /// Lazy iterator over the question section.
@@ -541,13 +549,15 @@ impl<'a> Iterator for QuestionIter<'a> {
             msg: self.msg,
             offset: self.pos,
         };
-        skip_name(self.msg, &mut self.pos).expect("validated on parse");
-        let fixed = &self.msg[self.pos..self.pos + 4];
+        skip_name(self.msg, &mut self.pos).ok()?;
+        let Some(&[t_hi, t_lo, c_hi, c_lo]) = self.msg.get(self.pos..self.pos + 4) else {
+            return None;
+        };
         self.pos += 4;
         Some(QuestionView {
             qname,
-            qtype: RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]])),
-            qclass: RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]])),
+            qtype: RecordType::from_u16(u16::from_be_bytes([t_hi, t_lo])),
+            qclass: RecordClass::from_u16(u16::from_be_bytes([c_hi, c_lo])),
         })
     }
 
@@ -582,7 +592,8 @@ impl<'a> Iterator for RecordIter<'a> {
         } else {
             return None;
         };
-        Some((section, read_record(self.msg, &mut self.pos)))
+        let record = read_record(self.msg, &mut self.pos)?;
+        Some((section, record))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -82,10 +82,11 @@ impl Record {
     /// buffer, and appendable, so a multi-record datagram (flight) can
     /// be assembled in one buffer.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let [_, _, s2, s3, s4, s5, s6, s7] = self.seq.to_be_bytes();
         out.push(self.ctype.to_u8());
         out.extend_from_slice(&VERSION_DTLS12);
         out.extend_from_slice(&self.epoch.to_be_bytes());
-        out.extend_from_slice(&self.seq.to_be_bytes()[2..]); // 48 bits
+        out.extend_from_slice(&[s2, s3, s4, s5, s6, s7]); // 48 bits
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.payload);
     }
@@ -94,21 +95,18 @@ impl Record {
     /// and the number of bytes consumed (datagrams may carry several
     /// records).
     pub fn decode(data: &[u8]) -> Result<(Self, usize), DtlsError> {
-        if data.len() < RECORD_HEADER_LEN {
+        let (header, _) = data
+            .split_first_chunk::<RECORD_HEADER_LEN>()
+            .ok_or(DtlsError::Malformed)?;
+        let &[ct, v0, v1, e0, e1, s0, s1, s2, s3, s4, s5, l0, l1] = header;
+        let ctype = ContentType::from_u8(ct)?;
+        // Initial ClientHellos may use {254,255}; accept it too.
+        if [v0, v1] != VERSION_DTLS12 && [v0, v1] != [254, 255] {
             return Err(DtlsError::Malformed);
         }
-        let ctype = ContentType::from_u8(data[0])?;
-        if data[1..3] != VERSION_DTLS12 {
-            // Initial ClientHellos may use {254,255}; accept it too.
-            if data[1..3] != [254, 255] {
-                return Err(DtlsError::Malformed);
-            }
-        }
-        let epoch = u16::from_be_bytes([data[3], data[4]]);
-        let mut seq_bytes = [0u8; 8];
-        seq_bytes[2..].copy_from_slice(&data[5..11]);
-        let seq = u64::from_be_bytes(seq_bytes);
-        let len = u16::from_be_bytes([data[11], data[12]]) as usize;
+        let epoch = u16::from_be_bytes([e0, e1]);
+        let seq = u64::from_be_bytes([0, 0, s0, s1, s2, s3, s4, s5]);
+        let len = u16::from_be_bytes([l0, l1]) as usize;
         let payload = data
             .get(RECORD_HEADER_LEN..RECORD_HEADER_LEN + len)
             .ok_or(DtlsError::Malformed)?
@@ -130,7 +128,7 @@ impl Record {
         while !data.is_empty() {
             let (rec, used) = Record::decode(data)?;
             out.push(rec);
-            data = &data[used..];
+            data = data.get(used..).ok_or(DtlsError::Malformed)?;
         }
         Ok(out)
     }
@@ -156,18 +154,17 @@ impl<'a> RecordView<'a> {
     /// payload; returns the view and the number of bytes consumed.
     /// Accepts and rejects exactly the inputs [`Record::decode`] does.
     pub fn decode(data: &'a [u8]) -> Result<(Self, usize), DtlsError> {
-        if data.len() < RECORD_HEADER_LEN {
+        let (header, _) = data
+            .split_first_chunk::<RECORD_HEADER_LEN>()
+            .ok_or(DtlsError::Malformed)?;
+        let &[ct, v0, v1, e0, e1, s0, s1, s2, s3, s4, s5, l0, l1] = header;
+        let ctype = ContentType::from_u8(ct)?;
+        if [v0, v1] != VERSION_DTLS12 && [v0, v1] != [254, 255] {
             return Err(DtlsError::Malformed);
         }
-        let ctype = ContentType::from_u8(data[0])?;
-        if data[1..3] != VERSION_DTLS12 && data[1..3] != [254, 255] {
-            return Err(DtlsError::Malformed);
-        }
-        let epoch = u16::from_be_bytes([data[3], data[4]]);
-        let mut seq_bytes = [0u8; 8];
-        seq_bytes[2..].copy_from_slice(&data[5..11]);
-        let seq = u64::from_be_bytes(seq_bytes);
-        let len = u16::from_be_bytes([data[11], data[12]]) as usize;
+        let epoch = u16::from_be_bytes([e0, e1]);
+        let seq = u64::from_be_bytes([0, 0, s0, s1, s2, s3, s4, s5]);
+        let len = u16::from_be_bytes([l0, l1]) as usize;
         let payload = data
             .get(RECORD_HEADER_LEN..RECORD_HEADER_LEN + len)
             .ok_or(DtlsError::Malformed)?;
@@ -214,7 +211,7 @@ impl<'a> Iterator for RecordViewIter<'a> {
         }
         match RecordView::decode(self.rest) {
             Ok((view, used)) => {
-                self.rest = &self.rest[used..];
+                self.rest = self.rest.get(used..).unwrap_or(&[]);
                 Some(Ok(view))
             }
             Err(e) => {
@@ -242,20 +239,31 @@ impl CipherState {
     }
 
     fn nonce(&self, explicit: &[u8; 8]) -> [u8; 12] {
-        let mut nonce = [0u8; 12];
-        nonce[..4].copy_from_slice(&self.fixed_iv);
-        nonce[4..].copy_from_slice(explicit);
-        nonce
+        let [f0, f1, f2, f3] = self.fixed_iv;
+        let [e0, e1, e2, e3, e4, e5, e6, e7] = *explicit;
+        [f0, f1, f2, f3, e0, e1, e2, e3, e4, e5, e6, e7]
     }
 
     fn aad(ctype: ContentType, epoch: u16, seq: u64, len: usize) -> [u8; 13] {
-        let mut aad = [0u8; 13];
-        aad[..2].copy_from_slice(&epoch.to_be_bytes());
-        aad[2..8].copy_from_slice(&seq.to_be_bytes()[2..]);
-        aad[8] = ctype.to_u8();
-        aad[9..11].copy_from_slice(&VERSION_DTLS12);
-        aad[11..13].copy_from_slice(&(len as u16).to_be_bytes());
-        aad
+        let [e0, e1] = epoch.to_be_bytes();
+        let [_, _, s2, s3, s4, s5, s6, s7] = seq.to_be_bytes();
+        let [v0, v1] = VERSION_DTLS12;
+        let [l0, l1] = (len as u16).to_be_bytes();
+        [
+            e0,
+            e1,
+            s2,
+            s3,
+            s4,
+            s5,
+            s6,
+            s7,
+            ctype.to_u8(),
+            v0,
+            v1,
+            l0,
+            l1,
+        ]
     }
 
     /// Protect a plaintext into a record payload
@@ -268,9 +276,9 @@ impl CipherState {
         seq: u64,
         plaintext: &[u8],
     ) -> Result<Vec<u8>, DtlsError> {
-        let mut explicit = [0u8; 8];
-        explicit[..2].copy_from_slice(&epoch.to_be_bytes());
-        explicit[2..].copy_from_slice(&seq.to_be_bytes()[2..]);
+        let [e0, e1] = epoch.to_be_bytes();
+        let [_, _, s2, s3, s4, s5, s6, s7] = seq.to_be_bytes();
+        let explicit = [e0, e1, s2, s3, s4, s5, s6, s7];
         let nonce = self.nonce(&explicit);
         let aad = Self::aad(ctype, epoch, seq, plaintext.len());
         // Seal straight after the explicit nonce: one output buffer,
@@ -313,9 +321,10 @@ impl CipherState {
         if payload.len() < EXPLICIT_NONCE_LEN + TAG_LEN {
             return Err(DtlsError::Malformed);
         }
-        let explicit: [u8; 8] = payload[..8].try_into().expect("8 bytes");
-        let nonce = self.nonce(&explicit);
-        let ct = &payload[8..];
+        let (explicit, ct) = payload
+            .split_first_chunk::<EXPLICIT_NONCE_LEN>()
+            .ok_or(DtlsError::Malformed)?;
+        let nonce = self.nonce(explicit);
         let plain_len = ct.len() - TAG_LEN;
         let aad = Self::aad(ctype, epoch, seq, plain_len);
         self.ccm

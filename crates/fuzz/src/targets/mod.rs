@@ -5,6 +5,7 @@ pub mod dns;
 pub mod dtls;
 pub mod json;
 pub mod quic;
+pub mod sixlowpan;
 
 use crate::target::DifferentialTarget;
 
@@ -16,6 +17,7 @@ pub fn all() -> Vec<Box<dyn DifferentialTarget>> {
         Box::new(dtls::DtlsTarget),
         Box::new(quic::QuicTarget),
         Box::new(json::JsonTarget),
+        Box::new(sixlowpan::SixlowpanTarget),
     ]
 }
 
@@ -27,9 +29,12 @@ pub fn by_name(name: &str) -> Option<Box<dyn DifferentialTarget>> {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn at_least_five_families_with_unique_names_and_seeds() {
+    fn at_least_six_families_with_unique_names_and_seeds() {
         let targets = super::all();
-        assert!(targets.len() >= 5, "ISSUE requires >= 5 parser families");
+        assert!(
+            targets.len() >= 6,
+            "the harness covers >= 6 parser families"
+        );
         let mut names: Vec<_> = targets.iter().map(|t| t.name()).collect();
         names.sort();
         names.dedup();

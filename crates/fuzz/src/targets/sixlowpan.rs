@@ -1,0 +1,176 @@
+//! 6LoWPAN adaptation layer: fragment headers, IPHC compression, and
+//! the fragment/reassemble pipeline cross-checked against each other.
+//!
+//! Three implementations of "move a datagram over 802.15.4 frames"
+//! must agree:
+//!
+//! * [`FragmentHeader::decode`] vs [`FragmentHeader::encode`] —
+//!   byte-exact roundtrip (every header bit is significant).
+//! * [`CompressedIpUdp::decode`] vs [`CompressedIpUdp::encode`] —
+//!   value-stable roundtrip only: the decoder tolerates TF/NH bits the
+//!   encoder normalizes, so bytes may differ but a re-decode must
+//!   yield the same header and payload.
+//! * [`Fragmenter`] vs [`Reassembler`] — every fragmentation of an
+//!   input-derived datagram must respect the MTU and reassemble to the
+//!   original, regardless of arrival order or duplication.
+
+use doc_sixlowpan::frag::{FragmentHeader, Fragmenter, Reassembler};
+use doc_sixlowpan::iphc::CompressedIpUdp;
+
+use crate::target::{DifferentialTarget, Outcome};
+
+pub struct SixlowpanTarget;
+
+/// Run one arrival order through a fresh reassembler.
+fn reassemble(frames: &[Vec<u8>], label: &str) -> Result<Vec<u8>, String> {
+    let mut reasm = Reassembler::new();
+    let mut done = None;
+    for f in frames {
+        match reasm.push(f) {
+            Ok(Some(d)) => done = Some(d),
+            Ok(None) => {}
+            Err(e) => return Err(format!("{label}: reassembler rejected own fragment: {e:?}")),
+        }
+    }
+    done.ok_or_else(|| format!("{label}: all fragments pushed, no datagram completed"))
+}
+
+impl DifferentialTarget for SixlowpanTarget {
+    fn name(&self) -> &'static str {
+        "sixlowpan"
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        let mut frag1 = Vec::new();
+        FragmentHeader {
+            datagram_size: 300,
+            tag: 0x0C0A,
+            offset_units: 0,
+            is_first: true,
+        }
+        .encode(&mut frag1);
+        let mut fragn = Vec::new();
+        FragmentHeader {
+            datagram_size: 300,
+            tag: 0x0C0A,
+            offset_units: 12,
+            is_first: false,
+        }
+        .encode(&mut fragn);
+        let header = CompressedIpUdp {
+            hop_limit: 64,
+            src_iid: 0x0212_4B00_0001_0001,
+            dst_iid: 0x0212_4B00_0001_0002,
+            rpl_instance: 0,
+            sender_rank: 256,
+            src_port: 5683,
+            dst_port: 5683,
+            checksum: 0,
+        };
+        // A small DoC query fits one frame; the 80-byte payload forces
+        // the pipeline stage through real FRAG1/FRAGN fragmentation.
+        vec![
+            frag1,
+            fragn,
+            header.encode(&[0x48, 0x05, 0x01, 0x02]),
+            header.encode(&[0xAB; 80]),
+        ]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<Outcome, String> {
+        // Fragment header: byte-exact roundtrip.
+        let frag_ok = match FragmentHeader::decode(input) {
+            Ok((hdr, hlen)) => {
+                let mut back = Vec::new();
+                hdr.encode(&mut back);
+                if back.len() != hlen {
+                    return Err(format!(
+                        "fragment header length changed on re-encode: {hlen} -> {}",
+                        back.len()
+                    ));
+                }
+                if input.get(..hlen) != Some(back.as_slice()) {
+                    return Err(format!(
+                        "fragment header not byte-stable: {hdr:?} re-encodes differently"
+                    ));
+                }
+                true
+            }
+            Err(_) => false,
+        };
+
+        // IPHC: value-stable roundtrip (header and payload survive).
+        let iphc_ok = match CompressedIpUdp::decode(input) {
+            Ok((hdr, payload)) => {
+                let wire = hdr.encode(payload);
+                match CompressedIpUdp::decode(&wire) {
+                    Ok((hdr2, payload2)) => {
+                        if hdr2 != hdr || payload2 != payload {
+                            return Err(format!(
+                                "IPHC not value-stable: {hdr:?} -> {hdr2:?} \
+                                 (payload {} -> {} bytes)",
+                                payload.len(),
+                                payload2.len()
+                            ));
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        return Err(format!("IPHC re-encode of {hdr:?} rejected: {e:?}"));
+                    }
+                }
+            }
+            Err(_) => false,
+        };
+
+        // Pipeline: an input-derived datagram through fragment →
+        // reassemble, under three arrival orders. The datagram starts
+        // with an IPHC dispatch, as every real 6LoWPAN datagram does.
+        let mtu = 40 + (input.first().copied().unwrap_or(0) as usize % 88);
+        let payload = input.get(..input.len().min(1200)).unwrap_or(&[]);
+        let header = CompressedIpUdp {
+            hop_limit: 255,
+            src_iid: 1,
+            dst_iid: 2,
+            rpl_instance: 0,
+            sender_rank: 128,
+            src_port: 5683,
+            dst_port: 61616,
+            checksum: 0xBEEF,
+        };
+        let datagram = header.encode(payload);
+        let frames = Fragmenter::new()
+            .fragment(&datagram, mtu)
+            .map_err(|e| format!("fragmenting {} bytes at mtu {mtu}: {e:?}", datagram.len()))?;
+        for (i, f) in frames.iter().enumerate() {
+            if f.len() > mtu {
+                return Err(format!(
+                    "fragment {i} is {} bytes, exceeds mtu {mtu}",
+                    f.len()
+                ));
+            }
+        }
+        let in_order = reassemble(&frames, "in-order")?;
+        let mut reversed = frames.clone();
+        reversed.reverse();
+        let rev = reassemble(&reversed, "reversed")?;
+        let duplicated: Vec<Vec<u8>> = frames.iter().flat_map(|f| [f.clone(), f.clone()]).collect();
+        let dup = reassemble(&duplicated, "duplicated")?;
+        if in_order != datagram || rev != datagram || dup != datagram {
+            return Err(format!(
+                "reassembly diverges from the {}-byte datagram at mtu {mtu} \
+                 (in-order {}, reversed {}, duplicated {})",
+                datagram.len(),
+                in_order.len(),
+                rev.len(),
+                dup.len()
+            ));
+        }
+
+        Ok(if frag_ok || iphc_ok {
+            Outcome::Accepted
+        } else {
+            Outcome::Rejected
+        })
+    }
+}

@@ -1,0 +1,472 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for source
+//! linting: it distinguishes the contexts a text grep cannot
+//! (identifiers inside string literals or comments, lifetimes vs char
+//! literals, nested block comments, raw strings) while staying a few
+//! hundred lines. It does **not** parse: downstream rules work on the
+//! token stream with line numbers attached.
+//!
+//! Coverage deliberately includes every form that appears — or could
+//! plausibly appear — in this workspace: `//`/`/*…*/` (nested)
+//! comments, `"…"` with escapes, `r"…"`/`r#"…"#` (any hash count),
+//! byte variants `b'…'`/`b"…"`/`br#"…"#`, raw identifiers `r#type`,
+//! lifetimes `'a` vs char literals `'a'`, and numeric literals with
+//! suffixes.
+
+/// What a lexed token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, prefix kept).
+    Ident,
+    /// `'a`, `'static` — a lifetime (or loop label).
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'` — a character/byte literal.
+    CharLit,
+    /// `"…"`, `b"…"` — an escaped string literal.
+    StrLit,
+    /// `r"…"`, `r#"…"#`, `br"…"` — a raw string literal.
+    RawStrLit,
+    /// `42`, `0xFF`, `1_000u64`, `1.5e3` — a numeric literal.
+    NumLit,
+    /// `// …` (including `///` and `//!`).
+    LineComment,
+    /// `/* … */`, nesting included.
+    BlockComment,
+    /// Any single other character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-indexed line it starts
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// The single character of a [`TokenKind::Punct`] token.
+    pub fn punct(&self) -> Option<char> {
+        (self.kind == TokenKind::Punct).then(|| self.text.chars().next().unwrap_or(' '))
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexer state over a byte view of the source. Non-ASCII bytes only
+/// ever appear inside comments and string literals in this workspace;
+/// they are carried through verbatim.
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// `//` to end of line.
+    fn line_comment(&mut self, start: usize, line: usize) -> Token {
+        while self.peek(0) != b'\n' && self.pos < self.src.len() {
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::LineComment,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    /// `/* … */` with nesting; an unterminated comment swallows the
+    /// rest of the file (matching rustc's error recovery).
+    fn block_comment(&mut self, start: usize, line: usize) -> Token {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        Token {
+            kind: TokenKind::BlockComment,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    /// `"…"` with backslash escapes; the opening quote is already the
+    /// current character.
+    fn string_lit(&mut self, start: usize, line: usize) -> Token {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump(); // whatever is escaped, including `"` and `\`
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        Token {
+            kind: TokenKind::StrLit,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    /// `r"…"` / `r#"…"#` with `hashes` hashes; cursor is on the
+    /// opening quote. No escapes: the literal ends at `"` followed by
+    /// the same number of hashes.
+    fn raw_string_lit(&mut self, start: usize, line: usize, hashes: usize) -> Token {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        Token {
+            kind: TokenKind::RawStrLit,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    /// `'x'` / `'\n'` (cursor on the opening quote) or a lifetime
+    /// `'a` / `'static`. Disambiguation: after the quote, an escape or
+    /// a single character followed by a closing quote is a char
+    /// literal; an identifier run *not* followed by a closing quote is
+    /// a lifetime.
+    fn char_or_lifetime(&mut self, start: usize, line: usize) -> Token {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume escape then to closing quote.
+            self.bump();
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump(); // e.g. the hex digits of '\x7F' / '\u{1F4A9}'
+            }
+            self.bump(); // closing quote
+            return Token {
+                kind: TokenKind::CharLit,
+                text: self.text_from(start),
+                line,
+            };
+        }
+        if is_ident_start(self.peek(0)) {
+            // Could be 'a' (char) or 'a / 'abc (lifetime): scan the
+            // identifier run and look for a closing quote.
+            let mut len = 1;
+            while is_ident_continue(self.peek(len)) {
+                len += 1;
+            }
+            if self.peek(len) == b'\'' {
+                for _ in 0..=len {
+                    self.bump();
+                }
+                return Token {
+                    kind: TokenKind::CharLit,
+                    text: self.text_from(start),
+                    line,
+                };
+            }
+            for _ in 0..len {
+                self.bump();
+            }
+            return Token {
+                kind: TokenKind::Lifetime,
+                text: self.text_from(start),
+                line,
+            };
+        }
+        // Non-identifier char literal: '-', ' ', '"', etc.
+        self.bump();
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::CharLit,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: usize) -> Token {
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    fn number(&mut self, start: usize, line: usize) -> Token {
+        // Digits, `_`, type suffixes, hex letters — and a `.` only
+        // when followed by a digit, so ranges (`0..n`) and method
+        // calls (`1.max(x)`) stay separate tokens.
+        while is_ident_continue(self.peek(0))
+            || (self.peek(0) == b'.' && self.peek(1).is_ascii_digit())
+        {
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::NumLit,
+            text: self.text_from(start),
+            line,
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        while self.pos < self.src.len() && self.peek(0).is_ascii_whitespace() {
+            self.bump();
+        }
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        let (start, line) = (self.pos, self.line);
+        let c = self.peek(0);
+        let token = match c {
+            b'/' if self.peek(1) == b'/' => self.line_comment(start, line),
+            b'/' if self.peek(1) == b'*' => self.block_comment(start, line),
+            b'"' => self.string_lit(start, line),
+            b'\'' => self.char_or_lifetime(start, line),
+            b'r' | b'b' => {
+                // Raw strings, byte strings, byte chars, raw idents —
+                // or a plain identifier starting with r/b.
+                let mut k = 1;
+                if c == b'b' && self.peek(1) == b'r' {
+                    k = 2;
+                }
+                let mut hashes = 0;
+                while self.peek(k + hashes) == b'#' {
+                    hashes += 1;
+                }
+                if (c == b'r' || k == 2) && self.peek(k + hashes) == b'"' {
+                    for _ in 0..k + hashes {
+                        self.bump();
+                    }
+                    self.raw_string_lit(start, line, hashes)
+                } else if c == b'b' && k == 1 && self.peek(1) == b'"' {
+                    self.bump();
+                    self.string_lit(start, line)
+                } else if c == b'b' && k == 1 && self.peek(1) == b'\'' {
+                    self.bump();
+                    self.char_or_lifetime(start, line)
+                } else if c == b'r' && hashes == 1 && is_ident_start(self.peek(1 + hashes)) {
+                    // Raw identifier `r#type`.
+                    self.bump();
+                    self.bump();
+                    self.ident(start, line)
+                } else {
+                    self.bump();
+                    self.ident(start, line)
+                }
+            }
+            c if is_ident_start(c) => {
+                self.bump();
+                self.ident(start, line)
+            }
+            c if c.is_ascii_digit() => {
+                self.bump();
+                self.number(start, line)
+            }
+            _ => {
+                self.bump();
+                Token {
+                    kind: TokenKind::Punct,
+                    text: self.text_from(start),
+                    line,
+                }
+            }
+        };
+        Some(token)
+    }
+}
+
+/// Lex a whole source file into tokens (comments included — rules need
+/// them for `SAFETY:` and waiver detection).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token() {
+        tokens.push(t);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("let x = y.unwrap();");
+        assert_eq!(got[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(got[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(got[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(got[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_stay_one_token() {
+        let got = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, TokenKind::Ident);
+        assert_eq!(got[1].0, TokenKind::BlockComment);
+        assert_eq!(got[1].1, "/* outer /* inner */ still outer */");
+        assert_eq!(got[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let got = kinds(r####"x = r#"contains "quotes" and \ slashes"# ;"####);
+        assert_eq!(got[2].0, TokenKind::RawStrLit);
+        assert!(got[2].1.contains("\"quotes\""));
+        assert_eq!(got[3], (TokenKind::Punct, ";".into()));
+
+        // Hash counts must match exactly: `"#` inside a `##` literal
+        // does not close it.
+        let got = kinds(r#####"r##"inner "# still"## done"#####);
+        assert_eq!(got[0].0, TokenKind::RawStrLit);
+        assert_eq!(got[1], (TokenKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let got = kinds(r###"b"bytes" br#"raw bytes"# b'x'"###);
+        assert_eq!(got[0].0, TokenKind::StrLit);
+        assert_eq!(got[1].0, TokenKind::RawStrLit);
+        assert_eq!(got[2].0, TokenKind::CharLit);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chars: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(chars, vec!["'a'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let got = kinds(r"let a = '\n'; let b = '\''; let c = '\x7F'; let d = ' ';");
+        let chars: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\''", r"'\x7F'", "' '"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let got = kinds(r#"x("quote \" inside", other)"#);
+        assert_eq!(got[2].0, TokenKind::StrLit);
+        assert_eq!(got[2].1, r#""quote \" inside""#);
+        assert_eq!(got[4], (TokenKind::Ident, "other".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let got = kinds("let r#type = 1;");
+        assert_eq!(got[1], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn numbers_including_ranges() {
+        let got = kinds("0..10 1_000u64 0xFF 1.5e3");
+        assert_eq!(got[0], (TokenKind::NumLit, "0".into()));
+        assert_eq!(got[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[3], (TokenKind::NumLit, "10".into()));
+        assert_eq!(got[4], (TokenKind::NumLit, "1_000u64".into()));
+        assert_eq!(got[5], (TokenKind::NumLit, "0xFF".into()));
+        assert_eq!(got[6].1, "1.5e3");
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // block comment starts on line 2
+        assert_eq!(toks[2].line, 4); // b
+        assert_eq!(toks[3].line, 4); // multi-line string starts here
+        assert_eq!(toks[4].line, 5); // c, after the string's newline
+    }
+
+    #[test]
+    fn unwrap_inside_strings_and_comments_is_not_an_ident() {
+        let src = r##"
+            // .unwrap() in a comment
+            let s = "calls .unwrap() in a string";
+            let r = r#"raw .expect(...)"#;
+        "##;
+        let idents: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert!(!idents.contains(&"unwrap".to_string()));
+        assert!(!idents.contains(&"expect".to_string()));
+    }
+}

@@ -1,0 +1,70 @@
+//! Workspace walker: finds the Rust sources the linter covers and
+//! aggregates per-file reports into one gate verdict.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, FileReport};
+
+/// Collect every `.rs` file under `root` that the lint gate covers:
+/// the umbrella `src/` tree plus each `crates/*/src` tree. `target/`
+/// and anything named `third_party` are skipped.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for dir in roots {
+        collect_rs(&dir, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)?.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == "target" || name == "third_party" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace source under `root`, labelling each file with
+/// its `root`-relative path so reports are stable across machines.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<(String, FileReport)>> {
+    let mut reports = Vec::new();
+    for path in workspace_sources(root)? {
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let report = lint_source(&label, &source);
+        if !report.violations.is_empty()
+            || !report.waived.is_empty()
+            || !report.unused_waivers.is_empty()
+        {
+            reports.push((label, report));
+        }
+    }
+    Ok(reports)
+}

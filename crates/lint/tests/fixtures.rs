@@ -1,0 +1,161 @@
+//! Fixture-based rule tests: each fixture is a small, realistic Rust
+//! program embedded as a raw string; assertions pin which rule fires
+//! on which line — and that the real workspace stays lint-clean.
+
+use doc_lint::rules::{NO_ALLOC, NO_PANIC, UNSAFE_COMMENT};
+use doc_lint::{lint_source, lint_workspace};
+
+/// A parser-scoped fixture with one violation of each panic flavour.
+#[test]
+fn panic_rule_fires_on_each_flavour() {
+    let src = r#"
+pub fn parse(data: &[u8]) -> Result<u8, ()> {
+    let first = data[0];
+    let second = *data.get(1).unwrap();
+    let third = data.first().copied().expect("nonempty");
+    if first == 0 {
+        unreachable!("checked");
+    }
+    Ok(first + second + third)
+}
+"#;
+    let report = lint_source("crates/quic/src/frame.rs", src);
+    let lines: Vec<(usize, &str)> = report.violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (3, NO_PANIC), // data[0]
+            (4, NO_PANIC), // .unwrap()
+            (5, NO_PANIC), // .expect()
+            (7, NO_PANIC), // unreachable!
+        ],
+        "{:?}",
+        report.violations
+    );
+}
+
+/// The same source outside the parser allowlist is clean.
+#[test]
+fn panic_rule_is_scoped_to_parser_modules() {
+    let src = "pub fn helper(data: &[u8]) -> u8 { data[0] }\n";
+    assert!(lint_source("crates/netsim/src/lib.rs", src)
+        .violations
+        .is_empty());
+}
+
+/// Checked `.get()` rewrites — the fix the rule demands — are clean.
+#[test]
+fn checked_gets_are_clean() {
+    let src = r#"
+pub fn parse(data: &[u8]) -> Option<(u8, u16)> {
+    let (header, rest) = data.split_first_chunk::<4>()?;
+    let &[first, _, hi, lo] = header;
+    let tail = rest.get(..2)?;
+    let _ = tail;
+    Some((first, u16::from_be_bytes([hi, lo])))
+}
+"#;
+    let report = lint_source("crates/dns/src/view.rs", src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+/// Alloc rule: fires inside `*_into`/`*_view` bodies, not elsewhere.
+#[test]
+fn alloc_rule_scopes_to_into_and_view_fns() {
+    let src = r#"
+pub fn encode_into(&self, out: &mut Vec<u8>) {
+    let copy = self.data.to_vec();
+    out.extend_from_slice(&copy);
+}
+
+pub fn encode(&self) -> Vec<u8> {
+    let mut out = Vec::new();
+    self.data.to_vec()
+}
+"#;
+    let report = lint_source("crates/coap/src/msg.rs", src);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, NO_ALLOC);
+    assert_eq!(report.violations[0].line, 3);
+}
+
+#[test]
+fn alloc_rule_catches_constructor_paths_and_macros() {
+    let src = r#"
+fn build_view(buf: &mut Vec<u8>) {
+    let a = Vec::with_capacity(8);
+    let b = format!("{a:?}");
+    let _ = (a, b);
+}
+"#;
+    let report = lint_source("anywhere.rs", src);
+    assert_eq!(
+        report.violations.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![3, 4],
+        "{:?}",
+        report.violations
+    );
+}
+
+/// Unsafe rule: a multi-line SAFETY block covers the `unsafe` below
+/// it; an undocumented one is flagged.
+#[test]
+fn unsafe_rule_accepts_multiline_safety_blocks() {
+    let src = r#"
+// SAFETY: the pointer comes from Box::into_raw two lines up and is
+// consumed exactly once, so the Box contract holds across the
+// round-trip.
+unsafe fn documented(p: *mut u8) {
+    let _ = p;
+}
+
+unsafe fn undocumented(p: *mut u8) {
+    let _ = p;
+}
+"#;
+    let report = lint_source("crates/core/src/lib.rs", src);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, UNSAFE_COMMENT);
+    assert_eq!(report.violations[0].line, 9);
+}
+
+/// Waivers: cover their own line and the next; carry their reason;
+/// stale ones surface as unused.
+#[test]
+fn waivers_cover_fix_sites_and_report_staleness() {
+    let src = r#"
+fn decode(data: &[u8]) -> u8 {
+    // lint:allow(no-panic-in-parsers): caller guarantees one byte
+    data[0]
+}
+// lint:allow(no-alloc-in-into): nothing here allocates any more
+fn other() {}
+"#;
+    let report = lint_source("crates/coap/src/view.rs", src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.unused_waivers.len(), 1);
+    assert_eq!(report.unused_waivers[0].line, 6);
+}
+
+/// The acceptance criterion, enforced in tier-1: the workspace itself
+/// has zero unwaivered violations. (`lint_gate` checks the same thing
+/// in CI; this keeps `cargo test` sufficient to catch regressions.)
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint lives two levels below the workspace root")
+        .to_path_buf();
+    let reports = lint_workspace(&root).expect("workspace is readable");
+    let violations: Vec<String> = reports
+        .iter()
+        .flat_map(|(_, r)| r.violations.iter().map(|v| v.to_string()))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "unwaivered lint violations:\n{}",
+        violations.join("\n")
+    );
+}

@@ -371,6 +371,7 @@ impl OscoreEndpoint {
         out: &mut Vec<u8>,
     ) -> Result<RequestBinding, OscoreError> {
         let piv = self.ctx.next_piv()?;
+        // lint:allow(no-alloc-in-into): one of the two documented RequestBinding allocations this function returns
         let kid = self.ctx.sender_id.clone();
         assert!(msg.token.len() <= 8, "token too long");
         debug_assert!(

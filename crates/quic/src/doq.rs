@@ -34,6 +34,7 @@ pub const DOH_RESPONSE_HEADERS: &[u8] = b":status 200 content-type application/d
 /// Panics if the message exceeds the 65535-byte field (DNS messages
 /// cannot).
 pub fn encode_doq(dns: &[u8]) -> Vec<u8> {
+    // lint:allow(no-panic-in-parsers): encode-side precondition documented above; wire input never reaches this
     let len = u16::try_from(dns.len()).expect("DNS message fits 16-bit length");
     let mut out = Vec::with_capacity(2 + dns.len());
     out.extend_from_slice(&len.to_be_bytes());
@@ -45,14 +46,12 @@ pub fn encode_doq(dns: &[u8]) -> Vec<u8> {
 /// truncation *and* trailing garbage: RFC 9250 allows exactly one
 /// message per stream.
 pub fn decode_doq(stream: &[u8]) -> Result<&[u8], QuicError> {
-    let len_bytes: [u8; 2] = stream
-        .get(..2)
-        .ok_or(QuicError::Truncated)?
-        .try_into()
-        .expect("2 bytes");
-    let len = u16::from_be_bytes(len_bytes) as usize;
-    let body = stream.get(2..2 + len).ok_or(QuicError::Truncated)?;
-    if stream.len() != 2 + len {
+    let (len_bytes, rest) = stream
+        .split_first_chunk::<2>()
+        .ok_or(QuicError::Truncated)?;
+    let len = u16::from_be_bytes(*len_bytes) as usize;
+    let body = rest.get(..len).ok_or(QuicError::Truncated)?;
+    if rest.len() != len {
         return Err(QuicError::TrailingData);
     }
     Ok(body)
@@ -82,21 +81,22 @@ pub fn encode_doh_response(dns: &[u8]) -> Vec<u8> {
 /// Decode a DoH-lite stream: HEADERS frame then DATA frame, nothing
 /// else. Returns the DNS message bytes.
 pub fn decode_doh(stream: &[u8]) -> Result<&[u8], QuicError> {
+    let rest = |at: usize| stream.get(at..).ok_or(QuicError::Truncated);
     let (t, mut at) = varint::decode(stream)?;
     if t != H3_HEADERS {
         return Err(QuicError::Malformed);
     }
-    let (hlen, n) = varint::decode(&stream[at..])?;
+    let (hlen, n) = varint::decode(rest(at)?)?;
     at += n;
     let hend = at.checked_add(hlen as usize).ok_or(QuicError::Malformed)?;
     stream.get(at..hend).ok_or(QuicError::Truncated)?;
     at = hend;
-    let (t, n) = varint::decode(&stream[at..])?;
+    let (t, n) = varint::decode(rest(at)?)?;
     if t != H3_DATA {
         return Err(QuicError::Malformed);
     }
     at += n;
-    let (dlen, n) = varint::decode(&stream[at..])?;
+    let (dlen, n) = varint::decode(rest(at)?)?;
     at += n;
     let dend = at.checked_add(dlen as usize).ok_or(QuicError::Malformed)?;
     let dns = stream.get(at..dend).ok_or(QuicError::Truncated)?;
@@ -136,14 +136,14 @@ impl DotReassembler {
         self.buf.extend_from_slice(bytes);
         let mut out = Vec::new();
         loop {
-            if self.buf.len() < 2 {
+            let Some((len_bytes, rest)) = self.buf.split_first_chunk::<2>() else {
                 return out;
-            }
-            let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
-            if self.buf.len() < 2 + len {
+            };
+            let len = u16::from_be_bytes(*len_bytes) as usize;
+            let Some(msg) = rest.get(..len) else {
                 return out;
-            }
-            out.push(self.buf[2..2 + len].to_vec());
+            };
+            out.push(msg.to_vec());
             self.buf.drain(..2 + len);
         }
     }

@@ -116,14 +116,18 @@ impl Frame {
     /// Decode one frame from the front of `data`; returns the frame and
     /// the number of bytes consumed.
     pub fn decode(data: &[u8]) -> Result<(Frame, usize), QuicError> {
+        // Checked tail: `used` never exceeds `data.len()` by
+        // construction, but every advance goes through `.get()` so the
+        // decoder stays panic-free on any input.
+        let rest = |used: usize| data.get(used..).ok_or(QuicError::Truncated);
         let (t, mut used) = varint::decode(data)?;
         let frame = match t {
             TYPE_PADDING => Frame::Padding,
             TYPE_PING => Frame::Ping,
             TYPE_ACK => {
-                let (largest, n) = varint::decode(&data[used..])?;
+                let (largest, n) = varint::decode(rest(used)?)?;
                 used += n;
-                let (first_range, n) = varint::decode(&data[used..])?;
+                let (first_range, n) = varint::decode(rest(used)?)?;
                 used += n;
                 if first_range > largest {
                     return Err(QuicError::Malformed);
@@ -134,9 +138,9 @@ impl Frame {
                 }
             }
             TYPE_CRYPTO => {
-                let (offset, n) = varint::decode(&data[used..])?;
+                let (offset, n) = varint::decode(rest(used)?)?;
                 used += n;
-                let (len, n) = varint::decode(&data[used..])?;
+                let (len, n) = varint::decode(rest(used)?)?;
                 used += n;
                 let end = used.checked_add(len as usize).ok_or(QuicError::Malformed)?;
                 let bytes = data.get(used..end).ok_or(QuicError::Truncated)?;
@@ -153,16 +157,16 @@ impl Frame {
                     // packet) are never produced by this codec.
                     return Err(QuicError::Malformed);
                 }
-                let (id, n) = varint::decode(&data[used..])?;
+                let (id, n) = varint::decode(rest(used)?)?;
                 used += n;
                 let offset = if bits & 0x04 != 0 {
-                    let (off, n) = varint::decode(&data[used..])?;
+                    let (off, n) = varint::decode(rest(used)?)?;
                     used += n;
                     off
                 } else {
                     0
                 };
-                let (len, n) = varint::decode(&data[used..])?;
+                let (len, n) = varint::decode(rest(used)?)?;
                 used += n;
                 let end = used.checked_add(len as usize).ok_or(QuicError::Malformed)?;
                 let bytes = data.get(used..end).ok_or(QuicError::Truncated)?;
@@ -189,7 +193,7 @@ impl Frame {
         while !data.is_empty() {
             let (frame, used) = Frame::decode(data)?;
             out.push(frame);
-            data = &data[used..];
+            data = data.get(used..).ok_or(QuicError::Malformed)?;
         }
         Ok(out)
     }

@@ -22,6 +22,7 @@ pub fn len(v: u64) -> usize {
         0x40..=0x3FFF => 2,
         0x4000..=0x3FFF_FFFF => 4,
         0x4000_0000..=VARINT_MAX => 8,
+        // lint:allow(no-panic-in-parsers): encode-side precondition documented above; decode range-checks all wire input
         _ => panic!("varint value out of range"),
     }
 }
@@ -44,11 +45,9 @@ pub fn encode_into(v: u64, out: &mut Vec<u8>) {
 pub fn decode(data: &[u8]) -> Result<(u64, usize), QuicError> {
     let first = *data.first().ok_or(QuicError::Truncated)?;
     let n = 1usize << (first >> 6);
-    if data.len() < n {
-        return Err(QuicError::Truncated);
-    }
+    let bytes = data.get(1..n).ok_or(QuicError::Truncated)?;
     let mut v = (first & 0x3F) as u64;
-    for b in &data[1..n] {
+    for b in bytes {
         v = (v << 8) | *b as u64;
     }
     Ok((v, n))

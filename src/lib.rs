@@ -13,6 +13,13 @@
 //! See the `examples/` directory for runnable scenarios and
 //! `crates/bench` for the per-figure evaluation harness.
 
+/// Deterministic thread-interleaving model checker (loom-style).
+pub use doc_check as check;
+
+/// Workspace invariant linter (panic-free parsers, 0-alloc hot paths,
+/// SAFETY-commented `unsafe`).
+pub use doc_lint as lint;
+
 /// The DoC protocol (client, server, proxy, policies, experiments).
 pub use doc_core as doc;
 
