@@ -8,16 +8,22 @@
 #                    # QUIC transport against doc-models::quic)
 #   ./ci.sh bench    # tier-1 build + full measurement windows, then the
 #                    # timing gates: >=2x view-decode speedup (asserted
-#                    # by the encode bench itself) and the 4-vs-1 worker
+#                    # by the encode bench itself), the 4-vs-1 worker
 #                    # throughput scaling gate (bench_gate
 #                    # --require-scaling; the required ratio follows the
 #                    # machine parallelism recorded in BENCH_proxy.json:
-#                    # >=2x on >=4 cores, a no-collapse bound below).
+#                    # >=2x on >=4 cores, a no-collapse bound below),
+#                    # and the crypto vectorization gates (bench_gate
+#                    # --crypto: AES-NI seal >=2x the scalar reference,
+#                    # batch-8 sealing >=1.3x batch-1 on the
+#                    # multi-block backends).
 #   ./ci.sh fuzz     # release build + the deterministic differential
-#                    # fuzzing campaign (fuzz_gate): 120k fixed-seed
-#                    # iterations across the six parser families,
+#                    # fuzzing campaign (fuzz_gate): 140k fixed-seed
+#                    # iterations across the seven differential
+#                    # families (six parsers + the crypto substrate),
 #                    # failing with a shrunk counterexample on any
-#                    # owned/view/re-encode disagreement.
+#                    # owned/view/re-encode (or backend/batch)
+#                    # disagreement.
 #   ./ci.sh check    # static analysis + model checking: lint_gate
 #                    # (workspace invariant linter: panic-free parsers,
 #                    # 0-alloc hot paths, SAFETY-commented unsafe, with
@@ -61,11 +67,12 @@ run_gate() {
 
 run_fuzz() {
     # The differential fuzzing gate: one mutated corpus through every
-    # parser family (owned vs view vs re-encode), 20k iterations per
+    # family (owned vs view vs re-encode for the six parsers; scalar vs
+    # vector vs batched for the crypto substrate), 20k iterations per
     # family under a fixed seed, so the campaign is reproducible and
     # every CI run is a fuzzing run. A divergence exits non-zero with a
     # shrunk counterexample and a one-line replay command.
-    echo "==> fuzz_gate: deterministic differential campaign (120k iterations)"
+    echo "==> fuzz_gate: deterministic differential campaign (140k iterations)"
     cargo run --release -q -p doc-fuzz --bin fuzz_gate
 }
 
@@ -112,7 +119,9 @@ case "$mode" in
         echo "==> proxy-throughput smoke (emits BENCH_proxy.json)"
         BENCH_PROXY_REQUESTS=3000 BENCH_PROXY_CONCURRENCY=64 \
             cargo bench -p doc-bench --bench throughput
-        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json
+        echo "==> crypto-bench smoke (emits BENCH_crypto.json; per-backend seal/open/batch rows)"
+        BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench crypto
+        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --crypto BENCH_crypto.json
         echo "==> cargo fmt --check"
         cargo fmt --check
         echo "==> cargo clippy --workspace --all-targets -- -D warnings"
@@ -125,7 +134,10 @@ case "$mode" in
         cargo bench -p doc-bench --bench encode
         echo "==> proxy throughput bench, full windows (1/2/4/8 workers)"
         cargo bench -p doc-bench --bench throughput
-        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --require-scaling
+        echo "==> crypto bench, full windows (asserts AES-NI >=2x reference and batch gains in-process)"
+        cargo bench -p doc-bench --bench crypto
+        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --require-scaling \
+            --crypto BENCH_crypto.json
         ;;
     fuzz)
         echo "==> fuzz: cargo build --release"

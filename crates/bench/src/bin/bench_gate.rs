@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate [--codecs PATH] [--proxy PATH] [--require-scaling]
+//! bench_gate [--codecs PATH] [--proxy PATH] [--crypto PATH] [--require-scaling]
 //! ```
 //!
 //! * `--codecs PATH` — validate a `doc-bench/codecs/v2` artifact
@@ -13,6 +13,11 @@
 //! * `--proxy PATH` — validate a `doc-bench/proxy/v2` artifact
 //!   (schema + 1/2/4/8-worker CoAP rows + doq/doh/dot rows +
 //!   percentile sanity).
+//! * `--crypto PATH` — validate a `doc-bench/crypto/v1` artifact
+//!   (schema + per-backend 1/4/8 CCM seal sweep; on full measurement
+//!   windows also the vectorization bounds: AES-NI seal ≥ 2× the
+//!   scalar reference, batch-8 ≥ 1.3× batch-1 on the multi-block
+//!   backends).
 //! * `--require-scaling` — additionally enforce the 4-vs-1 worker
 //!   throughput ratio; the required ratio depends on the parallelism
 //!   recorded in the artifact (≥ 2× on ≥ 4 cores, a no-collapse bound
@@ -41,6 +46,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut codecs_path: Option<String> = None;
     let mut proxy_path: Option<String> = None;
+    let mut crypto_path: Option<String> = None;
     let mut require_scaling = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,16 +65,25 @@ fn main() {
                         .clone(),
                 )
             }
+            "--crypto" => {
+                crypto_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--crypto needs a path"))
+                        .clone(),
+                )
+            }
             "--require-scaling" => require_scaling = true,
             "--help" | "-h" => {
-                println!("usage: bench_gate [--codecs PATH] [--proxy PATH] [--require-scaling]");
+                println!(
+                    "usage: bench_gate [--codecs PATH] [--proxy PATH] [--crypto PATH] [--require-scaling]"
+                );
                 return;
             }
             other => fail(&format!("unknown argument {other}")),
         }
     }
-    if codecs_path.is_none() && proxy_path.is_none() {
-        fail("nothing to check: pass --codecs and/or --proxy");
+    if codecs_path.is_none() && proxy_path.is_none() && crypto_path.is_none() {
+        fail("nothing to check: pass --codecs, --proxy and/or --crypto");
     }
     if let Some(path) = codecs_path {
         match gate::check_codecs(&load(&path)) {
@@ -78,6 +93,12 @@ fn main() {
     }
     if let Some(path) = proxy_path {
         match gate::check_proxy(&load(&path), require_scaling) {
+            Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    if let Some(path) = crypto_path {
+        match gate::check_crypto(&load(&path)) {
             Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
             Err(e) => fail(&format!("{path}: {e}")),
         }

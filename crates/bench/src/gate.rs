@@ -216,6 +216,130 @@ pub fn check_proxy(doc: &Json, require_scaling: bool) -> Result<String, String> 
     Ok(summary)
 }
 
+/// One parsed row of the crypto artifact.
+#[derive(Debug, Clone)]
+pub struct CryptoRow {
+    /// Operation name (`ccm/seal`, `ccm/open`, `aes128/encrypt_block`,
+    /// `sha256/hash_1k`).
+    pub name: String,
+    /// Backend label the row was measured on.
+    pub backend: String,
+    /// Packets (or blocks) per call of the measured routine.
+    pub batch: u32,
+    /// Per-operation time (per packet for CCM rows).
+    pub ns_per_op: f64,
+}
+
+/// CCM batch sizes every backend row-set must sweep.
+pub const REQUIRED_CRYPTO_BATCHES: [u32; 3] = [1, 4, 8];
+
+/// AES-NI batch-1 seal must beat the scalar reference by this factor
+/// (only checked when the measuring machine has AES-NI).
+pub const REQUIRED_AESNI_SPEEDUP: f64 = 2.0;
+
+/// Batch-8 sealing must beat batch-1 by this factor on the multi-block
+/// backends (`aesni`, `soft`). The scalar reference encrypts one block
+/// per call either way — batching only adds bookkeeping there, so it
+/// is deliberately exempt.
+pub const REQUIRED_BATCH_GAIN: f64 = 1.3;
+
+/// Validate `BENCH_crypto.json` (schema `doc-bench/crypto/v1`): row
+/// shapes, the per-backend 1/4/8 CCM seal sweep (`reference` and
+/// `soft` always; `aesni` when the artifact says the machine has it),
+/// and — when the artifact was produced with a full measurement window
+/// (`measure_ms` ≥ 100) — the vectorization bounds: AES-NI ≥ 2× the
+/// reference at batch 1, and batch-8 ≥ 1.3× batch-1 on the
+/// multi-block backends. Returns a human-readable summary on success.
+pub fn check_crypto(doc: &Json) -> Result<String, String> {
+    check_schema(doc, "doc-bench/crypto/v1")?;
+    let aes_ni = doc
+        .get("machine")
+        .and_then(|m| m.get("aes_ni"))
+        .and_then(Json::as_bool)
+        .ok_or("document root: missing boolean machine.aes_ni")?;
+    let measure_ms = field_f64(doc, "measure_ms", "document root")?;
+    let rows_json = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("document root: missing \"rows\" array")?;
+    let mut rows = Vec::new();
+    for (i, row) in rows_json.iter().enumerate() {
+        let ctx = format!("rows[{i}]");
+        let parsed = CryptoRow {
+            name: field_str(row, "name", &ctx)?.to_string(),
+            backend: field_str(row, "backend", &ctx)?.to_string(),
+            batch: field_f64(row, "batch", &ctx)? as u32,
+            ns_per_op: field_f64(row, "ns_per_op", &ctx)?,
+        };
+        if !["reference", "soft", "aesni", "scalar", "shani"].contains(&parsed.backend.as_str()) {
+            return Err(format!("{ctx}: unknown backend \"{}\"", parsed.backend));
+        }
+        if !parsed.ns_per_op.is_finite() || parsed.ns_per_op <= 0.0 {
+            return Err(format!(
+                "{ctx} ({}): ns_per_op {} is not positive",
+                parsed.name, parsed.ns_per_op
+            ));
+        }
+        rows.push(parsed);
+    }
+    let seal_ns = |backend: &str, batch: u32| {
+        rows.iter()
+            .find(|r| r.name == "ccm/seal" && r.backend == backend && r.batch == batch)
+            .map(|r| r.ns_per_op)
+            .ok_or(format!(
+                "missing ccm/seal row for backend \"{backend}\" batch {batch}"
+            ))
+    };
+    let mut backends = vec!["reference", "soft"];
+    if aes_ni {
+        backends.push("aesni");
+    }
+    for backend in &backends {
+        for batch in REQUIRED_CRYPTO_BATCHES {
+            seal_ns(backend, batch)?;
+        }
+    }
+    if !rows
+        .iter()
+        .any(|r| r.name == "sha256/hash_1k" && r.backend == "scalar")
+    {
+        return Err("missing sha256/hash_1k row for backend \"scalar\"".into());
+    }
+    let mut summary = format!(
+        "crypto: {} rows, backends [{}], measure window {measure_ms}ms",
+        rows.len(),
+        backends.join(", ")
+    );
+    if measure_ms < 100.0 {
+        summary.push_str(" (smoke window — timing gates skipped)");
+        return Ok(summary);
+    }
+    if aes_ni {
+        let speedup = seal_ns("reference", 1)? / seal_ns("aesni", 1)?;
+        if speedup < REQUIRED_AESNI_SPEEDUP {
+            return Err(format!(
+                "aesni seal gate failed: {speedup:.2}x the reference at batch 1 \
+                 < required {REQUIRED_AESNI_SPEEDUP:.1}x"
+            ));
+        }
+        summary.push_str(&format!(", aesni/reference seal {speedup:.2}x"));
+    }
+    for backend in ["soft", "aesni"] {
+        if backend == "aesni" && !aes_ni {
+            continue;
+        }
+        let gain = seal_ns(backend, 1)? / seal_ns(backend, 8)?;
+        if gain < REQUIRED_BATCH_GAIN {
+            return Err(format!(
+                "batch gate failed: {backend} batch-8 seal is {gain:.2}x batch-1 \
+                 < required {REQUIRED_BATCH_GAIN:.1}x"
+            ));
+        }
+        summary.push_str(&format!(", {backend} batch gain {gain:.2}x"));
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +462,90 @@ mod tests {
         assert!(check_proxy(&doc, false)
             .unwrap_err()
             .contains("unknown transport"));
+    }
+
+    /// Crypto artifact with tunable aesni batch-1/batch-8 seal times
+    /// (reference pinned at 2000ns b1, and — like the real scalar
+    /// path — *slower* per packet when batched).
+    fn crypto_doc(aes_ni: bool, measure_ms: u32, aesni_b1: f64, aesni_b8: f64) -> String {
+        let row = |name: &str, backend: &str, batch: u32, ns: f64| {
+            format!(
+                r#"{{"name": "{name}", "backend": "{backend}", "batch": {batch}, "ns_per_op": {ns}, "bytes_per_op": 64}}"#
+            )
+        };
+        let mut rows = vec![
+            row("ccm/seal", "reference", 1, 2000.0),
+            row("ccm/seal", "reference", 4, 2400.0),
+            row("ccm/seal", "reference", 8, 2500.0),
+            row("ccm/seal", "soft", 1, 9000.0),
+            row("ccm/seal", "soft", 4, 5000.0),
+            row("ccm/seal", "soft", 8, 4500.0),
+            row("sha256/hash_1k", "scalar", 1, 5000.0),
+        ];
+        if aes_ni {
+            rows.push(row("ccm/seal", "aesni", 1, aesni_b1));
+            rows.push(row("ccm/seal", "aesni", 4, (aesni_b1 + aesni_b8) / 2.0));
+            rows.push(row("ccm/seal", "aesni", 8, aesni_b8));
+        }
+        format!(
+            r#"{{"schema": "doc-bench/crypto/v1", "machine": {{"aes_ni": {aes_ni}, "sha_ni": false}}, "active_backend": "{}", "measure_ms": {measure_ms}, "rows": [{}]}}"#,
+            if aes_ni { "aesni" } else { "soft" },
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn crypto_gate_passes_clean_artifact() {
+        let doc = parse(&crypto_doc(true, 200, 450.0, 300.0)).unwrap();
+        let summary = check_crypto(&doc).unwrap();
+        assert!(summary.contains("aesni/reference seal 4.44x"), "{summary}");
+        assert!(summary.contains("aesni batch gain 1.50x"), "{summary}");
+        // No AES-NI: the aesni rows and speedup gate are not required.
+        let no_ni = parse(&crypto_doc(false, 200, 0.0, 0.0)).unwrap();
+        assert!(check_crypto(&no_ni).is_ok());
+    }
+
+    #[test]
+    fn crypto_gate_enforces_aesni_speedup_and_batch_gain() {
+        // aesni only 1.6× the reference at batch 1: below the 2× bar.
+        let slow = parse(&crypto_doc(true, 200, 1250.0, 800.0)).unwrap();
+        assert!(check_crypto(&slow).unwrap_err().contains("aesni seal gate"));
+        // Batched sealing barely better than unbatched on aesni.
+        let flat = parse(&crypto_doc(true, 200, 450.0, 400.0)).unwrap();
+        assert!(check_crypto(&flat).unwrap_err().contains("batch gate"));
+        // The reference backend rows are batched-slower by construction
+        // in every passing fixture above — proving it is exempt.
+    }
+
+    #[test]
+    fn crypto_gate_skips_timing_on_smoke_windows() {
+        // Same failing numbers, 25ms window: schema still validated,
+        // timing gates skipped.
+        let doc = parse(&crypto_doc(true, 25, 1250.0, 1250.0)).unwrap();
+        let summary = check_crypto(&doc).unwrap();
+        assert!(summary.contains("smoke window"), "{summary}");
+    }
+
+    #[test]
+    fn crypto_gate_rejects_shape_errors() {
+        let v0 = parse(r#"{"schema": "doc-bench/crypto/v0", "rows": []}"#).unwrap();
+        assert!(check_crypto(&v0).unwrap_err().contains("schema"));
+        // machine.aes_ni true but no aesni rows: the sweep is required.
+        let mut doc = crypto_doc(false, 200, 0.0, 0.0);
+        doc = doc.replace(r#""aes_ni": false"#, r#""aes_ni": true"#);
+        let err = check_crypto(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains(r#"backend "aesni" batch 1"#), "{err}");
+        // Unknown backend label.
+        let bad = crypto_doc(true, 200, 450.0, 300.0).replace("\"soft\"", "\"neon\"");
+        assert!(check_crypto(&parse(&bad).unwrap())
+            .unwrap_err()
+            .contains("unknown backend"));
+        // Non-positive timing.
+        let zero =
+            crypto_doc(true, 200, 450.0, 300.0).replace("\"ns_per_op\": 9000", "\"ns_per_op\": 0");
+        assert!(check_crypto(&parse(&zero).unwrap())
+            .unwrap_err()
+            .contains("not positive"));
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serialize back to a compact JSON document. Re-parsing the
     /// output yields a value equal to `self`: `f64`'s `Display` is the
     /// shortest decimal that parses back to the same bits (and never

@@ -34,6 +34,7 @@ use crate::transport::TransportKind;
 // *this* ring, not a copy (see `crates/check`).
 use doc_check::sync::atomic::{AtomicU64, Ordering};
 use doc_check::sync::{Arc, Condvar, Mutex};
+use doc_dtls::record::{CipherState, ContentType, Record, RecordSeal};
 
 /// What wire format the pool's workers speak.
 ///
@@ -266,6 +267,73 @@ pub struct PoolRunStats {
     pub errors: u64,
 }
 
+/// DTLS protection for the pool's reply leg: every reply leaving a
+/// worker is sealed as an epoch-`epoch` ApplicationData record, with
+/// the whole `pop_batch` drain protected in **one** batched AEAD pass
+/// ([`CipherState::seal_batch`]) so the keystream setup is amortized
+/// across the drain instead of paid per reply.
+pub struct ReplySeal {
+    cipher: CipherState,
+    epoch: u16,
+    /// Next record sequence number; workers reserve a contiguous run
+    /// per batch.
+    seq: AtomicU64,
+}
+
+impl ReplySeal {
+    /// Create from the write-direction key-block material.
+    pub fn new(key: &[u8; 16], fixed_iv: [u8; 4], epoch: u16) -> Self {
+        ReplySeal {
+            cipher: CipherState::new(key, fixed_iv),
+            epoch,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve `n` consecutive record sequence numbers.
+    fn reserve(&self, n: u64) -> u64 {
+        self.seq.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Seal the batch's reply wires (malformed-datagram `None`s pass
+    /// through), returning full DTLS record wire bytes per reply.
+    fn seal_replies(&self, wires: &[Option<Vec<u8>>]) -> Vec<Option<Vec<u8>>> {
+        let n_ok = wires.iter().flatten().count() as u64;
+        let first = self.reserve(n_ok);
+        let items: Vec<RecordSeal<'_>> = wires
+            .iter()
+            .flatten()
+            .enumerate()
+            .map(|(i, w)| RecordSeal {
+                ctype: ContentType::ApplicationData,
+                epoch: self.epoch,
+                seq: first + i as u64,
+                plaintext: w,
+            })
+            .collect();
+        let payloads = self
+            .cipher
+            .seal_batch(&items)
+            .expect("record parameters are valid");
+        let mut sealed = items.iter().zip(payloads);
+        wires
+            .iter()
+            .map(|w| {
+                w.as_ref().map(|_| {
+                    let (item, payload) = sealed.next().expect("one sealed payload per reply");
+                    Record {
+                        ctype: item.ctype,
+                        epoch: item.epoch,
+                        seq: item.seq,
+                        payload,
+                    }
+                    .encode()
+                })
+            })
+            .collect()
+    }
+}
+
 /// A multi-worker proxy front-end: N threads sharing one thread-safe
 /// [`CoapProxy`] and [`DocServer`].
 pub struct ProxyPool {
@@ -275,6 +343,9 @@ pub struct ProxyPool {
     pub server: Arc<DocServer>,
     workers: usize,
     mode: ServeMode,
+    /// When set, replies leave the pool as DTLS records, batch-sealed
+    /// per drain. `None` (the default) keeps the plaintext reply wire.
+    seal: Option<ReplySeal>,
 }
 
 /// How many datagrams a worker drains from the ring per lock
@@ -300,7 +371,16 @@ impl ProxyPool {
             server,
             workers: workers.max(1),
             mode,
+            seal: None,
         }
+    }
+
+    /// Protect the reply leg: every reply this pool emits becomes a
+    /// DTLS ApplicationData record, sealed batch-at-a-time (the crypto
+    /// analogue of `pop_batch`'s lock amortization).
+    pub fn with_reply_seal(mut self, seal: ReplySeal) -> Self {
+        self.seal = Some(seal);
+        self
     }
 
     /// Number of worker threads.
@@ -404,14 +484,25 @@ impl ProxyPool {
                     let _close_guard = CloseOnDrop(ring);
                     let mut batch: Vec<Datagram> = Vec::with_capacity(POP_BATCH);
                     let mut upstream_buf: Vec<u8> = Vec::with_capacity(256);
+                    let mut wires: Vec<Option<Vec<u8>>> = Vec::with_capacity(POP_BATCH);
                     while ring.pop_batch(&mut batch, POP_BATCH) > 0 {
-                        for d in batch.drain(..) {
-                            let wire = self.serve(&d, &mut upstream_buf);
+                        // Serve the whole drain first, then (when the
+                        // reply leg is protected) seal every reply in
+                        // one batched AEAD pass before emitting.
+                        wires.clear();
+                        for d in batch.iter() {
+                            let wire = self.serve(d, &mut upstream_buf);
                             processed.fetch_add(1, Ordering::Relaxed);
                             match wire {
                                 Some(_) => replies.fetch_add(1, Ordering::Relaxed),
                                 None => errors.fetch_add(1, Ordering::Relaxed),
                             };
+                            wires.push(wire);
+                        }
+                        if let Some(seal) = &self.seal {
+                            wires = seal.seal_replies(&wires);
+                        }
+                        for (d, wire) in batch.drain(..).zip(wires.drain(..)) {
                             on_reply(Reply {
                                 peer: d.peer,
                                 seq: d.seq,
@@ -702,6 +793,100 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "panic must propagate");
+    }
+
+    /// With one worker the sealed pool's output must be byte-exactly
+    /// what sealing each plaintext reply sequentially would produce.
+    #[test]
+    fn sealed_replies_match_sequential_seal() {
+        let names = ["a.example.org"];
+        let key = [0x4Du8; 16];
+        let iv = [9, 8, 7, 6];
+        let make_load = || {
+            (0..40u64).map(|seq| Datagram {
+                peer: 0,
+                seq,
+                now_ms: 1,
+                wire: fetch_wire("a.example.org", seq),
+            })
+        };
+        // Plaintext reference replies (submission order: 1 worker).
+        let plain_pool = pool(1, &names);
+        let plain = Mutex::new(Vec::new());
+        plain_pool.run(8, make_load(), &|r| plain.lock().unwrap().push(r));
+        let mut plain = plain.lock().unwrap().clone();
+        plain.sort_by_key(|r| r.seq);
+
+        let sealed_pool = pool(1, &names).with_reply_seal(ReplySeal::new(&key, iv, 1));
+        let sealed = Mutex::new(Vec::new());
+        let stats = sealed_pool.run(8, make_load(), &|r| sealed.lock().unwrap().push(r));
+        assert_eq!(stats.replies, 40);
+        let mut sealed = sealed.lock().unwrap().clone();
+        sealed.sort_by_key(|r| r.seq);
+
+        // One worker drains in submission order, so record seqs are
+        // 0..40 in reply order; re-seal the plaintext replies with a
+        // fresh cipher and compare byte-for-byte.
+        let cipher = CipherState::new(&key, iv);
+        for (rec_seq, (p, s)) in plain.iter().zip(sealed.iter()).enumerate() {
+            let expect = Record {
+                ctype: ContentType::ApplicationData,
+                epoch: 1,
+                seq: rec_seq as u64,
+                payload: cipher
+                    .seal(
+                        ContentType::ApplicationData,
+                        1,
+                        rec_seq as u64,
+                        p.wire.as_ref().unwrap(),
+                    )
+                    .unwrap(),
+            }
+            .encode();
+            assert_eq!(s.wire.as_ref().unwrap(), &expect, "reply {}", p.seq);
+        }
+    }
+
+    /// Multi-worker sealed replies all decrypt to valid responses with
+    /// unique record sequence numbers.
+    #[test]
+    fn sealed_replies_decrypt_under_concurrency() {
+        let names = ["a.example.org", "b.example.org"];
+        let key = [0x4Du8; 16];
+        let iv = [1, 2, 3, 4];
+        let pool = pool(4, &names).with_reply_seal(ReplySeal::new(&key, iv, 1));
+        let replies = Mutex::new(Vec::new());
+        let total = 200u64;
+        let stats = pool.run(
+            16,
+            (0..total).map(|seq| Datagram {
+                peer: seq % 3,
+                seq,
+                now_ms: 1,
+                wire: fetch_wire(names[(seq % 2) as usize], seq),
+            }),
+            &|r| replies.lock().unwrap().push(r),
+        );
+        assert_eq!(stats.replies, total);
+        let cipher = CipherState::new(&key, iv);
+        let mut seen_seqs = Vec::new();
+        for r in replies.lock().unwrap().iter() {
+            let wire = r.wire.as_ref().expect("reply present");
+            let (rec, used) = Record::decode(wire).unwrap();
+            assert_eq!(used, wire.len());
+            assert_eq!(rec.ctype, ContentType::ApplicationData);
+            assert_eq!(rec.epoch, 1);
+            seen_seqs.push(rec.seq);
+            let inner = cipher
+                .open(rec.ctype, rec.epoch, rec.seq, &rec.payload)
+                .unwrap();
+            let v = CoapView::parse(&inner).unwrap();
+            assert_eq!(v.code, Code::CONTENT);
+            assert_eq!(v.message_id, r.seq as u16);
+        }
+        seen_seqs.sort_unstable();
+        seen_seqs.dedup();
+        assert_eq!(seen_seqs.len(), total as usize, "record seqs unique");
     }
 
     #[test]

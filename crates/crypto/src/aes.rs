@@ -1,11 +1,23 @@
-//! AES-128 block cipher (FIPS-197).
+//! AES-128 block cipher (FIPS-197) with runtime-dispatched backends.
 //!
 //! Only the encryption direction is implemented: every mode used in this
 //! workspace (CCM = CTR + CBC-MAC) requires only the forward cipher.
-//! The implementation is a straightforward table-free byte-oriented
-//! version: `SubBytes` uses a precomputed S-box, `MixColumns` uses
-//! xtime-based GF(2^8) multiplication. This keeps the code auditable and
-//! avoids cache-timing-prone large T-tables.
+//! Three implementations share the one portable key schedule:
+//!
+//! * the **reference** path below — a straightforward table-free
+//!   byte-oriented cipher (`SubBytes` via a precomputed S-box,
+//!   `MixColumns` via xtime), kept as the auditable ground truth;
+//! * the **bitsliced** constant-time path in [`crate::backend::soft`],
+//!   four blocks per pass;
+//! * the **AES-NI** path in `crate::backend::aesni`, eight blocks in
+//!   flight through hardware `aesenc`.
+//!
+//! [`Aes128::new`] picks the backend once per process (see
+//! [`Backend::active`]); [`Aes128::with_backend`] pins one explicitly
+//! for differential tests and benchmarks. [`Aes128::encrypt_blocks`]
+//! is the multi-block entry point the batched CCM paths feed.
+
+use crate::backend::{soft, Backend};
 
 /// The AES S-box (FIPS-197 Figure 7).
 #[rustfmt::skip]
@@ -42,50 +54,72 @@ fn xtime(b: u8) -> u8 {
 pub struct Aes128 {
     /// 11 round keys of 16 bytes each.
     round_keys: [[u8; 16]; 11],
+    /// The bitsliced schedule for the `Soft` backend (zero otherwise).
+    sliced_keys: soft::SlicedKeys,
+    /// Which implementation executes this instance's blocks.
+    backend: Backend,
 }
 
 impl Aes128 {
-    /// Expand a 16-byte key into the full round-key schedule.
+    /// Expand a 16-byte key for the process-wide active backend.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i].copy_from_slice(chunk);
+        Self::with_backend(key, Backend::active())
+    }
+
+    /// Expand a 16-byte key, pinning a specific backend — used by the
+    /// known-answer tests and benchmarks that must exercise every
+    /// implementation regardless of what the machine would pick.
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
+        let round_keys = expand_key(key);
+        let sliced_keys = if backend == Backend::Soft {
+            soft::slice_round_keys(&round_keys)
+        } else {
+            [[0u64; 8]; 11]
+        };
+        Aes128 {
+            round_keys,
+            sliced_keys,
+            backend,
         }
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                // RotWord + SubWord + Rcon
-                temp.rotate_left(1);
-                for t in temp.iter_mut() {
-                    *t = SBOX[*t as usize];
-                }
-                temp[0] ^= RCON[i / 4 - 1];
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ temp[j];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
-            }
-        }
-        Aes128 { round_keys }
+    }
+
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Encrypt one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+        match self.backend {
+            Backend::Reference => scalar_encrypt_block(&self.round_keys, block),
+            _ => self.encrypt_blocks(core::slice::from_mut(block)),
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypt many 16-byte blocks in place — the batch entry point.
+    /// AES-NI keeps eight blocks in flight, the bitsliced fallback
+    /// packs four per pass, the reference path loops one at a time.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match self.backend {
+            Backend::Reference => {
+                for block in blocks.iter_mut() {
+                    scalar_encrypt_block(&self.round_keys, block);
+                }
+            }
+            Backend::Soft => soft::encrypt_blocks(&self.sliced_keys, blocks),
+            Backend::AesNi => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `Backend::AesNi` is only selected by
+                // `Backend::active`/`Backend::available` after
+                // `is_x86_feature_detected!("aes")` confirmed the CPU
+                // executes the AES-NI instruction set.
+                unsafe {
+                    crate::backend::aesni::encrypt_blocks(&self.round_keys, blocks)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("AesNi backend cannot be constructed off x86_64")
+            }
+        }
     }
 
     /// Encrypt a copy of `block` and return the ciphertext block.
@@ -96,6 +130,50 @@ impl Aes128 {
     }
 }
 
+/// Expand a 16-byte key into the 11-round-key schedule (FIPS-197 §5.2).
+fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            // RotWord + SubWord + Rcon
+            temp.rotate_left(1);
+            for t in temp.iter_mut() {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for (r, rk) in round_keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+        }
+    }
+    round_keys
+}
+
+/// The scalar reference round function — ground truth for every other
+/// backend's differential tests.
+fn scalar_encrypt_block(round_keys: &[[u8; 16]; 11], block: &mut [u8; 16]) {
+    add_round_key(block, &round_keys[0]);
+    for rk in &round_keys[1..10] {
+        scalar_sub_bytes(block);
+        scalar_shift_rows(block);
+        scalar_mix_columns(block);
+        add_round_key(block, rk);
+    }
+    scalar_sub_bytes(block);
+    scalar_shift_rows(block);
+    add_round_key(block, &round_keys[10]);
+}
+
 #[inline]
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     for (s, k) in state.iter_mut().zip(rk.iter()) {
@@ -104,7 +182,7 @@ fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
 }
 
 #[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
+pub(crate) fn scalar_sub_bytes(state: &mut [u8; 16]) {
     for s in state.iter_mut() {
         *s = SBOX[*s as usize];
     }
@@ -113,7 +191,7 @@ fn sub_bytes(state: &mut [u8; 16]) {
 /// State layout is column-major: byte `state[c*4 + r]` is row `r`,
 /// column `c` (as in FIPS-197 when blocks are loaded column-wise).
 #[inline]
-fn shift_rows(state: &mut [u8; 16]) {
+pub(crate) fn scalar_shift_rows(state: &mut [u8; 16]) {
     // Row 1: rotate left by 1.
     let t = state[1];
     state[1] = state[5];
@@ -132,7 +210,7 @@ fn shift_rows(state: &mut [u8; 16]) {
 }
 
 #[inline]
-fn mix_columns(state: &mut [u8; 16]) {
+pub(crate) fn scalar_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let i = c * 4;
         let (a0, a1, a2, a3) = (state[i], state[i + 1], state[i + 2], state[i + 3]);
@@ -148,9 +226,10 @@ fn mix_columns(state: &mut [u8; 16]) {
 mod tests {
     use super::*;
 
-    /// FIPS-197 Appendix C.1 example vector.
+    /// FIPS-197 Appendix C.1 example vector — on every backend the
+    /// machine can run.
     #[test]
-    fn fips197_c1() {
+    fn fips197_c1_all_backends() {
         let key: [u8; 16] = [
             0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
             0x0e, 0x0f,
@@ -163,8 +242,10 @@ mod tests {
             0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
             0xc5, 0x5a,
         ];
-        let aes = Aes128::new(&key);
-        assert_eq!(aes.encrypt(&plain), expect);
+        for backend in Backend::available() {
+            let aes = Aes128::with_backend(&key, backend);
+            assert_eq!(aes.encrypt(&plain), expect, "{}", backend.label());
+        }
     }
 
     /// FIPS-197 Appendix B example vector.
@@ -182,8 +263,32 @@ mod tests {
             0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
             0x0b, 0x32,
         ];
-        let aes = Aes128::new(&key);
-        assert_eq!(aes.encrypt(&plain), expect);
+        for backend in Backend::available() {
+            let aes = Aes128::with_backend(&key, backend);
+            assert_eq!(aes.encrypt(&plain), expect, "{}", backend.label());
+        }
+    }
+
+    /// Multi-block encryption is byte-exact with the scalar reference
+    /// for every batch size that crosses the backends' group widths.
+    #[test]
+    fn encrypt_blocks_matches_reference_at_all_widths() {
+        let key = [0x5Au8; 16];
+        let reference = Aes128::with_backend(&key, Backend::Reference);
+        for backend in Backend::available() {
+            let aes = Aes128::with_backend(&key, backend);
+            for n in 0..=19 {
+                let mut blocks: Vec<[u8; 16]> = (0..n)
+                    .map(|i| core::array::from_fn(|j| (i * 16 + j) as u8 ^ 0xC3))
+                    .collect();
+                let mut expect = blocks.clone();
+                for b in expect.iter_mut() {
+                    *b = reference.encrypt(b);
+                }
+                aes.encrypt_blocks(&mut blocks);
+                assert_eq!(blocks, expect, "{} n={n}", backend.label());
+            }
+        }
     }
 
     /// Encryption must be deterministic and not modify its input when

@@ -1,0 +1,58 @@
+//! Hardware AES via the x86_64 AES-NI instructions.
+//!
+//! One `aesenc` per round per block, with up to eight independent
+//! blocks in flight per chunk so the pipelined AES units overlap the
+//! rounds of neighbouring blocks — this is where batched CCM gets its
+//! throughput: a batch's counter blocks and interleaved CBC-MAC states
+//! all ride the same eight-wide chunks.
+//!
+//! The round keys are expanded once by the portable schedule in
+//! [`crate::aes`] and loaded with unaligned moves here; no
+//! `aeskeygenassist` is needed. All functions carry
+//! `#[target_feature(enable = "aes")]` and are **safe to declare but
+//! unsafe to reach**: the single dispatch site in `crate::aes` only
+//! calls in after `is_x86_feature_detected!("aes")` has confirmed
+//! support (cached in [`super::Backend::active`]).
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_setzero_si128,
+    _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// Blocks kept in flight per chunk.
+pub(crate) const PIPELINE: usize = 8;
+
+/// Encrypt `blocks` in place with the expanded schedule `round_keys`.
+#[target_feature(enable = "aes")]
+pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    let mut rk = [_mm_setzero_si128(); 11];
+    for (r, key) in rk.iter_mut().zip(round_keys.iter()) {
+        // SAFETY: `key` points at 16 readable bytes and `loadu` has no
+        // alignment requirement.
+        *r = unsafe { _mm_loadu_si128(key.as_ptr().cast()) };
+    }
+    for chunk in blocks.chunks_mut(PIPELINE) {
+        let mut s = [_mm_setzero_si128(); PIPELINE];
+        for (si, block) in s.iter_mut().zip(chunk.iter()) {
+            // SAFETY: each block is 16 readable bytes; unaligned load.
+            *si = unsafe { _mm_loadu_si128(block.as_ptr().cast()) };
+        }
+        let live = &mut s[..chunk.len()];
+        for si in live.iter_mut() {
+            *si = _mm_xor_si128(*si, rk[0]);
+        }
+        for r in &rk[1..10] {
+            // Independent chains: the CPU overlaps these aesenc ops.
+            for si in live.iter_mut() {
+                *si = _mm_aesenc_si128(*si, *r);
+            }
+        }
+        for si in live.iter_mut() {
+            *si = _mm_aesenclast_si128(*si, rk[10]);
+        }
+        for (block, si) in chunk.iter_mut().zip(s.iter()) {
+            // SAFETY: each block is 16 writable bytes; unaligned store.
+            unsafe { _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), *si) };
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Runtime-dispatched AES/SHA acceleration backends.
+//!
+//! Three interchangeable AES-128 block-encryption implementations live
+//! under this module:
+//!
+//! * [`Backend::Reference`] — the original table-free, byte-oriented
+//!   scalar cipher in [`crate::aes`]. Slowest, simplest, and the
+//!   ground truth every other backend is differentially pinned to.
+//! * [`Backend::Soft`] — a bitsliced constant-time implementation
+//!   ([`soft`]) that packs four blocks into eight 64-bit words and runs
+//!   the round function with pure boolean algebra: no secret-indexed
+//!   table loads, and four blocks per pass.
+//! * [`Backend::AesNi`] — hardware AES via `core::arch::x86_64`
+//!   intrinsics ([`aesni`]), pipelining up to eight independent blocks
+//!   through `aesenc`.
+//!
+//! Selection happens **once per process**: the first call to
+//! [`Backend::active`] probes CPU features (`is_x86_feature_detected!`)
+//! and the `DOC_CRYPTO_BACKEND` environment variable, then caches the
+//! answer in an atomic so the hot path pays one relaxed load. Set
+//! `DOC_CRYPTO_BACKEND=reference|soft|aesni|auto` to force a backend
+//! (benchmarks use this to measure the fallbacks on AES-NI hardware);
+//! requesting an unavailable backend silently falls back to the best
+//! one that is available, so the variable can never break a deploy.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod aesni;
+pub(crate) mod soft;
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Which AES-128 implementation a cipher instance executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Scalar byte-oriented reference implementation (always available).
+    Reference,
+    /// Bitsliced constant-time software implementation, 4 blocks/pass
+    /// (always available).
+    Soft,
+    /// AES-NI hardware path, 8 blocks in flight (x86_64 with the `aes`
+    /// feature only).
+    AesNi,
+}
+
+/// Cached process-wide selection: 0 = undecided, else `backend as u8 + 1`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Cached SHA-NI availability: 0 = undecided, 1 = no, 2 = yes.
+static SHA_NI: AtomicU8 = AtomicU8::new(0);
+
+impl Backend {
+    /// The process-wide backend new [`crate::aes::Aes128`] instances
+    /// use. Decided on first call (CPU probe + `DOC_CRYPTO_BACKEND`
+    /// override), cached forever after.
+    pub fn active() -> Backend {
+        match ACTIVE.load(Ordering::Relaxed) {
+            0 => {
+                let chosen = Self::select();
+                ACTIVE.store(chosen.tag(), Ordering::Relaxed);
+                chosen
+            }
+            tag => Self::from_tag(tag),
+        }
+    }
+
+    /// Every backend the current machine can execute, reference first.
+    /// Known-answer tests iterate this so a machine without AES-NI
+    /// still proves both software paths.
+    pub fn available() -> Vec<Backend> {
+        let mut v = vec![Backend::Reference, Backend::Soft];
+        if aesni_detected() {
+            v.push(Backend::AesNi);
+        }
+        v
+    }
+
+    /// Stable lowercase label used in bench artifacts and env overrides.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Soft => "soft",
+            Backend::AesNi => "aesni",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Backend::Reference => 1,
+            Backend::Soft => 2,
+            Backend::AesNi => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Backend {
+        match tag {
+            1 => Backend::Reference,
+            2 => Backend::Soft,
+            _ => Backend::AesNi,
+        }
+    }
+
+    /// One-time selection: env override first, then best detected.
+    fn select() -> Backend {
+        let forced = std::env::var("DOC_CRYPTO_BACKEND").ok();
+        match forced.as_deref() {
+            Some("reference") => return Backend::Reference,
+            Some("soft") => return Backend::Soft,
+            Some("aesni") if aesni_detected() => return Backend::AesNi,
+            // "auto", unknown values, and unavailable requests all fall
+            // through to detection.
+            _ => {}
+        }
+        if aesni_detected() {
+            Backend::AesNi
+        } else {
+            Backend::Soft
+        }
+    }
+}
+
+/// Whether the CPU supports the AES-NI instruction set.
+#[cfg(target_arch = "x86_64")]
+fn aesni_detected() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+/// Non-x86_64 targets never have AES-NI.
+#[cfg(not(target_arch = "x86_64"))]
+fn aesni_detected() -> bool {
+    false
+}
+
+/// Whether the SHA-256 compression loop should use the SHA-NI path.
+/// Shares the `DOC_CRYPTO_BACKEND` override: forcing a software AES
+/// backend also forces the scalar SHA-256 schedule, so "measure the
+/// fallback" means the whole substrate, not just the block cipher.
+pub fn sha_ni_active() -> bool {
+    match SHA_NI.load(Ordering::Relaxed) {
+        0 => {
+            let on = sha_ni_detected()
+                && !matches!(
+                    std::env::var("DOC_CRYPTO_BACKEND").ok().as_deref(),
+                    Some("reference") | Some("soft")
+                );
+            SHA_NI.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        tag => tag == 2,
+    }
+}
+
+/// Whether the CPU supports the SHA-NI extension (plus the SSE4.1 /
+/// SSSE3 shuffles the round loop leans on).
+#[cfg(target_arch = "x86_64")]
+pub fn sha_ni_detected() -> bool {
+    std::arch::is_x86_feature_detected!("sha")
+        && std::arch::is_x86_feature_detected!("sse4.1")
+        && std::arch::is_x86_feature_detected!("ssse3")
+}
+
+/// Non-x86_64 targets never have SHA-NI.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn sha_ni_detected() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_is_cached_and_available() {
+        let first = Backend::active();
+        let second = Backend::active();
+        assert_eq!(first, second);
+        assert!(Backend::available().contains(&first));
+    }
+
+    #[test]
+    fn reference_and_soft_always_available() {
+        let avail = Backend::available();
+        assert!(avail.contains(&Backend::Reference));
+        assert!(avail.contains(&Backend::Soft));
+        assert_eq!(avail[0], Backend::Reference);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Backend::Reference.label(), "reference");
+        assert_eq!(Backend::Soft.label(), "soft");
+        assert_eq!(Backend::AesNi.label(), "aesni");
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for b in [Backend::Reference, Backend::Soft, Backend::AesNi] {
+            assert_eq!(Backend::from_tag(b.tag()), b);
+        }
+    }
+}

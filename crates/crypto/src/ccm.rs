@@ -10,8 +10,21 @@
 //!
 //! Both directions (seal/open) are implemented; CCM only needs the AES
 //! forward transform.
+//!
+//! Every path is built from two shared pieces so the fast and slow
+//! lanes cannot diverge: [`MacStream`] derives the exact CBC-MAC block
+//! sequence (`B_0`, length-prefixed AAD, message) for both the
+//! sequential MAC and the batch-interleaved MAC, and `ctr_stream`
+//! produces the whole CTR keystream (`S_0` for the tag plus the data
+//! blocks) through one multi-block [`Aes128::encrypt_blocks`] call, so
+//! even a single-packet seal keeps 8 counter blocks in flight on
+//! AES-NI. [`AesCcm::seal_suffix_batch`] goes further and interleaves
+//! the CBC-MAC chains of *many* packets through the same wide encrypt,
+//! which is what the pool workers use to amortize a whole `pop_batch`
+//! drain.
 
 use crate::aes::Aes128;
+use crate::backend::Backend;
 use crate::{ct_eq, CryptoError};
 
 /// A CCM mode instance: AES-128 key plus (tag length, length-field size).
@@ -23,14 +36,40 @@ pub struct AesCcm {
     l: usize,
 }
 
+/// One packet of a batched seal: the suffix `buf[start..]` holds the
+/// plaintext and becomes `ciphertext || tag` in place, byte-exactly
+/// what [`AesCcm::seal_suffix_in_place`] would have produced.
+pub struct SealRequest<'a> {
+    /// AEAD nonce; must be [`AesCcm::nonce_len`] bytes.
+    pub nonce: &'a [u8],
+    /// Additional authenticated data.
+    pub aad: &'a [u8],
+    /// Buffer whose suffix is sealed; the tag is appended to it.
+    pub buf: &'a mut Vec<u8>,
+    /// Offset where the plaintext suffix begins.
+    pub start: usize,
+}
+
 impl AesCcm {
-    /// Create a CCM instance with explicit parameters.
+    /// Create a CCM instance with explicit parameters on the
+    /// process-wide active backend.
     pub fn new(key: &[u8; 16], tag_len: usize, l: usize) -> Result<Self, CryptoError> {
+        Self::with_backend(key, tag_len, l, Backend::active())
+    }
+
+    /// Create a CCM instance pinned to a specific AES backend — for
+    /// known-answer tests and benchmarks covering every implementation.
+    pub fn with_backend(
+        key: &[u8; 16],
+        tag_len: usize,
+        l: usize,
+        backend: Backend,
+    ) -> Result<Self, CryptoError> {
         if !(4..=16).contains(&tag_len) || !tag_len.is_multiple_of(2) || !(2..=8).contains(&l) {
             return Err(CryptoError::InvalidParameter);
         }
         Ok(AesCcm {
-            aes: Aes128::new(key),
+            aes: Aes128::with_backend(key, backend),
             tag_len,
             l,
         })
@@ -58,6 +97,11 @@ impl AesCcm {
         self.tag_len
     }
 
+    /// The AES backend this instance dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.aes.backend()
+    }
+
     /// Encrypt `plaintext` with additional authenticated data `aad`,
     /// returning `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
@@ -77,13 +121,10 @@ impl AesCcm {
         plaintext: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<(), CryptoError> {
-        self.check_seal_params(nonce, plaintext.len())?;
-        let tag = self.cbc_mac(nonce, aad, plaintext);
         let start = out.len();
         out.extend_from_slice(plaintext);
-        self.ctr_xor(nonce, &mut out[start..]);
-        self.append_encrypted_tag(nonce, &tag, out);
-        Ok(())
+        self.seal_suffix_in_place(nonce, aad, out, start)
+            .inspect_err(|_| out.truncate(start))
     }
 
     /// Encrypt `buf` in place and append the tag: the buffer holding
@@ -96,11 +137,7 @@ impl AesCcm {
         aad: &[u8],
         buf: &mut Vec<u8>,
     ) -> Result<(), CryptoError> {
-        self.check_seal_params(nonce, buf.len())?;
-        let tag = self.cbc_mac(nonce, aad, buf);
-        self.ctr_xor(nonce, buf);
-        self.append_encrypted_tag(nonce, &tag, buf);
-        Ok(())
+        self.seal_suffix_in_place(nonce, aad, buf, 0)
     }
 
     /// [`AesCcm::seal_in_place`] over only the tail `buf[start..]`: the
@@ -117,9 +154,52 @@ impl AesCcm {
     ) -> Result<(), CryptoError> {
         debug_assert!(start <= buf.len());
         self.check_seal_params(nonce, buf.len() - start)?;
-        let tag = self.cbc_mac(nonce, aad, &buf[start..]);
-        self.ctr_xor(nonce, &mut buf[start..]);
-        self.append_encrypted_tag(nonce, &tag, buf);
+        let mut tag = self.cbc_mac(nonce, aad, &buf[start..]);
+        self.ctr_stream(nonce, &mut tag, &mut buf[start..]);
+        buf.extend_from_slice(&tag[..self.tag_len]);
+        Ok(())
+    }
+
+    /// Seal many packets in one batched pass: the CBC-MAC chains of all
+    /// packets advance in lockstep through one wide
+    /// [`Aes128::encrypt_blocks`] per block round, then every packet's
+    /// CTR keystream (including `S_0`) is generated in a single batch.
+    /// Validation is all-or-nothing: if any packet has a bad nonce or
+    /// an oversized payload, no buffer is modified.
+    pub fn seal_suffix_batch(&self, reqs: &mut [SealRequest<'_>]) -> Result<(), CryptoError> {
+        for r in reqs.iter() {
+            let Some(len) = r.buf.len().checked_sub(r.start) else {
+                return Err(CryptoError::InvalidParameter);
+            };
+            self.check_seal_params(r.nonce, len)?;
+        }
+        let tags = self.cbc_mac_batch(reqs);
+
+        // Every packet's counter blocks (A_0 .. A_n), flattened into
+        // one keystream batch.
+        let mut spans = Vec::with_capacity(reqs.len());
+        let mut ks: Vec<[u8; 16]> = Vec::new();
+        for r in reqs.iter() {
+            spans.push(ks.len());
+            let nblocks = (r.buf.len() - r.start).div_ceil(16) as u64;
+            for ctr in 0..=nblocks {
+                ks.push(self.counter_block(r.nonce, ctr));
+            }
+        }
+        self.aes.encrypt_blocks(&mut ks);
+
+        for (r, (&off, tag)) in reqs.iter_mut().zip(spans.iter().zip(tags.iter())) {
+            let payload = &mut r.buf[r.start..];
+            for (chunk, key) in payload.chunks_mut(16).zip(ks[off + 1..].iter()) {
+                for (b, k) in chunk.iter_mut().zip(key.iter()) {
+                    *b ^= k;
+                }
+            }
+            let s0 = &ks[off];
+            for (t, k) in tag.iter().zip(s0.iter()).take(self.tag_len) {
+                r.buf.push(t ^ k);
+            }
+        }
         Ok(())
     }
 
@@ -131,15 +211,6 @@ impl AesCcm {
             return Err(CryptoError::InvalidParameter);
         }
         Ok(())
-    }
-
-    /// Append the tag encrypted with counter block 0.
-    fn append_encrypted_tag(&self, nonce: &[u8], tag: &[u8; 16], out: &mut Vec<u8>) {
-        let a0 = self.counter_block(nonce, 0);
-        let s0 = self.aes.encrypt(&a0);
-        for (t, k) in tag.iter().zip(s0.iter()).take(self.tag_len) {
-            out.push(t ^ k);
-        }
     }
 
     /// Decrypt and verify `ciphertext || tag`; returns the plaintext.
@@ -175,10 +246,9 @@ impl AesCcm {
         let (ct, recv_tag_enc) = ciphertext_and_tag.split_at(split);
         let start = out.len();
         out.extend_from_slice(ct);
-        self.ctr_xor(nonce, &mut out[start..]);
+        let mut s0 = [0u8; 16];
+        self.ctr_stream(nonce, &mut s0, &mut out[start..]);
         let expect_tag = self.cbc_mac(nonce, aad, &out[start..]);
-        let a0 = self.counter_block(nonce, 0);
-        let s0 = self.aes.encrypt(&a0);
         let mut recv_tag = [0u8; 16];
         for i in 0..self.tag_len {
             recv_tag[i] = recv_tag_enc[i] ^ s0[i];
@@ -190,67 +260,98 @@ impl AesCcm {
         Ok(())
     }
 
-    /// Compute the raw (unencrypted) CBC-MAC tag over B_0 || AAD blocks
-    /// || message blocks.
-    fn cbc_mac(&self, nonce: &[u8], aad: &[u8], msg: &[u8]) -> [u8; 16] {
-        // B_0: flags || nonce || message length.
-        let mut b0 = [0u8; 16];
-        let adata_flag = if aad.is_empty() { 0 } else { 0x40 };
-        let m_enc = ((self.tag_len - 2) / 2) as u8;
-        let l_enc = (self.l - 1) as u8;
-        b0[0] = adata_flag | (m_enc << 3) | l_enc;
-        b0[1..1 + nonce.len()].copy_from_slice(nonce);
-        let len_bytes = (msg.len() as u64).to_be_bytes();
-        b0[16 - self.l..].copy_from_slice(&len_bytes[8 - self.l..]);
+    /// Decrypt and verify `buf` (holding `ciphertext || tag`) in place:
+    /// on success the buffer *becomes* the plaintext (tag truncated
+    /// off); on failure it is restored byte-exactly. The zero-copy
+    /// mirror of [`AesCcm::seal_in_place`] for the receive paths.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        self.open_suffix_in_place(nonce, aad, buf, 0)
+    }
 
-        let mut x = self.aes.encrypt(&b0);
-
-        // AAD with its length prefix, zero-padded to block boundary —
-        // streamed through a 16-byte window so no header buffer is
-        // materialized (keeps the whole seal path allocation-free).
-        if !aad.is_empty() {
-            let mut prefix = [0u8; 10];
-            let alen = aad.len() as u64;
-            let prefix_len = if alen < 0xFF00 {
-                prefix[..2].copy_from_slice(&(alen as u16).to_be_bytes());
-                2
-            } else if alen <= 0xFFFF_FFFF {
-                prefix[..2].copy_from_slice(&[0xff, 0xfe]);
-                prefix[2..6].copy_from_slice(&(alen as u32).to_be_bytes());
-                6
-            } else {
-                prefix[..2].copy_from_slice(&[0xff, 0xff]);
-                prefix[2..10].copy_from_slice(&alen.to_be_bytes());
-                10
-            };
-            let total = prefix_len + aad.len();
-            let byte_at = |i: usize| -> u8 {
-                if i < prefix_len {
-                    prefix[i]
-                } else if i < total {
-                    aad[i - prefix_len]
-                } else {
-                    0 // zero padding
-                }
-            };
-            let mut i = 0;
-            while i < total {
-                for (j, xb) in x.iter_mut().enumerate() {
-                    *xb ^= byte_at(i + j);
-                }
-                x = self.aes.encrypt(&x);
-                i += 16;
-            }
+    /// [`AesCcm::open_in_place`] over only the tail `buf[start..]`: the
+    /// suffix holding `ciphertext || tag` becomes the plaintext while
+    /// everything before `start` is left untouched — the mirror of
+    /// [`AesCcm::seal_suffix_in_place`]. On authentication failure the
+    /// whole buffer is restored byte-exactly (CTR is an XOR involution,
+    /// so re-applying the keystream undoes the trial decryption).
+    pub fn open_suffix_in_place(
+        &self,
+        nonce: &[u8],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+        start: usize,
+    ) -> Result<(), CryptoError> {
+        if nonce.len() != self.nonce_len() {
+            return Err(CryptoError::InvalidParameter);
         }
+        let Some(suffix_len) = buf.len().checked_sub(start) else {
+            return Err(CryptoError::InvalidParameter);
+        };
+        let Some(pt_len) = suffix_len.checked_sub(self.tag_len) else {
+            return Err(CryptoError::AuthFailed);
+        };
+        let split = start + pt_len;
+        let mut s0 = [0u8; 16];
+        self.ctr_stream(nonce, &mut s0, &mut buf[start..split]);
+        let expect_tag = self.cbc_mac(nonce, aad, &buf[start..split]);
+        let mut recv_tag = [0u8; 16];
+        for i in 0..self.tag_len {
+            recv_tag[i] = buf[split + i] ^ s0[i];
+        }
+        if !ct_eq(&recv_tag[..self.tag_len], &expect_tag[..self.tag_len]) {
+            // Re-XOR the keystream: restores the original ciphertext
+            // bytes exactly, leaving no plaintext of a forged packet.
+            let mut discard = [0u8; 16];
+            self.ctr_stream(nonce, &mut discard, &mut buf[start..split]);
+            return Err(CryptoError::AuthFailed);
+        }
+        buf.truncate(split);
+        Ok(())
+    }
 
-        // Message blocks, zero-padded.
-        for block in msg.chunks(16) {
-            for (i, b) in block.iter().enumerate() {
-                x[i] ^= b;
-            }
-            x = self.aes.encrypt(&x);
+    /// Compute the raw (unencrypted) CBC-MAC tag over the block
+    /// sequence [`MacStream`] yields.
+    fn cbc_mac(&self, nonce: &[u8], aad: &[u8], msg: &[u8]) -> [u8; 16] {
+        let mut stream = MacStream::new(self, nonce, aad, msg);
+        let mut x = [0u8; 16];
+        while stream.xor_next(&mut x) {
+            self.aes.encrypt_block(&mut x);
         }
         x
+    }
+
+    /// CBC-MAC many packets at once: each packet's chain is the same
+    /// sequential recurrence, but the block encryptions of all packets
+    /// still alive at round `k` run through one wide
+    /// [`Aes128::encrypt_blocks`] call. Packets whose streams are
+    /// exhausted drop out; the survivors keep batching.
+    fn cbc_mac_batch(&self, reqs: &[SealRequest<'_>]) -> Vec<[u8; 16]> {
+        let n = reqs.len();
+        let mut streams: Vec<MacStream<'_>> = reqs
+            .iter()
+            .map(|r| MacStream::new(self, r.nonce, r.aad, &r.buf[r.start..]))
+            .collect();
+        let mut states = vec![[0u8; 16]; n];
+        let mut scratch = vec![[0u8; 16]; n];
+        let mut live: Vec<usize> = (0..n).collect();
+        loop {
+            live.retain(|&i| streams[i].xor_next(&mut states[i]));
+            if live.is_empty() {
+                return states;
+            }
+            for (slot, &i) in scratch.iter_mut().zip(live.iter()) {
+                *slot = states[i];
+            }
+            self.aes.encrypt_blocks(&mut scratch[..live.len()]);
+            for (slot, &i) in scratch.iter().zip(live.iter()) {
+                states[i] = *slot;
+            }
+        }
     }
 
     /// Build counter block A_i.
@@ -263,15 +364,137 @@ impl AesCcm {
         a
     }
 
-    /// XOR `data` with the CTR keystream starting at counter 1.
-    fn ctr_xor(&self, nonce: &[u8], data: &mut [u8]) {
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            let a = self.counter_block(nonce, (i + 1) as u64);
-            let s = self.aes.encrypt(&a);
-            for (b, k) in chunk.iter_mut().zip(s.iter()) {
-                *b ^= k;
+    /// Generate the whole CTR keystream in multi-block batches: `S_0`
+    /// (counter 0) is XORed into `tag`, counters `1..` into `data`.
+    /// Allocation-free; on AES-NI this keeps 8 counter blocks in
+    /// flight even for a single packet.
+    fn ctr_stream(&self, nonce: &[u8], tag: &mut [u8; 16], data: &mut [u8]) {
+        const BATCH: usize = 8;
+        let nblocks = data.len().div_ceil(16) as u64;
+        let mut ks = [[0u8; 16]; BATCH];
+        let mut next = 0u64;
+        while next <= nblocks {
+            let m = usize::min(BATCH, (nblocks - next + 1) as usize);
+            for (i, block) in ks[..m].iter_mut().enumerate() {
+                *block = self.counter_block(nonce, next + i as u64);
+            }
+            self.aes.encrypt_blocks(&mut ks[..m]);
+            for (i, key) in ks[..m].iter().enumerate() {
+                match next + i as u64 {
+                    0 => {
+                        for (t, k) in tag.iter_mut().zip(key.iter()) {
+                            *t ^= k;
+                        }
+                    }
+                    ctr => {
+                        let off = (ctr - 1) as usize * 16;
+                        let end = usize::min(off + 16, data.len());
+                        for (b, k) in data[off..end].iter_mut().zip(key.iter()) {
+                            *b ^= k;
+                        }
+                    }
+                }
+            }
+            next += m as u64;
+        }
+    }
+}
+
+/// The CBC-MAC block sequence of one packet: `B_0`, then the
+/// length-prefixed zero-padded AAD blocks, then the zero-padded message
+/// blocks (RFC 3610 §2.2). Both the sequential and the batched MAC pull
+/// blocks from this one derivation, so they cannot diverge.
+struct MacStream<'a> {
+    b0: [u8; 16],
+    /// AAD length prefix (2, 6 or 10 bytes, RFC 3610 §2.2).
+    prefix: [u8; 10],
+    prefix_len: usize,
+    aad: &'a [u8],
+    msg: &'a [u8],
+    /// Number of 16-byte blocks the AAD region occupies.
+    aad_blocks: usize,
+    /// Next block index to yield; `total` blocks overall.
+    next: usize,
+    total: usize,
+}
+
+impl<'a> MacStream<'a> {
+    fn new(ccm: &AesCcm, nonce: &[u8], aad: &'a [u8], msg: &'a [u8]) -> Self {
+        // B_0: flags || nonce || message length.
+        let mut b0 = [0u8; 16];
+        let adata_flag = if aad.is_empty() { 0 } else { 0x40 };
+        let m_enc = ((ccm.tag_len - 2) / 2) as u8;
+        let l_enc = (ccm.l - 1) as u8;
+        b0[0] = adata_flag | (m_enc << 3) | l_enc;
+        b0[1..1 + nonce.len()].copy_from_slice(nonce);
+        let len_bytes = (msg.len() as u64).to_be_bytes();
+        b0[16 - ccm.l..].copy_from_slice(&len_bytes[8 - ccm.l..]);
+
+        let mut prefix = [0u8; 10];
+        let alen = aad.len() as u64;
+        let prefix_len = if aad.is_empty() {
+            0
+        } else if alen < 0xFF00 {
+            prefix[..2].copy_from_slice(&(alen as u16).to_be_bytes());
+            2
+        } else if alen <= 0xFFFF_FFFF {
+            prefix[..2].copy_from_slice(&[0xff, 0xfe]);
+            prefix[2..6].copy_from_slice(&(alen as u32).to_be_bytes());
+            6
+        } else {
+            prefix[..2].copy_from_slice(&[0xff, 0xff]);
+            prefix[2..10].copy_from_slice(&alen.to_be_bytes());
+            10
+        };
+        let aad_blocks = (prefix_len + aad.len()).div_ceil(16);
+        let msg_blocks = msg.len().div_ceil(16);
+        MacStream {
+            b0,
+            prefix,
+            prefix_len,
+            aad,
+            msg,
+            aad_blocks,
+            next: 0,
+            total: 1 + aad_blocks + msg_blocks,
+        }
+    }
+
+    /// Byte `i` of the AAD region (prefix || aad || zero padding).
+    #[inline]
+    fn aad_byte(&self, i: usize) -> u8 {
+        if i < self.prefix_len {
+            self.prefix[i]
+        } else {
+            self.aad.get(i - self.prefix_len).copied().unwrap_or(0)
+        }
+    }
+
+    /// XOR the next block of the sequence into `x`; `false` once the
+    /// stream is exhausted.
+    fn xor_next(&mut self, x: &mut [u8; 16]) -> bool {
+        if self.next == self.total {
+            return false;
+        }
+        let idx = self.next;
+        self.next += 1;
+        if idx == 0 {
+            for (xb, b) in x.iter_mut().zip(self.b0.iter()) {
+                *xb ^= b;
+            }
+        } else if idx <= self.aad_blocks {
+            let base = (idx - 1) * 16;
+            for (j, xb) in x.iter_mut().enumerate() {
+                *xb ^= self.aad_byte(base + j);
+            }
+        } else {
+            let base = (idx - 1 - self.aad_blocks) * 16;
+            let chunk = &self.msg[base..usize::min(base + 16, self.msg.len())];
+            for (xb, b) in x.iter_mut().zip(chunk.iter()) {
+                *xb ^= b;
             }
         }
+        true
     }
 }
 
@@ -288,7 +511,7 @@ mod tests {
     }
 
     /// RFC 3610 packet vector #1: M=8, L=2, 13-byte nonce — exactly the
-    /// COSE AES-CCM-16-64-128 configuration.
+    /// COSE AES-CCM-16-64-128 configuration. Run on every backend.
     #[test]
     fn rfc3610_vector_1() {
         let key: [u8; 16] = unhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
@@ -298,16 +521,18 @@ mod tests {
         // Total packet 00..1E; first 8 bytes are AAD, rest plaintext.
         let packet = unhex("000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E");
         let (aad, plain) = packet.split_at(8);
-        let ccm = AesCcm::new(&key, 8, 2).unwrap();
-        let sealed = ccm.seal(&nonce, aad, plain).unwrap();
         let expect = unhex("588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0");
-        assert_eq!(sealed, expect);
-        let opened = ccm.open(&nonce, aad, &sealed).unwrap();
-        assert_eq!(opened, plain);
+        for backend in Backend::available() {
+            let ccm = AesCcm::with_backend(&key, 8, 2, backend).unwrap();
+            let sealed = ccm.seal(&nonce, aad, plain).unwrap();
+            assert_eq!(sealed, expect, "{}", backend.label());
+            let opened = ccm.open(&nonce, aad, &sealed).unwrap();
+            assert_eq!(opened, plain, "{}", backend.label());
+        }
     }
 
-    /// `seal_in_place` / `seal_into` / `seal_suffix_in_place` are
-    /// byte-identical to `seal`.
+    /// `seal_in_place` / `seal_into` / `seal_suffix_in_place` /
+    /// single-packet `seal_suffix_batch` are byte-identical to `seal`.
     #[test]
     fn seal_variants_agree() {
         let ccm = AesCcm::new(&[7u8; 16], 8, 2).unwrap();
@@ -332,7 +557,91 @@ mod tests {
         assert_eq!(&suffixed[..2], &[0xEE, 0xFF]);
         assert_eq!(&suffixed[2..], &sealed[..]);
 
+        let mut batched = vec![0xEE, 0xFF];
+        batched.extend_from_slice(plain);
+        let mut reqs = [SealRequest {
+            nonce: &nonce,
+            aad,
+            buf: &mut batched,
+            start: 2,
+        }];
+        ccm.seal_suffix_batch(&mut reqs).unwrap();
+        assert_eq!(&batched[..2], &[0xEE, 0xFF]);
+        assert_eq!(&batched[2..], &sealed[..]);
+
         assert_eq!(ccm.open(&nonce, aad, &sealed).unwrap(), plain);
+    }
+
+    /// Batched sealing is byte-exact with the sequential path across a
+    /// spread of packet sizes (empty, sub-block, block-aligned, multi-
+    /// block), mixed AADs, and every backend.
+    #[test]
+    fn batch_matches_sequential() {
+        let key = [0x21u8; 16];
+        let sizes = [0usize, 1, 15, 16, 17, 47, 48, 64, 200];
+        for backend in Backend::available() {
+            let ccm = AesCcm::with_backend(&key, 8, 2, backend).unwrap();
+            let mut bufs: Vec<Vec<u8>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (0..n).map(|j| (i * 31 + j) as u8).collect())
+                .collect();
+            let nonces: Vec<[u8; 13]> = (0..sizes.len())
+                .map(|i| core::array::from_fn(|j| (i * 17 + j) as u8))
+                .collect();
+            let aads: Vec<Vec<u8>> = (0..sizes.len())
+                .map(|i| vec![i as u8; i * 7 % 40])
+                .collect();
+
+            let expect: Vec<Vec<u8>> = bufs
+                .iter()
+                .enumerate()
+                .map(|(i, buf)| ccm.seal(&nonces[i], &aads[i], buf).unwrap())
+                .collect();
+
+            let mut reqs: Vec<SealRequest<'_>> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, buf)| SealRequest {
+                    nonce: &nonces[i],
+                    aad: &aads[i],
+                    buf,
+                    start: 0,
+                })
+                .collect();
+            ccm.seal_suffix_batch(&mut reqs).unwrap();
+            assert_eq!(bufs, expect, "{}", backend.label());
+        }
+    }
+
+    /// A bad packet anywhere in a batch leaves every buffer untouched.
+    #[test]
+    fn batch_validation_is_all_or_nothing() {
+        let ccm = AesCcm::cose_ccm_16_64_128(&[1u8; 16]);
+        let mut good = b"fine".to_vec();
+        let mut bad = b"doomed".to_vec();
+        let good_nonce = [2u8; 13];
+        let bad_nonce = [3u8; 12]; // wrong length
+        let mut reqs = [
+            SealRequest {
+                nonce: &good_nonce,
+                aad: b"",
+                buf: &mut good,
+                start: 0,
+            },
+            SealRequest {
+                nonce: &bad_nonce,
+                aad: b"",
+                buf: &mut bad,
+                start: 0,
+            },
+        ];
+        assert_eq!(
+            ccm.seal_suffix_batch(&mut reqs),
+            Err(CryptoError::InvalidParameter)
+        );
+        assert_eq!(good, b"fine");
+        assert_eq!(bad, b"doomed");
     }
 
     /// `open_into` appends after existing bytes, and restores the
@@ -353,6 +662,51 @@ mod tests {
             Err(CryptoError::AuthFailed)
         );
         assert_eq!(out, vec![0xAB], "buffer restored on failure");
+    }
+
+    /// `open_in_place` / `open_suffix_in_place` mirror the seal side:
+    /// success leaves the plaintext, failure restores the ciphertext
+    /// byte-exactly.
+    #[test]
+    fn open_in_place_roundtrip_and_restore() {
+        let ccm = AesCcm::cose_ccm_16_64_128(&[7u8; 16]);
+        let nonce = [9u8; 13];
+        let plain = b"plaintext across blocks, in place this time";
+        let sealed = ccm.seal(&nonce, b"aad", plain).unwrap();
+
+        let mut buf = sealed.clone();
+        ccm.open_in_place(&nonce, b"aad", &mut buf).unwrap();
+        assert_eq!(buf, plain);
+
+        let mut framed = vec![0xEE, 0xFF];
+        framed.extend_from_slice(&sealed);
+        ccm.open_suffix_in_place(&nonce, b"aad", &mut framed, 2)
+            .unwrap();
+        assert_eq!(&framed[..2], &[0xEE, 0xFF]);
+        assert_eq!(&framed[2..], plain);
+
+        // Tampered: buffer must be restored byte-exactly.
+        let mut bad = sealed.clone();
+        bad[3] ^= 0x80;
+        let snapshot = bad.clone();
+        assert_eq!(
+            ccm.open_in_place(&nonce, b"aad", &mut bad),
+            Err(CryptoError::AuthFailed)
+        );
+        assert_eq!(bad, snapshot, "ciphertext restored on failure");
+
+        // Truncated input (shorter than the tag) fails cleanly.
+        let mut tiny = sealed[..4].to_vec();
+        assert_eq!(
+            ccm.open_in_place(&nonce, b"aad", &mut tiny),
+            Err(CryptoError::AuthFailed)
+        );
+        // `start` beyond the buffer is a parameter error, not a panic.
+        let mut buf = sealed.clone();
+        assert_eq!(
+            ccm.open_suffix_in_place(&nonce, b"aad", &mut buf, sealed.len() + 1),
+            Err(CryptoError::InvalidParameter)
+        );
     }
 
     /// RFC 3610 packet vector #2 (plaintext not block-aligned).

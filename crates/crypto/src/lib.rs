@@ -3,7 +3,10 @@
 //!
 //! Implements everything the DoC protocol stack needs, from scratch:
 //!
-//! * [`aes`] — AES-128 block cipher (FIPS-197, encryption direction).
+//! * [`aes`] — AES-128 block cipher (FIPS-197, encryption direction)
+//!   with three runtime-dispatched implementations under [`backend`]:
+//!   a scalar reference, a bitsliced constant-time fallback, and an
+//!   AES-NI path (see the README "crypto substrate" section).
 //! * [`ccm`] — AES-CCM authenticated encryption (RFC 3610), with the two
 //!   parameterizations used by the paper: `AES-128-CCM-8` (DTLS,
 //!   RFC 6655) and `AES-CCM-16-64-128` (COSE/OSCORE, RFC 8152).
@@ -18,9 +21,12 @@
 //! * [`cbor`] — a compact CBOR encoder/decoder (RFC 8949) sufficient for
 //!   COSE structures and the `application/dns+cbor` format.
 //!
-//! All primitives are pure Rust with no dependencies; they favour
-//! clarity over speed but are fast enough to drive the simulation
-//! benches (see `doc-bench`).
+//! All primitives are pure Rust with no dependencies. The AES/SHA hot
+//! paths dispatch once per process to the fastest backend the CPU
+//! offers (`DOC_CRYPTO_BACKEND=reference|soft|aesni|auto` overrides the
+//! choice); the scalar reference implementations remain in-tree as the
+//! ground truth the vector paths are differentially pinned to (see the
+//! `crypto` fuzz family and `BENCH_crypto.json`).
 //!
 //! # Example
 //!
@@ -41,6 +47,7 @@
 //! ```
 
 pub mod aes;
+pub mod backend;
 pub mod base64url;
 pub mod cbor;
 pub mod ccm;

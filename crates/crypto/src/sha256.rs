@@ -1,7 +1,14 @@
 //! SHA-256 (FIPS 180-4).
 //!
 //! Streaming implementation used by [`crate::hmac`], [`crate::hkdf`]
-//! and the DTLS handshake transcript hash.
+//! and the DTLS handshake transcript hash. The compression loop is
+//! multi-block: bulk input is fed straight from the caller's slice
+//! (no per-block copy), and on x86_64 with the SHA extensions the
+//! whole run goes through the hardware `sha256rnds2` schedule —
+//! sharing the crypto substrate's one dispatch decision (see
+//! [`crate::backend::sha_ni_active`]; `DOC_CRYPTO_BACKEND=reference` or
+//! `soft` forces the scalar loop). [`sha256_portable`] pins the scalar
+//! path for differential tests.
 
 /// SHA-256 output size in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -31,6 +38,9 @@ pub struct Sha256 {
     buf: [u8; 64],
     buf_len: usize,
     total_len: u64,
+    /// Whether this hasher runs the SHA-NI compression (decided once at
+    /// construction from the process-wide dispatch).
+    accel: bool,
 }
 
 impl Default for Sha256 {
@@ -40,13 +50,24 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Create a fresh hasher.
+    /// Create a fresh hasher on the dispatched compression path.
     pub fn new() -> Self {
+        Self::with_accel(crate::backend::sha_ni_active())
+    }
+
+    /// Create a hasher pinned to the portable scalar compression loop,
+    /// regardless of hardware — the differential-test reference.
+    pub fn new_portable() -> Self {
+        Self::with_accel(false)
+    }
+
+    fn with_accel(accel: bool) -> Self {
         Sha256 {
             state: H0,
             buf: [0u8; 64],
             buf_len: 0,
             total_len: 0,
+            accel,
         }
     }
 
@@ -61,15 +82,17 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        // Bulk blocks stream straight from the caller's slice — one
+        // multi-block compression call, no staging copy.
+        let whole = data.len() - data.len() % 64;
+        if whole > 0 {
+            let (blocks, rest) = data.split_at(whole);
+            self.compress_blocks(blocks);
+            data = rest;
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -88,7 +111,7 @@ impl Sha256 {
         // Manually absorb the length without updating total_len semantics.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
-        self.compress(&block);
+        self.compress_blocks(&block);
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
@@ -96,7 +119,24 @@ impl Sha256 {
         out
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// Compress a whole run of 64-byte blocks.
+    fn compress_blocks(&mut self, blocks: &[u8]) {
+        debug_assert!(blocks.len().is_multiple_of(64));
+        #[cfg(target_arch = "x86_64")]
+        if self.accel {
+            // SAFETY: `accel` is only set when `sha_ni_active` reported
+            // the sha/sse4.1/ssse3 features present on this CPU, which
+            // is the target-feature contract of the SHA-NI path.
+            unsafe { shani::compress_blocks(&mut self.state, blocks) };
+            return;
+        }
+        scalar_compress_blocks(&mut self.state, blocks);
+    }
+}
+
+/// The portable FIPS 180-4 §6.2 compression loop over a run of blocks.
+fn scalar_compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+    for block in blocks.chunks_exact(64) {
         let mut w = [0u32; 64];
         for (i, c) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
@@ -109,7 +149,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
@@ -130,20 +170,111 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 
-/// Hash `data` in one shot.
+/// Hardware compression via the x86_64 SHA extensions: two
+/// `sha256rnds2` per four rounds on the ABEF/CDGH register split, with
+/// the message schedule advanced by `sha256msg1`/`sha256msg2`.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::K;
+    use core::arch::x86_64::{
+        _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32, _mm_shuffle_epi32,
+        _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+
+    /// Compress a run of 64-byte blocks into `state`. Safe to declare,
+    /// unsafe to reach: the one call site dispatches in only after
+    /// `sha_ni_active` confirmed the features below at runtime.
+    #[target_feature(enable = "sha,sse4.1,ssse3,sse2")]
+    pub(super) fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+        // Big-endian 32-bit loads: byteswap each word lane.
+        let mask = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x04050607_00010203u64 as i64);
+
+        // Pack {a..h} into the ABEF / CDGH register split the sha256
+        // round instruction expects.
+        // SAFETY: `state` is 8 readable u32s; unaligned loads.
+        let (tmp, st1) = unsafe {
+            (
+                _mm_loadu_si128(state.as_ptr().cast()),
+                _mm_loadu_si128(state.as_ptr().add(4).cast()),
+            )
+        };
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+        let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+
+        for block in blocks.chunks_exact(64) {
+            let save0 = state0;
+            let save1 = state1;
+
+            // SAFETY: `block` is exactly 64 readable bytes; unaligned
+            // loads of its four 16-byte quarters.
+            let mut m = unsafe {
+                [
+                    _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), mask),
+                    _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), mask),
+                    _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), mask),
+                    _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), mask),
+                ]
+            };
+
+            for j in 0..16 {
+                // SAFETY: `K` holds 64 u32s and `4*j <= 60`, so the
+                // 16-byte unaligned load stays in bounds.
+                let k = unsafe { _mm_loadu_si128(K.as_ptr().add(4 * j).cast()) };
+                let msg = _mm_add_epi32(m[j % 4], k);
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                let msg_hi = _mm_shuffle_epi32(msg, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, msg_hi);
+                if j < 12 {
+                    // Advance the message schedule: W[t] from W[t-16],
+                    // W[t-15], W[t-7], W[t-2] via msg1 + alignr + msg2.
+                    let w47 = _mm_alignr_epi8(m[(j + 3) % 4], m[(j + 2) % 4], 4);
+                    let part = _mm_add_epi32(_mm_sha256msg1_epu32(m[j % 4], m[(j + 1) % 4]), w47);
+                    m[j % 4] = _mm_sha256msg2_epu32(part, m[(j + 3) % 4]);
+                }
+            }
+
+            state0 = _mm_add_epi32(state0, save0);
+            state1 = _mm_add_epi32(state1, save1);
+        }
+
+        // Unpack ABEF/CDGH back to {a..h}.
+        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        let st1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        let out0 = _mm_blend_epi16(tmp, st1, 0xF0); // DCBA
+        let out1 = _mm_alignr_epi8(st1, tmp, 8); // ABEF -> HGFE
+                                                 // SAFETY: `state` is 8 writable u32s; unaligned stores.
+        unsafe {
+            _mm_storeu_si128(state.as_mut_ptr().cast(), out0);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out1);
+        }
+    }
+}
+
+/// Hash `data` in one shot on the dispatched compression path.
 pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
     let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hash `data` in one shot on the portable scalar loop — the reference
+/// the hardware path is differentially pinned to.
+pub fn sha256_portable(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new_portable();
     h.update(data);
     h.finalize()
 }
@@ -156,33 +287,45 @@ mod tests {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    /// FIPS 180-4 "abc" vector.
+    /// FIPS 180-4 "abc" vector, on the dispatched and portable paths.
     #[test]
     fn nist_abc() {
-        assert_eq!(
-            hex(&sha256(b"abc")),
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
-        );
+        let expect = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+        assert_eq!(hex(&sha256(b"abc")), expect);
+        assert_eq!(hex(&sha256_portable(b"abc")), expect);
     }
 
     /// Empty-message vector.
     #[test]
     fn empty() {
-        assert_eq!(
-            hex(&sha256(b"")),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
+        let expect = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+        assert_eq!(hex(&sha256(b"")), expect);
+        assert_eq!(hex(&sha256_portable(b"")), expect);
     }
 
     /// Two-block message vector ("abcdbcde...").
     #[test]
     fn nist_two_blocks() {
-        assert_eq!(
-            hex(&sha256(
-                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
-            )),
-            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
-        );
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        let expect = "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+        assert_eq!(hex(&sha256(msg)), expect);
+        assert_eq!(hex(&sha256_portable(msg)), expect);
+    }
+
+    /// The dispatched path (SHA-NI where available) must agree with the
+    /// portable loop on every length crossing the block boundaries.
+    #[test]
+    fn dispatched_matches_portable() {
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(37) >> 3) as u8)
+            .collect();
+        for len in [0, 1, 55, 56, 63, 64, 65, 127, 128, 129, 256, 512] {
+            assert_eq!(
+                sha256(&data[..len]),
+                sha256_portable(&data[..len]),
+                "len {len}"
+            );
+        }
     }
 
     /// Streaming in odd-sized chunks must equal one-shot hashing.
@@ -211,17 +354,21 @@ mod tests {
         assert_eq!(h2.finalize(), d1);
     }
 
-    /// One-million-'a' vector (FIPS 180-4).
+    /// One-million-'a' vector (FIPS 180-4), on both paths.
     #[test]
     fn million_a() {
-        let mut h = Sha256::new();
-        let chunk = [b'a'; 1000];
-        for _ in 0..1000 {
-            h.update(&chunk);
+        let expect = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+        for portable in [false, true] {
+            let mut h = if portable {
+                Sha256::new_portable()
+            } else {
+                Sha256::new()
+            };
+            let chunk = [b'a'; 1000];
+            for _ in 0..1000 {
+                h.update(&chunk);
+            }
+            assert_eq!(hex(&h.finalize()), expect, "portable={portable}");
         }
-        assert_eq!(
-            hex(&h.finalize()),
-            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
-        );
     }
 }

@@ -1,6 +1,7 @@
 //! The built-in parser families under differential test.
 
 pub mod coap;
+pub mod crypto;
 pub mod dns;
 pub mod dtls;
 pub mod json;
@@ -18,6 +19,7 @@ pub fn all() -> Vec<Box<dyn DifferentialTarget>> {
         Box::new(quic::QuicTarget),
         Box::new(json::JsonTarget),
         Box::new(sixlowpan::SixlowpanTarget),
+        Box::new(crypto::CryptoTarget),
     ]
 }
 
@@ -29,11 +31,11 @@ pub fn by_name(name: &str) -> Option<Box<dyn DifferentialTarget>> {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn at_least_six_families_with_unique_names_and_seeds() {
+    fn at_least_seven_families_with_unique_names_and_seeds() {
         let targets = super::all();
         assert!(
-            targets.len() >= 6,
-            "the harness covers >= 6 parser families"
+            targets.len() >= 7,
+            "the harness covers >= 7 differential families"
         );
         let mut names: Vec<_> = targets.iter().map(|t| t.name()).collect();
         names.sort();

@@ -18,7 +18,7 @@ use crate::OscoreError;
 use doc_coap::msg::{CoapMessage, Code, MsgType};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_coap::view::CoapView;
-use doc_crypto::ccm::AesCcm;
+use doc_crypto::ccm::{AesCcm, SealRequest};
 
 /// Decoded OSCORE option value.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -229,7 +229,9 @@ fn encode_inner(msg: &CoapMessage) -> Vec<u8> {
     out
 }
 
-/// Parse an inner plaintext back into code/options/payload.
+/// Parse an inner plaintext back into code/options/payload — the
+/// reference decoder [`open_inner`]'s in-place path is tested against.
+#[cfg(test)]
 fn decode_inner(plain: &[u8]) -> Result<CoapMessage, OscoreError> {
     if plain.is_empty() {
         return Err(OscoreError::Malformed);
@@ -238,6 +240,86 @@ fn decode_inner(plain: &[u8]) -> Result<CoapMessage, OscoreError> {
     let mut wire = vec![0x40, plain[0], 0, 0];
     wire.extend_from_slice(&plain[1..]);
     CoapMessage::decode(&wire).map_err(|_| OscoreError::Malformed)
+}
+
+/// Open a borrowed ciphertext and decode the inner message without a
+/// scratch plaintext buffer: the ciphertext is copied once into the
+/// codec's framing buffer (after a fake 4-byte CoAP header) and
+/// decrypted **in place** there via [`AesCcm::open_suffix_in_place`] —
+/// one allocation on the whole unprotect path instead of two.
+fn open_inner(
+    ccm: &AesCcm,
+    nonce: &[u8],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> Result<CoapMessage, OscoreError> {
+    let mut wire = Vec::with_capacity(4 + ciphertext.len());
+    wire.extend_from_slice(&[0x40, 0, 0, 0]);
+    wire.extend_from_slice(ciphertext);
+    ccm.open_suffix_in_place(nonce, aad, &mut wire, 4)
+        .map_err(|_| OscoreError::Crypto)?;
+    // `wire` now holds `fake header(4) || inner code || options/payload`;
+    // hoist the inner code into the header's code slot for the codec.
+    if wire.len() < 5 {
+        return Err(OscoreError::Malformed);
+    }
+    wire[1] = wire[4];
+    wire.remove(4);
+    CoapMessage::decode(&wire).map_err(|_| OscoreError::Malformed)
+}
+
+/// Serialize the outer request wire — header (code POST), Class-U
+/// options merged with the OSCORE option, payload marker — followed by
+/// the still-plaintext inner message (RFC 8613 §5.3). Returns the
+/// offset where the inner part begins so the caller can seal the
+/// buffer's suffix in place (single or batched).
+fn serialize_outer_request(msg: &CoapMessage, kid: &[u8], piv: &[u8], out: &mut Vec<u8>) -> usize {
+    assert!(msg.token.len() <= 8, "token too long");
+    debug_assert!(
+        kid.len() + piv.len() <= 12,
+        "OSCORE ids exceed option buffer"
+    );
+
+    // Outer header: type/token from the caller, code POST.
+    out.push(0x40 | (msg.mtype.to_bits() << 4) | msg.token.len() as u8);
+    out.push(Code::POST.0);
+    out.extend_from_slice(&msg.message_id.to_be_bytes());
+    out.extend_from_slice(&msg.token);
+
+    // OSCORE option value on the stack: flags || piv || kid.
+    let mut optval = [0u8; 13];
+    optval[0] = (piv.len() as u8 & 0x07) | 0x08;
+    optval[1..1 + piv.len()].copy_from_slice(piv);
+    optval[1 + piv.len()..1 + piv.len() + kid.len()].copy_from_slice(kid);
+    let optval_len = 1 + piv.len() + kid.len();
+
+    // Outer (Class U) options merged with OSCORE at number 9, in
+    // ascending (number, position) order regardless of how the
+    // caller stored them — the same order the owned path's
+    // stable-sort encode fallback produces.
+    let mut prev = encode_outer_options_sorted(msg, 0, OptionNumber::OSCORE.0 - 1, 0, out);
+    prev = doc_coap::msg::encode_raw_option_into(
+        prev,
+        OptionNumber::OSCORE.0,
+        &optval[..optval_len],
+        out,
+    );
+    encode_outer_options_sorted(msg, OptionNumber::OSCORE.0 + 1, u16::MAX, prev, out);
+
+    // Inner message after the payload marker; sealed at the tail by the
+    // caller.
+    out.push(0xFF);
+    let inner_start = out.len();
+    out.push(msg.code.0);
+    doc_coap::msg::encode_options_into(
+        msg.options.iter().filter(|o| !is_outer_option(o.number)),
+        out,
+    );
+    if !msg.payload.is_empty() {
+        out.push(0xFF);
+        out.extend_from_slice(&msg.payload);
+    }
+    inner_start
 }
 
 /// Sliding replay window for recipient PIVs.
@@ -296,6 +378,11 @@ impl ReplayWindow {
 pub struct OscoreEndpoint {
     /// The derived security context.
     pub ctx: SecurityContext,
+    /// Cached AEAD for the send direction (sender key): the AES key
+    /// schedule is expanded once at construction instead of per message.
+    sender_ccm: AesCcm,
+    /// Cached AEAD for the receive direction (recipient key).
+    recipient_ccm: AesCcm,
     replay: ReplayWindow,
     /// Server-side Echo gate: `None` once the replay window is
     /// synchronized. Paper Fig. 6: the first exchange costs one
@@ -312,6 +399,8 @@ impl OscoreEndpoint {
         // Paper §5.1: "we increase … the OSCORE replay window size" for
         // long runs — 64 entries here (RFC default is 32).
         OscoreEndpoint {
+            sender_ccm: AesCcm::cose_ccm_16_64_128(&ctx.sender_key),
+            recipient_ccm: AesCcm::cose_ccm_16_64_128(&ctx.recipient_key),
             ctx,
             replay: ReplayWindow::new(64),
             echo_challenge: None,
@@ -333,8 +422,8 @@ impl OscoreEndpoint {
         let mut ciphertext = encode_inner(msg);
         let aad = build_aad(&kid, &piv);
         let nonce = self.ctx.nonce(&kid, &piv);
-        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        ccm.seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
+        self.sender_ccm
+            .seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let opt = OscoreOption {
             piv: piv.clone(),
@@ -373,56 +462,56 @@ impl OscoreEndpoint {
         let piv = self.ctx.next_piv()?;
         // lint:allow(no-alloc-in-into): one of the two documented RequestBinding allocations this function returns
         let kid = self.ctx.sender_id.clone();
-        assert!(msg.token.len() <= 8, "token too long");
-        debug_assert!(
-            kid.len() + piv.len() <= 12,
-            "OSCORE ids exceed option buffer"
-        );
-
-        // Outer header: type/token from the caller, code POST.
-        out.push(0x40 | (msg.mtype.to_bits() << 4) | msg.token.len() as u8);
-        out.push(Code::POST.0);
-        out.extend_from_slice(&msg.message_id.to_be_bytes());
-        out.extend_from_slice(&msg.token);
-
-        // OSCORE option value on the stack: flags || piv || kid.
-        let mut optval = [0u8; 13];
-        optval[0] = (piv.len() as u8 & 0x07) | 0x08;
-        optval[1..1 + piv.len()].copy_from_slice(&piv);
-        optval[1 + piv.len()..1 + piv.len() + kid.len()].copy_from_slice(&kid);
-        let optval_len = 1 + piv.len() + kid.len();
-
-        // Outer (Class U) options merged with OSCORE at number 9, in
-        // ascending (number, position) order regardless of how the
-        // caller stored them — the same order the owned path's
-        // stable-sort encode fallback produces.
-        let mut prev = encode_outer_options_sorted(msg, 0, OptionNumber::OSCORE.0 - 1, 0, out);
-        prev = doc_coap::msg::encode_raw_option_into(
-            prev,
-            OptionNumber::OSCORE.0,
-            &optval[..optval_len],
-            out,
-        );
-        encode_outer_options_sorted(msg, OptionNumber::OSCORE.0 + 1, u16::MAX, prev, out);
-
-        // Inner message after the payload marker, sealed at the tail.
-        out.push(0xFF);
-        let inner_start = out.len();
-        out.push(msg.code.0);
-        doc_coap::msg::encode_options_into(
-            msg.options.iter().filter(|o| !is_outer_option(o.number)),
-            out,
-        );
-        if !msg.payload.is_empty() {
-            out.push(0xFF);
-            out.extend_from_slice(&msg.payload);
-        }
+        let inner_start = serialize_outer_request(msg, &kid, &piv, out);
         let aad = build_aad(&kid, &piv);
         let nonce = self.ctx.nonce(&kid, &piv);
-        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        ccm.seal_suffix_in_place(&nonce, aad.as_slice(), out, inner_start)
+        self.sender_ccm
+            .seal_suffix_in_place(&nonce, aad.as_slice(), out, inner_start)
             .map_err(|_| OscoreError::Crypto)?;
         Ok(RequestBinding { kid, piv })
+    }
+
+    /// Protect a whole batch of requests in one pass, returning each
+    /// request's wire bytes and binding — byte-identical to calling
+    /// [`OscoreEndpoint::protect_request_into`] per message, but the
+    /// CBC-MAC chains of all requests advance in lockstep and every
+    /// keystream is generated through one flattened multi-block AES
+    /// pass ([`AesCcm::seal_suffix_batch`]). This is how a `ProxyPool`
+    /// worker amortizes keystream setup across a `pop_batch` drain.
+    pub fn protect_batch(
+        &mut self,
+        msgs: &[CoapMessage],
+    ) -> Result<(Vec<Vec<u8>>, Vec<RequestBinding>), OscoreError> {
+        let n = msgs.len();
+        let mut wires: Vec<Vec<u8>> = Vec::with_capacity(n);
+        let mut bindings: Vec<RequestBinding> = Vec::with_capacity(n);
+        let mut nonces = Vec::with_capacity(n);
+        let mut aads = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n);
+        for msg in msgs {
+            let piv = self.ctx.next_piv()?;
+            let kid = self.ctx.sender_id.clone();
+            let mut out = Vec::new();
+            starts.push(serialize_outer_request(msg, &kid, &piv, &mut out));
+            wires.push(out);
+            nonces.push(self.ctx.nonce(&kid, &piv));
+            aads.push(build_aad(&kid, &piv));
+            bindings.push(RequestBinding { kid, piv });
+        }
+        let mut reqs: Vec<SealRequest<'_>> = wires
+            .iter_mut()
+            .zip(nonces.iter().zip(aads.iter().zip(starts.iter())))
+            .map(|(buf, (nonce, (aad, &start)))| SealRequest {
+                nonce,
+                aad: aad.as_slice(),
+                buf,
+                start,
+            })
+            .collect();
+        self.sender_ccm
+            .seal_suffix_batch(&mut reqs)
+            .map_err(|_| OscoreError::Crypto)?;
+        Ok((wires, bindings))
     }
 
     /// Unprotect a request; enforces replay protection and, when
@@ -478,11 +567,7 @@ impl OscoreEndpoint {
         let seq = decode_piv(&opt.piv).ok_or(OscoreError::Malformed)?;
         let aad = build_aad(&kid, &opt.piv);
         let nonce = self.ctx.nonce(&kid, &opt.piv);
-        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
-        let plain = ccm
-            .open(&nonce, aad.as_slice(), payload)
-            .map_err(|_| OscoreError::Crypto)?;
-        let mut inner = decode_inner(&plain)?;
+        let mut inner = open_inner(&self.recipient_ccm, &nonce, aad.as_slice(), payload)?;
         inner.mtype = mtype;
         inner.message_id = message_id;
         inner.token = token.to_vec();
@@ -544,8 +629,8 @@ impl OscoreEndpoint {
         let mut ciphertext = encode_inner(msg);
         let aad = build_aad(&binding.kid, &binding.piv);
         let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
-        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.sender_key);
-        ccm.seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
+        self.sender_ccm
+            .seal_in_place(&nonce, aad.as_slice(), &mut ciphertext)
             .map_err(|_| OscoreError::Crypto)?;
         let mut outer = CoapMessage {
             mtype: msg.mtype,
@@ -608,11 +693,7 @@ impl OscoreEndpoint {
     ) -> Result<CoapMessage, OscoreError> {
         let aad = build_aad(&binding.kid, &binding.piv);
         let nonce = self.ctx.nonce(&binding.kid, &binding.piv);
-        let ccm = AesCcm::cose_ccm_16_64_128(&self.ctx.recipient_key);
-        let plain = ccm
-            .open(&nonce, aad.as_slice(), payload)
-            .map_err(|_| OscoreError::Crypto)?;
-        let mut inner = decode_inner(&plain)?;
+        let mut inner = open_inner(&self.recipient_ccm, &nonce, aad.as_slice(), payload)?;
         inner.mtype = mtype;
         inner.message_id = message_id;
         inner.token = token.to_vec();
@@ -935,6 +1016,39 @@ mod tests {
         let (inner, _) = server.unprotect_request_view(&view).unwrap();
         assert_eq!(inner.code, Code::GET);
         assert_eq!(inner.uri_path(), "/dns");
+    }
+
+    /// `protect_batch` must produce exactly the wires and bindings of
+    /// protecting each request sequentially with `protect_request_into`
+    /// — and the server must unprotect every batched wire.
+    #[test]
+    fn protect_batch_matches_sequential() {
+        let secret = b"0123456789abcdef";
+        // Two identically-derived endpoints so both paths consume the
+        // same PIV sequence.
+        let mut seq =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
+        let mut bat =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[], &[0x01]), false);
+        let msgs: Vec<CoapMessage> = (0..7u16)
+            .map(|i| {
+                CoapMessage::request(Code::FETCH, MsgType::Con, 100 + i, vec![i as u8, 0xBB])
+                    .with_option(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()))
+                    .with_payload(vec![0x5A; 10 + 17 * i as usize])
+            })
+            .collect();
+        let (wires, bindings) = bat.protect_batch(&msgs).unwrap();
+        let mut server =
+            OscoreEndpoint::new(SecurityContext::derive(secret, b"s", &[0x01], &[]), false);
+        for (i, msg) in msgs.iter().enumerate() {
+            let mut expect = Vec::new();
+            let expect_binding = seq.protect_request_into(msg, &mut expect).unwrap();
+            assert_eq!(wires[i], expect, "wire {i}");
+            assert_eq!(bindings[i], expect_binding, "binding {i}");
+            let view = doc_coap::view::CoapView::parse(&wires[i]).unwrap();
+            let (inner, _) = server.unprotect_request_view(&view).unwrap();
+            assert_eq!(inner.payload, msg.payload, "unprotect {i}");
+        }
     }
 
     #[test]
