@@ -9,13 +9,17 @@
 #   ./ci.sh bench    # tier-1 build + full measurement windows, then the
 #                    # timing gates: >=2x view-decode speedup (asserted
 #                    # by the encode bench itself), the 4-vs-1 worker
-#                    # throughput scaling gate (bench_gate
+#                    # throughput scaling gate (bench_gate proxy
 #                    # --require-scaling; the required ratio follows the
 #                    # machine parallelism recorded in BENCH_proxy.json:
 #                    # >=2x on >=4 cores, a no-collapse bound below),
-#                    # and the crypto vectorization gates (bench_gate
-#                    # --crypto: AES-NI seal >=2x the scalar reference,
-#                    # batch-8 sealing >=1.3x batch-1 on the
+#                    # the congested-bottleneck recovery gate (all
+#                    # three congestion controllers' rows present and
+#                    # both adaptive p99s below the fixed-RTO oracle;
+#                    # deterministic in virtual time, so always
+#                    # enforced), and the crypto vectorization gates
+#                    # (bench_gate crypto: AES-NI seal >=2x the scalar
+#                    # reference, batch-8 sealing >=1.3x batch-1 on the
 #                    # multi-block backends).
 #   ./ci.sh fuzz     # release build + the deterministic differential
 #                    # fuzzing campaign (fuzz_gate): 140k fixed-seed
@@ -121,7 +125,7 @@ case "$mode" in
             cargo bench -p doc-bench --bench throughput
         echo "==> crypto-bench smoke (emits BENCH_crypto.json; per-backend seal/open/batch rows)"
         BENCH_WARMUP_MS=10 BENCH_MEASURE_MS=25 cargo bench -p doc-bench --bench crypto
-        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --crypto BENCH_crypto.json
+        run_gate codecs BENCH_codecs.json proxy BENCH_proxy.json crypto BENCH_crypto.json
         echo "==> cargo fmt --check"
         cargo fmt --check
         echo "==> cargo clippy --workspace --all-targets -- -D warnings"
@@ -136,8 +140,8 @@ case "$mode" in
         cargo bench -p doc-bench --bench throughput
         echo "==> crypto bench, full windows (asserts AES-NI >=2x reference and batch gains in-process)"
         cargo bench -p doc-bench --bench crypto
-        run_gate --codecs BENCH_codecs.json --proxy BENCH_proxy.json --require-scaling \
-            --crypto BENCH_crypto.json
+        run_gate codecs BENCH_codecs.json proxy BENCH_proxy.json --require-scaling \
+            crypto BENCH_crypto.json
         ;;
     fuzz)
         echo "==> fuzz: cargo build --release"

@@ -5,8 +5,13 @@
 //! proxy/server behind the SPMC-ring worker pool at 1/2/4/8 workers,
 //! adds one row per stream transport (DoQ/DoH/DoT framing over the
 //! same pool), prints a summary table, and emits `BENCH_proxy.json`
-//! (schema `doc-bench/proxy/v2`, path overridable via
-//! `BENCH_PROXY_JSON`) for the `bench_gate` CI check.
+//! (schema `doc-bench/proxy/v3`, path overridable via
+//! `BENCH_PROXY_JSON`) for the `bench_gate` CI check. The artifact
+//! also carries one congested-bottleneck `recovery` row per
+//! congestion controller (fixed_rto / cubic / bbr_lite), produced by
+//! the deterministic virtual-time scenario in
+//! `doc_core::bottleneck`; `bench_gate proxy` asserts the adaptive
+//! controllers beat the fixed-RTO oracle's p99 under loss.
 //!
 //! Knobs (environment):
 //!
@@ -26,7 +31,9 @@
 //! oversubscription does not collapse throughput.
 
 use doc_bench::alloc_counter::{alloc_count, CountingAllocator};
-use doc_bench::throughput::{env_u64, proxy_json, run_load, stream_modes, LoadSpec, WORKER_SWEEP};
+use doc_bench::throughput::{
+    env_u64, proxy_json, recovery_rows, run_load, stream_modes, LoadSpec, WORKER_SWEEP,
+};
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
@@ -96,10 +103,23 @@ fn main() {
         );
         rows.push(row);
     }
+    // Congested-bottleneck recovery scenario: one row per congestion
+    // controller, deterministic in virtual time.
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "controller", "loss\u{2030}", "queries", "resolved", "p50 ms", "p99 ms"
+    );
+    let recovery = recovery_rows();
+    for r in &recovery {
+        println!(
+            "{:<10} {:>8} {:>8} {:>9} {:>8} {:>8}",
+            r.controller, r.loss_permille, r.queries, r.resolved, r.p50_ms, r.p99_ms
+        );
+    }
     // Default to the workspace root (cargo runs benches with the
     // package directory as CWD), same as the encode bench.
     let path = std::env::var("BENCH_PROXY_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_proxy.json").into());
-    std::fs::write(&path, proxy_json(&rows)).expect("write BENCH_proxy.json");
-    println!("wrote {path} (gate with: cargo run -p doc-bench --bin bench_gate -- --proxy {path})");
+    std::fs::write(&path, proxy_json(&rows, &recovery)).expect("write BENCH_proxy.json");
+    println!("wrote {path} (gate with: cargo run -p doc-bench --bin bench_gate -- proxy {path})");
 }

@@ -1,33 +1,46 @@
 //! `bench_gate` — the parsed CI gate over the `BENCH_*.json`
 //! artifacts.
 //!
-//! Usage:
+//! Usage (subcommands, one artifact each):
 //!
 //! ```text
-//! bench_gate [--codecs PATH] [--proxy PATH] [--crypto PATH] [--require-scaling]
+//! bench_gate proxy  PATH [--require-scaling]
+//! bench_gate crypto PATH
+//! bench_gate codecs PATH
 //! ```
 //!
-//! * `--codecs PATH` — validate a `doc-bench/codecs/v2` artifact
+//! * `codecs PATH` — validate a `doc-bench/codecs/v2` artifact
 //!   (schema + row shapes + the 0 allocs/iter invariant on every
 //!   `*_view`/`*_into` row).
-//! * `--proxy PATH` — validate a `doc-bench/proxy/v2` artifact
+//! * `proxy PATH` — validate a `doc-bench/proxy/v3` artifact
 //!   (schema + 1/2/4/8-worker CoAP rows + doq/doh/dot rows +
-//!   percentile sanity).
-//! * `--crypto PATH` — validate a `doc-bench/crypto/v1` artifact
+//!   percentile sanity + the congested-bottleneck `recovery` rows:
+//!   all three congestion controllers present, both adaptive
+//!   controllers' p99 below the fixed-RTO oracle's).
+//! * `crypto PATH` — validate a `doc-bench/crypto/v1` artifact
 //!   (schema + per-backend 1/4/8 CCM seal sweep; on full measurement
 //!   windows also the vectorization bounds: AES-NI seal ≥ 2× the
 //!   scalar reference, batch-8 ≥ 1.3× batch-1 on the multi-block
 //!   backends).
-//! * `--require-scaling` — additionally enforce the 4-vs-1 worker
-//!   throughput ratio; the required ratio depends on the parallelism
-//!   recorded in the artifact (≥ 2× on ≥ 4 cores, a no-collapse bound
-//!   on fewer — a 1-core container cannot demonstrate a parallel
-//!   speedup).
+//! * `--require-scaling` (proxy only) — additionally enforce the
+//!   4-vs-1 worker throughput ratio; the required ratio depends on the
+//!   parallelism recorded in the artifact (≥ 2× on ≥ 4 cores, a
+//!   no-collapse bound on fewer — a 1-core container cannot
+//!   demonstrate a parallel speedup).
+//!
+//! Several subcommands may be chained in one invocation:
+//!
+//! ```text
+//! bench_gate codecs BENCH_codecs.json proxy BENCH_proxy.json --require-scaling
+//! ```
+//!
+//! The pre-subcommand flags (`--codecs PATH`, `--proxy PATH`,
+//! `--crypto PATH`) are still accepted as deprecated aliases for one
+//! release; they print a notice on stderr and will be removed.
 //!
 //! Exit status 0 = every requested gate passed. Any parse error,
 //! schema drift, missing field, or failed bound exits 1 with a
-//! diagnostic — unlike the `grep` pipeline it replaces, which happily
-//! "passed" on files it could not actually interpret.
+//! diagnostic.
 
 use doc_bench::{gate, json};
 
@@ -42,63 +55,70 @@ fn load(path: &str) -> json::Json {
     json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
 }
 
+/// One requested check: which gate, over which artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Codecs,
+    Proxy,
+    Crypto,
+}
+
+const USAGE: &str = "usage: bench_gate {proxy|crypto|codecs} PATH ... [--require-scaling]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut codecs_path: Option<String> = None;
-    let mut proxy_path: Option<String> = None;
-    let mut crypto_path: Option<String> = None;
+    let mut checks: Vec<(Kind, String)> = Vec::new();
     let mut require_scaling = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        let mut subcommand = |kind: Kind, name: &str| {
+            let path = it
+                .next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a path")))
+                .clone();
+            checks.push((kind, path));
+        };
         match arg.as_str() {
-            "--codecs" => {
-                codecs_path = Some(
-                    it.next()
-                        .unwrap_or_else(|| fail("--codecs needs a path"))
-                        .clone(),
-                )
-            }
-            "--proxy" => {
-                proxy_path = Some(
-                    it.next()
-                        .unwrap_or_else(|| fail("--proxy needs a path"))
-                        .clone(),
-                )
-            }
-            "--crypto" => {
-                crypto_path = Some(
-                    it.next()
-                        .unwrap_or_else(|| fail("--crypto needs a path"))
-                        .clone(),
-                )
+            "codecs" => subcommand(Kind::Codecs, "codecs"),
+            "proxy" => subcommand(Kind::Proxy, "proxy"),
+            "crypto" => subcommand(Kind::Crypto, "crypto"),
+            // Deprecated flag spellings, kept as aliases for one
+            // release so existing CI invocations keep working.
+            "--codecs" | "--proxy" | "--crypto" => {
+                let name = arg.trim_start_matches("--");
+                eprintln!(
+                    "bench_gate: note: {arg} PATH is deprecated; use the \
+                     \"bench_gate {name} PATH\" subcommand"
+                );
+                let kind = match name {
+                    "codecs" => Kind::Codecs,
+                    "proxy" => Kind::Proxy,
+                    _ => Kind::Crypto,
+                };
+                subcommand(kind, arg);
             }
             "--require-scaling" => require_scaling = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: bench_gate [--codecs PATH] [--proxy PATH] [--crypto PATH] [--require-scaling]"
-                );
+                println!("{USAGE}");
                 return;
             }
-            other => fail(&format!("unknown argument {other}")),
+            other => fail(&format!("unknown argument {other} ({USAGE})")),
         }
     }
-    if codecs_path.is_none() && proxy_path.is_none() && crypto_path.is_none() {
-        fail("nothing to check: pass --codecs, --proxy and/or --crypto");
+    if checks.is_empty() {
+        fail(&format!("nothing to check ({USAGE})"));
     }
-    if let Some(path) = codecs_path {
-        match gate::check_codecs(&load(&path)) {
-            Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
-            Err(e) => fail(&format!("{path}: {e}")),
-        }
+    if require_scaling && !checks.iter().any(|(k, _)| *k == Kind::Proxy) {
+        fail("--require-scaling only applies to the proxy gate");
     }
-    if let Some(path) = proxy_path {
-        match gate::check_proxy(&load(&path), require_scaling) {
-            Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
-            Err(e) => fail(&format!("{path}: {e}")),
-        }
-    }
-    if let Some(path) = crypto_path {
-        match gate::check_crypto(&load(&path)) {
+    for (kind, path) in checks {
+        let doc = load(&path);
+        let result = match kind {
+            Kind::Codecs => gate::check_codecs(&doc),
+            Kind::Proxy => gate::check_proxy(&doc, require_scaling),
+            Kind::Crypto => gate::check_crypto(&doc),
+        };
+        match result {
             Ok(summary) => println!("bench_gate: OK {path}: {summary}"),
             Err(e) => fail(&format!("{path}: {e}")),
         }

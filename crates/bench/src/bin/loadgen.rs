@@ -17,7 +17,9 @@
 //! the `throughput` bench produces.
 
 use doc_bench::alloc_counter::{alloc_count, CountingAllocator};
-use doc_bench::throughput::{proxy_json, run_load, LoadSpec, ThroughputRow, WORKER_SWEEP};
+use doc_bench::throughput::{
+    proxy_json, recovery_rows, run_load, LoadSpec, ThroughputRow, WORKER_SWEEP,
+};
 use doc_core::pool::ServeMode;
 
 #[global_allocator]
@@ -102,7 +104,10 @@ fn main() {
         rows.push(row);
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, proxy_json(&rows)).expect("write JSON artifact");
+        // The artifact must satisfy the v3 schema, so the ad-hoc
+        // loadgen run carries the same deterministic recovery rows
+        // the full bench emits.
+        std::fs::write(&path, proxy_json(&rows, &recovery_rows())).expect("write JSON artifact");
         println!("wrote {path}");
     }
 }

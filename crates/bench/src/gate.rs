@@ -11,10 +11,14 @@
 //! * **codecs** (`BENCH_codecs.json`, schema `doc-bench/codecs/v2`):
 //!   every `*_view`/`*_into` row must report exactly 0 allocs/iter —
 //!   the machine-independent zero-copy invariant of PRs 2/3.
-//! * **proxy** (`BENCH_proxy.json`, schema `doc-bench/proxy/v2`):
+//! * **proxy** (`BENCH_proxy.json`, schema `doc-bench/proxy/v3`):
 //!   per-transport rows — a 1/2/4/8-worker CoAP sweep plus at least
 //!   one row each for the DoQ/DoH/DoT stream workloads — with sane
-//!   req/s and latency percentiles;
+//!   req/s and latency percentiles, plus one congested-bottleneck
+//!   `recovery` row per congestion controller whose p99 ordering
+//!   (both adaptive controllers beat the fixed-RTO oracle under
+//!   loss) is always enforced — the scenario is virtual-time
+//!   deterministic, so the bound is machine-independent;
 //!   optionally the worker-scaling gate, whose required 4-vs-1 speedup
 //!   depends on how many cores the measuring machine actually had
 //!   (recorded in the artifact): a 1-core container cannot prove a
@@ -126,12 +130,37 @@ pub struct ProxyRow {
     pub allocs_per_req: f64,
 }
 
-/// Validate `BENCH_proxy.json` structure and return the parsed rows
-/// plus the recorded machine parallelism. Schema v2: every row carries
-/// its `transport`; the CoAP rows must sweep 1/2/4/8 workers and each
-/// stream transport (doq/doh/dot) must appear at least once.
-pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
-    check_schema(doc, "doc-bench/proxy/v2")?;
+/// One parsed `recovery` row of the proxy artifact: the congested-
+/// bottleneck scenario outcome for one congestion controller.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Controller label (`fixed_rto`, `cubic`, `bbr_lite`).
+    pub controller: String,
+    /// Per-frame loss the scenario ran at, permille.
+    pub loss_permille: u32,
+    /// Queries issued.
+    pub queries: u32,
+    /// Queries resolved before the deadline.
+    pub resolved: u32,
+    /// Median resolution latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile resolution latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Congestion controllers every artifact's `recovery` section must
+/// cover (the conformance oracle plus both adaptive controllers).
+pub const REQUIRED_CONTROLLERS: [&str; 3] = ["fixed_rto", "cubic", "bbr_lite"];
+
+/// Validate `BENCH_proxy.json` structure and return the parsed
+/// throughput rows, recovery rows, and the recorded machine
+/// parallelism. Schema v3: every throughput row carries its
+/// `transport`; the CoAP rows must sweep 1/2/4/8 workers; each stream
+/// transport (doq/doh/dot) must appear at least once; and the
+/// `recovery` section must carry one congested-bottleneck row per
+/// congestion controller.
+pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, Vec<RecoveryRow>, u32), String> {
+    check_schema(doc, "doc-bench/proxy/v3")?;
     let cores = doc
         .get("machine")
         .and_then(|m| m.get("available_parallelism"))
@@ -181,14 +210,76 @@ pub fn parse_proxy(doc: &Json) -> Result<(Vec<ProxyRow>, u32), String> {
             return Err(format!("missing row for transport \"{t}\""));
         }
     }
-    Ok((rows, cores))
+    let recovery_json = doc
+        .get("recovery")
+        .and_then(Json::as_arr)
+        .ok_or("document root: missing \"recovery\" array (schema v3)")?;
+    let mut recovery = Vec::new();
+    for (i, row) in recovery_json.iter().enumerate() {
+        let ctx = format!("recovery[{i}]");
+        let parsed = RecoveryRow {
+            controller: field_str(row, "controller", &ctx)?.to_string(),
+            loss_permille: field_f64(row, "loss_permille", &ctx)? as u32,
+            queries: field_f64(row, "queries", &ctx)? as u32,
+            resolved: field_f64(row, "resolved", &ctx)? as u32,
+            p50_ms: field_f64(row, "p50_ms", &ctx)?,
+            p99_ms: field_f64(row, "p99_ms", &ctx)?,
+        };
+        if !REQUIRED_CONTROLLERS.contains(&parsed.controller.as_str()) {
+            return Err(format!(
+                "{ctx}: unknown controller \"{}\"",
+                parsed.controller
+            ));
+        }
+        if parsed.resolved == 0 || parsed.resolved > parsed.queries {
+            return Err(format!(
+                "{ctx} ({}): resolved {} out of range for {} queries",
+                parsed.controller, parsed.resolved, parsed.queries
+            ));
+        }
+        if parsed.p50_ms > parsed.p99_ms {
+            return Err(format!(
+                "{ctx} ({}): p50 {}ms exceeds p99 {}ms",
+                parsed.controller, parsed.p50_ms, parsed.p99_ms
+            ));
+        }
+        recovery.push(parsed);
+    }
+    for c in REQUIRED_CONTROLLERS {
+        if !recovery.iter().any(|r| r.controller == c) {
+            return Err(format!("missing recovery row for controller \"{c}\""));
+        }
+    }
+    Ok((rows, recovery, cores))
 }
 
 /// Validate `BENCH_proxy.json`; with `require_scaling`, also enforce
 /// the 4-vs-1 worker throughput ratio for the measuring machine's
-/// parallelism. Returns a human-readable summary on success.
+/// parallelism. The congested-bottleneck ordering — both adaptive
+/// controllers beat the fixed-RTO oracle's p99 under loss — is always
+/// enforced: the scenario runs in deterministic virtual time, so the
+/// bound is machine-independent. Returns a human-readable summary on
+/// success.
 pub fn check_proxy(doc: &Json, require_scaling: bool) -> Result<String, String> {
-    let (rows, cores) = parse_proxy(doc)?;
+    let (rows, recovery, cores) = parse_proxy(doc)?;
+    let p99 = |c: &str| {
+        recovery
+            .iter()
+            .find(|r| r.controller == c)
+            .map(|r| r.p99_ms)
+            .expect("presence checked in parse_proxy")
+    };
+    let fixed_p99 = p99("fixed_rto");
+    for adaptive in ["cubic", "bbr_lite"] {
+        if p99(adaptive) >= fixed_p99 {
+            return Err(format!(
+                "recovery gate failed: {adaptive} p99 {}ms not below fixed_rto p99 {}ms \
+                 under the congested bottleneck",
+                p99(adaptive),
+                fixed_p99
+            ));
+        }
+    }
     let rate = |w: u32| {
         rows.iter()
             .find(|r| r.transport == "coap" && r.workers == w)
@@ -197,8 +288,12 @@ pub fn check_proxy(doc: &Json, require_scaling: bool) -> Result<String, String> 
     };
     let ratio = rate(4) / rate(1);
     let mut summary = format!(
-        "proxy: {} rows, machine parallelism {cores}, 4w/1w throughput ratio {ratio:.2}",
-        rows.len()
+        "proxy: {} rows, {} recovery rows (fixed_rto p99 {fixed_p99}ms, cubic {}ms, \
+         bbr_lite {}ms), machine parallelism {cores}, 4w/1w throughput ratio {ratio:.2}",
+        rows.len(),
+        recovery.len(),
+        p99("cubic"),
+        p99("bbr_lite")
     );
     if require_scaling {
         let required = required_scaling(cores);
@@ -355,14 +450,28 @@ mod tests {
         )
     }
 
-    fn proxy_doc(cores: u32, r1: f64, r4: f64) -> String {
+    fn recovery_rows(fixed_p99: f64, cubic_p99: f64, bbr_p99: f64) -> String {
+        let row = |c: &str, p99: f64| {
+            format!(
+                r#"{{"controller": "{c}", "loss_permille": 20, "queries": 100, "resolved": 100, "p50_ms": 17, "p99_ms": {p99}}}"#
+            )
+        };
+        format!(
+            "[{},{},{}]",
+            row("fixed_rto", fixed_p99),
+            row("cubic", cubic_p99),
+            row("bbr_lite", bbr_p99)
+        )
+    }
+
+    fn proxy_doc_with_recovery(cores: u32, r1: f64, r4: f64, recovery: &str) -> String {
         let row = |t: &str, w: u32, r: f64| {
             format!(
                 r#"{{"transport": "{t}", "workers": {w}, "req_per_s": {r}, "p50_us": 10.0, "p99_us": 50.0, "allocs_per_req": 20.0, "requests": 1000}}"#
             )
         };
         format!(
-            r#"{{"schema": "doc-bench/proxy/v2", "machine": {{"available_parallelism": {cores}}}, "rows": [{},{},{},{},{},{},{}]}}"#,
+            r#"{{"schema": "doc-bench/proxy/v3", "machine": {{"available_parallelism": {cores}}}, "rows": [{},{},{},{},{},{},{}], "recovery": {recovery}}}"#,
             row("coap", 1, r1),
             row("coap", 2, (r1 + r4) / 2.0),
             row("coap", 4, r4),
@@ -371,6 +480,10 @@ mod tests {
             row("doh", 4, r4),
             row("dot", 4, r4)
         )
+    }
+
+    fn proxy_doc(cores: u32, r1: f64, r4: f64) -> String {
+        proxy_doc_with_recovery(cores, r1, r4, &recovery_rows(322.0, 79.0, 83.0))
     }
 
     #[test]
@@ -424,7 +537,7 @@ mod tests {
     #[test]
     fn proxy_gate_requires_all_worker_rows() {
         let doc = parse(
-            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+            r#"{"schema": "doc-bench/proxy/v3", "machine": {"available_parallelism": 4},
                 "rows": [{"transport": "coap", "workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
         )
         .unwrap();
@@ -441,7 +554,7 @@ mod tests {
             )
         };
         let doc = parse(&format!(
-            r#"{{"schema": "doc-bench/proxy/v2", "machine": {{"available_parallelism": 4}}, "rows": [{},{},{},{}]}}"#,
+            r#"{{"schema": "doc-bench/proxy/v3", "machine": {{"available_parallelism": 4}}, "rows": [{},{},{},{}]}}"#,
             row(1),
             row(2),
             row(4),
@@ -455,7 +568,7 @@ mod tests {
         assert!(check_proxy(&v1, false).unwrap_err().contains("schema"));
         // Unknown transport labels are rejected.
         let doc = parse(
-            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+            r#"{"schema": "doc-bench/proxy/v3", "machine": {"available_parallelism": 4},
                 "rows": [{"transport": "smtp", "workers": 1, "req_per_s": 1.0, "p50_us": 1.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
         )
         .unwrap();
@@ -549,9 +662,58 @@ mod tests {
     }
 
     #[test]
+    fn proxy_gate_requires_recovery_rows_and_orders_p99() {
+        // All three controllers present with the adaptive ones faster:
+        // passes (covered by proxy_doc). An adaptive p99 at or above
+        // the oracle's fails the ordering gate.
+        let slow_cubic = parse(&proxy_doc_with_recovery(
+            4,
+            1.0,
+            2.0,
+            &recovery_rows(322.0, 322.0, 79.0),
+        ))
+        .unwrap();
+        let err = check_proxy(&slow_cubic, false).unwrap_err();
+        assert!(err.contains("cubic p99"), "{err}");
+        let slow_bbr = parse(&proxy_doc_with_recovery(
+            4,
+            1.0,
+            2.0,
+            &recovery_rows(322.0, 79.0, 400.0),
+        ))
+        .unwrap();
+        let err = check_proxy(&slow_bbr, false).unwrap_err();
+        assert!(err.contains("bbr_lite p99"), "{err}");
+        // A controller row missing entirely is a schema violation.
+        let doc = parse(&proxy_doc_with_recovery(
+            4,
+            1.0,
+            2.0,
+            r#"[{"controller": "fixed_rto", "loss_permille": 20, "queries": 100, "resolved": 100, "p50_ms": 17, "p99_ms": 322}]"#,
+        ))
+        .unwrap();
+        let missing = check_proxy(&doc, false).unwrap_err();
+        assert!(missing.contains("missing recovery row"), "{missing}");
+        // Unknown controller labels and impossible resolved counts are
+        // rejected.
+        let unknown = recovery_rows(322.0, 79.0, 83.0).replace("\"cubic\"", "\"reno\"");
+        let doc = parse(&proxy_doc_with_recovery(4, 1.0, 2.0, &unknown)).unwrap();
+        assert!(check_proxy(&doc, false)
+            .unwrap_err()
+            .contains("unknown controller"));
+        let none_resolved =
+            recovery_rows(322.0, 79.0, 83.0).replace("\"resolved\": 100", "\"resolved\": 0");
+        let doc = parse(&proxy_doc_with_recovery(4, 1.0, 2.0, &none_resolved)).unwrap();
+        assert!(check_proxy(&doc, false).unwrap_err().contains("resolved"));
+        // A v2 artifact (no recovery section) fails the schema check.
+        let v2 = parse(r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4}, "rows": []}"#).unwrap();
+        assert!(check_proxy(&v2, false).unwrap_err().contains("schema"));
+    }
+
+    #[test]
     fn proxy_gate_rejects_inverted_percentiles() {
         let doc = parse(
-            r#"{"schema": "doc-bench/proxy/v2", "machine": {"available_parallelism": 4},
+            r#"{"schema": "doc-bench/proxy/v3", "machine": {"available_parallelism": 4},
                 "rows": [{"transport": "coap", "workers": 1, "req_per_s": 1.0, "p50_us": 9.0, "p99_us": 2.0, "allocs_per_req": 1.0}]}"#,
         )
         .unwrap();

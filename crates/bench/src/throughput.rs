@@ -190,7 +190,7 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
             &Datagram {
                 peer: i as u64 % 64,
                 seq: i as u64,
-                now_ms: 1,
+                at: doc_netsim::Instant::from_millis(1),
                 wire: wire.clone(),
             },
             &mut scratch,
@@ -220,7 +220,7 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
             Datagram {
                 peer: seq % 64,
                 seq,
-                now_ms: 1,
+                at: doc_netsim::Instant::from_millis(1),
                 wire: mix.wires[(seq % mix.wires.len() as u64) as usize].clone(),
             }
         }),
@@ -259,16 +259,38 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
     }
 }
 
-/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v2`)
+/// Run the congested-bottleneck recovery scenario once per congestion
+/// controller, producing the `recovery` rows of the proxy artifact.
+/// The scenario is virtual-time deterministic, so the rows — and the
+/// p99 ordering the gate asserts over them — are reproducible on any
+/// machine.
+pub fn recovery_rows() -> Vec<doc_core::bottleneck::BottleneckResult> {
+    doc_quic::recovery::ControllerKind::ALL
+        .iter()
+        .map(|&controller| {
+            doc_core::bottleneck::run_bottleneck(&doc_core::bottleneck::BottleneckConfig {
+                controller,
+                ..Default::default()
+            })
+        })
+        .collect()
+}
+
+/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v3`)
 /// for a set of runs, recording the measuring machine's parallelism so
-/// the gate can scale its expectations. Every row carries its
-/// `transport` label (`coap`, `doq`, `doh`, `dot`).
-pub fn proxy_json(rows: &[ThroughputRow]) -> String {
+/// the gate can scale its expectations. Every throughput row carries
+/// its `transport` label (`coap`, `doq`, `doh`, `dot`); the `recovery`
+/// rows record the congested-bottleneck scenario per congestion
+/// controller.
+pub fn proxy_json(
+    rows: &[ThroughputRow],
+    recovery: &[doc_core::bottleneck::BottleneckResult],
+) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = format!(
-        "{{\n  \"schema\": \"doc-bench/proxy/v2\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"doc-bench/proxy/v3\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -282,6 +304,19 @@ pub fn proxy_json(rows: &[ThroughputRow]) -> String {
             r.allocs_per_req,
             r.cache_hit_rate,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"controller\": \"{}\", \"loss_permille\": {}, \"queries\": {}, \"resolved\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}{}\n",
+            r.controller,
+            r.loss_permille,
+            r.queries,
+            r.resolved,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < recovery.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
@@ -419,8 +454,25 @@ mod tests {
             .map(|&w| row(ServeMode::Coap, w))
             .collect();
         rows.extend(stream_modes().into_iter().map(|m| row(m, 4)));
-        let json = proxy_json(&rows);
+        let json = proxy_json(&rows, &recovery_rows());
         let doc = crate::json::parse(&json).expect("emitted JSON parses");
         crate::gate::check_proxy(&doc, false).expect("emitted JSON passes the structural gate");
+    }
+
+    #[test]
+    fn recovery_rows_cover_all_controllers_and_order_p99() {
+        let rows = recovery_rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.controller).collect();
+        assert_eq!(names, vec!["fixed_rto", "cubic", "bbr_lite"]);
+        let fixed = rows[0].p99_ms;
+        for adaptive in &rows[1..] {
+            assert!(
+                adaptive.p99_ms < fixed,
+                "{}: p99 {} not below fixed_rto {}",
+                adaptive.controller,
+                adaptive.p99_ms,
+                fixed
+            );
+        }
     }
 }

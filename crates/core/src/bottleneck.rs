@@ -1,0 +1,319 @@
+//! Congested-bottleneck scenario: several DoQ clients share one
+//! wireless channel to a resolver and contend under loss, so the
+//! choice of congestion controller — [`ControllerKind::FixedRto`]'s
+//! fixed 300 ms timer versus the adaptive RTT-tracking recovery of
+//! [`ControllerKind::Cubic`] and [`ControllerKind::BbrLite`] — shows
+//! up directly in the resolution-latency tail.
+//!
+//! The scenario is fully deterministic (virtual time, seeded RNG):
+//! the same seed and controller always produce the same per-query
+//! latencies, which is what lets `bench_gate proxy` assert a strict
+//! p99 ordering instead of a statistical one.
+
+use doc_netsim::{LinkKind, Sim, SimEvent, Tag};
+use doc_quic::recovery::ControllerKind;
+use doc_quic::{doq, establish_pair_with, Connection, QuicEvent};
+use doc_time::Instant;
+
+/// PSK shared by every simulated pair (value is irrelevant to the
+/// scenario; it only keys the toy handshake).
+const PSK: &[u8] = b"bottleneck-psk-0";
+
+/// Timer token used for connection poll wake-ups; query-issue timers
+/// use the query index directly, so they stay below this.
+const POLL_TOKEN: u64 = u64::MAX;
+
+/// Virtual-time cutoff: queries unresolved after this are abandoned.
+const DEADLINE_MS: u64 = 600_000;
+
+/// Stand-in DNS query carried on each stream (size matches the
+/// paper's single-record AAAA responses closely enough that every
+/// query is one datagram, so the latency tail isolates *recovery*
+/// behaviour rather than flow reassembly).
+const DNS_QUERY: &[u8] = b"\x00\x30congested-bottleneck-stand-in-dns-query-bytes-42";
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BottleneckConfig {
+    /// Congestion controller every client uses.
+    pub controller: ControllerKind,
+    /// Number of clients contending for the shared channel.
+    pub clients: usize,
+    /// Queries issued per client.
+    pub queries_per_client: usize,
+    /// Per-frame loss on every wireless hop, in permille.
+    pub loss_permille: u32,
+    /// Simulation seed (shared by topology, arrivals, and crypto).
+    pub seed: u64,
+}
+
+impl Default for BottleneckConfig {
+    fn default() -> Self {
+        Self {
+            controller: ControllerKind::FixedRto,
+            clients: 4,
+            queries_per_client: 25,
+            loss_permille: 20,
+            seed: 0xB0_77_1E,
+        }
+    }
+}
+
+/// Scenario outcome, one row per controller in `BENCH_proxy.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckResult {
+    /// `ControllerKind::name()` of the controller under test.
+    pub controller: &'static str,
+    /// Loss rate the scenario ran at.
+    pub loss_permille: u32,
+    /// Total queries issued.
+    pub queries: usize,
+    /// Queries resolved before the virtual-time deadline.
+    pub resolved: usize,
+    /// Median resolution latency (ms).
+    pub p50_ms: u64,
+    /// 99th-percentile resolution latency (ms).
+    pub p99_ms: u64,
+}
+
+struct ClientState {
+    conn: Connection,
+    /// stream id -> (query index, issued at).
+    inflight: Vec<(u64, usize, Instant)>,
+    /// Queries waiting for their arrival timer.
+    pending: Vec<usize>,
+}
+
+/// Run the congested-bottleneck scenario for one controller.
+pub fn run_bottleneck(cfg: &BottleneckConfig) -> BottleneckResult {
+    let mut sim = Sim::new(cfg.seed);
+    let server_id = cfg.clients;
+    for c in 0..cfg.clients {
+        sim.add_link(
+            c,
+            server_id,
+            LinkKind::Wireless {
+                channel: 0,
+                loss_permille: cfg.loss_permille,
+            },
+        );
+        sim.add_route(&[c, server_id]);
+    }
+
+    let mut clients: Vec<ClientState> = Vec::with_capacity(cfg.clients);
+    let mut servers: Vec<Connection> = Vec::with_capacity(cfg.clients);
+    for c in 0..cfg.clients {
+        let (cl, sv) = establish_pair_with(cfg.seed.wrapping_add(c as u64), PSK, cfg.controller);
+        clients.push(ClientState {
+            conn: cl,
+            inflight: Vec::new(),
+            pending: Vec::new(),
+        });
+        servers.push(sv);
+    }
+
+    // Poisson arrivals per client, offset so clients do not issue in
+    // lock-step but still overlap enough to contend on the channel.
+    let total = cfg.clients * cfg.queries_per_client;
+    let mut latencies: Vec<Option<u64>> = vec![None; total];
+    for c in 0..cfg.clients {
+        let arrivals = doc_netsim::poisson_arrivals(
+            cfg.seed.wrapping_add(0x517E).wrapping_add(c as u64),
+            4.0,
+            cfg.queries_per_client,
+        );
+        for (i, t) in arrivals.into_iter().enumerate() {
+            let qidx = c * cfg.queries_per_client + i;
+            sim.set_timer(c, t, qidx as u64);
+        }
+    }
+
+    let mut scheduled: Vec<Option<Instant>> = vec![None; cfg.clients + 1];
+    while let Some((now, ev)) = sim.next_event() {
+        if u64::from(now) > DEADLINE_MS {
+            break;
+        }
+        match ev {
+            SimEvent::Timer { node, token } if token == POLL_TOKEN => {
+                scheduled[node] = None;
+                if node == server_id {
+                    for (c, sv) in servers.iter_mut().enumerate() {
+                        for d in sv.poll(now).datagrams {
+                            sim.send_datagram(server_id, c, d, Tag::Response);
+                        }
+                    }
+                } else {
+                    for d in clients[node].conn.poll(now).datagrams {
+                        sim.send_datagram(node, server_id, d, Tag::Query);
+                    }
+                }
+            }
+            SimEvent::Timer { node, token } => {
+                let qidx = token as usize;
+                clients[node].pending.push(qidx);
+                issue_pending(&mut sim, node, server_id, &mut clients[node], now);
+            }
+            SimEvent::Datagram { from, to, bytes } if to == server_id => {
+                let sv = &mut servers[from];
+                let mut replies = Vec::new();
+                for ev in sv.handle_datagram(now, &bytes) {
+                    match ev {
+                        QuicEvent::Transmit(d) => replies.push(d),
+                        QuicEvent::Stream { id, data, fin } => {
+                            if !fin {
+                                continue;
+                            }
+                            let msg = doq::decode_doq(&data).unwrap_or(&data).to_vec();
+                            if let Ok(ds) = sv.send_stream(id, &doq::encode_doq(&msg), true, now) {
+                                replies.extend(ds);
+                            }
+                        }
+                        QuicEvent::Established => {}
+                    }
+                }
+                for d in replies {
+                    sim.send_datagram(server_id, from, d, Tag::Response);
+                }
+            }
+            SimEvent::Datagram { to, bytes, .. } => {
+                let st = &mut clients[to];
+                let mut out = Vec::new();
+                for ev in st.conn.handle_datagram(now, &bytes) {
+                    match ev {
+                        QuicEvent::Transmit(d) => out.push(d),
+                        QuicEvent::Stream { id, fin, .. } => {
+                            if !fin {
+                                continue;
+                            }
+                            if let Some(pos) = st.inflight.iter().position(|&(sid, _, _)| sid == id)
+                            {
+                                let (_, qidx, issued) = st.inflight.remove(pos);
+                                latencies[qidx] = Some((now - issued).as_millis());
+                            }
+                        }
+                        QuicEvent::Established => {}
+                    }
+                }
+                for d in out {
+                    sim.send_datagram(to, server_id, d, Tag::Query);
+                }
+                // Freed quota may let a pending query through now.
+                issue_pending(&mut sim, to, server_id, st, now);
+            }
+        }
+        // Re-arm the earliest poll timer for every endpoint whose
+        // connection wants a wake-up.
+        for c in 0..cfg.clients {
+            if let Some(t) = clients[c].conn.next_timeout() {
+                if scheduled[c].is_none_or(|s| t < s) {
+                    scheduled[c] = Some(t);
+                    sim.set_timer(c, t, POLL_TOKEN);
+                }
+            }
+        }
+        if let Some(t) = servers.iter().filter_map(|s| s.next_timeout()).min() {
+            if scheduled[server_id].is_none_or(|s| t < s) {
+                scheduled[server_id] = Some(t);
+                sim.set_timer(server_id, t, POLL_TOKEN);
+            }
+        }
+        if latencies.iter().all(|l| l.is_some()) {
+            break;
+        }
+    }
+
+    let mut resolved: Vec<u64> = latencies.iter().flatten().copied().collect();
+    resolved.sort_unstable();
+    BottleneckResult {
+        controller: cfg.controller.name(),
+        loss_permille: cfg.loss_permille,
+        queries: total,
+        resolved: resolved.len(),
+        p50_ms: percentile(&resolved, 50),
+        p99_ms: percentile(&resolved, 99),
+    }
+}
+
+/// Issue every pending query whose turn has come, in order.
+fn issue_pending(sim: &mut Sim, node: usize, server_id: usize, st: &mut ClientState, now: Instant) {
+    while let Some(&qidx) = st.pending.first() {
+        let sid = st.conn.open_stream();
+        let framed = doq::encode_doq(DNS_QUERY);
+        let Ok(datagrams) = st.conn.send_stream(sid, &framed, true, now) else {
+            break;
+        };
+        st.pending.remove(0);
+        st.inflight.push((sid, qidx, now));
+        for d in datagrams {
+            sim.send_datagram(node, server_id, d, Tag::Query);
+        }
+        // Quota exhausted: the frames were queued inside the
+        // connection and will ride out on later polls/acks, so the
+        // issue time above still covers the queueing delay.
+        if st.conn.bytes_in_flight() >= doc_quic::recovery::INITIAL_WINDOW {
+            break;
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (0 for empty input).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let cfg = BottleneckConfig {
+            clients: 2,
+            queries_per_client: 6,
+            ..BottleneckConfig::default()
+        };
+        assert_eq!(run_bottleneck(&cfg), run_bottleneck(&cfg));
+    }
+
+    #[test]
+    fn lossless_bottleneck_resolves_everything_quickly() {
+        let cfg = BottleneckConfig {
+            clients: 2,
+            queries_per_client: 8,
+            loss_permille: 0,
+            ..BottleneckConfig::default()
+        };
+        let r = run_bottleneck(&cfg);
+        assert_eq!(r.resolved, r.queries);
+        assert!(
+            r.p99_ms < 300,
+            "lossless p99 {} must beat one RTO",
+            r.p99_ms
+        );
+    }
+
+    #[test]
+    fn adaptive_controllers_beat_fixed_rto_under_loss() {
+        let base = BottleneckConfig::default();
+        let fixed = run_bottleneck(&base);
+        assert!(fixed.resolved > 0);
+        for kind in [ControllerKind::Cubic, ControllerKind::BbrLite] {
+            let r = run_bottleneck(&BottleneckConfig {
+                controller: kind,
+                ..base
+            });
+            assert_eq!(r.queries, fixed.queries);
+            assert!(
+                r.p99_ms < fixed.p99_ms,
+                "{}: p99 {} not below fixed_rto {}",
+                r.controller,
+                r.p99_ms,
+                fixed.p99_ms
+            );
+        }
+    }
+}

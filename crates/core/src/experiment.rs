@@ -505,7 +505,7 @@ impl<'a> Driver<'a> {
             let client = i % n;
             queries.push(QueryRecord {
                 client,
-                issued_ms: t,
+                issued_ms: t.as_millis(),
                 resolved_ms: None,
             });
             sim.set_timer(client, t, QUERY_TOKEN_BASE + i as u64);
@@ -558,6 +558,9 @@ impl<'a> Driver<'a> {
     fn run(mut self) -> ExperimentResult {
         let deadline_ms = 600_000;
         while let Some((now, ev)) = self.sim.next_event() {
+            // The protocol stack below keeps raw millisecond counts;
+            // the typed boundary is the simulator/QUIC surface.
+            let now = u64::from(now);
             if now > deadline_ms {
                 break;
             }
@@ -590,17 +593,23 @@ impl<'a> Driver<'a> {
                 .next_timeout()
                 .into_iter()
                 .chain(self.clients[c].raw.next_timeout())
-                .chain(self.clients[c].quic.as_ref().and_then(|q| q.next_timeout()))
+                .chain(
+                    self.clients[c]
+                        .quic
+                        .as_ref()
+                        .and_then(|q| q.next_timeout())
+                        .map(u64::from),
+                )
                 .min();
             if let Some(t) = next {
                 if self.clients[c].scheduled_poll.is_none_or(|s| t < s) {
                     self.clients[c].scheduled_poll = Some(t);
-                    self.sim.set_timer(c, t, POLL_TOKEN);
+                    self.sim.set_timer(c, t.into(), POLL_TOKEN);
                 }
             }
         }
         if let Some(t) = self.proxy_ep.next_timeout() {
-            self.sim.set_timer(self.proxy_id, t, POLL_TOKEN);
+            self.sim.set_timer(self.proxy_id, t.into(), POLL_TOKEN);
         }
         let server_next = self
             .server_ep
@@ -610,11 +619,11 @@ impl<'a> Driver<'a> {
                 self.server_quic
                     .iter()
                     .flatten()
-                    .filter_map(|q| q.next_timeout()),
+                    .filter_map(|q| q.next_timeout().map(u64::from)),
             )
             .min();
         if let Some(t) = server_next {
-            self.sim.set_timer(self.server_id, t, POLL_TOKEN);
+            self.sim.set_timer(self.server_id, t.into(), POLL_TOKEN);
         }
     }
 
@@ -649,12 +658,12 @@ impl<'a> Driver<'a> {
                 let datagrams = if self.cfg.transport == TransportKind::Dot {
                     // One pipelined stream for the whole session.
                     node.dns_id_query.insert(qidx as u16 + 1, qidx);
-                    conn.send_stream(0, &framed, false, now)
+                    conn.send_stream(0, &framed, false, now.into())
                 } else {
                     // RFC 9250: one query per stream, FIN after it.
                     let sid = conn.open_stream();
                     node.stream_query.insert(sid, qidx);
-                    conn.send_stream(sid, &framed, true, now)
+                    conn.send_stream(sid, &framed, true, now.into())
                 }
                 .expect("session pre-established");
                 for d in datagrams {
@@ -746,7 +755,7 @@ impl<'a> Driver<'a> {
                 self.record_event(qidx, now, EventKind::Retransmission);
             }
             if let Some(conn) = self.clients[node].quic.as_mut() {
-                for d in conn.poll(now) {
+                for d in conn.poll(now.into()).datagrams {
                     self.sim.send_datagram(node, self.server_id, d, Tag::Query);
                 }
             }
@@ -775,7 +784,7 @@ impl<'a> Driver<'a> {
                 let Some(conn) = self.server_quic[c].as_mut() else {
                     continue;
                 };
-                for d in conn.poll(now) {
+                for d in conn.poll(now.into()).datagrams {
                     self.sim.send_datagram(self.server_id, c, d, Tag::Response);
                 }
             }
@@ -828,7 +837,7 @@ impl<'a> Driver<'a> {
                 .quic
                 .as_mut()
                 .expect("quic connection present")
-                .handle_datagram(now, &bytes);
+                .handle_datagram(now.into(), &bytes);
             self.process_client_quic_events(c, evs, now);
             return;
         }
@@ -1138,7 +1147,7 @@ impl<'a> Driver<'a> {
         let Some(conn) = self.server_quic.get_mut(from).and_then(|c| c.as_mut()) else {
             return;
         };
-        let evs = conn.handle_datagram(now, &bytes);
+        let evs = conn.handle_datagram(now.into(), &bytes);
         for ev in evs {
             match ev {
                 doc_quic::QuicEvent::Transmit(d) => {
@@ -1187,7 +1196,7 @@ impl<'a> Driver<'a> {
         let framed = frame_stream_response(self.cfg.transport, &resp.encode());
         let conn = self.server_quic[from].as_mut().expect("stream transport");
         let datagrams = conn
-            .send_stream(sid, &framed, fin, now)
+            .send_stream(sid, &framed, fin, now.into())
             .expect("session pre-established");
         for d in datagrams {
             self.sim

@@ -32,6 +32,7 @@
 //! * [`experiment`] — the testbed-in-a-crate: drives clients, proxy and
 //!   server over `doc-netsim` to regenerate Fig. 7/10/11/15.
 
+pub mod bottleneck;
 pub mod client;
 pub mod experiment;
 pub mod method;

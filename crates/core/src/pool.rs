@@ -236,8 +236,8 @@ pub struct Datagram {
     pub peer: u64,
     /// Caller-chosen sequence number, carried through to the reply.
     pub seq: u64,
-    /// Virtual receive time in milliseconds (drives cache freshness).
-    pub now_ms: u64,
+    /// Virtual receive time (drives cache freshness).
+    pub at: doc_time::Instant,
     /// The CoAP request wire bytes.
     pub wire: Vec<u8>,
 }
@@ -404,7 +404,10 @@ impl ProxyPool {
         if self.mode != ServeMode::Coap {
             return self.serve_stream(d);
         }
-        match self.proxy.handle_client_request_wire(&d.wire, d.now_ms) {
+        match self
+            .proxy
+            .handle_client_request_wire(&d.wire, d.at.as_millis())
+        {
             Ok(ProxyAction::Respond(resp)) => Some(resp.encode()),
             Ok(ProxyAction::Forward {
                 request,
@@ -414,10 +417,10 @@ impl ProxyPool {
                 request.encode_into(upstream_buf);
                 let upstream_resp = self
                     .server
-                    .handle_request_wire(d.peer, upstream_buf, d.now_ms)
+                    .handle_request_wire(d.peer, upstream_buf, d.at.as_millis())
                     .ok()?;
                 self.proxy
-                    .handle_upstream_response(exchange_id, &upstream_resp, d.now_ms)
+                    .handle_upstream_response(exchange_id, &upstream_resp, d.at.as_millis())
                     .map(|r| r.encode())
             }
             Err(_) => None,
@@ -434,7 +437,7 @@ impl ProxyPool {
             ServeMode::Coap => unreachable!("handled by serve"),
         };
         let query = doc_dns::Message::decode(dns).ok()?;
-        let resp = self.server.upstream.resolve(&query, d.now_ms);
+        let resp = self.server.upstream.resolve(&query, d.at.as_millis());
         self.server.count_raw_dns_response();
         let bytes = resp.encode();
         Some(match self.mode {
@@ -637,7 +640,7 @@ mod tests {
             (0..total).map(|seq| Datagram {
                 peer: seq % 5,
                 seq,
-                now_ms: seq,
+                at: doc_time::Instant::from_millis(seq),
                 wire: fetch_wire(names[(seq % 3) as usize], seq),
             }),
             &|r| replies.lock().unwrap().push(r),
@@ -690,7 +693,7 @@ mod tests {
                 (0..50u64).map(|seq| Datagram {
                     peer: 0,
                     seq,
-                    now_ms: 1,
+                    at: doc_time::Instant::from_millis(1),
                     wire: if seq == 13 {
                         vec![0xFF; 3] // malformed framing is dropped
                     } else {
@@ -727,7 +730,7 @@ mod tests {
             (0..10u64).map(|seq| Datagram {
                 peer: 0,
                 seq,
-                now_ms: 0,
+                at: doc_time::Instant::from_millis(0),
                 wire: if seq % 2 == 0 {
                     fetch_wire("a.example.org", seq)
                 } else {
@@ -760,7 +763,7 @@ mod tests {
                 (0..1000u64).map(|seq| Datagram {
                     peer: 0,
                     seq,
-                    now_ms: 0,
+                    at: doc_time::Instant::from_millis(0),
                     wire: fetch_wire("a.example.org", seq),
                 }),
                 &|_| panic!("reply sink failure"),
@@ -785,7 +788,7 @@ mod tests {
                     Datagram {
                         peer: 0,
                         seq,
-                        now_ms: 0,
+                        at: doc_time::Instant::from_millis(0),
                         wire: fetch_wire("a.example.org", seq),
                     }
                 }),
@@ -806,7 +809,7 @@ mod tests {
             (0..40u64).map(|seq| Datagram {
                 peer: 0,
                 seq,
-                now_ms: 1,
+                at: doc_time::Instant::from_millis(1),
                 wire: fetch_wire("a.example.org", seq),
             })
         };
@@ -862,7 +865,7 @@ mod tests {
             (0..total).map(|seq| Datagram {
                 peer: seq % 3,
                 seq,
-                now_ms: 1,
+                at: doc_time::Instant::from_millis(1),
                 wire: fetch_wire(names[(seq % 2) as usize], seq),
             }),
             &|r| replies.lock().unwrap().push(r),
@@ -904,7 +907,7 @@ mod tests {
                     &Datagram {
                         peer: 9,
                         seq: 1000 + i as u64,
-                        now_ms: 0,
+                        at: doc_time::Instant::from_millis(0),
                         wire: fetch_wire(n, 1000 + i as u64),
                     },
                     &mut buf,
@@ -915,7 +918,7 @@ mod tests {
                 (0..total).map(|seq| Datagram {
                     peer: 0,
                     seq,
-                    now_ms: 5, // single instant: no TTL churn
+                    at: doc_time::Instant::from_millis(5), // single instant: no TTL churn
                     wire: fetch_wire(names[(seq % 2) as usize], seq),
                 }),
                 &|_| {},

@@ -280,17 +280,17 @@ pub fn dissect(kind: TransportKind, method: DocMethod, item: PacketItem) -> Diss
             };
             let fin = kind != TransportKind::Dot;
             let query_pkts = client
-                .send_stream(sid, &framed_query, fin, 0)
+                .send_stream(sid, &framed_query, fin, doc_time::Instant::EPOCH)
                 .expect("established");
             let datagram = match item {
                 PacketItem::Query => query_pkts.into_iter().next().expect("one packet"),
                 _ => {
                     for d in &query_pkts {
-                        server.handle_datagram(0, d);
+                        server.handle_datagram(doc_time::Instant::EPOCH, d);
                     }
                     let framed_resp = frame_stream_response(kind, &dns);
                     server
-                        .send_stream(sid, &framed_resp, fin, 0)
+                        .send_stream(sid, &framed_resp, fin, doc_time::Instant::EPOCH)
                         .expect("established")
                         .into_iter()
                         .next()
@@ -543,12 +543,12 @@ pub fn session_setup(kind: TransportKind) -> Vec<Dissection> {
             let mut client = doc_quic::Connection::client(0xD0C, QUIC_PSK);
             let mut server = doc_quic::Connection::server(0x5E4, QUIC_PSK);
             let mut trace: Vec<(&'static str, usize)> = Vec::new();
-            for d in client.connect(0) {
+            for d in client.connect(doc_time::Instant::EPOCH) {
                 trace.push(("ClientInitial", d.len()));
-                for ev in server.handle_datagram(0, &d) {
+                for ev in server.handle_datagram(doc_time::Instant::EPOCH, &d) {
                     if let doc_quic::QuicEvent::Transmit(reply) = ev {
                         trace.push(("ServerHandshake", reply.len()));
-                        client.handle_datagram(0, &reply);
+                        client.handle_datagram(doc_time::Instant::EPOCH, &reply);
                     }
                 }
             }

@@ -1,9 +1,12 @@
 //! `lint_gate` — the workspace invariant linter's CI entry point.
 //!
 //! Walks `src/` plus every `crates/*/src`, runs the `doc-lint` rules,
-//! and exits 0 iff there are zero unwaivered violations. Waived
-//! violations and unused waivers are printed as warnings so exceptions
-//! stay visible. `./ci.sh check` invokes exactly this.
+//! and exits 0 iff there are zero unwaivered *error*-severity
+//! violations. Warning-severity rules (those soaking before
+//! promotion, e.g. `no-raw-ms-in-quic`) are printed but never affect
+//! the exit status. Waived violations and unused waivers are printed
+//! as warnings so exceptions stay visible. `./ci.sh check` invokes
+//! exactly this.
 //!
 //! ```text
 //! lint_gate [--root DIR] [--rule NAME] [--list]
@@ -12,7 +15,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use doc_lint::{lint_workspace, ALL_RULES};
+use doc_lint::{lint_workspace, Severity, ALL_RULES};
 
 struct Args {
     root: PathBuf,
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
     };
 
     let mut violations = 0usize;
+    let mut warnings = 0usize;
     let mut waived = 0usize;
     let mut files = 0usize;
     for (_, report) in &reports {
@@ -78,8 +82,16 @@ fn main() -> ExitCode {
             if args.rule.as_deref().is_some_and(|r| r != v.rule) {
                 continue;
             }
-            violations += 1;
-            eprintln!("error: {v}");
+            match v.severity {
+                Severity::Error => {
+                    violations += 1;
+                    eprintln!("error: {v}");
+                }
+                Severity::Warning => {
+                    warnings += 1;
+                    println!("warning: {v}");
+                }
+            }
         }
         for v in &report.waived {
             if args.rule.as_deref().is_some_and(|r| r != v.rule) {
@@ -97,7 +109,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "lint_gate: {violations} violation(s), {waived} waived, across {files} flagged file(s)"
+        "lint_gate: {violations} violation(s), {warnings} warning(s), {waived} waived, \
+         across {files} flagged file(s)"
     );
     if violations > 0 {
         eprintln!("lint_gate: add fixes or `// lint:allow(<rule>): <reason>` waivers");

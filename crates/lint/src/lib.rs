@@ -20,5 +20,5 @@ pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
-pub use rules::{lint_source, FileReport, UnusedWaiver, Violation, ALL_RULES};
+pub use rules::{lint_source, FileReport, Severity, UnusedWaiver, Violation, ALL_RULES};
 pub use workspace::{lint_workspace, workspace_sources};

@@ -12,6 +12,12 @@
 //!   `clone`, and friends inside them.
 //! * **`unsafe-needs-safety-comment`** — every `unsafe` keyword is
 //!   preceded (within two lines) by a `// SAFETY:` comment.
+//! * **`no-raw-ms-in-quic`** *(warning, soaking)* — `doc-quic` and
+//!   `doc-netsim` express time as the shared `doc-time` newtypes
+//!   (`Millis`/`Instant`); a raw `<name>_ms: u64` binding in those
+//!   crates reintroduces the unit-confusable surface the typed API
+//!   removed. Soaks at [`Severity::Warning`] (reported, does not fail
+//!   the gate) until the remaining escape hatches are retired.
 //!
 //! Every rule honours the inline waiver syntax
 //!
@@ -32,9 +38,16 @@ pub const NO_PANIC: &str = "no-panic-in-parsers";
 pub const NO_ALLOC: &str = "no-alloc-in-into";
 /// Rule identifier: `unsafe` needs an adjacent `// SAFETY:` comment.
 pub const UNSAFE_COMMENT: &str = "unsafe-needs-safety-comment";
+/// Rule identifier: `doc-quic`/`doc-netsim` use `doc-time` newtypes,
+/// not raw `*_ms: u64` bindings (warning severity while soaking).
+pub const NO_RAW_MS: &str = "no-raw-ms-in-quic";
 
 /// All rule names, in reporting order.
-pub const ALL_RULES: &[&str] = &[NO_PANIC, NO_ALLOC, UNSAFE_COMMENT];
+pub const ALL_RULES: &[&str] = &[NO_PANIC, NO_ALLOC, UNSAFE_COMMENT, NO_RAW_MS];
+
+/// Path prefixes (repo-relative, `/`-separated) of the crates whose
+/// time surfaces are typed — the scope of [`NO_RAW_MS`].
+pub const TYPED_TIME_CRATES: &[&str] = &["crates/quic/", "crates/netsim/"];
 
 /// Path suffixes (repo-relative, `/`-separated) of the modules that
 /// parse or view attacker-controlled wire input — the scope of
@@ -48,11 +61,24 @@ pub const PANIC_FREE_MODULES: &[&str] = &[
     "crates/quic/src/doq.rs",
 ];
 
+/// How a violation affects the gate's exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// Fails the gate.
+    #[default]
+    Error,
+    /// Reported but does not fail the gate (a rule soaking before
+    /// promotion to [`Severity::Error`]).
+    Warning,
+}
+
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which rule fired (one of [`ALL_RULES`]).
     pub rule: &'static str,
+    /// Whether the violation fails the gate or only warns.
+    pub severity: Severity,
     /// The file label passed to [`lint_source`].
     pub file: String,
     /// 1-indexed line.
@@ -303,6 +329,7 @@ pub fn lint_source(file: &str, source: &str) -> FileReport {
                 {
                     raw.push(Violation {
                         rule: NO_PANIC,
+                        severity: Severity::Error,
                         file: file.to_string(),
                         line: t.line,
                         message: format!(".{}() can panic on attacker-controlled input", t.text),
@@ -313,6 +340,7 @@ pub fn lint_source(file: &str, source: &str) -> FileReport {
                 {
                     raw.push(Violation {
                         rule: NO_PANIC,
+                        severity: Severity::Error,
                         file: file.to_string(),
                         line: t.line,
                         message: format!("{}! in a total parser", t.text),
@@ -324,6 +352,7 @@ pub fn lint_source(file: &str, source: &str) -> FileReport {
                 if is_indexing(prev) {
                     raw.push(Violation {
                         rule: NO_PANIC,
+                        severity: Severity::Error,
                         file: file.to_string(),
                         line: t.line,
                         message: format!(
@@ -370,6 +399,7 @@ pub fn lint_source(file: &str, source: &str) -> FileReport {
             if let Some(what) = hit {
                 raw.push(Violation {
                     rule: NO_ALLOC,
+                    severity: Severity::Error,
                     file: file.to_string(),
                     line: t.line,
                     message: format!("{what} allocates inside 0-alloc hot path `fn {fn_name}`"),
@@ -411,10 +441,47 @@ pub fn lint_source(file: &str, source: &str) -> FileReport {
         if !covered {
             raw.push(Violation {
                 rule: UNSAFE_COMMENT,
+                severity: Severity::Error,
                 file: file.to_string(),
                 line: t.line,
                 message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
             });
+        }
+    }
+
+    // --- no-raw-ms-in-quic --------------------------------------------------
+    // Pattern: an identifier ending in `_ms`, a `:`, then `u64` — a
+    // millisecond count smuggled past the typed time API as a bare
+    // integer (fn params and struct fields alike). Scoped to the
+    // crates whose public time surfaces are `doc-time` newtypes.
+    if TYPED_TIME_CRATES
+        .iter()
+        .any(|prefix| normalized.contains(prefix))
+    {
+        for (ci, &ti) in code.iter().enumerate() {
+            if masked[ti] {
+                continue;
+            }
+            let t = &tokens[ti];
+            if t.kind != TokenKind::Ident || !t.text.ends_with("_ms") {
+                continue;
+            }
+            let colon = code.get(ci + 1).map(|&n| tokens[n].punct()) == Some(Some(':'));
+            // `::` starts a path, not a type ascription.
+            let path = code.get(ci + 2).map(|&n| tokens[n].punct()) == Some(Some(':'));
+            let u64_ty = code.get(ci + 2).map(|&n| tokens[n].text.as_str()) == Some("u64");
+            if colon && !path && u64_ty {
+                raw.push(Violation {
+                    rule: NO_RAW_MS,
+                    severity: Severity::Warning,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}: u64` — use doc_time::Millis/Instant for time in this crate",
+                        t.text
+                    ),
+                });
+            }
         }
     }
 
@@ -511,6 +578,29 @@ fn f() {
         assert!(report.violations.is_empty());
         assert_eq!(report.unused_waivers.len(), 1);
         assert_eq!(report.unused_waivers[0].rule, "no-alloc-in-into");
+    }
+
+    #[test]
+    fn raw_ms_rule_warns_in_typed_time_crates_only() {
+        let src = "pub fn set_timer(&mut self, at_ms: u64, token: u64) {}\n";
+        let report = lint_source("crates/netsim/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        let v = &report.violations[0];
+        assert_eq!(v.rule, NO_RAW_MS);
+        assert_eq!(v.severity, Severity::Warning);
+        assert!(v.message.contains("at_ms"), "{}", v.message);
+        // Struct fields are flagged too.
+        let report = lint_source("crates/quic/src/conn.rs", "struct S { deadline_ms: u64 }\n");
+        assert_eq!(report.violations.len(), 1);
+        // Outside the typed-time crates the same code is fine.
+        let report = lint_source("crates/core/src/pool.rs", src);
+        assert!(report.violations.is_empty());
+        // `_ms` bindings of a *typed* kind are fine, and `::` paths
+        // are not type ascriptions.
+        let ok = "fn f(at_ms: Millis) { let x = now_ms::helper(); }\n";
+        assert!(lint_source("crates/quic/src/conn.rs", ok)
+            .violations
+            .is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! Everything is driven by one seeded xorshift RNG: identical seeds
 //! give bit-identical experiment runs.
 
+pub use doc_time::{Instant, Millis};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -191,7 +192,14 @@ impl Sim {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    /// Current virtual time in milliseconds (protocol-stack clock).
+    /// Current virtual time on the protocol-stack clock (millisecond
+    /// granularity, the [`doc_time::Instant`] shared with `doc-quic`).
+    pub fn now(&self) -> Instant {
+        Instant::from_millis(self.now_us / 1000)
+    }
+
+    /// Current virtual time in raw milliseconds (escape hatch for
+    /// statistics; prefer [`Sim::now`]).
     pub fn now_ms(&self) -> u64 {
         self.now_us / 1000
     }
@@ -245,10 +253,10 @@ impl Sim {
         }
     }
 
-    /// Set a timer for `node` at absolute time `at_ms`.
-    pub fn set_timer(&mut self, node: NodeId, at_ms: u64, token: u64) {
+    /// Set a timer for `node` at absolute time `at`.
+    pub fn set_timer(&mut self, node: NodeId, at: Instant, token: u64) {
         let id = self.alloc_pending(Pending::Timer { node, token });
-        self.push_at(at_ms.saturating_mul(1000).max(self.now_us), id);
+        self.push_at(at.as_millis().saturating_mul(1000).max(self.now_us), id);
     }
 
     fn alloc_pending(&mut self, p: Pending) -> usize {
@@ -379,7 +387,7 @@ impl Sim {
     /// `Some(None)` = an internal step (store-and-forward hop) was
     /// taken without surfacing an event; `Some(Some(ev))` = an event
     /// for the driver.
-    fn step(&mut self) -> Option<Option<(u64, SimEvent)>> {
+    fn step(&mut self) -> Option<Option<(Instant, SimEvent)>> {
         loop {
             let Reverse((at_us, _, id)) = self.queue.pop()?;
             let Some(pending) = self.pending.remove(&id) else {
@@ -388,7 +396,7 @@ impl Sim {
             self.now_us = self.now_us.max(at_us);
             match pending {
                 Pending::Timer { node, token } => {
-                    return Some(Some((self.now_ms(), SimEvent::Timer { node, token })));
+                    return Some(Some((self.now(), SimEvent::Timer { node, token })));
                 }
                 Pending::HopArrival {
                     from,
@@ -399,10 +407,7 @@ impl Sim {
                     tag,
                 } => {
                     if hop_idx == route.len() - 1 {
-                        return Some(Some((
-                            self.now_ms(),
-                            SimEvent::Datagram { from, to, bytes },
-                        )));
+                        return Some(Some((self.now(), SimEvent::Datagram { from, to, bytes })));
                     }
                     // Store-and-forward to the next hop.
                     self.transmit_hop(route, hop_idx, bytes, tag, from, to);
@@ -414,7 +419,7 @@ impl Sim {
 
     /// Advance to the next event. Returns `None` when the queue is
     /// empty.
-    pub fn next_event(&mut self) -> Option<(u64, SimEvent)> {
+    pub fn next_event(&mut self) -> Option<(Instant, SimEvent)> {
         loop {
             match self.step()? {
                 Some(ev) => return Some(ev),
@@ -444,7 +449,7 @@ impl Sim {
     /// arrived datagrams onto the pool's ring in one go. Intermediate
     /// hops scheduled inside the window are simulated as part of the
     /// drain; events they produce beyond the horizon stay queued.
-    pub fn drain_due(&mut self, horizon_us: u64, out: &mut Vec<(u64, SimEvent)>) -> usize {
+    pub fn drain_due(&mut self, horizon_us: u64, out: &mut Vec<(Instant, SimEvent)>) -> usize {
         let mut n = 0;
         while let Some(at_us) = self.peek_due_us() {
             if at_us > horizon_us {
@@ -469,11 +474,11 @@ impl Sim {
 }
 
 /// Draw Poisson-process arrival times: `count` events at `lambda`
-/// events/second, returned as absolute milliseconds from 0.
+/// events/second, returned as absolute [`Instant`]s from the epoch.
 ///
 /// Matches the paper's workload: "The query rate is
 /// Poisson-distributed with λ = 5 queries/s".
-pub fn poisson_arrivals(seed: u64, lambda_per_s: f64, count: usize) -> Vec<u64> {
+pub fn poisson_arrivals(seed: u64, lambda_per_s: f64, count: usize) -> Vec<Instant> {
     let mut rng = splitmix(seed);
     let mut rand = move || {
         let mut x = rng;
@@ -490,7 +495,7 @@ pub fn poisson_arrivals(seed: u64, lambda_per_s: f64, count: usize) -> Vec<u64> 
         // Exponential inter-arrival: -ln(U)/λ seconds.
         let u: f64 = rand();
         t += -u.ln() / lambda_per_s;
-        out.push((t * 1000.0) as u64);
+        out.push(Instant::from_millis((t * 1000.0) as u64));
     }
     out
 }
@@ -498,6 +503,10 @@ pub fn poisson_arrivals(seed: u64, lambda_per_s: f64, count: usize) -> Vec<u64> 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
 
     fn two_hop_sim(loss_permille: u32, seed: u64) -> Sim {
         // client(0) -- proxy(1) -- border router(2) -- resolver(3)
@@ -537,7 +546,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Two wireless frame times + backoffs + 1 ms wire.
-        assert!((4..60).contains(&t), "arrival at {t} ms");
+        assert!((4..60).contains(&u64::from(t)), "arrival at {t}");
     }
 
     #[test]
@@ -551,13 +560,13 @@ mod tests {
     #[test]
     fn timer_fires_in_order() {
         let mut sim = two_hop_sim(0, 3);
-        sim.set_timer(0, 500, 7);
-        sim.set_timer(0, 100, 8);
+        sim.set_timer(0, at(500), 7);
+        sim.set_timer(0, at(100), 8);
         let (t1, e1) = sim.next_event().unwrap();
-        assert_eq!(t1, 100);
+        assert_eq!(t1, at(100));
         assert_eq!(e1, SimEvent::Timer { node: 0, token: 8 });
         let (t2, e2) = sim.next_event().unwrap();
-        assert_eq!(t2, 500);
+        assert_eq!(t2, at(500));
         assert_eq!(e2, SimEvent::Timer { node: 0, token: 7 });
     }
 
@@ -668,7 +677,7 @@ mod tests {
             sim.send_datagram(0, 2, vec![0; 90], Tag::Query);
             sim.send_datagram(1, 2, vec![0; 90], Tag::Query);
         }
-        let mut last = 0;
+        let mut last = Instant::EPOCH;
         let mut count = 0;
         while let Some((t, ev)) = sim.next_event() {
             if matches!(ev, SimEvent::Datagram { .. }) {
@@ -678,7 +687,7 @@ mod tests {
         }
         assert_eq!(count, 10);
         // one ~119-byte frame ≈ 3.8 ms; 10 serialized ≥ 30 ms.
-        assert!(last >= 30, "last arrival {last} ms");
+        assert!(last >= at(30), "last arrival {last}");
     }
 
     #[test]
@@ -687,7 +696,7 @@ mod tests {
             let mut sim = two_hop_sim(100, seed);
             for i in 0..20 {
                 sim.send_datagram(0, 3, vec![i as u8; 100], Tag::Query);
-                sim.set_timer(0, 10 * i as u64, i as u64);
+                sim.set_timer(0, at(10 * i as u64), i as u64);
             }
             sim
         };
@@ -712,12 +721,12 @@ mod tests {
     #[test]
     fn drain_due_respects_horizon() {
         let mut sim = two_hop_sim(0, 22);
-        sim.set_timer(0, 10, 1);
-        sim.set_timer(0, 500, 2);
+        sim.set_timer(0, at(10), 1);
+        sim.set_timer(0, at(500), 2);
         let mut out = Vec::new();
         // Only the 10 ms timer fits the 100 ms window.
         assert_eq!(sim.drain_due(100_000, &mut out), 1);
-        assert_eq!(out, vec![(10, SimEvent::Timer { node: 0, token: 1 })]);
+        assert_eq!(out, vec![(at(10), SimEvent::Timer { node: 0, token: 1 })]);
         assert!(!sim.is_idle(), "the 500 ms timer must stay queued");
         assert_eq!(sim.peek_due_us(), Some(500_000));
         assert_eq!(sim.drain_due(u64::MAX, &mut out), 1);
@@ -730,7 +739,7 @@ mod tests {
         assert_eq!(times.len(), 1000);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
         // Mean inter-arrival should be ~200 ms (±15%).
-        let total = *times.last().unwrap() as f64;
+        let total = u64::from(*times.last().unwrap()) as f64;
         let mean = total / 1000.0;
         assert!((170.0..230.0).contains(&mean), "mean {mean} ms");
     }

@@ -3,11 +3,21 @@
 //! generation and timer-driven loss recovery.
 //!
 //! Like every protocol crate in this workspace the connection is
-//! driven with explicit millisecond timestamps: the caller feeds
-//! datagrams through [`Connection::handle_datagram`], pumps
-//! [`Connection::poll`] when [`Connection::next_timeout`] fires (the
-//! `doc-netsim` event queue does this in the experiment driver), and
-//! transmits whatever datagrams come back. Nothing here does IO.
+//! driven with explicit timestamps — [`doc_time::Instant`] newtypes,
+//! shared with `doc-netsim`, so timer-unit mix-ups are type errors.
+//! The caller feeds datagrams through
+//! [`Connection::handle_datagram`], pumps the single
+//! [`Connection::poll`] entry point when
+//! [`Connection::next_timeout`] fires (the `doc-netsim` event queue
+//! does this in the experiment driver), and transmits whatever
+//! [`Transmit::datagrams`] come back. Nothing here does IO.
+//!
+//! Loss recovery is pluggable ([`crate::recovery`]): an
+//! [`RttEstimator`] feeds the connection's
+//! [`CongestionController`], which decides the retransmission
+//! timeout and a pacing-aware send quota. The default [`FixedRto`]
+//! controller reproduces the original fixed-300 ms behavior
+//! byte-exactly; `Cubic` and `BbrLite` adapt.
 //!
 //! ## Handshake (1-RTT accounting)
 //!
@@ -27,15 +37,19 @@
 
 use crate::frame::Frame;
 use crate::packet::{Header, PacketKeys, Space, CID_LEN};
+use crate::recovery::{self, CongestionController, ControllerKind, RttEstimator};
 use crate::stream::RecvStream;
 use crate::QuicError;
-use std::collections::{BTreeSet, HashMap};
+use doc_time::{Instant, Millis};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Delayed-ACK timer: a standalone ACK goes out this long after an
 /// ack-eliciting packet unless an outgoing packet piggybacks it first.
-pub const ACK_DELAY_MS: u64 = 25;
-/// Initial retransmission timeout (doubles per retry).
-pub const INITIAL_RTO_MS: u64 = 300;
+pub const ACK_DELAY: Millis = Millis::from_millis(25);
+/// Initial retransmission timeout (doubles per retry). The
+/// [`recovery::FixedRto`] controller pins every packet's RTO to this
+/// value; adaptive controllers start from the RTT estimator's PTO.
+pub const INITIAL_RTO: Millis = Millis::from_millis(300);
 /// Retransmissions per packet before its frames are abandoned.
 pub const MAX_RETRIES: u32 = 7;
 /// Largest frame payload packed into one packet (headroom below the
@@ -52,7 +66,8 @@ enum Role {
 /// Events surfaced by [`Connection::handle_datagram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QuicEvent {
-    /// A datagram to transmit immediately (handshake reply, ACK).
+    /// A datagram to transmit immediately (handshake reply, ACK, or a
+    /// queued packet released by freshly freed congestion quota).
     Transmit(Vec<u8>),
     /// Newly contiguous application bytes on a stream. `fin` is true
     /// once the peer's side of the stream is complete.
@@ -68,6 +83,17 @@ pub enum QuicEvent {
     Established,
 }
 
+/// The outcome of one [`Connection::poll`] call: datagrams to put on
+/// the wire now, and when to poll again.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Transmit {
+    /// Datagrams to transmit immediately (standalone ACKs,
+    /// retransmissions, queued packets released by quota).
+    pub datagrams: Vec<Vec<u8>>,
+    /// The next timer deadline after this poll, if any.
+    pub next_timeout: Option<Instant>,
+}
+
 struct SentPacket {
     space: Space,
     /// Retransmittable frames only (CRYPTO/STREAM).
@@ -76,8 +102,13 @@ struct SentPacket {
     /// sent under fresh pns and re-keyed here).
     last_pn: u64,
     retries: u32,
-    rto_ms: u64,
-    deadline_ms: u64,
+    rto: Millis,
+    deadline: Instant,
+    /// When the *original* transmission left (Karn: RTT samples come
+    /// only from packets that were never retransmitted).
+    sent_at: Instant,
+    /// Wire size of the original datagram (congestion accounting).
+    size: usize,
 }
 
 /// A QUIC-lite connection endpoint.
@@ -93,9 +124,14 @@ pub struct Connection {
     // Receiver ACK state.
     rx_seen: BTreeSet<u64>,
     ack_pending: bool,
-    ack_deadline: Option<u64>,
+    ack_deadline: Option<Instant>,
     // Sender loss recovery.
     sent: Vec<SentPacket>,
+    rtt: RttEstimator,
+    cc: Box<dyn CongestionController>,
+    bytes_in_flight: usize,
+    /// Stream frames awaiting congestion quota, in send order.
+    queued: VecDeque<Frame>,
     /// Datagrams that exhausted their retries (observability).
     abandoned: u64,
     // Streams.
@@ -117,7 +153,7 @@ fn random32(seed: u64) -> [u8; 32] {
 }
 
 impl Connection {
-    fn new(role: Role, seed: u64, psk: &[u8]) -> Self {
+    fn new(role: Role, seed: u64, psk: &[u8], controller: ControllerKind) -> Self {
         Connection {
             role,
             cid: [0xD0, 0xC1],
@@ -131,6 +167,10 @@ impl Connection {
             ack_pending: false,
             ack_deadline: None,
             sent: Vec::new(),
+            rtt: RttEstimator::new(),
+            cc: controller.build(),
+            bytes_in_flight: 0,
+            queued: VecDeque::new(),
             abandoned: 0,
             next_stream_id: 0,
             send_offset: HashMap::new(),
@@ -139,15 +179,30 @@ impl Connection {
     }
 
     /// A client endpoint (initiates the handshake, opens streams
-    /// 0, 4, 8, …).
+    /// 0, 4, 8, …) with the default [`FixedRto`] oracle controller.
+    ///
+    /// [`FixedRto`]: recovery::FixedRto
     pub fn client(seed: u64, psk: &[u8]) -> Self {
-        Connection::new(Role::Client, seed, psk)
+        Connection::new(Role::Client, seed, psk, ControllerKind::FixedRto)
     }
 
     /// A server endpoint (answers the handshake, replies on the
-    /// client's streams).
+    /// client's streams) with the default [`FixedRto`] oracle
+    /// controller.
+    ///
+    /// [`FixedRto`]: recovery::FixedRto
     pub fn server(seed: u64, psk: &[u8]) -> Self {
-        Connection::new(Role::Server, seed, psk)
+        Connection::new(Role::Server, seed, psk, ControllerKind::FixedRto)
+    }
+
+    /// A client endpoint with an explicit congestion controller.
+    pub fn client_with(seed: u64, psk: &[u8], controller: ControllerKind) -> Self {
+        Connection::new(Role::Client, seed, psk, controller)
+    }
+
+    /// A server endpoint with an explicit congestion controller.
+    pub fn server_with(seed: u64, psk: &[u8], controller: ControllerKind) -> Self {
+        Connection::new(Role::Server, seed, psk, controller)
     }
 
     /// Whether 1-RTT keys are installed.
@@ -163,6 +218,21 @@ impl Connection {
     /// Packets currently awaiting acknowledgement.
     pub fn in_flight(&self) -> usize {
         self.sent.len()
+    }
+
+    /// Bytes currently counted against the congestion window.
+    pub fn bytes_in_flight(&self) -> usize {
+        self.bytes_in_flight
+    }
+
+    /// The connection's RTT estimator (read-only).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// The active congestion controller's stable name.
+    pub fn controller_name(&self) -> &'static str {
+        self.cc.name()
     }
 
     fn derive_keys(&mut self, peer_random: &[u8]) {
@@ -187,8 +257,13 @@ impl Connection {
     }
 
     /// Build one packet carrying `frames`; tracks retransmittable
-    /// frames for loss recovery when `now_ms` is given.
-    fn build_packet(&mut self, space: Space, frames: &[Frame], track_at: Option<u64>) -> Vec<u8> {
+    /// frames for loss recovery when `track_at` is given.
+    fn build_packet(
+        &mut self,
+        space: Space,
+        frames: &[Frame],
+        track_at: Option<Instant>,
+    ) -> Vec<u8> {
         let pn = self.next_pn;
         self.next_pn += 1;
         let mut datagram = Vec::new();
@@ -209,21 +284,27 @@ impl Connection {
                     .expect("seal cannot fail on sane sizes");
             }
         }
-        if let Some(now_ms) = track_at {
+        if let Some(now) = track_at {
             let keep: Vec<Frame> = frames
                 .iter()
                 .filter(|f| f.retransmittable())
                 .cloned()
                 .collect();
             if !keep.is_empty() {
+                let size = datagram.len();
+                let rto = self.cc.rto(&self.rtt);
                 self.sent.push(SentPacket {
                     space,
                     frames: keep,
                     last_pn: pn,
                     retries: 0,
-                    rto_ms: INITIAL_RTO_MS,
-                    deadline_ms: now_ms + INITIAL_RTO_MS,
+                    rto,
+                    deadline: now + rto,
+                    sent_at: now,
+                    size,
                 });
+                self.bytes_in_flight += size;
+                self.cc.on_packet_sent(now, size);
             }
         }
         datagram
@@ -252,14 +333,43 @@ impl Connection {
         })
     }
 
+    /// Mark a tracked packet delivered: release its quota and (per
+    /// Karn's algorithm) feed the RTT estimator if it was never
+    /// retransmitted. Handshake packets are excluded from sampling:
+    /// sessions pre-established in memory (`establish_pair`) pump both
+    /// flights at one instant, and a degenerate 0 ms sample would
+    /// poison the smoothed estimate.
+    fn packet_delivered(&mut self, now: Instant, p: SentPacket) {
+        self.bytes_in_flight = self.bytes_in_flight.saturating_sub(p.size);
+        if p.retries == 0 && p.space == Space::OneRtt {
+            self.rtt
+                .on_sample(now, now.saturating_duration_since(p.sent_at));
+        }
+        self.cc.on_ack(now, p.size, &self.rtt);
+    }
+
+    /// Build packets for queued stream frames while the controller's
+    /// send quota allows, appending them to `out`.
+    fn drain_queued(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) {
+        while !self.queued.is_empty() && self.cc.send_quota(self.bytes_in_flight) >= recovery::MSS {
+            let frame = self.queued.pop_front().expect("checked non-empty");
+            let mut frames = Vec::new();
+            if let Some(ack) = self.take_ack() {
+                frames.push(ack);
+            }
+            frames.push(frame);
+            out.push(self.build_packet(Space::OneRtt, &frames, Some(now)));
+        }
+    }
+
     /// Client: produce the first handshake flight.
-    pub fn connect(&mut self, now_ms: u64) -> Vec<Vec<u8>> {
+    pub fn connect(&mut self, now: Instant) -> Vec<Vec<u8>> {
         assert_eq!(self.role, Role::Client, "only clients initiate");
         let crypto = Frame::Crypto {
             offset: 0,
             data: self.local_random.to_vec(),
         };
-        vec![self.build_packet(Space::Handshake, &[crypto], Some(now_ms))]
+        vec![self.build_packet(Space::Handshake, &[crypto], Some(now))]
     }
 
     /// Allocate the next locally initiated bidirectional stream ID.
@@ -271,13 +381,14 @@ impl Connection {
 
     /// Send `data` on stream `id` (appended at the stream's current
     /// send offset), optionally finishing the stream. Returns the
-    /// datagrams to transmit.
+    /// datagrams to transmit now; frames beyond the controller's send
+    /// quota are queued and released by later ACKs or [`Connection::poll`].
     pub fn send_stream(
         &mut self,
         id: u64,
         data: &[u8],
         fin: bool,
-        now_ms: u64,
+        now: Instant,
     ) -> Result<Vec<Vec<u8>>, QuicError> {
         if !self.established {
             return Err(QuicError::NotEstablished);
@@ -304,22 +415,30 @@ impl Connection {
             }
         }
         *offset += data.len() as u64;
-        for (i, frame) in chunks.into_iter().enumerate() {
+        let mut first = true;
+        for frame in chunks {
+            // Preserve frame order: once one frame queues on quota,
+            // everything behind it queues too.
+            if !self.queued.is_empty() || self.cc.send_quota(self.bytes_in_flight) < recovery::MSS {
+                self.queued.push_back(frame);
+                continue;
+            }
             // Piggyback the pending ACK on the first packet.
             let mut frames = Vec::new();
-            if i == 0 {
+            if first {
                 if let Some(ack) = self.take_ack() {
                     frames.push(ack);
                 }
             }
+            first = false;
             frames.push(frame);
-            out.push(self.build_packet(Space::OneRtt, &frames, Some(now_ms)));
+            out.push(self.build_packet(Space::OneRtt, &frames, Some(now)));
         }
         Ok(out)
     }
 
     /// Process one received datagram.
-    pub fn handle_datagram(&mut self, now_ms: u64, datagram: &[u8]) -> Vec<QuicEvent> {
+    pub fn handle_datagram(&mut self, now: Instant, datagram: &[u8]) -> Vec<QuicEvent> {
         let mut events = Vec::new();
         let Ok(header) = Header::decode(datagram) else {
             return events; // garbage datagrams are dropped silently
@@ -377,8 +496,17 @@ impl Connection {
                             if !self.established {
                                 self.derive_keys(&data);
                                 // The handshake flight is answered;
-                                // stop retransmitting it.
-                                self.sent.retain(|p| p.space != Space::Handshake);
+                                // stop retransmitting it. Its round
+                                // trip is the first RTT sample.
+                                let mut i = 0;
+                                while i < self.sent.len() {
+                                    if self.sent[i].space == Space::Handshake {
+                                        let p = self.sent.remove(i);
+                                        self.packet_delivered(now, p);
+                                    } else {
+                                        i += 1;
+                                    }
+                                }
                                 events.push(QuicEvent::Established);
                             }
                         }
@@ -388,7 +516,7 @@ impl Connection {
                     largest,
                     first_range,
                 } => {
-                    self.on_ack(largest, first_range);
+                    self.on_ack(now, largest, first_range);
                 }
                 Frame::Stream {
                     id,
@@ -398,7 +526,10 @@ impl Connection {
                 } => {
                     let stream = self.recv.entry(id).or_default();
                     let delivered = stream.push(offset, &data, fin);
-                    let finished = stream.is_finished();
+                    // The FIN is announced exactly once; duplicate
+                    // retransmits that deliver nothing stay silent so
+                    // request/response consumers never answer twice.
+                    let finished = stream.take_fin_notification();
                     if !delivered.is_empty() || finished {
                         events.push(QuicEvent::Stream {
                             id,
@@ -412,7 +543,7 @@ impl Connection {
         }
         if ack_eliciting && header.space == Space::OneRtt {
             self.ack_pending = true;
-            let deadline = now_ms + ACK_DELAY_MS;
+            let deadline = now + ACK_DELAY;
             self.ack_deadline = Some(self.ack_deadline.map_or(deadline, |d| d.min(deadline)));
         }
         // Bound the dedup set (packets older than the ack window are
@@ -420,34 +551,47 @@ impl Connection {
         while self.rx_seen.len() > 256 {
             self.rx_seen.pop_first();
         }
+        // ACKs may have freed congestion quota: release queued frames.
+        let mut drained = Vec::new();
+        self.drain_queued(now, &mut drained);
+        events.extend(drained.into_iter().map(QuicEvent::Transmit));
         events
     }
 
-    fn on_ack(&mut self, largest: u64, first_range: u64) {
+    fn on_ack(&mut self, now: Instant, largest: u64, first_range: u64) {
         // Each tracked entry is identified by the pn of its latest
         // transmission. The single ACK range covers
         // `largest - first_range ..= largest`; an entry whose latest
         // transmission falls inside it is delivered. Older entries
         // (earlier transmissions lost) keep their RTO.
         let low = largest - first_range;
-        self.sent.retain(|p| !(low..=largest).contains(&p.last_pn));
+        let mut i = 0;
+        while i < self.sent.len() {
+            if (low..=largest).contains(&self.sent[i].last_pn) {
+                let p = self.sent.remove(i);
+                self.packet_delivered(now, p);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Earliest timer deadline (delayed ACK or retransmission), if any.
-    pub fn next_timeout(&self) -> Option<u64> {
-        let rto = self.sent.iter().map(|p| p.deadline_ms).min();
+    pub fn next_timeout(&self) -> Option<Instant> {
+        let rto = self.sent.iter().map(|p| p.deadline).min();
         match (self.ack_pending.then_some(self.ack_deadline).flatten(), rto) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
     }
 
-    /// Fire due timers: emit a standalone ACK if the delayed-ACK timer
-    /// expired, retransmit timed-out packets. Returns datagrams to
-    /// transmit.
-    pub fn poll(&mut self, now_ms: u64) -> Vec<Vec<u8>> {
+    /// The single sans-IO driver entry point: fire due timers (emit a
+    /// standalone ACK if the delayed-ACK timer expired, retransmit
+    /// timed-out packets, release queued frames up to the send quota)
+    /// and report when to poll next.
+    pub fn poll(&mut self, now: Instant) -> Transmit {
         let mut out = Vec::new();
-        if self.ack_pending && self.ack_deadline.is_some_and(|d| d <= now_ms) {
+        if self.ack_pending && self.ack_deadline.is_some_and(|d| d <= now) {
             if let Some(ack) = self.take_ack() {
                 let pkt = self.build_packet(Space::OneRtt, &[ack], None);
                 out.push(pkt);
@@ -456,8 +600,8 @@ impl Connection {
         let mut due: Vec<SentPacket> = Vec::new();
         let mut i = 0;
         while i < self.sent.len() {
-            if self.sent[i].deadline_ms <= now_ms {
-                due.push(self.sent.swap_remove(i));
+            if self.sent[i].deadline <= now {
+                due.push(self.sent.remove(i));
             } else {
                 i += 1;
             }
@@ -465,16 +609,25 @@ impl Connection {
         for mut p in due {
             if p.retries >= MAX_RETRIES {
                 self.abandoned += 1;
+                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(p.size);
+                self.cc.on_loss(now, p.size);
                 continue;
             }
+            // An expired RTO is a loss signal for the controller; the
+            // retransmission itself keeps the packet's quota.
+            self.cc.on_loss(now, p.size);
             p.retries += 1;
-            p.rto_ms *= 2;
+            p.rto = p.rto.saturating_mul(2);
             let datagram = self.build_packet(p.space, &p.frames, None);
-            p.deadline_ms = now_ms + p.rto_ms;
+            p.deadline = now + p.rto;
             p.last_pn = self.next_pn - 1;
             out.push(datagram);
             self.sent.push(p);
         }
-        out
+        self.drain_queued(now, &mut out);
+        Transmit {
+            datagrams: out,
+            next_timeout: self.next_timeout(),
+        }
     }
 }

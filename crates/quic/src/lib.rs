@@ -14,10 +14,14 @@
 //!   substrate (`doc-crypto`) that backs the DTLS record layer.
 //! * [`stream`] — out-of-order stream reassembly with progressive
 //!   delivery.
+//! * [`recovery`] — RTT estimation (RFC 6298 smoothing, min-RTT
+//!   window) and the pluggable [`CongestionController`] trait with its
+//!   three implementations (`FixedRto` oracle, `Cubic`, `BbrLite`).
 //! * [`conn`] — the sans-IO [`Connection`]: 1-RTT PSK handshake,
-//!   per-query bidirectional streams, delayed ACKs and timer-driven
-//!   loss recovery, pumped by explicit timestamps so `doc-netsim`'s
-//!   event queue drives retransmission deterministically.
+//!   per-query bidirectional streams, delayed ACKs and
+//!   controller-driven loss recovery, pumped by explicit
+//!   `doc_time::Instant` timestamps so `doc-netsim`'s event queue
+//!   drives retransmission deterministically.
 //! * [`doq`] — the three DNS framings carried on the streams: DoQ
 //!   (RFC 9250: 2-byte length prefix, one query per stream), DoH-lite
 //!   (HTTP/3-flavoured HEADERS+DATA frames) and DoT-lite (RFC 7858:
@@ -29,10 +33,12 @@ pub mod conn;
 pub mod doq;
 pub mod frame;
 pub mod packet;
+pub mod recovery;
 pub mod stream;
 pub mod varint;
 
-pub use conn::{Connection, QuicEvent};
+pub use conn::{Connection, QuicEvent, Transmit};
+pub use recovery::{CongestionController, ControllerKind, RttEstimator};
 
 /// Errors produced by the QUIC-lite layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,20 +75,31 @@ impl std::error::Error for QuicError {}
 /// same way; the in-band handshake cost is measured separately by the
 /// conformance test and `session_setup`).
 pub fn establish_pair(seed: u64, psk: &[u8]) -> (Connection, Connection) {
-    let mut client = Connection::client(seed, psk);
-    let mut server = Connection::server(seed ^ 0x5EED, psk);
-    let mut c2s = client.connect(0);
+    establish_pair_with(seed, psk, ControllerKind::FixedRto)
+}
+
+/// [`establish_pair`] with an explicit congestion controller for both
+/// endpoints.
+pub fn establish_pair_with(
+    seed: u64,
+    psk: &[u8],
+    controller: ControllerKind,
+) -> (Connection, Connection) {
+    let mut client = Connection::client_with(seed, psk, controller);
+    let mut server = Connection::server_with(seed ^ 0x5EED, psk, controller);
+    let t0 = doc_time::Instant::EPOCH;
+    let mut c2s = client.connect(t0);
     for _ in 0..4 {
         let mut s2c = Vec::new();
         for d in c2s.drain(..) {
-            for ev in server.handle_datagram(0, &d) {
+            for ev in server.handle_datagram(t0, &d) {
                 if let QuicEvent::Transmit(reply) = ev {
                     s2c.push(reply);
                 }
             }
         }
         for d in s2c {
-            for ev in client.handle_datagram(0, &d) {
+            for ev in client.handle_datagram(t0, &d) {
                 if let QuicEvent::Transmit(reply) = ev {
                     c2s.push(reply);
                 }
@@ -99,17 +116,22 @@ pub fn establish_pair(seed: u64, psk: &[u8]) -> (Connection, Connection) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use doc_time::Instant;
 
     const PSK: &[u8] = b"doq-lite-psk-123";
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
 
     #[test]
     fn handshake_is_one_round_trip() {
         let mut client = Connection::client(1, PSK);
         let mut server = Connection::server(2, PSK);
-        let flight1 = client.connect(0);
+        let flight1 = client.connect(at(0));
         assert_eq!(flight1.len(), 1, "client first flight is one datagram");
         assert!(!client.is_established());
-        let evs = server.handle_datagram(5, &flight1[0]);
+        let evs = server.handle_datagram(at(5), &flight1[0]);
         assert!(server.is_established(), "server established on flight 1");
         let replies: Vec<_> = evs
             .iter()
@@ -119,7 +141,7 @@ mod tests {
             })
             .collect();
         assert_eq!(replies.len(), 1, "server answers with one datagram");
-        let evs = client.handle_datagram(10, &replies[0]);
+        let evs = client.handle_datagram(at(10), &replies[0]);
         assert!(client.is_established(), "client established after 1 RTT");
         assert!(evs.contains(&QuicEvent::Established));
         // Handshake flight no longer retransmits.
@@ -133,9 +155,9 @@ mod tests {
         assert_eq!(sid, 0);
         assert_eq!(client.open_stream(), 4);
         let framed = doq::encode_doq(b"pretend-dns-query");
-        let pkts = client.send_stream(sid, &framed, true, 100).unwrap();
+        let pkts = client.send_stream(sid, &framed, true, at(100)).unwrap();
         assert_eq!(pkts.len(), 1);
-        let evs = server.handle_datagram(105, &pkts[0]);
+        let evs = server.handle_datagram(at(105), &pkts[0]);
         let (data, fin) = evs
             .iter()
             .find_map(|e| match e {
@@ -152,14 +174,19 @@ mod tests {
         let (mut client, mut server) = establish_pair(9, PSK);
         let sid = client.open_stream();
         let framed = doq::encode_doq(b"lossy query");
-        let pkts = client.send_stream(sid, &framed, true, 0).unwrap();
+        let pkts = client.send_stream(sid, &framed, true, at(0)).unwrap();
         drop(pkts); // the network ate the datagram
         assert_eq!(client.in_flight(), 1);
         let t = client.next_timeout().expect("RTO armed");
-        assert_eq!(t, conn::INITIAL_RTO_MS);
+        assert_eq!(t, Instant::EPOCH + conn::INITIAL_RTO);
         let retrans = client.poll(t);
-        assert_eq!(retrans.len(), 1, "one retransmission");
-        let evs = server.handle_datagram(t + 5, &retrans[0]);
+        assert_eq!(retrans.datagrams.len(), 1, "one retransmission");
+        assert_eq!(
+            retrans.next_timeout,
+            Some(t + conn::INITIAL_RTO.saturating_mul(2)),
+            "the retransmission doubles its RTO"
+        );
+        let evs = server.handle_datagram(t + conn::ACK_DELAY, &retrans.datagrams[0]);
         assert!(evs
             .iter()
             .any(|e| matches!(e, QuicEvent::Stream { fin: true, .. })));
@@ -167,9 +194,9 @@ mod tests {
         // client's in-flight entry.
         let ack_at = server.next_timeout().expect("delayed ack armed");
         let acks = server.poll(ack_at);
-        assert_eq!(acks.len(), 1);
-        for d in &acks {
-            client.handle_datagram(ack_at + 5, d);
+        assert_eq!(acks.datagrams.len(), 1);
+        for d in &acks.datagrams {
+            client.handle_datagram(ack_at + conn::ACK_DELAY, d);
         }
         assert_eq!(client.in_flight(), 0);
     }
@@ -179,7 +206,7 @@ mod tests {
         let (mut client, _server) = establish_pair(11, PSK);
         let sid = client.open_stream();
         client
-            .send_stream(sid, &doq::encode_doq(b"x"), true, 0)
+            .send_stream(sid, &doq::encode_doq(b"x"), true, at(0))
             .unwrap();
         for _ in 0..=conn::MAX_RETRIES {
             let now = client.next_timeout().expect("armed");
@@ -194,7 +221,7 @@ mod tests {
     fn send_before_handshake_is_an_error() {
         let mut client = Connection::client(3, PSK);
         assert_eq!(
-            client.send_stream(0, b"x", true, 0),
+            client.send_stream(0, b"x", true, at(0)),
             Err(QuicError::NotEstablished)
         );
     }
@@ -203,21 +230,21 @@ mod tests {
     fn wrong_psk_cannot_exchange_data() {
         let mut client = Connection::client(1, PSK);
         let mut server = Connection::server(2, b"some-other-psk!!");
-        let flight1 = client.connect(0);
+        let flight1 = client.connect(at(0));
         let reply = server
-            .handle_datagram(0, &flight1[0])
+            .handle_datagram(at(0), &flight1[0])
             .into_iter()
             .find_map(|e| match e {
                 QuicEvent::Transmit(d) => Some(d),
                 _ => None,
             })
             .expect("server replies");
-        client.handle_datagram(5, &reply);
+        client.handle_datagram(at(5), &reply);
         // Both sides think they are established (randoms are public),
         // but traffic keys disagree: data packets are dropped on auth.
         let sid = client.open_stream();
-        let pkts = client.send_stream(sid, b"secret", true, 10).unwrap();
-        let evs = server.handle_datagram(15, &pkts[0]);
+        let pkts = client.send_stream(sid, b"secret", true, at(10)).unwrap();
+        let evs = server.handle_datagram(at(15), &pkts[0]);
         assert!(
             evs.iter().all(|e| !matches!(e, QuicEvent::Stream { .. })),
             "mismatched keys must not deliver data"
@@ -234,8 +261,8 @@ mod tests {
             vec![packet::FLAGS_HANDSHAKE; 40],
             vec![0x45; 200],
         ] {
-            assert!(client.handle_datagram(0, &junk).is_empty());
-            assert!(server.handle_datagram(0, &junk).is_empty());
+            assert!(client.handle_datagram(at(0), &junk).is_empty());
+            assert!(server.handle_datagram(at(0), &junk).is_empty());
         }
     }
 
@@ -245,9 +272,67 @@ mod tests {
         let (mut c2, mut s2) = establish_pair(42, PSK);
         let sid = c1.open_stream();
         assert_eq!(sid, c2.open_stream());
-        let p1 = c1.send_stream(sid, b"same", true, 0).unwrap();
-        let p2 = c2.send_stream(sid, b"same", true, 0).unwrap();
+        let p1 = c1.send_stream(sid, b"same", true, at(0)).unwrap();
+        let p2 = c2.send_stream(sid, b"same", true, at(0)).unwrap();
         assert_eq!(p1, p2, "identical seeds give identical wire bytes");
-        assert_eq!(s1.handle_datagram(1, &p1[0]), s2.handle_datagram(1, &p2[0]));
+        assert_eq!(
+            s1.handle_datagram(at(1), &p1[0]),
+            s2.handle_datagram(at(1), &p2[0])
+        );
+    }
+
+    #[test]
+    fn adaptive_controller_samples_rtt_and_lowers_rto() {
+        let (mut client, mut server) = establish_pair_with(21, PSK, ControllerKind::Cubic);
+        let sid = client.open_stream();
+        let framed = doq::encode_doq(b"adaptive query");
+        let pkts = client.send_stream(sid, &framed, true, at(0)).unwrap();
+        assert_eq!(pkts.len(), 1, "within the initial window");
+        server.handle_datagram(at(20), &pkts[0]);
+        let ack_at = server.next_timeout().expect("delayed ack armed");
+        let acks = server.poll(ack_at);
+        for d in &acks.datagrams {
+            client.handle_datagram(at(45), d);
+        }
+        assert_eq!(client.in_flight(), 0);
+        let srtt = client.rtt().srtt().expect("RTT sampled from the ack");
+        assert_eq!(u64::from(srtt), 45);
+        // The next packet's RTO follows the estimator, far below the
+        // fixed 300 ms oracle.
+        let sid2 = client.open_stream();
+        let pkts = client.send_stream(sid2, &framed, true, at(50)).unwrap();
+        assert_eq!(pkts.len(), 1);
+        let t = client.next_timeout().expect("RTO armed");
+        assert!(
+            t < at(50) + conn::INITIAL_RTO,
+            "adaptive RTO {t} not below the fixed oracle"
+        );
+    }
+
+    #[test]
+    fn quota_exhaustion_queues_and_acks_release() {
+        let (mut client, mut server) = establish_pair_with(23, PSK, ControllerKind::Cubic);
+        let sid = client.open_stream();
+        // 40 kB forces ~40 full packets against a 12 kB initial
+        // window: the surplus must queue, not transmit.
+        let big = vec![0xAB; 40 * 1024];
+        let framed = doq::encode_doq(&big);
+        let pkts = client.send_stream(sid, &framed, true, at(0)).unwrap();
+        assert!(pkts.len() < 41, "everything transmitted despite the window");
+        assert!(client.bytes_in_flight() <= recovery::INITIAL_WINDOW);
+        // Deliver and ack the first burst; freed quota must release
+        // queued frames as Transmit events.
+        for d in &pkts {
+            server.handle_datagram(at(10), d);
+        }
+        let ack_at = server.next_timeout().expect("delayed ack armed");
+        let acks = server.poll(ack_at);
+        let released: usize = acks
+            .datagrams
+            .iter()
+            .flat_map(|d| client.handle_datagram(at(40), d))
+            .filter(|e| matches!(e, QuicEvent::Transmit(_)))
+            .count();
+        assert!(released > 0, "acks released no queued packets");
     }
 }

@@ -15,7 +15,7 @@
 //! ```
 
 use crate::{varint, QuicError};
-use doc_crypto::ccm::{AesCcm, SealRequest};
+use doc_crypto::ccm::{AesCcm, OpenRequest, SealRequest};
 use doc_crypto::hkdf;
 
 /// First byte of a QUIC-lite long-header (handshake) packet.
@@ -102,7 +102,10 @@ impl PacketKeys {
         let key: [u8; 16] = key_bytes.as_slice().try_into().expect("16 bytes");
         let iv: [u8; 12] = iv_bytes.as_slice().try_into().expect("12 bytes");
         PacketKeys {
-            ccm: AesCcm::new(&key, TAG_LEN, 3).expect("static parameters are valid"),
+            // The schedule cache makes rederivation cheap: both
+            // directions of a connection (and any re-established pair
+            // under the same PSK) share one key expansion per thread.
+            ccm: AesCcm::new_cached(&key, TAG_LEN, 3).expect("static parameters are valid"),
             iv,
         }
     }
@@ -171,6 +174,45 @@ impl PacketKeys {
             QuicError::Crypto
         })
     }
+
+    /// Open a whole batch of 1-RTT packet bodies in one pass — the
+    /// inbound mirror of [`PacketKeys::seal_batch`] for a worker
+    /// draining many protected datagrams at once
+    /// ([`AesCcm::open_suffix_batch`]). Each item's `buf[start..]`
+    /// holds `ciphertext || tag` and becomes the plaintext on success.
+    /// All-or-nothing: on any failure every buffer is restored
+    /// byte-exactly; fall back to per-packet [`PacketKeys::open`] to
+    /// isolate the forged datagram.
+    pub fn open_batch(&self, items: &mut [PacketOpen<'_>]) -> Result<(), QuicError> {
+        let nonces: Vec<[u8; 12]> = items.iter().map(|it| self.nonce(it.pn)).collect();
+        let mut reqs: Vec<OpenRequest<'_>> = items
+            .iter_mut()
+            .zip(nonces.iter())
+            .map(|(it, nonce)| OpenRequest {
+                nonce,
+                aad: it.header,
+                buf: &mut *it.buf,
+                start: it.start,
+            })
+            .collect();
+        self.ccm
+            .open_suffix_batch(&mut reqs)
+            .map_err(|_| QuicError::Crypto)
+    }
+}
+
+/// One packet of a batched 1-RTT open (see [`PacketKeys::open_batch`]).
+pub struct PacketOpen<'a> {
+    /// Packet number (forms the nonce).
+    pub pn: u64,
+    /// Header bytes authenticated as AAD.
+    pub header: &'a [u8],
+    /// Buffer whose suffix `buf[start..]` holds `ciphertext || tag`
+    /// and becomes the plaintext on success.
+    pub buf: &'a mut Vec<u8>,
+    /// Offset where the protected body begins (typically the header
+    /// length, so the datagram is opened in place).
+    pub start: usize,
 }
 
 /// One packet of a batched 1-RTT seal (see [`PacketKeys::seal_batch`]).
@@ -275,5 +317,60 @@ mod tests {
                 plains[i]
             );
         }
+
+        // Batched open: the whole flight decrypts in place in one
+        // pass, leaving header || plaintext per datagram.
+        let mut wires = outs.clone();
+        let mut opens: Vec<PacketOpen<'_>> = wires
+            .iter_mut()
+            .enumerate()
+            .map(|(i, buf)| PacketOpen {
+                pn: 500 + i as u64,
+                header: &headers[i],
+                buf,
+                start: headers[i].len(),
+            })
+            .collect();
+        rx.open_batch(&mut opens).unwrap();
+        for (i, wire) in wires.iter().enumerate() {
+            assert_eq!(&wire[..headers[i].len()], &headers[i][..]);
+            assert_eq!(&wire[headers[i].len()..], plains[i]);
+        }
+
+        // A forged datagram fails the batch and restores every buffer.
+        let mut wires = outs.clone();
+        wires[4][headers[4].len()] ^= 1;
+        let snapshots = wires.clone();
+        let mut opens: Vec<PacketOpen<'_>> = wires
+            .iter_mut()
+            .enumerate()
+            .map(|(i, buf)| PacketOpen {
+                pn: 500 + i as u64,
+                header: &headers[i],
+                buf,
+                start: headers[i].len(),
+            })
+            .collect();
+        assert_eq!(rx.open_batch(&mut opens), Err(QuicError::Crypto));
+        assert_eq!(wires, snapshots);
+    }
+
+    /// Rederiving packet keys for the same secret hits the AES
+    /// schedule cache instead of re-expanding the key.
+    #[test]
+    fn derive_reuses_cached_key_schedule() {
+        let secret = b"psk-cache-check-0123456789abcdef";
+        let _warm = PacketKeys::derive(secret, "client write");
+        let hits_before = doc_crypto::aes::schedule_cache_hits();
+        let again = PacketKeys::derive(secret, "client write");
+        assert!(
+            doc_crypto::aes::schedule_cache_hits() > hits_before,
+            "rederivation must hit the per-thread schedule cache"
+        );
+        // And the cached schedule still produces working keys.
+        let header = [FLAGS_ONE_RTT, 1, 2, 3];
+        let mut sealed = Vec::new();
+        again.seal_into(3, &header, b"check", &mut sealed).unwrap();
+        assert_eq!(again.open(3, &header, &sealed).unwrap(), b"check");
     }
 }

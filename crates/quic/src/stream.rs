@@ -22,6 +22,8 @@ pub struct RecvStream {
     fin_at: Option<u64>,
     /// Whether the FIN point has been delivered.
     finished: bool,
+    /// Whether the FIN has been surfaced to the application.
+    fin_notified: bool,
 }
 
 impl RecvStream {
@@ -33,6 +35,17 @@ impl RecvStream {
     /// Whether all bytes up to the FIN have been delivered.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// One-shot FIN notification: true the first time the stream is
+    /// complete, false on every later call. Retransmitted frames that
+    /// deliver nothing new must not re-announce the FIN — a duplicate
+    /// announcement would make a request/response consumer answer the
+    /// same stream twice.
+    pub fn take_fin_notification(&mut self) -> bool {
+        let fire = self.finished && !self.fin_notified;
+        self.fin_notified |= fire;
+        fire
     }
 
     /// Offset of the next byte the application will receive.
@@ -111,6 +124,16 @@ mod tests {
         assert_eq!(s.push(0, b"msg", false), b"msg");
         assert_eq!(s.push(3, b"", true), b"");
         assert!(s.is_finished());
+    }
+
+    #[test]
+    fn fin_notification_fires_exactly_once() {
+        let mut s = RecvStream::new();
+        assert_eq!(s.push(0, b"msg", true), b"msg");
+        assert!(s.take_fin_notification());
+        // A stale retransmit of the same frame completes nothing new.
+        assert_eq!(s.push(0, b"msg", true), b"");
+        assert!(!s.take_fin_notification());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Millisecond-typed time primitives shared by the sans-IO protocol
+//! drivers (`doc-quic`) and the discrete-event simulator
+//! (`doc-netsim`).
+//!
+//! Two newtypes keep points-in-time and durations from mixing:
+//!
+//! * [`Instant`] — an absolute simulated timestamp (milliseconds since
+//!   the simulation epoch).
+//! * [`Millis`] — a duration in milliseconds.
+//!
+//! All arithmetic is *saturating*: the simulator's virtual clock never
+//! wraps, and a deadline computed from `Instant::EPOCH - something`
+//! clamps to the epoch instead of panicking. `From<u64>` / `From<_> for
+//! u64` escape hatches exist for code that genuinely needs the raw
+//! count (serialization, statistics), so migration stays incremental.
+
+/// A duration in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Millis(u64);
+
+impl Millis {
+    /// The zero duration.
+    pub const ZERO: Millis = Millis(0);
+    /// The longest representable duration.
+    pub const MAX: Millis = Millis(u64::MAX);
+
+    /// Construct from a raw millisecond count.
+    pub const fn from_millis(ms: u64) -> Millis {
+        Millis(ms)
+    }
+
+    /// The raw millisecond count.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating duration addition.
+    pub const fn saturating_add(self, other: Millis) -> Millis {
+        Millis(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating duration subtraction (clamps at zero).
+    pub const fn saturating_sub(self, other: Millis) -> Millis {
+        Millis(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating multiplication by a scalar (RTO backoff doubling).
+    pub const fn saturating_mul(self, factor: u64) -> Millis {
+        Millis(self.0.saturating_mul(factor))
+    }
+}
+
+impl From<u64> for Millis {
+    fn from(ms: u64) -> Millis {
+        Millis(ms)
+    }
+}
+
+impl From<Millis> for u64 {
+    fn from(ms: Millis) -> u64 {
+        ms.0
+    }
+}
+
+impl core::ops::Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        self.saturating_add(rhs)
+    }
+}
+
+impl core::ops::Sub for Millis {
+    type Output = Millis;
+    fn sub(self, rhs: Millis) -> Millis {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl core::ops::Mul<u64> for Millis {
+    type Output = Millis;
+    fn mul(self, rhs: u64) -> Millis {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl core::fmt::Display for Millis {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// An absolute point on the simulated clock, in milliseconds since the
+/// simulation epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: Instant = Instant(0);
+
+    /// Construct from a raw millisecond timestamp.
+    pub const fn from_millis(ms: u64) -> Instant {
+        Instant(ms)
+    }
+
+    /// The raw millisecond timestamp.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`, clamping to zero if
+    /// `earlier` is in the future.
+    pub const fn saturating_duration_since(self, earlier: Instant) -> Millis {
+        Millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This instant advanced by `d` (saturating).
+    pub const fn saturating_add(self, d: Millis) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
+
+    /// This instant rewound by `d` (clamping at the epoch).
+    pub const fn saturating_sub(self, d: Millis) -> Instant {
+        Instant(self.0.saturating_sub(d.0))
+    }
+}
+
+impl From<u64> for Instant {
+    fn from(ms: u64) -> Instant {
+        Instant(ms)
+    }
+}
+
+impl From<Instant> for u64 {
+    fn from(at: Instant) -> u64 {
+        at.0
+    }
+}
+
+impl core::ops::Add<Millis> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Millis) -> Instant {
+        self.saturating_add(rhs)
+    }
+}
+
+impl core::ops::Sub<Millis> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Millis) -> Instant {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl core::ops::Sub for Instant {
+    type Output = Millis;
+    fn sub(self, rhs: Instant) -> Millis {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+impl core::fmt::Display for Instant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t={}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Millis::MAX + Millis::from_millis(1), Millis::MAX);
+        assert_eq!(Millis::ZERO - Millis::from_millis(5), Millis::ZERO);
+        assert_eq!(Millis::MAX * 2, Millis::MAX);
+        assert_eq!(Instant::EPOCH - Millis::from_millis(10), Instant::EPOCH);
+        assert_eq!(
+            Instant::EPOCH.saturating_duration_since(Instant::from_millis(7)),
+            Millis::ZERO
+        );
+    }
+
+    #[test]
+    fn instants_and_durations_compose() {
+        let t0 = Instant::from_millis(100);
+        let t1 = t0 + Millis::from_millis(250);
+        assert_eq!(t1, Instant::from_millis(350));
+        assert_eq!(t1 - t0, Millis::from_millis(250));
+        assert_eq!(t1 - Millis::from_millis(50), Instant::from_millis(300));
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn escape_hatches_round_trip() {
+        let at: Instant = 42u64.into();
+        assert_eq!(u64::from(at), 42);
+        let d: Millis = 300u64.into();
+        assert_eq!(u64::from(d), 300);
+        assert_eq!(Millis::from_millis(25).as_millis(), 25);
+        assert_eq!(Instant::from_millis(9).as_millis(), 9);
+    }
+}

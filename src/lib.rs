@@ -52,3 +52,6 @@ pub use doc_models as models;
 
 /// QUIC-lite simulated transport (DoQ/DoH/DoT stream framings).
 pub use doc_quic as quic;
+
+/// Shared millisecond time newtypes (`Millis`, `Instant`).
+pub use doc_time as time;

@@ -11,7 +11,9 @@ use doc_repro::crypto::ccm::AesCcm;
 use doc_repro::dns::view::MessageView;
 use doc_repro::dns::{cbor_fmt, Message, Name, Question, Rcode, Record, RecordType};
 use doc_repro::dtls::record::{ContentType, Record as DtlsRecord, RecordView as DtlsRecordView};
+use doc_repro::quic::recovery::{CongestionController, Cubic, RttEstimator, MIN_WINDOW};
 use doc_repro::quic::{doq, frame::Frame, packet, varint};
+use doc_repro::time::{Instant, Millis};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -545,6 +547,93 @@ proptest! {
         }
         prop_assert_eq!(got, msgs);
         prop_assert_eq!(r.pending(), 0);
+    }
+
+    /// The RFC 6298-style estimator never leaves the envelope of its
+    /// inputs: SRTT is always within [min observed, max observed], the
+    /// windowed min-RTT tracks the true minimum (while inside the
+    /// window), and the PTO strictly exceeds SRTT.
+    #[test]
+    fn rtt_srtt_bounded_by_observed_samples(
+        samples in proptest::collection::vec(1u64..2_000, 1..40),
+    ) {
+        let mut est = RttEstimator::new();
+        let mut now = Instant::EPOCH;
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &s in &samples {
+            // Small gaps keep every sample inside the min-RTT window.
+            now = now + Millis::from_millis(7);
+            est.on_sample(now, Millis::from_millis(s));
+            lo = lo.min(s);
+            hi = hi.max(s);
+            let srtt = est.srtt().expect("sample observed").as_millis();
+            prop_assert!(srtt >= lo && srtt <= hi, "srtt {} outside [{}, {}]", srtt, lo, hi);
+            prop_assert_eq!(est.min_rtt().expect("sample observed").as_millis(), lo);
+            prop_assert!(est.pto().as_millis() > srtt);
+        }
+    }
+
+    /// Under a constant RTT the smoothed estimate converges
+    /// monotonically: the distance |SRTT − RTT| never grows, whatever
+    /// history preceded the steady state.
+    #[test]
+    fn rtt_converges_monotonically_under_constant_samples(
+        prefix in proptest::collection::vec(1u64..2_000, 0..10),
+        constant in 1u64..2_000,
+        n in 1usize..30,
+    ) {
+        let mut est = RttEstimator::new();
+        let mut now = Instant::EPOCH;
+        for &s in &prefix {
+            now = now + Millis::from_millis(7);
+            est.on_sample(now, Millis::from_millis(s));
+        }
+        let mut dist = u64::MAX;
+        for _ in 0..n {
+            now = now + Millis::from_millis(7);
+            est.on_sample(now, Millis::from_millis(constant));
+            let d = est.srtt().expect("sample observed").as_millis().abs_diff(constant);
+            prop_assert!(d <= dist, "estimate diverged: |srtt − rtt| grew {} → {}", dist, d);
+            dist = d;
+        }
+    }
+
+    /// CUBIC's window is monotone non-decreasing between loss events
+    /// (slow start and congestion avoidance alike, hystart or not) and
+    /// every loss applies the β = 0.7 multiplicative decrease, floored
+    /// at MIN_WINDOW.
+    #[test]
+    fn cubic_monotone_growth_and_multiplicative_decrease(
+        events in proptest::collection::vec((1usize..1500, 1u64..200, 1u64..100), 1..80),
+        loss_every in 5usize..20,
+    ) {
+        let mut cubic = Cubic::new();
+        let mut est = RttEstimator::new();
+        let mut now = Instant::EPOCH;
+        let mut last_window = cubic.window();
+        for (i, &(bytes, rtt_ms, gap)) in events.iter().enumerate() {
+            now = now + Millis::from_millis(gap);
+            if i % loss_every == loss_every - 1 {
+                let before = cubic.window();
+                cubic.on_loss(now, bytes);
+                let after = cubic.window();
+                let expect = ((before as f64 * 0.7).max(MIN_WINDOW as f64)) as usize;
+                prop_assert!(after >= MIN_WINDOW);
+                prop_assert!(
+                    after.abs_diff(expect) <= 1,
+                    "loss backoff {} -> {} (expected ≈{})", before, after, expect
+                );
+                last_window = after;
+            } else {
+                est.on_sample(now, Millis::from_millis(rtt_ms));
+                cubic.on_ack(now, bytes, &est);
+                prop_assert!(
+                    cubic.window() >= last_window,
+                    "window shrank on ACK: {} -> {}", last_window, cubic.window()
+                );
+                last_window = cubic.window();
+            }
+        }
     }
 
     /// OSCORE protects any payload: round-trips, hides the plaintext,

@@ -12,7 +12,8 @@ use doc_repro::models::quic::{
     doq_bytes_on_air, doq_frames, quic_penalty, QuicHandshake, QUIC_MIN_OVERHEAD,
 };
 use doc_repro::netsim::{LinkKind, Sim, SimEvent, Tag};
-use doc_repro::quic::{doq, Connection, QuicEvent};
+use doc_repro::quic::{conn, doq, Connection, ControllerKind, QuicEvent};
+use doc_repro::time::Instant;
 
 const ITEMS: [PacketItem; 3] = [
     PacketItem::Query,
@@ -101,7 +102,7 @@ fn in_band_handshake_is_one_rtt_and_query_follows() {
     let mut server = Connection::server(2, QUIC_PSK);
     let mut client_flights = 0u32;
     let mut server_flights = 0u32;
-    for d in client.connect(0) {
+    for d in client.connect(Instant::EPOCH) {
         client_flights += 1;
         sim.send_datagram(0, 3, d, Tag::Other);
     }
@@ -164,16 +165,87 @@ fn in_band_handshake_is_one_rtt_and_query_follows() {
     let resolved_at = resolved_at.expect("query resolved");
     assert_eq!(client_flights, 1, "client handshake is one datagram");
     assert_eq!(server_flights, 1, "server handshake is one datagram");
-    assert!(established_at > 0);
+    assert!(established_at > Instant::EPOCH);
     // The query round trip costs about one more RTT: allow generous
     // slack for CSMA backoff and the slightly larger protected packet,
     // but rule out any extra handshake round trip.
+    let handshake_rtt = established_at - Instant::EPOCH;
+    let query_rtt = resolved_at - established_at;
     assert!(
-        resolved_at - established_at <= 2 * established_at,
-        "query RTT {} ms vs handshake RTT {} ms",
-        resolved_at - established_at,
-        established_at
+        query_rtt <= handshake_rtt.saturating_mul(2),
+        "query RTT {query_rtt} vs handshake RTT {handshake_rtt}"
     );
+}
+
+/// `FixedRto` is the conformance oracle: with the pluggable-recovery
+/// redesign in place, its wire behaviour must stay byte-exact — the
+/// retransmission schedule is the analytical 300 ms initial RTO with
+/// binary exponential backoff, the retransmitted datagrams carry fresh
+/// packet numbers but identical frames, and every packet stays inside
+/// the model's 1-RTT overhead envelope.
+#[test]
+fn fixed_rto_schedule_and_bytes_are_pinned() {
+    let at = |ms: u64| Instant::from_millis(ms);
+    let (mut client, _server) = doc_repro::quic::establish_pair(7, QUIC_PSK);
+    assert_eq!(client.controller_name(), "fixed_rto");
+    let sid = client.open_stream();
+    let dns_msg = b"\x00\x08pinned-q";
+    let payload = doq::encode_doq(dns_msg);
+    let first = client
+        .send_stream(sid, &payload, true, at(0))
+        .expect("established");
+    assert_eq!(first.len(), 1, "one-MTU query is a single datagram");
+
+    // No ack ever arrives: the timer fires at exactly 300 ms, then
+    // 300 ms + 600 ms, then + 1200 ms, ... (RFC 6298-style doubling
+    // with the analytical model's fixed base).
+    let mut expected_deadline = at(0) + conn::INITIAL_RTO;
+    let mut rto = conn::INITIAL_RTO;
+    let mut wire_sizes = Vec::new();
+    for _ in 0..conn::MAX_RETRIES {
+        assert_eq!(client.next_timeout(), Some(expected_deadline));
+        // Polling *before* the deadline transmits nothing.
+        let early = client.poll(expected_deadline - doc_repro::time::Millis::from_millis(1));
+        assert!(early.datagrams.is_empty());
+        let fired = client.poll(expected_deadline);
+        assert_eq!(fired.datagrams.len(), 1, "one retransmission per expiry");
+        wire_sizes.push(fired.datagrams[0].len());
+        rto = rto.saturating_mul(2);
+        expected_deadline = expected_deadline + rto;
+        assert_eq!(fired.next_timeout, Some(expected_deadline));
+    }
+    // Identical frames re-packetized under a fresh packet number keep
+    // an identical wire size — the retransmit bytes are deterministic.
+    assert!(wire_sizes.windows(2).all(|w| w[0] == w[1]));
+
+    // After MAX_RETRIES expiries the packet is abandoned and the timer
+    // goes quiet.
+    let last = client.poll(expected_deadline);
+    assert!(last.datagrams.is_empty());
+    assert_eq!(last.next_timeout, None);
+    assert_eq!(client.abandoned(), 1);
+
+    // The pinned wire size sits inside the analytical 1-RTT overhead
+    // envelope (everything that is not the raw DNS message: header,
+    // protection, and DoQ length prefix).
+    let (lo, hi) = QuicHandshake::OneRtt.header_range();
+    let overhead = wire_sizes[0] - dns_msg.len();
+    assert!(
+        (lo..=hi).contains(&overhead),
+        "retransmit overhead {overhead} outside {lo}–{hi}"
+    );
+}
+
+/// The adaptive controllers share the oracle's handshake: swapping the
+/// congestion controller must not change the handshake wire bytes at
+/// all (the redesign only alters post-handshake recovery).
+#[test]
+fn controllers_share_byte_exact_handshake() {
+    let fixed = Connection::client(9, QUIC_PSK).connect(Instant::EPOCH);
+    for kind in [ControllerKind::Cubic, ControllerKind::BbrLite] {
+        let adaptive = Connection::client_with(9, QUIC_PSK, kind).connect(Instant::EPOCH);
+        assert_eq!(fixed, adaptive, "{kind:?} handshake diverges from oracle");
+    }
 }
 
 /// The 0-RTT half of the model stays analytical (QUIC-lite does not

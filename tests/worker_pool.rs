@@ -38,7 +38,7 @@ fn pool_replays_query_mix_end_to_end() {
         (0..total).map(|seq| Datagram {
             peer: seq % 16,
             seq,
-            now_ms: 1,
+            at: doc_repro::time::Instant::from_millis(1),
             wire: wires[(seq % wires.len() as u64) as usize].clone(),
         }),
         &|r| {
@@ -98,7 +98,7 @@ fn netsim_batched_drain_feeds_the_pool() {
         horizon_us += 50_000;
         batch.clear();
         sim.drain_due(horizon_us, &mut batch);
-        let now_ms = sim.now_ms();
+        let at = sim.now();
         let mut arrived = Vec::new();
         for (_, ev) in batch.drain(..) {
             match ev {
@@ -106,7 +106,7 @@ fn netsim_batched_drain_feeds_the_pool() {
                     arrived.push(Datagram {
                         peer: from as u64,
                         seq: from as u64,
-                        now_ms,
+                        at,
                         wire: bytes,
                     });
                 }
