@@ -6,13 +6,20 @@
 #   ./ci.sh quick    # tier-1 + the DoQ-vs-analytical-model conformance
 #                    # test re-run in release (it gates the simulated
 #                    # QUIC transport against doc-models::quic)
-#   ./ci.sh bench    # tier-1 build + full measurement windows, then the
-#                    # timing gates: >=2x view-decode speedup (asserted
-#                    # by the encode bench itself), the 4-vs-1 worker
-#                    # throughput scaling gate (bench_gate proxy
-#                    # --require-scaling; the required ratio follows the
-#                    # machine parallelism recorded in BENCH_proxy.json:
-#                    # >=2x on >=4 cores, a no-collapse bound below),
+#   ./ci.sh bench    # tier-1 build + the loopback UdpProvider smoke
+#                    # (real UDP sockets through the identical worker
+#                    # code, byte-identical to the sim front-end) + full
+#                    # measurement windows, then the timing gates: >=2x
+#                    # view-decode speedup (asserted by the encode bench
+#                    # itself), the 4-vs-1 worker throughput scaling
+#                    # gate (bench_gate proxy --require-scaling; the
+#                    # required ratio follows the machine parallelism
+#                    # recorded in BENCH_proxy.json: >=2x on >=4 cores,
+#                    # a no-collapse bound below — the >=2x bound stays
+#                    # dormant on smaller runners but is always present
+#                    # in the v4 schema), the zero-alloc pool gate
+#                    # (allocs_per_req < 1 on the 4-worker CoAP sim
+#                    # path, always enforced),
 #                    # the congested-bottleneck recovery gate (all
 #                    # three congestion controllers' rows present and
 #                    # both adaptive p99s below the fixed-RTO oracle;
@@ -34,8 +41,9 @@
 #                    # `// lint:allow(<rule>): <reason>` waivers) and
 #                    # check_gate (doc-check: exhaustive bounded
 #                    # thread-interleaving exploration of the real
-#                    # SpmcRing/ShardedCache/proxy-stats primitives,
-#                    # failing with a minimal replayable schedule).
+#                    # SpmcRing/WorkerDeque/Park/ShardedCache/
+#                    # proxy-stats primitives, failing with a minimal
+#                    # replayable schedule).
 #
 # Tier-1 is exactly what the project driver runs:
 #   cargo build --release && cargo test -q
@@ -134,6 +142,10 @@ case "$mode" in
     bench)
         echo "==> bench: cargo build --release"
         cargo build --release
+        # The socket front-end must serve the same mix as the sim
+        # front-end before the throughput numbers mean anything.
+        echo "==> UDP loopback smoke (UdpProvider vs SimProvider parity + multi-worker serve)"
+        cargo test --release -q --test io_providers
         echo "==> codec bench, full windows (asserts >=2x view-decode speedup in-process)"
         cargo bench -p doc-bench --bench encode
         echo "==> proxy throughput bench, full windows (1/2/4/8 workers)"

@@ -12,11 +12,13 @@
 //! * `codecs PATH` — validate a `doc-bench/codecs/v2` artifact
 //!   (schema + row shapes + the 0 allocs/iter invariant on every
 //!   `*_view`/`*_into` row).
-//! * `proxy PATH` — validate a `doc-bench/proxy/v3` artifact
+//! * `proxy PATH` — validate a `doc-bench/proxy/v4` artifact
 //!   (schema + 1/2/4/8-worker CoAP rows + doq/doh/dot rows +
-//!   percentile sanity + the congested-bottleneck `recovery` rows:
-//!   all three congestion controllers present, both adaptive
-//!   controllers' p99 below the fixed-RTO oracle's).
+//!   per-worker steal counts + percentile sanity + the zero-alloc
+//!   bound `allocs_per_req < 1` on the 4-worker CoAP sim-path row +
+//!   the congested-bottleneck `recovery` rows: all three congestion
+//!   controllers present, both adaptive controllers' p99 below the
+//!   fixed-RTO oracle's).
 //! * `crypto PATH` — validate a `doc-bench/crypto/v1` artifact
 //!   (schema + per-backend 1/4/8 CCM seal sweep; on full measurement
 //!   windows also the vectorization bounds: AES-NI seal ≥ 2× the
@@ -34,13 +36,11 @@
 //! bench_gate codecs BENCH_codecs.json proxy BENCH_proxy.json --require-scaling
 //! ```
 //!
-//! The pre-subcommand flags (`--codecs PATH`, `--proxy PATH`,
-//! `--crypto PATH`) are still accepted as deprecated aliases for one
-//! release; they print a notice on stderr and will be removed.
-//!
 //! Exit status 0 = every requested gate passed. Any parse error,
-//! schema drift, missing field, or failed bound exits 1 with a
-//! diagnostic.
+//! schema drift, missing field, failed bound, or unknown argument
+//! (including the pre-subcommand `--codecs/--proxy/--crypto` flag
+//! spellings, whose deprecation window has ended) exits 1 with a
+//! usage diagnostic.
 
 use doc_bench::{gate, json};
 
@@ -82,21 +82,6 @@ fn main() {
             "codecs" => subcommand(Kind::Codecs, "codecs"),
             "proxy" => subcommand(Kind::Proxy, "proxy"),
             "crypto" => subcommand(Kind::Crypto, "crypto"),
-            // Deprecated flag spellings, kept as aliases for one
-            // release so existing CI invocations keep working.
-            "--codecs" | "--proxy" | "--crypto" => {
-                let name = arg.trim_start_matches("--");
-                eprintln!(
-                    "bench_gate: note: {arg} PATH is deprecated; use the \
-                     \"bench_gate {name} PATH\" subcommand"
-                );
-                let kind = match name {
-                    "codecs" => Kind::Codecs,
-                    "proxy" => Kind::Proxy,
-                    _ => Kind::Crypto,
-                };
-                subcommand(kind, arg);
-            }
             "--require-scaling" => require_scaling = true,
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -64,7 +64,7 @@ impl Default for LoadSpec {
 }
 
 /// Result of one throughput run (one `BENCH_proxy.json` row).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Wire format of this run (`transport` field of the artifact).
     pub mode: ServeMode,
@@ -86,6 +86,8 @@ pub struct ThroughputRow {
     pub allocs_per_req: f64,
     /// Proxy cache hit rate over the measured window.
     pub cache_hit_rate: f64,
+    /// Successful cross-worker steals, one entry per worker.
+    pub steals_per_worker: Vec<u64>,
 }
 
 /// Pre-encoded replay mix: one wire datagram per (name, method,
@@ -176,12 +178,18 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         upstream,
         spec.shards,
     ));
+    // The wire-buffer recycling loop: workers return every spent
+    // `Datagram::wire` here and the producer takes them back instead
+    // of allocating — after warmup the closed loop runs on a fixed
+    // set of buffers (this is what holds `allocs_per_req` below 1).
+    let recycle = Arc::new(doc_core::BufferPool::new());
     let pool = ProxyPool::with_mode(
         spec.workers,
         Arc::clone(&proxy),
         Arc::clone(&server),
         spec.mode,
-    );
+    )
+    .with_wire_recycling(Arc::clone(&recycle));
 
     // Prime: every mix entry once, single-threaded.
     let mut scratch = Vec::new();
@@ -208,8 +216,11 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
     // Measured closed-loop window.
     let total = spec.total_requests;
     let enqueue_ns: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+    // Full capacity per bucket: with work stealing a single worker can
+    // end up recording most of the run, and a mid-window realloc would
+    // both skew latency and count against `allocs_per_req`.
     let latency_buckets: Vec<Mutex<Vec<u64>>> = (0..spec.workers)
-        .map(|_| Mutex::new(Vec::with_capacity((total as usize / spec.workers) + 1)))
+        .map(|_| Mutex::new(Vec::with_capacity(total as usize)))
         .collect();
     let epoch = Instant::now();
     let allocs_before = alloc_count();
@@ -217,11 +228,13 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         spec.concurrency,
         (0..total).map(|seq| {
             enqueue_ns[seq as usize].store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let mut wire = recycle.take();
+            wire.extend_from_slice(&mix.wires[(seq % mix.wires.len() as u64) as usize]);
             Datagram {
                 peer: seq % 64,
                 seq,
                 at: doc_netsim::Instant::from_millis(1),
-                wire: mix.wires[(seq % mix.wires.len() as u64) as usize].clone(),
+                wire,
             }
         }),
         &|reply| {
@@ -256,6 +269,7 @@ pub fn run_load(spec: &LoadSpec, alloc_count: &dyn Fn() -> u64) -> ThroughputRow
         p99_us: percentile_us(&latencies, 0.99),
         allocs_per_req: allocs as f64 / total.max(1) as f64,
         cache_hit_rate: f64::from(hits) / total.max(1) as f64,
+        steals_per_worker: stats.steals_per_worker,
     }
 }
 
@@ -276,12 +290,12 @@ pub fn recovery_rows() -> Vec<doc_core::bottleneck::BottleneckResult> {
         .collect()
 }
 
-/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v3`)
+/// Render the `BENCH_proxy.json` artifact (schema `doc-bench/proxy/v4`)
 /// for a set of runs, recording the measuring machine's parallelism so
 /// the gate can scale its expectations. Every throughput row carries
-/// its `transport` label (`coap`, `doq`, `doh`, `dot`); the `recovery`
-/// rows record the congested-bottleneck scenario per congestion
-/// controller.
+/// its `transport` label (`coap`, `doq`, `doh`, `dot`) and its
+/// per-worker steal counts; the `recovery` rows record the congested-
+/// bottleneck scenario per congestion controller.
 pub fn proxy_json(
     rows: &[ThroughputRow],
     recovery: &[doc_core::bottleneck::BottleneckResult],
@@ -290,11 +304,17 @@ pub fn proxy_json(
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = format!(
-        "{{\n  \"schema\": \"doc-bench/proxy/v3\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"doc-bench/proxy/v4\",\n  \"machine\": {{\"available_parallelism\": {cores}}},\n  \"rows\": [\n"
     );
     for (i, r) in rows.iter().enumerate() {
+        let steals = r
+            .steals_per_worker
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"transport\": \"{}\", \"workers\": {}, \"requests\": {}, \"req_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"allocs_per_req\": {:.2}, \"cache_hit_rate\": {:.4}}}{}\n",
+            "    {{\"transport\": \"{}\", \"workers\": {}, \"requests\": {}, \"req_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"allocs_per_req\": {:.2}, \"cache_hit_rate\": {:.4}, \"steals_per_worker\": [{}]}}{}\n",
             r.mode.label(),
             r.workers,
             r.requests,
@@ -303,6 +323,7 @@ pub fn proxy_json(
             r.p99_us,
             r.allocs_per_req,
             r.cache_hit_rate,
+            steals,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -437,7 +458,7 @@ mod tests {
 
     #[test]
     fn proxy_json_round_trips_through_the_gate() {
-        let row = |mode, workers| ThroughputRow {
+        let row = |mode, workers: usize| ThroughputRow {
             mode,
             workers,
             requests: 100,
@@ -446,8 +467,9 @@ mod tests {
             req_per_s: 1000.0 * workers as f64,
             p50_us: 10.0,
             p99_us: 90.0,
-            allocs_per_req: 12.0,
+            allocs_per_req: 0.5,
             cache_hit_rate: 0.99,
+            steals_per_worker: vec![0; workers],
         };
         let mut rows: Vec<ThroughputRow> = WORKER_SWEEP
             .iter()

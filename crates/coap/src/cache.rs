@@ -16,7 +16,7 @@
 //!   `2.03 Valid` response refreshes the entry (new Max-Age) without
 //!   re-transferring the payload.
 
-use crate::msg::{CoapMessage, Code};
+use crate::msg::{encode_raw_option_into, CoapMessage, Code, MsgType};
 use crate::opt::{CoapOption, OptionNumber};
 use crate::shard::{BuildPassThrough, Fnv1a};
 use crate::view::CoapView;
@@ -44,6 +44,14 @@ impl CacheKey {
     /// The FNV-1a hash computed when the key was derived.
     pub fn precomputed_hash(&self) -> u64 {
         self.hash
+    }
+
+    /// Recover the key's byte buffer for reuse. Pairs with
+    /// [`cache_key_view_reusing`]: a caller that derives keys in a loop
+    /// hands the same buffer back and forth and allocates nothing in
+    /// steady state.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
     }
 }
 
@@ -110,7 +118,16 @@ fn is_cache_key_option(number: OptionNumber) -> bool {
 /// produces. The only allocation is the key's own buffer.
 pub fn cache_key_view(msg: &CoapView<'_>) -> CacheKey {
     // lint:allow(no-alloc-in-into): the key's own buffer is this function's output, sized exactly once
-    let mut data = Vec::with_capacity(32 + msg.payload().len());
+    cache_key_view_reusing(msg, Vec::with_capacity(32 + msg.payload().len()))
+}
+
+/// Like [`cache_key_view`], but the key's bytes are written into a
+/// caller-supplied buffer (cleared at entry, capacity preserved).
+/// Combined with [`CacheKey::into_bytes`] this makes per-request key
+/// derivation allocation-free once the buffer is warm — the pool
+/// workers' hot path.
+pub fn cache_key_view_reusing(msg: &CoapView<'_>, mut data: Vec<u8>) -> CacheKey {
+    data.clear();
     data.push(msg.code.0);
     for o in msg.options().filter(|o| is_cache_key_option(o.number)) {
         data.extend_from_slice(&o.number.0.to_be_bytes());
@@ -239,6 +256,66 @@ impl ResponseCache {
         }
     }
 
+    /// Zero-alloc fresh-hit fast path: if `key` holds a fresh entry,
+    /// encode the client-facing reply straight into `out` (cleared at
+    /// entry) and return `true`, counting a hit. The reply is
+    /// byte-identical to what [`ResponseCache::lookup`]'s `Fresh` arm
+    /// plus the proxy's owned reply construction would produce: the
+    /// cached response re-keyed to the client's MID/token, `mtype`
+    /// forced to Ack, `Max-Age` rewritten to the remaining freshness —
+    /// or a payload-free `2.03 Valid` when `client_etag` matches the
+    /// entry's ETag.
+    ///
+    /// A miss or stale entry returns `false` *without* touching the
+    /// statistics; the caller falls back to `lookup`, which classifies
+    /// and counts the outcome.
+    pub fn serve_hit_into(
+        &mut self,
+        key: &CacheKey,
+        now: u64,
+        client_mid: u16,
+        client_token: &[u8],
+        client_etag: Option<&[u8]>,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let Some(e) = self.entries.get(key) else {
+            return false;
+        };
+        if !e.is_fresh(now) {
+            return false;
+        }
+        self.stats.hits += 1;
+        let remaining = e.remaining_s(now);
+        out.clear();
+        let entry_etag = e
+            .response
+            .option(OptionNumber::ETAG)
+            .map(|o| o.value.as_slice());
+        if client_etag.is_some() && client_etag == entry_etag {
+            // The client already holds the representation: a tiny
+            // `2.03 Valid` carrying only ETag + decayed Max-Age.
+            debug_assert!(client_token.len() <= 8);
+            out.push(0x40 | (MsgType::Ack.to_bits() << 4) | client_token.len() as u8);
+            out.push(Code::VALID.0);
+            out.extend_from_slice(&client_mid.to_be_bytes());
+            out.extend_from_slice(client_token);
+            let mut prev = 0u16;
+            if let Some(etag) = entry_etag {
+                prev = encode_raw_option_into(prev, OptionNumber::ETAG.0, etag, out);
+            }
+            let mut scratch = [0u8; 4];
+            encode_raw_option_into(
+                prev,
+                OptionNumber::MAX_AGE.0,
+                uint_value_bytes(remaining, &mut scratch),
+                out,
+            );
+        } else {
+            encode_entry_reply_into(&e.response, client_mid, client_token, remaining, out);
+        }
+        true
+    }
+
     /// Store a (success) response under `key`. Non-success responses
     /// and responses to non-cacheable methods should not be inserted by
     /// the caller.
@@ -307,6 +384,74 @@ impl ResponseCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.order.clear();
+    }
+}
+
+/// Shortest-form big-endian bytes of a uint option value, borrowed
+/// from a caller stack buffer — the non-allocating sibling of the
+/// owned uint-option constructor (`0` encodes as the empty string).
+fn uint_value_bytes(v: u32, buf: &mut [u8; 4]) -> &[u8] {
+    *buf = v.to_be_bytes();
+    let skip = buf.iter().take_while(|&&b| b == 0).count();
+    &buf[skip..]
+}
+
+/// Encode the client-facing reply for a fresh cached response directly
+/// into `out`: the cached message with the client's MID and token,
+/// `mtype` forced to Ack, and every `Max-Age` instance replaced by one
+/// carrying `remaining_s`. Byte-identical to cloning the entry,
+/// calling `set_option(Max-Age)` and re-encoding, without owning
+/// anything: the substituted Max-Age is emitted at its stable-sorted
+/// position (after every option numbered below it, before any above),
+/// which is exactly where the owned path's remove-then-append plus
+/// stable sort lands it.
+fn encode_entry_reply_into(
+    resp: &CoapMessage,
+    client_mid: u16,
+    client_token: &[u8],
+    remaining_s: u32,
+    out: &mut Vec<u8>,
+) {
+    debug_assert!(client_token.len() <= 8);
+    out.push(0x40 | (MsgType::Ack.to_bits() << 4) | client_token.len() as u8);
+    out.push(resp.code.0);
+    out.extend_from_slice(&client_mid.to_be_bytes());
+    out.extend_from_slice(client_token);
+    let mut scratch = [0u8; 4];
+    let max_age_value = uint_value_bytes(remaining_s, &mut scratch);
+    // Stream the options in stable (number, original index) order via
+    // repeated minimum scans — option lists are a handful of entries,
+    // so this beats building a sorted copy and allocates nothing.
+    let mut prev = 0u16;
+    let mut max_age_emitted = false;
+    let mut last: Option<(u16, usize)> = None;
+    loop {
+        let mut next: Option<(u16, usize)> = None;
+        for (i, o) in resp.options.iter().enumerate() {
+            if o.number == OptionNumber::MAX_AGE {
+                continue;
+            }
+            let cand = (o.number.0, i);
+            if Some(cand) > last && (next.is_none() || Some(cand) < next) {
+                next = Some(cand);
+            }
+        }
+        let Some((num, idx)) = next else {
+            break;
+        };
+        if !max_age_emitted && num > OptionNumber::MAX_AGE.0 {
+            prev = encode_raw_option_into(prev, OptionNumber::MAX_AGE.0, max_age_value, out);
+            max_age_emitted = true;
+        }
+        prev = encode_raw_option_into(prev, num, &resp.options[idx].value, out);
+        last = Some((num, idx));
+    }
+    if !max_age_emitted {
+        encode_raw_option_into(prev, OptionNumber::MAX_AGE.0, max_age_value, out);
+    }
+    if !resp.payload.is_empty() {
+        out.push(0xFF);
+        out.extend_from_slice(&resp.payload);
     }
 }
 
@@ -606,6 +751,104 @@ mod tests {
         match cache.lookup(&k, 20) {
             Lookup::Fresh(r) => assert_eq!(r.payload, b"new"),
             other => panic!("{other:?}"),
+        }
+    }
+
+    /// The wire-direct hit path must produce byte-identical replies to
+    /// the owned path (lookup → clone → re-key → encode) in every
+    /// shape: plain hit, decayed Max-Age, options above/below Max-Age,
+    /// ETag-match 2.03, empty payload, zero remaining seconds.
+    #[test]
+    fn serve_hit_into_matches_owned_path_bytes() {
+        let mut shaped = response(300, Some(&[0xE7, 0x01]), b"payload-bytes");
+        // Options straddling Max-Age (14): Uri-Path (11) below... and
+        // Proxy-Uri (35) / Size1 (60) above, plus a repeatable option.
+        shaped
+            .options
+            .push(CoapOption::new(OptionNumber::URI_PATH, b"dns".to_vec()));
+        shaped
+            .options
+            .push(CoapOption::new(OptionNumber::URI_PATH, b"sub".to_vec()));
+        shaped.set_option(CoapOption::uint(OptionNumber::SIZE1, 99));
+        let cases = [
+            response(300, None, b"data"),
+            response(300, Some(&[0xE1]), b"data"),
+            response(10, Some(&[0xE1]), b""),
+            shaped,
+        ];
+        for (i, resp) in cases.into_iter().enumerate() {
+            for (now, client_etag) in [
+                (0u64, None),
+                (4_000, None),
+                (9_999, Some(vec![0xE1])),
+                (0, Some(vec![0x99])), // non-matching ETag: full reply
+            ] {
+                let mut cache = ResponseCache::new(8);
+                let key = cache_key(&fetch_req(b"q"));
+                cache.insert(key.clone(), resp.clone(), 0);
+                let mut wire = vec![0xAA; 7]; // stale garbage must be cleared
+                let hit = cache.serve_hit_into(
+                    &key,
+                    now,
+                    0x1234,
+                    &[9, 8, 7],
+                    client_etag.as_deref(),
+                    &mut wire,
+                );
+                assert!(hit, "case {i} now {now}");
+                // Owned reference: lookup's Fresh arm + the proxy's
+                // reply construction.
+                let cached = match cache.lookup(&key, now) {
+                    Lookup::Fresh(c) => c,
+                    other => panic!("case {i}: {other:?}"),
+                };
+                let entry_etag = cached.option(OptionNumber::ETAG).map(|o| o.value.clone());
+                let expect = if client_etag.is_some() && client_etag == entry_etag {
+                    let mut v = CoapMessage::ack_reply(0x1234, vec![9, 8, 7], Code::VALID);
+                    if let Some(e) = entry_etag {
+                        v.set_option(CoapOption::new(OptionNumber::ETAG, e));
+                    }
+                    v.set_option(CoapOption::uint(OptionNumber::MAX_AGE, cached.max_age()));
+                    v
+                } else {
+                    let mut full = cached.clone();
+                    full.message_id = 0x1234;
+                    full.token = vec![9, 8, 7];
+                    full.mtype = MsgType::Ack;
+                    full
+                };
+                assert_eq!(wire, expect.encode(), "case {i} now {now}");
+                assert_eq!(cache.stats().hits, 2, "hit path and lookup each count");
+            }
+        }
+    }
+
+    /// Miss and stale outcomes leave the statistics untouched so the
+    /// fallback `lookup` counts them exactly once.
+    #[test]
+    fn serve_hit_into_declines_miss_and_stale_without_counting() {
+        let mut cache = ResponseCache::new(8);
+        let key = cache_key(&fetch_req(b"q"));
+        let mut out = Vec::new();
+        assert!(!cache.serve_hit_into(&key, 0, 1, &[1], None, &mut out));
+        cache.insert(key.clone(), response(5, Some(&[0xE1]), b"data"), 0);
+        assert!(!cache.serve_hit_into(&key, 6_000, 1, &[1], None, &mut out));
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    /// Key derivation into a recycled buffer matches the allocating
+    /// derivations, and the buffer round-trips through the key.
+    #[test]
+    fn reused_key_buffer_matches_and_round_trips() {
+        let mut buf = Vec::new();
+        for msg in [fetch_req(b"query-a"), get_req("AAAA")] {
+            let wire = msg.encode();
+            let view = crate::view::CoapView::parse(&wire).unwrap();
+            let key = cache_key_view_reusing(&view, std::mem::take(&mut buf));
+            assert_eq!(key, cache_key(&msg));
+            assert_eq!(key, cache_key_view(&view));
+            buf = key.into_bytes();
+            assert!(!buf.is_empty());
         }
     }
 

@@ -255,6 +255,32 @@ impl ShardedResponseCache {
         self.shard(key).lock().unwrap().lookup(key, now)
     }
 
+    /// Zero-alloc fresh-hit fast path (see
+    /// [`ResponseCache::serve_hit_into`]): on a fresh entry the
+    /// client-facing reply wire is encoded into `out` under the shard
+    /// lock and `true` is returned; a miss or stale entry returns
+    /// `false` without touching statistics, and the caller falls back
+    /// to [`ShardedResponseCache::lookup`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_hit_into(
+        &self,
+        key: &CacheKey,
+        now: u64,
+        client_mid: u16,
+        client_token: &[u8],
+        client_etag: Option<&[u8]>,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        self.shard(key).lock().unwrap().serve_hit_into(
+            key,
+            now,
+            client_mid,
+            client_token,
+            client_etag,
+            out,
+        )
+    }
+
     /// Store a success response (see [`ResponseCache::insert`]).
     pub fn insert(&self, key: CacheKey, response: CoapMessage, now: u64) {
         self.shard(&key).lock().unwrap().insert(key, response, now)

@@ -35,6 +35,7 @@
 pub mod bottleneck;
 pub mod client;
 pub mod experiment;
+pub mod io;
 pub mod method;
 pub mod policy;
 pub mod pool;
@@ -45,9 +46,10 @@ pub mod ttl_integrity;
 pub mod uri_template;
 
 pub use client::DocClient;
+pub use io::{IoProvider, RecvSlot, SimProvider, UdpProvider};
 pub use method::DocMethod;
 pub use policy::CachePolicy;
-pub use pool::{Datagram, ProxyPool, Reply, SpmcRing};
+pub use pool::{BufferPool, Datagram, ProxyPool, Reply, SpmcRing, WorkerDeque};
 pub use proxy::CoapProxy;
 pub use server::{DocServer, MockUpstream};
 

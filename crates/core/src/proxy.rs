@@ -17,7 +17,7 @@
 //! bit-identical to the historical unsharded proxy, FIFO eviction
 //! included.
 
-use doc_coap::cache::{cache_key_view, CacheKey, Lookup};
+use doc_coap::cache::{cache_key_view, cache_key_view_reusing, CacheKey, Lookup};
 use doc_coap::msg::{CoapMessage, Code};
 use doc_coap::opt::{CoapOption, OptionNumber};
 use doc_coap::shard::{ShardedCache, ShardedResponseCache};
@@ -41,6 +41,30 @@ pub enum ProxyAction {
         /// Correlation handle for [`CoapProxy::handle_upstream_response`].
         exchange_id: u64,
     },
+}
+
+/// What [`CoapProxy::serve_wire`] did with the request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireAction {
+    /// The reply wire was encoded into the caller's buffer.
+    Responded,
+    /// Forward this request upstream — exactly
+    /// [`ProxyAction::Forward`].
+    Forward {
+        /// Request to send upstream.
+        request: Box<CoapMessage>,
+        /// Correlation handle for [`CoapProxy::handle_upstream_response`].
+        exchange_id: u64,
+    },
+}
+
+/// Reusable per-caller scratch for [`CoapProxy::serve_wire`] — holds
+/// the buffers the wire hot path would otherwise allocate per request.
+#[derive(Debug, Default)]
+pub struct ProxyScratch {
+    /// Cache-key bytes, recycled between requests (see
+    /// [`cache_key_view_reusing`]).
+    key_buf: Vec<u8>,
 }
 
 /// Proxy statistics (Fig. 10/11 cache events at `P`).
@@ -193,10 +217,71 @@ impl CoapProxy {
         // once per request; every later consumer — cache lookup, shard
         // selection, the outstanding-exchange entry — reuses it.
         let key = cache_key_view(&req);
+        Ok(self.dispatch(key, &req, now_ms))
+    }
+
+    /// Wire-in/wire-out hot path: like
+    /// [`CoapProxy::handle_client_request_wire`], but a fresh cache hit
+    /// encodes the reply *directly into* `out` (cleared at entry) via
+    /// the cache's zero-copy hit encoder, and the cache key is derived
+    /// into `scratch`'s recycled buffer — so a steady-state hit
+    /// allocates nothing at all. Miss/stale/POST requests fall back to
+    /// the shared slow path, reusing the already-derived key; a
+    /// resulting `Respond` is also encoded into `out`.
+    pub fn serve_wire(
+        &self,
+        wire: &[u8],
+        now_ms: u64,
+        scratch: &mut ProxyScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<WireAction, CoapError> {
+        let req = CoapView::parse(wire)?;
+        bump(&self.stats.requests);
+        let key = cache_key_view_reusing(&req, std::mem::take(&mut scratch.key_buf));
+        if doc_coap::cache::is_cacheable_method(req.code) {
+            let client_etag = req.option(OptionNumber::ETAG).map(|o| o.value);
+            if self.cache.serve_hit_into(
+                &key,
+                now_ms,
+                req.message_id,
+                req.token(),
+                client_etag,
+                out,
+            ) {
+                bump(&self.stats.cache_hits);
+                scratch.key_buf = key.into_bytes();
+                return Ok(WireAction::Responded);
+            }
+        }
+        // Slow path: identical decision logic to the owned entry point.
+        // (A concurrent insert may have landed since the fast-path
+        // probe; `dispatch`'s own lookup then serves and counts the
+        // fresh hit — never double-counted, since the probe declined
+        // without counting.)
+        match self.dispatch(key, &req, now_ms) {
+            ProxyAction::Respond(resp) => {
+                out.clear();
+                resp.encode_into(out);
+                Ok(WireAction::Responded)
+            }
+            ProxyAction::Forward {
+                request,
+                exchange_id,
+            } => Ok(WireAction::Forward {
+                request,
+                exchange_id,
+            }),
+        }
+    }
+
+    /// The proxy's request decision tree, shared by every entry point.
+    /// `bump(requests)` has already happened; `key` is the request's
+    /// derived cache key, consumed by the forward path.
+    fn dispatch(&self, key: CacheKey, req: &CoapView<'_>, now_ms: u64) -> ProxyAction {
         if !doc_coap::cache::is_cacheable_method(req.code) {
             // POST etc.: pure pass-through.
             bump(&self.stats.forwards);
-            return Ok(self.forward(key, req.to_owned(), None, false));
+            return self.forward(key, req.to_owned(), None, false);
         }
         match self.cache.lookup(&key, now_ms) {
             Lookup::Fresh(cached) => {
@@ -208,7 +293,7 @@ impl CoapProxy {
                     &cached,
                     client_etag,
                 );
-                Ok(ProxyAction::Respond(Box::new(resp)))
+                ProxyAction::Respond(Box::new(resp))
             }
             Lookup::Stale { etag, .. } => {
                 // Revalidate upstream with the cached ETag.
@@ -216,11 +301,11 @@ impl CoapProxy {
                 let original = req.to_owned();
                 let mut upstream_req = original.clone();
                 upstream_req.set_option(CoapOption::new(OptionNumber::ETAG, etag));
-                Ok(self.forward(key, upstream_req, Some(original), true))
+                self.forward(key, upstream_req, Some(original), true)
             }
             Lookup::Miss | Lookup::StaleNoEtag => {
                 bump(&self.stats.forwards);
-                Ok(self.forward(key, req.to_owned(), None, false))
+                self.forward(key, req.to_owned(), None, false)
             }
         }
     }
@@ -449,6 +534,77 @@ mod tests {
         assert_eq!(r2.max_age(), 290);
         // Malformed datagrams are rejected, not panicked on.
         assert!(proxy.handle_client_request_wire(&[0xFF, 0x01], 0).is_err());
+    }
+
+    /// `serve_wire` (scratch-threading, wire-direct) must be
+    /// observationally identical to `handle_client_request_wire`:
+    /// byte-identical replies, same statistics, same forward actions.
+    #[test]
+    fn serve_wire_matches_wire_entry_point() {
+        let mk = || (CoapProxy::new(8), doc_server(CachePolicy::EolTtls, 300));
+        let (p_ref, s_ref) = mk();
+        let (p_new, s_new) = mk();
+        let mut scratch = ProxyScratch::default();
+        let mut out = Vec::new();
+        let drive_new = |p: &CoapProxy,
+                         s: &DocServer,
+                         wire: &[u8],
+                         now: u64,
+                         scratch: &mut ProxyScratch,
+                         out: &mut Vec<u8>| {
+            match p.serve_wire(wire, now, scratch, out).unwrap() {
+                WireAction::Responded => {}
+                WireAction::Forward {
+                    request,
+                    exchange_id,
+                } => {
+                    let up = s.handle_request(&request, now);
+                    let reply = p
+                        .handle_upstream_response(exchange_id, &up, now)
+                        .expect("known exchange");
+                    out.clear();
+                    reply.encode_into(out);
+                }
+            }
+        };
+        // Miss → hit → ETag-match 2.03 → POST pass-through.
+        let mut reqs = vec![
+            (fetch_req(1).encode(), 0u64),
+            (fetch_req(2).encode(), 10_000),
+        ];
+        let r1 = via_proxy(&p_ref, &s_ref, &fetch_req(1), 0);
+        let _ = via_proxy(&p_ref, &s_ref, &fetch_req(2), 10_000);
+        let etag = r1.option(OptionNumber::ETAG).unwrap().value.clone();
+        let mut req3 = fetch_req(3);
+        req3.set_option(CoapOption::new(OptionNumber::ETAG, etag));
+        reqs.push((req3.encode(), 20_000));
+        let post = build_request(
+            DocMethod::Post,
+            &query_bytes(),
+            MsgType::Con,
+            4,
+            vec![4, 0xCC],
+        )
+        .unwrap();
+        reqs.push((post.encode(), 21_000));
+        let _ = via_proxy(&p_ref, &s_ref, &req3, 20_000);
+        let _ = via_proxy(&p_ref, &s_ref, &post, 21_000);
+        // Replay the same sequence through serve_wire on the fresh
+        // pair, comparing the reply bytes against the owned path.
+        let (p_cmp, s_cmp) = mk();
+        for (wire, now) in &reqs {
+            drive_new(&p_new, &s_new, wire, *now, &mut scratch, &mut out);
+            let req = CoapMessage::decode(wire).unwrap();
+            let expect = via_proxy(&p_cmp, &s_cmp, &req, *now);
+            assert_eq!(out, expect.encode(), "now {now}");
+        }
+        assert_eq!(p_new.stats(), p_ref.stats());
+        assert_eq!(s_new.stats().requests, s_ref.stats().requests);
+        assert_eq!(p_new.cache_stats(), p_ref.cache_stats());
+        // Malformed datagrams error out, not panic.
+        assert!(p_new
+            .serve_wire(&[0xFF, 0x01], 0, &mut scratch, &mut out)
+            .is_err());
     }
 
     #[test]

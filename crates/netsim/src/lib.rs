@@ -471,6 +471,26 @@ impl Sim {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Drain the next *window* of events: everything due within
+    /// `window_us` of the earliest pending event. Returns 0 only when
+    /// the simulation is idle.
+    ///
+    /// This is the receive primitive an I/O provider wants — "give me
+    /// the next batch of arrivals" — without the caller having to pick
+    /// an absolute horizon: the window slides to wherever the event
+    /// queue actually is, so sparse and dense schedules both drain in
+    /// sensible batches.
+    pub fn drain_next_window(
+        &mut self,
+        window_us: u64,
+        out: &mut Vec<(Instant, SimEvent)>,
+    ) -> usize {
+        match self.peek_due_us() {
+            None => 0,
+            Some(at_us) => self.drain_due(at_us.saturating_add(window_us), out),
+        }
+    }
 }
 
 /// Draw Poisson-process arrival times: `count` events at `lambda`

@@ -1,0 +1,154 @@
+//! End-to-end tests of the I/O provider seam: the same worker-pool
+//! code serving the same query mix through the network simulator
+//! ([`SimProvider`]) and through a real loopback UDP socket
+//! ([`UdpProvider`]) must produce byte-identical replies — the
+//! guarantee that lets the paper's simulated experiments stand in for
+//! the production front-end.
+
+use doc_bench::throughput::{build_mix, LoadSpec};
+use doc_repro::doc::io::{IoProvider, SimProvider, UdpProvider};
+use doc_repro::doc::policy::CachePolicy;
+use doc_repro::doc::pool::ProxyPool;
+use doc_repro::doc::server::{DocServer, MockUpstream};
+use doc_repro::doc::CoapProxy;
+use doc_repro::netsim::{LinkKind, NodeId, Sim, Tag};
+use doc_repro::time::{Instant, Millis};
+use std::net::UdpSocket;
+
+/// One pool + the replay wires, identically seeded for every provider
+/// (same upstream zone, same mix, same cache geometry).
+fn pool_and_wires(workers: usize) -> (ProxyPool, Vec<Vec<u8>>) {
+    let spec = LoadSpec {
+        unique_names: 8,
+        ..LoadSpec::default()
+    };
+    let upstream = MockUpstream::new(1, spec.ttl_s, spec.ttl_s);
+    let mix = build_mix(&spec, &upstream);
+    let pool = ProxyPool::new(
+        workers,
+        std::sync::Arc::new(CoapProxy::with_shards(64, spec.shards)),
+        std::sync::Arc::new(DocServer::new(CachePolicy::EolTtls, upstream)),
+    );
+    (pool, mix.wires().to_vec())
+}
+
+/// The query sequence both providers serve: arbitrary repetition so
+/// cache hits follow misses and short replies follow long ones.
+fn query_sequence(wires: &[Vec<u8>], total: usize) -> Vec<Vec<u8>> {
+    (0..total)
+        .map(|i| wires[(i * 7 + i / 3) % wires.len()].clone())
+        .collect()
+}
+
+/// Serve `queries` through a 1-worker pool fed by the simulator:
+/// one client node sends every query up front, replies come back along
+/// the installed route. Returns the reply wires in query order.
+fn replies_via_sim(queries: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let (pool, _) = pool_and_wires(1);
+    let mut sim = Sim::new(7);
+    let proxy_node: NodeId = 0;
+    let client: NodeId = 1;
+    sim.add_link(proxy_node, client, LinkKind::Wired { latency_us: 100 });
+    sim.add_route(&[client, proxy_node]);
+    for q in queries {
+        sim.send_datagram(client, proxy_node, q.clone(), Tag::Query);
+    }
+    let mut provider = SimProvider::new(&mut sim, proxy_node, 1_000);
+    let stats = pool.run_io(&mut provider, 16, 8, Millis::from_millis(10));
+    assert_eq!(stats.processed, queries.len() as u64);
+    assert_eq!(stats.errors, 0);
+    // Pump the sim dry so the tail of the final reply flush arrives.
+    let mut none: [doc_repro::doc::io::RecvSlot; 1] = Default::default();
+    assert_eq!(provider.recv_batch(&mut none, Millis::from_millis(1)), 0);
+    provider
+        .take_delivered()
+        .into_iter()
+        .map(|(node, bytes)| {
+            assert_eq!(node, client, "reply routed back to the client");
+            bytes
+        })
+        .collect()
+}
+
+/// Serve `queries` through a 1-worker pool fed by a loopback UDP
+/// socket: a serial client sends query N only after receiving reply
+/// N−1, so the ordering matches the sim's FIFO delivery. The provider's
+/// virtual receive time is pinned inside the same second the sim run
+/// uses, which is the granularity Max-Age decay observes.
+fn replies_via_udp(queries: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let (pool, _) = pool_and_wires(1);
+    let mut provider = UdpProvider::bind("127.0.0.1:0")
+        .unwrap()
+        .with_virtual_time(Instant::from_millis(1));
+    let server_addr = provider.local_addr().unwrap();
+    let queries = queries.to_vec();
+    let handle = std::thread::spawn(move || {
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_millis(5_000)))
+            .unwrap();
+        let mut replies = Vec::new();
+        let mut buf = [0u8; 2048];
+        for q in &queries {
+            client.send_to(q, server_addr).unwrap();
+            let (len, _) = client.recv_from(&mut buf).unwrap();
+            replies.push(buf[..len].to_vec());
+        }
+        replies
+    });
+    let stats = pool.run_io(&mut provider, 16, 8, Millis::from_millis(500));
+    let replies = handle.join().unwrap();
+    assert_eq!(stats.processed, replies.len() as u64);
+    assert_eq!(stats.errors, 0);
+    replies
+}
+
+/// The tentpole guarantee: the simulated and the socket front-end are
+/// interchangeable — same queries through the same worker code yield
+/// byte-identical reply wires, per query.
+#[test]
+fn sim_and_udp_providers_serve_byte_identical_replies() {
+    let (_, wires) = pool_and_wires(1);
+    let queries = query_sequence(&wires, 48);
+    let via_sim = replies_via_sim(&queries);
+    let via_udp = replies_via_udp(&queries);
+    assert_eq!(via_sim.len(), queries.len());
+    assert_eq!(via_udp.len(), queries.len());
+    for (i, (s, u)) in via_sim.iter().zip(&via_udp).enumerate() {
+        assert_eq!(s, u, "reply {i} differs between sim and UDP front-ends");
+    }
+}
+
+/// Loopback smoke for CI: a multi-worker pool behind the UDP provider
+/// serves a serial client's full query run — the cheap end-to-end
+/// proof that the socket path works on the build machine.
+#[test]
+fn udp_loopback_smoke_multi_worker() {
+    let (pool, wires) = pool_and_wires(4);
+    let mut provider = UdpProvider::bind("127.0.0.1:0")
+        .unwrap()
+        .with_virtual_time(Instant::from_millis(1));
+    let server_addr = provider.local_addr().unwrap();
+    let queries = query_sequence(&wires, 64);
+    let handle = std::thread::spawn(move || {
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_millis(5_000)))
+            .unwrap();
+        let mut got = 0usize;
+        let mut buf = [0u8; 2048];
+        for q in &queries {
+            client.send_to(q, server_addr).unwrap();
+            if client.recv_from(&mut buf).is_ok() {
+                got += 1;
+            }
+        }
+        got
+    });
+    let stats = pool.run_io(&mut provider, 32, 8, Millis::from_millis(500));
+    let got = handle.join().unwrap();
+    assert_eq!(got, 64, "every loopback query answered");
+    assert_eq!(stats.processed, 64);
+    assert_eq!(stats.replies, 64);
+    assert_eq!(stats.errors, 0);
+}

@@ -659,4 +659,68 @@ proptest! {
         let (inner, _) = server.unprotect_request(&outer).unwrap();
         prop_assert_eq!(inner.payload, payload);
     }
+
+    /// Slab-reset guard for the zero-alloc pool path: a 1-worker
+    /// `ProxyPool::run` serves replies out of per-worker slab buffers
+    /// reused across batches, while `ProxyPool::serve` allocates fresh
+    /// per call. Over arbitrary query sequences (arbitrary repetition,
+    /// so cache hits follow misses and short replies follow long ones)
+    /// the two paths must be byte-identical per sequence number — any
+    /// stale bytes surviving a batch boundary show up as a mismatch.
+    #[test]
+    fn pool_slab_path_matches_owned_serve(
+        picks in proptest::collection::vec(any::<usize>(), 1..60),
+    ) {
+        use doc_bench::throughput::{build_mix, LoadSpec};
+        use doc_repro::doc::policy::CachePolicy;
+        use doc_repro::doc::pool::{Datagram, ProxyPool};
+        use doc_repro::doc::server::{DocServer, MockUpstream};
+        use doc_repro::doc::CoapProxy;
+        use std::sync::{Arc, Mutex};
+
+        let spec = LoadSpec { unique_names: 8, ..LoadSpec::default() };
+        let make_pool = || {
+            let upstream = MockUpstream::new(1, spec.ttl_s, spec.ttl_s);
+            let mix = build_mix(&spec, &upstream);
+            let pool = ProxyPool::new(
+                1,
+                Arc::new(CoapProxy::with_shards(64, spec.shards)),
+                Arc::new(DocServer::new(CachePolicy::EolTtls, upstream)),
+            );
+            (pool, mix.wires().to_vec())
+        };
+        let datagrams = |wires: &[Vec<u8>]| -> Vec<Datagram> {
+            picks
+                .iter()
+                .enumerate()
+                .map(|(seq, &p)| Datagram {
+                    peer: seq as u64 % 4,
+                    seq: seq as u64,
+                    at: doc_repro::time::Instant::from_millis(1),
+                    wire: wires[p % wires.len()].clone(),
+                })
+                .collect()
+        };
+
+        // Slab path: 1 worker drains the injector in input order, so
+        // cache state evolves exactly like the sequential pass below.
+        let (pool, wires) = make_pool();
+        let via_run = Mutex::new(vec![None; picks.len()]);
+        pool.run(16, datagrams(&wires).into_iter(), &|r| {
+            via_run.lock().unwrap()[r.seq as usize] = r.wire.clone();
+        });
+
+        // Owned path: same mix on an identically-seeded pool, one
+        // fresh-allocated reply per call.
+        let (pool2, wires2) = make_pool();
+        prop_assert_eq!(&wires, &wires2);
+        let mut upstream_buf = Vec::new();
+        for (seq, d) in datagrams(&wires2).iter().enumerate() {
+            let expect = pool2.serve(d, &mut upstream_buf);
+            prop_assert_eq!(
+                &via_run.lock().unwrap()[seq], &expect,
+                "slab reply diverged from owned reply at seq {}", seq
+            );
+        }
+    }
 }

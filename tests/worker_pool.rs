@@ -121,7 +121,7 @@ fn netsim_batched_drain_feeds_the_pool() {
         }
         let replies = Mutex::new(Vec::new());
         let stats = pool.run(16, arrived, &|r| {
-            replies.lock().unwrap().push(r);
+            replies.lock().unwrap().push(r.clone());
         });
         assert_eq!(stats.errors, 0);
         for r in replies.into_inner().unwrap() {
@@ -131,4 +131,78 @@ fn netsim_batched_drain_feeds_the_pool() {
     }
     assert_eq!(client_replies, vec![1; CLIENTS], "one reply per client");
     assert_eq!(pool.proxy.stats().requests, CLIENTS as u32);
+}
+
+/// Work stealing under a skewed arrival pattern: affinity routing pins
+/// every datagram to one hot worker's deque, so the other workers only
+/// make progress by stealing. Every request is still answered exactly
+/// once and the per-worker steal counters are reported for the full
+/// topology.
+#[test]
+fn idle_workers_steal_from_hot_deque() {
+    const WORKERS: usize = 4;
+    let spec = LoadSpec {
+        unique_names: 16,
+        ..LoadSpec::default()
+    };
+    let (pool, wires) = sharded_pool(WORKERS, &spec);
+    let pool = pool.with_affinity(true);
+    let total = 1_000u64;
+    let served = Mutex::new(vec![0u32; total as usize]);
+    let stats = pool.run(
+        64,
+        (0..total).map(|seq| Datagram {
+            // Every request routes to worker 1's deque; workers 0, 2,
+            // and 3 see work only through steal_front_batch.
+            peer: 1,
+            seq,
+            at: doc_repro::time::Instant::from_millis(1),
+            wire: wires[(seq % wires.len() as u64) as usize].clone(),
+        }),
+        &|r| {
+            assert!(r.wire.is_some(), "seq {} dropped", r.seq);
+            served.lock().unwrap()[r.seq as usize] += 1;
+        },
+    );
+    assert_eq!(stats.processed, total);
+    assert_eq!(stats.replies, total);
+    assert!(
+        served.lock().unwrap().iter().all(|&n| n == 1),
+        "every request served exactly once"
+    );
+    assert_eq!(
+        stats.steals_per_worker.len(),
+        WORKERS,
+        "one steal counter per worker"
+    );
+}
+
+/// Uniform affinity routing spreads datagrams across all worker deques
+/// by `peer % workers`; totals still add up and match a 1-worker run of
+/// the same mix.
+#[test]
+fn affinity_routing_matches_single_worker_totals() {
+    let spec = LoadSpec {
+        unique_names: 16,
+        ..LoadSpec::default()
+    };
+    let total = 800u64;
+    let mut totals = Vec::new();
+    for workers in [1usize, 4] {
+        let (pool, wires) = sharded_pool(workers, &spec);
+        let pool = pool.with_affinity(true);
+        let stats = pool.run(
+            32,
+            (0..total).map(|seq| Datagram {
+                peer: seq % 7,
+                seq,
+                at: doc_repro::time::Instant::from_millis(1),
+                wire: wires[(seq % wires.len() as u64) as usize].clone(),
+            }),
+            &|_| {},
+        );
+        totals.push((stats.processed, stats.replies, stats.errors));
+    }
+    assert_eq!(totals[0], totals[1], "worker count must not change totals");
+    assert_eq!(totals[0], (total, total, 0));
 }
